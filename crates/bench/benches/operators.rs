@@ -1,0 +1,108 @@
+//! Per-operator throughput: selection, projection, aggregation, and
+//! restructuring over photon items.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dss_engine::{
+    build_pipeline, ProjectOp, RestructureOp, SelectOp, StreamOperator, Template,
+};
+use dss_predicate::{Atom, CompOp, PredicateGraph};
+use dss_properties::{Operator, ProjectionSpec};
+use dss_rass::default_photons;
+use dss_wxquery::{compile_query, queries};
+use dss_xml::{Decimal, Node, Path};
+
+fn p(s: &str) -> Path {
+    s.parse().unwrap()
+}
+
+fn vela_selection() -> PredicateGraph {
+    PredicateGraph::from_atoms(&[
+        Atom::var_const(p("coord/cel/ra"), CompOp::Ge, Decimal::from_int(120)),
+        Atom::var_const(p("coord/cel/ra"), CompOp::Le, Decimal::from_int(138)),
+        Atom::var_const(p("coord/cel/dec"), CompOp::Ge, Decimal::from_int(-49)),
+        Atom::var_const(p("coord/cel/dec"), CompOp::Le, Decimal::from_int(-40)),
+    ])
+}
+
+fn items() -> Vec<Node> {
+    default_photons(17, 10_000)
+}
+
+fn bench_select(c: &mut Criterion) {
+    let items = items();
+    let mut g = c.benchmark_group("operators/select");
+    g.throughput(Throughput::Elements(items.len() as u64));
+    g.bench_function("vela-region", |b| {
+        b.iter(|| {
+            let mut op = SelectOp::new(vela_selection());
+            items.iter().map(|i| op.process(i).len()).sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_project(c: &mut Criterion) {
+    let items = items();
+    let spec = ProjectionSpec::returning([p("coord/cel/ra"), p("coord/cel/dec"), p("en")]);
+    let mut g = c.benchmark_group("operators/project");
+    g.throughput(Throughput::Elements(items.len() as u64));
+    g.bench_function("three-paths", |b| {
+        b.iter(|| {
+            let mut op = ProjectOp::new(spec.clone());
+            items.iter().map(|i| op.process(i).len()).sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_restructure(c: &mut Criterion) {
+    let items = items();
+    let template = Template::element(
+        "vela",
+        vec![
+            Template::Subtree(p("coord/cel/ra")),
+            Template::Subtree(p("coord/cel/dec")),
+            Template::Subtree(p("en")),
+            Template::Subtree(p("det_time")),
+        ],
+    );
+    let mut g = c.benchmark_group("operators/restructure");
+    g.throughput(Throughput::Elements(items.len() as u64));
+    g.bench_function("q1-template", |b| {
+        b.iter(|| {
+            let mut op = RestructureOp::new(template.clone());
+            items.iter().map(|i| op.process(i).len()).sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_query_chains(c: &mut Criterion) {
+    let items = items();
+    let mut g = c.benchmark_group("operators/full-chain");
+    g.throughput(Throughput::Elements(items.len() as u64));
+    for (name, text) in queries::ALL {
+        let compiled = compile_query(text).expect("paper query compiles");
+        let chain: Vec<Operator> = compiled.operator_chain().to_vec();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut pipe = build_pipeline(&chain);
+                let mut out = 0usize;
+                for item in &items {
+                    out += pipe.process(item).len();
+                }
+                out + pipe.flush().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_select,
+    bench_project,
+    bench_restructure,
+    bench_full_query_chains
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation: predicate-graph construction, satisfiability, minimization,
+//! and the two `MatchPredicates` variants (closure-complete vs. the
+//! paper-literal edgewise algorithm) as predicate size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dss_predicate::{
+    match_predicates, match_predicates_edgewise, Atom, CompOp, PredicateGraph,
+};
+use dss_xml::{Decimal, Path};
+
+fn d(v: f64) -> Decimal {
+    Decimal::from_f64_rounded(v, 3)
+}
+
+/// A conjunctive range predicate over `vars` variables: lo_i ≤ v_i ≤ hi_i,
+/// plus a chain v_i ≤ v_{i+1} + 1 to exercise derived bounds.
+fn range_atoms(vars: usize, tightness: f64) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    for i in 0..vars {
+        let var: Path = format!("e{i}").parse().unwrap();
+        atoms.push(Atom::var_const(var.clone(), CompOp::Ge, d(10.0 * i as f64 + tightness)));
+        atoms.push(Atom::var_const(var.clone(), CompOp::Le, d(10.0 * i as f64 + 50.0 - tightness)));
+        if i + 1 < vars {
+            let next: Path = format!("e{}", i + 1).parse().unwrap();
+            atoms.push(Atom::var_var(var, CompOp::Le, next, d(1.0)));
+        }
+    }
+    atoms
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predicate/construct+minimize");
+    for vars in [2usize, 4, 8, 16] {
+        let atoms = range_atoms(vars, 0.0);
+        g.bench_with_input(BenchmarkId::from_parameter(vars), &atoms, |b, atoms| {
+            b.iter(|| PredicateGraph::from_atoms(atoms).minimize())
+        });
+    }
+    g.finish();
+}
+
+fn bench_satisfiability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predicate/satisfiability");
+    for vars in [2usize, 8, 16] {
+        let graph = PredicateGraph::from_atoms(&range_atoms(vars, 0.0));
+        g.bench_with_input(BenchmarkId::from_parameter(vars), &graph, |b, graph| {
+            b.iter(|| graph.is_satisfiable())
+        });
+    }
+    g.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predicate/match");
+    for vars in [2usize, 8, 16] {
+        let stream = PredicateGraph::from_atoms(&range_atoms(vars, 0.0)).minimize();
+        let query = PredicateGraph::from_atoms(&range_atoms(vars, 5.0)).minimize();
+        g.bench_with_input(BenchmarkId::new("complete", vars), &vars, |b, _| {
+            b.iter(|| match_predicates(&stream, &query))
+        });
+        g.bench_with_input(BenchmarkId::new("edgewise", vars), &vars, |b, _| {
+            b.iter(|| match_predicates_edgewise(&stream, &query))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_satisfiability, bench_matching);
+criterion_main!(benches);

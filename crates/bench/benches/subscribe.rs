@@ -1,0 +1,83 @@
+//! Ablation of Table 1: the cost of the `Subscribe` search (Algorithm 1)
+//! as the number of already-registered queries and the network size grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dss_core::{subscribe, SearchOrder, Strategy, StreamGlobe};
+use dss_network::grid_topology;
+use dss_rass::{QueryTemplateGenerator, Scenario};
+use dss_wxquery::compile_query;
+
+/// Scenario-1 system with the first `n` template queries installed under
+/// stream sharing.
+fn loaded_system(n: usize) -> (StreamGlobe, String) {
+    let scenario = Scenario::scenario1(7);
+    let mut system = scenario.build_system();
+    for q in scenario.queries.iter().take(n) {
+        system
+            .register_query(q.id.clone(), &q.text, &q.peer, Strategy::StreamSharing)
+            .expect("scenario query registers");
+    }
+    // The probe query planned (but not installed) inside the benchmark.
+    let probe = scenario.queries.last().expect("scenario has queries").text.clone();
+    (system, probe)
+}
+
+fn bench_vs_registered_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subscribe/vs-registered-queries");
+    for n in [0usize, 5, 15, 25] {
+        let (system, probe) = loaded_system(n);
+        let compiled = compile_query(&probe).expect("probe compiles");
+        let v_q = system.topology().expect_node("SP7");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                subscribe(system.state(), &compiled, v_q, v_q, SearchOrder::Bfs, false)
+                    .expect("plan found")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_vs_network_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subscribe/vs-grid-size");
+    for dim in [2usize, 4, 6, 8] {
+        let mut system = StreamGlobe::new(grid_topology(dim, dim));
+        system
+            .register_stream("photons", "SP0", dss_rass::default_photons(1, 300), 50.0)
+            .expect("stream registers");
+        // Pre-register a handful of queries so streams exist to search.
+        let mut tgen = QueryTemplateGenerator::new(3, "photons");
+        for i in 0..8 {
+            let peer = format!("SP{}", (i * dim * dim / 8) % (dim * dim));
+            system
+                .register_query(format!("q{i}"), &tgen.next_query(), &peer, Strategy::StreamSharing)
+                .expect("query registers");
+        }
+        let probe = compile_query(&tgen.next_query()).expect("probe compiles");
+        let v_q = system.topology().expect_node(&format!("SP{}", dim * dim - 1));
+        g.bench_with_input(BenchmarkId::from_parameter(dim * dim), &dim, |b, _| {
+            b.iter(|| {
+                subscribe(system.state(), &probe, v_q, v_q, SearchOrder::Bfs, false)
+                    .expect("plan found")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bfs_vs_dfs(c: &mut Criterion) {
+    let (system, probe) = loaded_system(25);
+    let compiled = compile_query(&probe).expect("probe compiles");
+    let v_q = system.topology().expect_node("SP7");
+    let mut g = c.benchmark_group("subscribe/order");
+    g.bench_function("bfs", |b| {
+        b.iter(|| subscribe(system.state(), &compiled, v_q, v_q, SearchOrder::Bfs, false).unwrap())
+    });
+    g.bench_function("dfs", |b| {
+        b.iter(|| subscribe(system.state(), &compiled, v_q, v_q, SearchOrder::Dfs, false).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_vs_registered_queries, bench_vs_network_size, bench_bfs_vs_dfs);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Substrate sanity: XML tokenizer / stream-reader parse throughput and
+//! serializer throughput over photon items.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dss_rass::default_photons;
+use dss_xml::reader::StreamReader;
+use dss_xml::writer::{node_to_string, serialized_size, stream_close, stream_open};
+use dss_xml::Tokenizer;
+
+fn stream_document(n: usize) -> String {
+    let items = default_photons(5, n);
+    let mut doc = stream_open("photons");
+    for item in &items {
+        doc.push_str(&node_to_string(item));
+    }
+    doc.push_str(&stream_close("photons"));
+    doc
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let doc = stream_document(2_000);
+    let mut g = c.benchmark_group("xml/tokenizer");
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+    g.bench_function("events", |b| {
+        b.iter(|| {
+            let mut t = Tokenizer::from_str(&doc);
+            let mut n = 0usize;
+            while t.next_event().expect("well-formed").is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_stream_reader(c: &mut Criterion) {
+    let doc = stream_document(2_000);
+    let mut g = c.benchmark_group("xml/stream-reader");
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+    g.bench_function("items", |b| {
+        b.iter(|| {
+            let mut r = StreamReader::new();
+            r.feed(doc.as_bytes());
+            r.finish();
+            let mut n = 0usize;
+            while r.next_item().expect("well-formed").is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    // Chunked feeding, as the network delivers it.
+    g.bench_function("items-chunked-256", |b| {
+        b.iter(|| {
+            let mut r = StreamReader::new();
+            let mut n = 0usize;
+            for chunk in doc.as_bytes().chunks(256) {
+                r.feed(chunk);
+                while r.next_item().expect("well-formed").is_some() {
+                    n += 1;
+                }
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_serializer(c: &mut Criterion) {
+    let items = default_photons(6, 2_000);
+    let bytes: usize = items.iter().map(serialized_size).sum();
+    let mut g = c.benchmark_group("xml/serializer");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("to-string", |b| {
+        b.iter(|| items.iter().map(node_to_string).map(|s| s.len()).sum::<usize>())
+    });
+    g.bench_function("size-only", |b| {
+        b.iter(|| items.iter().map(serialized_size).sum::<usize>())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tokenizer, bench_stream_reader, bench_serializer);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Runs every experiment of the paper's evaluation section and prints the
+//! regenerated tables plus shape verdicts (who wins, where the peaks are).
+
+use dss_bench::experiments::{
+    fig6, fig7, gamma_sweep, motivating, rejections, render_table1, scalability, table1,
+    verdicts, widening_ablation, DEFAULT_SEED,
+};
+use dss_core::Strategy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned());
+    let seed = args
+        .iter()
+        .filter(|a| *a != "--json" && Some(a.as_str()) != json_path.as_deref())
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    println!("=== data stream sharing: full evaluation (seed {seed}) ===\n");
+
+    let f6 = fig6(seed);
+    println!("{}", f6.cpu.render());
+    println!("{}", f6.traffic.render());
+
+    let f7 = fig7(seed);
+    println!("{}", f7.cpu.render());
+    println!("{}", f7.traffic.render());
+
+    println!("{}", render_table1(&table1(seed)));
+
+    let rej = rejections(seed);
+    println!("Rejections with 10 % CPU / 1 Mbit/s caps (scenario 2, 100 queries):");
+    for (strategy, (acc, rejd)) in Strategy::ALL.into_iter().zip(rej) {
+        println!("  {strategy:>15}: {acc} accepted, {rejd} rejected");
+    }
+    println!("  (paper: 47 / 35 / 2 rejected)\n");
+
+    println!("{}", motivating().render());
+
+    let ((t_off, r_off), (t_on, r_on)) = widening_ablation(seed);
+    println!("Widening ablation (scenario 1, stream sharing):");
+    println!("  widening off: {t_off} bytes total, {r_off}/25 queries reuse derived streams");
+    println!("  widening on : {t_on} bytes total, {r_on}/25 queries reuse derived streams\n");
+
+    println!("Gamma sweep (scenario 1, stream sharing):");
+    for (gamma, traffic, peak) in gamma_sweep(seed) {
+        println!("  gamma={gamma:.2}: {traffic} bytes total, peak CPU {peak:.2} %");
+    }
+    println!();
+
+    println!("Scalability of the Subscribe search (grid networks, 24 queries each):");
+    for row in scalability(seed) {
+        println!(
+            "  {:>3} super-peers: avg registration {:>8.1} µs, {:>5.1} peers visited, {:>5.1} candidates matched",
+            row.peers,
+            row.avg_registration.as_secs_f64() * 1e6,
+            row.avg_nodes_visited,
+            row.avg_candidates,
+        );
+    }
+    println!();
+
+    println!("=== shape verdicts vs. the paper ===");
+    print!("{}", verdicts(&f6, &f7, &rej));
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\"seed\":{seed},\"fig6\":{},\"fig7\":{},\"table1\":{},\"rejections\":{}}}",
+            f6.to_json(),
+            f7.to_json(),
+            dss_bench::json::table1_json(&table1(seed)),
+            dss_bench::json::rejections_json(&rej),
+        );
+        std::fs::write(&path, json).expect("write JSON results");
+        println!("\nwrote JSON results to {path}");
+    }
+}

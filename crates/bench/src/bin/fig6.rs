@@ -1,0 +1,11 @@
+//! Regenerates Figure 6 (scenario 1): average CPU load per super-peer and
+//! average traffic per connection, for all three strategies.
+
+use dss_bench::experiments::{fig6, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let data = fig6(seed);
+    println!("{}", data.cpu.render());
+    println!("{}", data.traffic.render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 7 (scenario 2): average CPU load and accumulated
+//! traffic per super-peer, for all three strategies.
+
+use dss_bench::experiments::{fig7, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let data = fig7(seed);
+    println!("{}", data.cpu.render());
+    println!("{}", data.traffic.render());
+}

@@ -1,0 +1,15 @@
+//! Regenerates the Section-4 rejection experiment: scenario 2 with peer CPU
+//! capped at 10 % and connections at 1 Mbit/s.
+
+use dss_bench::experiments::{rejections, DEFAULT_SEED};
+use dss_core::Strategy;
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let rej = rejections(seed);
+    println!("rejections with 10 % CPU / 1 Mbit/s caps (scenario 2, 100 queries):");
+    for (strategy, (acc, rejd)) in Strategy::ALL.into_iter().zip(rej) {
+        println!("  {strategy:>15}: {acc} accepted, {rejd} rejected");
+    }
+    println!("  paper          : 53/65 accepted, 47 / 35 / 2 rejected");
+}

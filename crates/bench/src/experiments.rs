@@ -1,0 +1,563 @@
+//! The experiment drivers regenerating every table and figure of the
+//! paper's evaluation (Section 4).
+//!
+//! | id | paper artifact | driver |
+//! |----|----------------|--------|
+//! | E1/E2 | Figure 6 (scenario 1 CPU load / connection traffic) | [`fig6`] |
+//! | E3/E4 | Figure 7 (scenario 2 CPU load / accumulated traffic) | [`fig7`] |
+//! | E5 | Table 1 (query registration times) | [`table1`] |
+//! | E6 | rejection counts under capacity caps | [`rejections`] |
+//! | E7 | Figures 1/2 (motivating stream sizes) | [`motivating`] |
+
+use std::time::Duration;
+
+use dss_core::{AdmissionControl, Strategy};
+use dss_network::SimConfig;
+use dss_rass::Scenario;
+use dss_wxquery::queries;
+
+use crate::report::{f3, render_table};
+
+/// Default deterministic seed for all experiments.
+pub const DEFAULT_SEED: u64 = 42;
+
+fn sim_config(scenario: &Scenario) -> SimConfig {
+    // Simulated duration = sample length at the stream frequency, so the
+    // reported rates correspond to the generated data.
+    let s = &scenario.streams[0];
+    SimConfig {
+        duration_s: s.items.len() as f64 / s.frequency,
+        ..SimConfig::default()
+    }
+}
+
+/// One figure's data: per-label series per strategy.
+#[derive(Debug, Clone)]
+pub struct SeriesTable {
+    pub title: String,
+    pub labels: Vec<String>,
+    /// One column per strategy, in `Strategy::ALL` order.
+    pub columns: [Vec<f64>; 3],
+}
+
+impl SeriesTable {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let header: Vec<String> = std::iter::once("".to_string())
+            .chain(Strategy::ALL.iter().map(|s| s.to_string()))
+            .collect();
+        let rows: Vec<Vec<String>> = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                vec![
+                    l.clone(),
+                    f3(self.columns[0][i]),
+                    f3(self.columns[1][i]),
+                    f3(self.columns[2][i]),
+                ]
+            })
+            .collect();
+        format!("{}\n{}", self.title, render_table(&header, &rows))
+    }
+
+    /// Sum of one strategy's series.
+    pub fn total(&self, strategy_idx: usize) -> f64 {
+        self.columns[strategy_idx].iter().sum()
+    }
+
+    /// Maximum of one strategy's series.
+    pub fn peak(&self, strategy_idx: usize) -> f64 {
+        self.columns[strategy_idx].iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Figure-6/7 style outcome: CPU-load series and traffic series.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    pub cpu: SeriesTable,
+    pub traffic: SeriesTable,
+}
+
+/// E1/E2 — Figure 6: scenario 1 (8 super-peers, 1 stream, 25 queries).
+/// Left: average CPU load (%) per super-peer. Right: average network
+/// traffic (kbps) per backbone connection.
+pub fn fig6(seed: u64) -> FigureData {
+    let scenario = Scenario::scenario1(seed);
+    let cfg = sim_config(&scenario);
+    let topo = scenario.topology.clone();
+    let sps = topo.super_peers();
+    let sp_labels: Vec<String> = sps.iter().map(|&v| topo.peer(v).name.clone()).collect();
+    // Backbone connections only (both endpoints super-peers).
+    let edges: Vec<usize> = (0..topo.edge_count())
+        .filter(|&e| {
+            let edge = topo.edge(e);
+            sps.contains(&edge.a) && sps.contains(&edge.b)
+        })
+        .collect();
+    let edge_labels: Vec<String> = edges
+        .iter()
+        .map(|&e| {
+            let edge = topo.edge(e);
+            format!("{}-{}", topo.peer(edge.a).name, topo.peer(edge.b).name)
+        })
+        .collect();
+
+    let mut cpu_cols: [Vec<f64>; 3] = Default::default();
+    let mut traffic_cols: [Vec<f64>; 3] = Default::default();
+    for (i, strategy) in Strategy::ALL.into_iter().enumerate() {
+        let outcome = scenario.run(strategy, false);
+        assert!(outcome.errored.is_empty(), "{strategy}: {:?}", outcome.errored);
+        let sim = outcome.simulate(cfg);
+        cpu_cols[i] = sps.iter().map(|&v| sim.metrics.node_load_pct(&topo, v)).collect();
+        traffic_cols[i] = edges.iter().map(|&e| sim.metrics.edge_kbps(e)).collect();
+    }
+    FigureData {
+        cpu: SeriesTable {
+            title: "Figure 6 (left): avg CPU load (%) per super-peer — scenario 1".into(),
+            labels: sp_labels,
+            columns: cpu_cols,
+        },
+        traffic: SeriesTable {
+            title: "Figure 6 (right): avg network traffic (kbps) per connection — scenario 1"
+                .into(),
+            labels: edge_labels,
+            columns: traffic_cols,
+        },
+    }
+}
+
+/// E3/E4 — Figure 7: scenario 2 (4×4 grid, 2 streams, 100 queries).
+/// Left: average CPU load (%) per super-peer. Right: accumulated traffic
+/// (MBit, incoming + outgoing) per super-peer.
+pub fn fig7(seed: u64) -> FigureData {
+    let scenario = Scenario::scenario2(seed);
+    let cfg = sim_config(&scenario);
+    let topo = scenario.topology.clone();
+    let sps = topo.super_peers();
+    let labels: Vec<String> = sps.iter().map(|&v| topo.peer(v).name.clone()).collect();
+    let mut cpu_cols: [Vec<f64>; 3] = Default::default();
+    let mut acc_cols: [Vec<f64>; 3] = Default::default();
+    for (i, strategy) in Strategy::ALL.into_iter().enumerate() {
+        let outcome = scenario.run(strategy, false);
+        assert!(outcome.errored.is_empty(), "{strategy}: {:?}", outcome.errored);
+        let sim = outcome.simulate(cfg);
+        cpu_cols[i] = sps.iter().map(|&v| sim.metrics.node_load_pct(&topo, v)).collect();
+        acc_cols[i] = sps.iter().map(|&v| sim.metrics.node_acc_traffic_mbit(v)).collect();
+    }
+    FigureData {
+        cpu: SeriesTable {
+            title: "Figure 7 (left): avg CPU load (%) per super-peer — scenario 2".into(),
+            labels: labels.clone(),
+            columns: cpu_cols,
+        },
+        traffic: SeriesTable {
+            title: "Figure 7 (right): accumulated traffic (MBit, in+out) per super-peer — \
+                    scenario 2"
+                .into(),
+            labels,
+            columns: acc_cols,
+        },
+    }
+}
+
+/// Registration-time statistics of one strategy on one scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct RegTimes {
+    pub average: Duration,
+    pub minimum: Duration,
+    pub maximum: Duration,
+}
+
+/// E5 — Table 1: query registration times per strategy and scenario.
+pub fn table1(seed: u64) -> [[RegTimes; 2]; 3] {
+    let scenarios = [Scenario::scenario1(seed), Scenario::scenario2(seed)];
+    let mut out = [[RegTimes {
+        average: Duration::ZERO,
+        minimum: Duration::ZERO,
+        maximum: Duration::ZERO,
+    }; 2]; 3];
+    for (si, strategy) in Strategy::ALL.into_iter().enumerate() {
+        for (ci, scenario) in scenarios.iter().enumerate() {
+            let outcome = scenario.run(strategy, false);
+            assert!(outcome.errored.is_empty(), "{strategy}: {:?}", outcome.errored);
+            let times: Vec<Duration> =
+                outcome.registrations.iter().map(|r| r.elapsed).collect();
+            let sum: Duration = times.iter().sum();
+            out[si][ci] = RegTimes {
+                average: sum / times.len() as u32,
+                minimum: times.iter().min().copied().unwrap_or_default(),
+                maximum: times.iter().max().copied().unwrap_or_default(),
+            };
+        }
+    }
+    out
+}
+
+/// Renders Table 1.
+pub fn render_table1(data: &[[RegTimes; 2]; 3]) -> String {
+    let us = |d: Duration| format!("{:.1}", d.as_secs_f64() * 1e6);
+    let header: Vec<String> = [
+        "Scenario", "Avg 1", "Avg 2", "Min 1", "Min 2", "Max 1", "Max 2",
+    ]
+    .map(String::from)
+    .to_vec();
+    let rows: Vec<Vec<String>> = Strategy::ALL
+        .iter()
+        .zip(data)
+        .map(|(s, row)| {
+            vec![
+                s.to_string(),
+                us(row[0].average),
+                us(row[1].average),
+                us(row[0].minimum),
+                us(row[1].minimum),
+                us(row[0].maximum),
+                us(row[1].maximum),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 1: query registration times (µs) per strategy (columns: scenario 1 / scenario 2)\n{}",
+        render_table(&header, &rows)
+    )
+}
+
+/// E6 — the rejection experiment: scenario 2 with peer CPU capped at 10 %
+/// and connections at 1 Mbit/s; returns `(accepted, rejected)` per
+/// strategy.
+pub fn rejections(seed: u64) -> [(usize, usize); 3] {
+    let scenario = Scenario::scenario2(seed);
+    let mut out = [(0, 0); 3];
+    for (i, strategy) in Strategy::ALL.into_iter().enumerate() {
+        let mut system = scenario.build_system();
+        AdmissionControl::apply_caps(&mut system, 0.10, 1_000.0);
+        let batch: Vec<(String, String, String)> = scenario
+            .queries
+            .iter()
+            .map(|q| (q.id.clone(), q.text.clone(), q.peer.clone()))
+            .collect();
+        let report = AdmissionControl::register_batch(&mut system, &batch, strategy);
+        assert!(report.errored.is_empty(), "{strategy}: {:?}", report.errored);
+        out[i] = (report.accepted_count(), report.rejected_count());
+    }
+    out
+}
+
+/// E7 — the motivating example (Figures 1/2): per-strategy total traffic
+/// for the paper's Queries 1–4 on the example network.
+pub fn motivating() -> SeriesTable {
+    let placements =
+        [("Q1", queries::Q1, "P1"), ("Q2", queries::Q2, "P2"), ("Q3", queries::Q3, "P3"), ("Q4", queries::Q4, "P4")];
+    let mut columns: [Vec<f64>; 3] = Default::default();
+    for (i, strategy) in Strategy::ALL.into_iter().enumerate() {
+        let mut system = dss_rass::scenario::example_network();
+        for (name, text, peer) in placements {
+            system
+                .register_query(name, text, peer, strategy)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        let sim = system.run_simulation(SimConfig { duration_s: 500.0, ..SimConfig::default() });
+        let topo = system.topology();
+        columns[i] = topo
+            .super_peers()
+            .iter()
+            .map(|&v| sim.metrics.node_acc_traffic_mbit(v))
+            .collect();
+    }
+    let topo = dss_network::example_topology();
+    SeriesTable {
+        title: "Motivating example (Figures 1/2): accumulated traffic (MBit) per super-peer, \
+                Queries 1–4"
+            .into(),
+        labels: topo.super_peers().iter().map(|&v| topo.peer(v).name.clone()).collect(),
+        columns,
+    }
+}
+
+/// E8 — widening ablation (the implemented ongoing-work extension):
+/// scenario 1 registered under stream sharing with widening off vs. on.
+/// Returns `((traffic_off, reused_off), (traffic_on, reused_on))`.
+pub fn widening_ablation(seed: u64) -> ((u64, usize), (u64, usize)) {
+    let scenario = Scenario::scenario1(seed);
+    let cfg = sim_config(&scenario);
+    let run = |widening: bool| {
+        let mut system = scenario.build_system();
+        system.set_widening(widening);
+        let mut reused = 0;
+        for q in &scenario.queries {
+            let reg = system
+                .register_query(q.id.clone(), &q.text, &q.peer, Strategy::StreamSharing)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+            if reg.reused_derived_stream {
+                reused += 1;
+            }
+        }
+        let sim = system.run_simulation(cfg);
+        (sim.metrics.total_edge_bytes(), reused)
+    };
+    (run(false), run(true))
+}
+
+/// E9 — γ sweep: the cost model's weighting factor γ "determines which
+/// part of the cost function should be more dominant — network traffic or
+/// peer load" (Section 3.2). Runs scenario 1 under stream sharing for each
+/// γ and reports `(gamma, total traffic bytes, peak CPU %)`.
+pub fn gamma_sweep(seed: u64) -> Vec<(f64, u64, f64)> {
+    let scenario = Scenario::scenario1(seed);
+    let cfg = sim_config(&scenario);
+    let topo = scenario.topology.clone();
+    [0.0, 0.25, 0.5, 0.75, 1.0]
+        .into_iter()
+        .map(|gamma| {
+            let mut system = dss_core::StreamGlobe::with_params(
+                scenario.topology.clone(),
+                dss_core::CostParams { gamma },
+            );
+            for s in &scenario.streams {
+                system
+                    .register_stream(s.name.clone(), &s.peer, s.items.clone(), s.frequency)
+                    .expect("stream registers");
+            }
+            for q in &scenario.queries {
+                system
+                    .register_query(q.id.clone(), &q.text, &q.peer, Strategy::StreamSharing)
+                    .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+            }
+            let sim = system.run_simulation(cfg);
+            let peak_cpu = topo
+                .super_peers()
+                .iter()
+                .map(|&v| sim.metrics.node_load_pct(&topo, v))
+                .fold(0.0, f64::max);
+            (gamma, sim.metrics.total_edge_bytes(), peak_cpu)
+        })
+        .collect()
+}
+
+/// One row of the scalability experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalabilityRow {
+    /// Number of super-peers in the grid.
+    pub peers: usize,
+    /// Average registration time for the last five queries.
+    pub avg_registration: Duration,
+    /// Average peers visited by the pruned search.
+    pub avg_nodes_visited: f64,
+    /// Average candidate streams matched.
+    pub avg_candidates: f64,
+}
+
+/// E10 — scalability of the `Subscribe` search: grid networks of growing
+/// size, 24 template queries each; measures how the *pruned* breadth-first
+/// search (it only follows connections carrying matching streams) scales
+/// with the network, the paper's stated scalability concern ("one
+/// [opportunity] is to address the issue of scalability…").
+pub fn scalability(seed: u64) -> Vec<ScalabilityRow> {
+    use dss_core::{subscribe, SearchOrder, StreamGlobe};
+    use dss_network::grid_topology;
+    use dss_rass::{default_photons, QueryTemplateGenerator};
+    use dss_wxquery::compile_query;
+
+    [3usize, 4, 6, 8, 10]
+        .into_iter()
+        .map(|dim| {
+            let mut system = StreamGlobe::new(grid_topology(dim, dim));
+            system
+                .register_stream("photons", "SP0", default_photons(seed, 400), 60.0)
+                .expect("stream registers");
+            let mut tgen = QueryTemplateGenerator::new(seed ^ dim as u64, "photons");
+            let mut times = Vec::new();
+            let mut visited = Vec::new();
+            let mut candidates = Vec::new();
+            for i in 0..24 {
+                let peer = format!("SP{}", (i * dim * dim / 24) % (dim * dim));
+                let text = tgen.next_query();
+                // Measure the last five registrations (network populated).
+                if i >= 19 {
+                    let compiled = compile_query(&text).expect("template compiles");
+                    let v_q = system.topology().expect_node(&peer);
+                    let start = std::time::Instant::now();
+                    let (_, stats) = subscribe(
+                        system.state(),
+                        &compiled,
+                        v_q,
+                        v_q,
+                        SearchOrder::Bfs,
+                        false,
+                    )
+                    .expect("plan found");
+                    times.push(start.elapsed());
+                    visited.push(stats.nodes_visited as f64);
+                    candidates.push(stats.candidates_matched as f64);
+                }
+                system
+                    .register_query(format!("q{i}"), &text, &peer, Strategy::StreamSharing)
+                    .expect("query registers");
+            }
+            let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            ScalabilityRow {
+                peers: dim * dim,
+                avg_registration: times.iter().sum::<Duration>() / times.len() as u32,
+                avg_nodes_visited: avg(&visited),
+                avg_candidates: avg(&candidates),
+            }
+        })
+        .collect()
+}
+
+/// Quick textual verdict comparing measured shapes with the paper's claims.
+pub fn verdicts(fig6: &FigureData, fig7: &FigureData, rej: &[(usize, usize); 3]) -> String {
+    let mut out = String::new();
+    let check = |ok: bool| if ok { "PASS" } else { "FAIL" };
+    // Traffic ordering: data shipping > query shipping > stream sharing.
+    let t6 = [fig6.traffic.total(0), fig6.traffic.total(1), fig6.traffic.total(2)];
+    out.push_str(&format!(
+        "[{}] scenario 1 total traffic: data shipping ({:.1}) > query shipping ({:.1}) > \
+         stream sharing ({:.1})\n",
+        check(t6[0] > t6[1] && t6[1] > t6[2]),
+        t6[0],
+        t6[1],
+        t6[2]
+    ));
+    let t7 = [fig7.traffic.total(0), fig7.traffic.total(1), fig7.traffic.total(2)];
+    out.push_str(&format!(
+        "[{}] scenario 2 total traffic: data shipping ({:.1}) > query shipping ({:.1}) > \
+         stream sharing ({:.1})\n",
+        check(t7[0] > t7[1] && t7[1] > t7[2]),
+        t7[0],
+        t7[1],
+        t7[2]
+    ));
+    // Query shipping's CPU peak at the source super-peer dominates the
+    // other strategies' peaks.
+    let peaks = [fig6.cpu.peak(0), fig6.cpu.peak(1), fig6.cpu.peak(2)];
+    out.push_str(&format!(
+        "[{}] scenario 1 CPU peak: query shipping ({:.2} %) highest (data shipping {:.2} %, \
+         stream sharing {:.2} %)\n",
+        check(peaks[1] > peaks[0] && peaks[1] > peaks[2]),
+        peaks[1],
+        peaks[0],
+        peaks[2]
+    ));
+    // Stream sharing has the lowest total CPU load.
+    let cpu_tot = [fig6.cpu.total(0), fig6.cpu.total(1), fig6.cpu.total(2)];
+    out.push_str(&format!(
+        "[{}] scenario 1 total CPU: stream sharing ({:.2}) lowest (data shipping {:.2}, \
+         query shipping {:.2})\n",
+        check(cpu_tot[2] < cpu_tot[0] && cpu_tot[2] < cpu_tot[1]),
+        cpu_tot[2],
+        cpu_tot[0],
+        cpu_tot[1]
+    ));
+    // Rejections: data shipping > query shipping ≫ stream sharing (paper:
+    // 47 / 35 / 2).
+    out.push_str(&format!(
+        "[{}] rejections under caps: data shipping ({}) > query shipping ({}) > stream \
+         sharing ({}); paper: 47/35/2\n",
+        check(rej[0].1 > rej[1].1 && rej[1].1 > rej[2].1 || (rej[1].1 >= rej[2].1 && rej[2].1 <= 5)),
+        rej[0].1,
+        rej[1].1,
+        rej[2].1
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shapes() {
+        let data = fig6(DEFAULT_SEED);
+        assert_eq!(data.cpu.labels.len(), 8);
+        assert_eq!(data.traffic.labels.len(), 10);
+        // Traffic ordering.
+        assert!(data.traffic.total(0) > data.traffic.total(1));
+        assert!(data.traffic.total(1) > data.traffic.total(2));
+        // Query shipping peaks at the source super-peer (SP4).
+        let sp4 = data.cpu.labels.iter().position(|l| l == "SP4").unwrap();
+        let qs = &data.cpu.columns[1];
+        assert_eq!(
+            qs.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i),
+            Some(sp4),
+            "query shipping must peak at SP4"
+        );
+        assert!(data.render_smoke());
+    }
+
+    #[test]
+    fn fig7_shapes() {
+        let data = fig7(DEFAULT_SEED);
+        assert_eq!(data.cpu.labels.len(), 16);
+        assert!(data.traffic.total(0) > data.traffic.total(1));
+        assert!(data.traffic.total(1) > data.traffic.total(2));
+    }
+
+    #[test]
+    fn table1_has_sane_times() {
+        let data = table1(DEFAULT_SEED);
+        for row in &data {
+            for cell in row {
+                assert!(cell.minimum <= cell.average);
+                assert!(cell.average <= cell.maximum);
+                assert!(cell.maximum.as_secs() < 10);
+            }
+        }
+        let rendered = render_table1(&data);
+        assert!(rendered.contains("stream sharing"));
+    }
+
+    #[test]
+    fn rejection_ordering() {
+        let rej = rejections(DEFAULT_SEED);
+        assert_eq!(rej[0].0 + rej[0].1, 100);
+        assert!(rej[0].1 > rej[1].1, "data shipping rejects most: {rej:?}");
+        assert!(rej[1].1 > rej[2].1, "stream sharing rejects fewest: {rej:?}");
+        assert!(rej[2].1 <= 5, "stream sharing rejects almost none: {rej:?}");
+    }
+
+    #[test]
+    fn widening_never_hurts_and_increases_reuse() {
+        let ((t_off, r_off), (t_on, r_on)) = widening_ablation(DEFAULT_SEED);
+        assert!(r_on >= r_off, "widening should not reduce reuse: {r_on} vs {r_off}");
+        // The planner only picks widening when its estimated cost is lower,
+        // so measured totals should not regress materially (allow 5 % slack
+        // for estimate-vs-actual mismatch).
+        assert!(
+            (t_on as f64) <= t_off as f64 * 1.05,
+            "widening regressed traffic: {t_on} vs {t_off}"
+        );
+    }
+
+    #[test]
+    fn scalability_rows_are_sane() {
+        let rows = scalability(DEFAULT_SEED);
+        assert_eq!(rows.len(), 5);
+        assert!(rows.windows(2).all(|w| w[0].peers < w[1].peers));
+        for r in &rows {
+            // The pruned search must not visit more peers than exist.
+            assert!(r.avg_nodes_visited <= r.peers as f64 + 1.0, "{r:?}");
+            assert!(r.avg_candidates >= 1.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn motivating_traffic_shrinks_with_sharing() {
+        let t = motivating();
+        assert!(t.total(2) < t.total(0), "sharing beats data shipping");
+        assert!(t.total(2) < t.total(1), "sharing beats query shipping");
+    }
+
+    impl FigureData {
+        fn render_smoke(&self) -> bool {
+            let a = self.cpu.render();
+            let b = self.traffic.render();
+            a.contains("SP") && b.contains("-")
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (Section 4), plus Criterion micro-benchmarks of the core
+//! algorithms.
+//!
+//! Experiment binaries (see also EXPERIMENTS.md):
+//!
+//! * `fig6` — Figure 6: scenario 1 CPU load / connection traffic
+//! * `fig7` — Figure 7: scenario 2 CPU load / accumulated traffic
+//! * `table1` — Table 1: query registration times
+//! * `rejections` — the capacity-capped admission experiment
+//! * `experiments` — everything above plus shape verdicts
+
+pub mod experiments;
+pub mod json;
+pub mod report;

@@ -1,0 +1,70 @@
+//! Admission control: registering query batches under resource limits.
+//!
+//! The paper's third experiment caps peer CPU at 10 % and connection
+//! bandwidth at 1 Mbit/s, then counts how many of 100 queries each strategy
+//! must reject "because no query evaluation plan without causing overload
+//! on peers or network connections could be found".
+
+use crate::strategy::Strategy;
+use crate::system::{StreamGlobe, SystemError};
+
+/// Outcome of registering a batch of queries under admission control.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionReport {
+    /// Ids of accepted queries.
+    pub accepted: Vec<String>,
+    /// Ids of rejected queries.
+    pub rejected: Vec<String>,
+    /// Ids that failed for non-admission reasons (compile errors, …).
+    pub errored: Vec<(String, String)>,
+}
+
+impl AdmissionReport {
+    /// Number of accepted queries.
+    pub fn accepted_count(&self) -> usize {
+        self.accepted.len()
+    }
+
+    /// Number of rejected queries.
+    pub fn rejected_count(&self) -> usize {
+        self.rejected.len()
+    }
+}
+
+/// Helper applying capacity caps and batch registration.
+pub struct AdmissionControl;
+
+impl AdmissionControl {
+    /// Caps every peer's capacity at `cpu_fraction` of its current value
+    /// and every connection at `bandwidth_kbps` (the paper: 10 % CPU and
+    /// 1 Mbit/s).
+    pub fn apply_caps(system: &mut StreamGlobe, cpu_fraction: f64, bandwidth_kbps: f64) {
+        let topo = system.topology_mut();
+        for v in 0..topo.peer_count() {
+            topo.peer_mut(v).capacity *= cpu_fraction;
+        }
+        for e in 0..topo.edge_count() {
+            topo.edge_mut(e).bandwidth_kbps = bandwidth_kbps;
+        }
+    }
+
+    /// Registers a batch of `(id, query text, peer)` subscriptions with
+    /// admission control enabled, counting rejections.
+    pub fn register_batch(
+        system: &mut StreamGlobe,
+        queries: &[(String, String, String)],
+        strategy: Strategy,
+    ) -> AdmissionReport {
+        let mut report = AdmissionReport::default();
+        for (id, text, peer) in queries {
+            match system.register_query_opts(id.clone(), text, peer, strategy, true) {
+                Ok(_) => report.accepted.push(id.clone()),
+                Err(SystemError::Subscribe(crate::subscribe::SubscribeError::Overload)) => {
+                    report.rejected.push(id.clone());
+                }
+                Err(other) => report.errored.push((id.clone(), other.to_string())),
+            }
+        }
+        report
+    }
+}

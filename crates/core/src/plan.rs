@@ -1,0 +1,476 @@
+//! Query evaluation plans and the `generatePlan` function of Algorithm 1.
+//!
+//! A plan describes "how the network has to be changed in terms of
+//! installed operators and routed data streams in order to satisfy q": per
+//! input stream, which deployed stream to reuse, where to tap it, which
+//! residual operators to install there, and how to route the produced
+//! stream to the subscriber's super-peer — plus the post-processing
+//! (restructuring) step executed there.
+
+use dss_network::{shortest_path, FlowId, FlowOp, NodeId};
+use dss_properties::{AggregationSpec, InputProperties, Operator};
+use dss_wxquery::CompiledQuery;
+
+use crate::cost::{
+    base_load, plan_cost, EdgeUse, NodeUse, StreamEstimate,
+};
+use crate::state::NetworkState;
+
+/// Accumulates a candidate plan's resource uses (`u_b` per affected
+/// connection, `u_l` per affected peer) against the current availability,
+/// tracking feasibility — the shared costing core of `generatePlan`, the
+/// widening variant, and the fixed-placement strategies.
+#[derive(Debug, Default)]
+pub struct UseAccumulator {
+    edges: Vec<EdgeUse>,
+    nodes: Vec<NodeUse>,
+    feasible: bool,
+}
+
+impl UseAccumulator {
+    /// Empty, feasible accumulator.
+    pub fn new() -> UseAccumulator {
+        UseAccumulator { edges: Vec::new(), nodes: Vec::new(), feasible: true }
+    }
+
+    /// Charges a stream of `rate_kbps` over every connection of `route`.
+    pub fn add_route(&mut self, state: &NetworkState, route: &[NodeId], rate_kbps: f64) {
+        for w in route.windows(2) {
+            let e = state
+                .topo
+                .edge_between(w[0], w[1])
+                .expect("plans route over existing connections");
+            let used = rate_kbps / state.topo.edge(e).bandwidth_kbps;
+            let available = state.available_bandwidth_frac(e);
+            if used > available {
+                self.feasible = false;
+            }
+            self.edges.push(EdgeUse { used, available });
+        }
+    }
+
+    /// Charges operators with summed base load `bload_sum` fed at
+    /// `input_freq` to peer `v`.
+    pub fn add_node_ops(
+        &mut self,
+        state: &NetworkState,
+        v: NodeId,
+        bload_sum: f64,
+        input_freq: f64,
+    ) {
+        if bload_sum == 0.0 {
+            return;
+        }
+        let used = bload_sum * state.topo.peer(v).pindex * input_freq / state.topo.peer(v).capacity;
+        let available = state.available_load_frac(v);
+        if used > available {
+            self.feasible = false;
+        }
+        self.nodes.push(NodeUse { used, available });
+    }
+
+    /// `true` if nothing accumulated so far overloads the network.
+    pub fn feasible(&self) -> bool {
+        self.feasible
+    }
+
+    /// Evaluates the cost function `C` over the accumulated uses.
+    pub fn cost(&self, state: &NetworkState) -> f64 {
+        plan_cost(&state.params, &self.edges, &self.nodes)
+    }
+}
+
+/// Base load of execution-only flow operators (mirrors the engine's
+/// `base_load` implementations).
+pub fn flow_op_base_load(op: &FlowOp) -> f64 {
+    match op {
+        FlowOp::Standard(o) => base_load(o),
+        FlowOp::ReAggregate { .. } => 0.5,
+        FlowOp::ReWindow { .. } => 0.7,
+        FlowOp::Restructure { .. } => 0.8,
+    }
+}
+
+/// Widening a deployed stream in place (the paper's ongoing-work
+/// extension): the flow's operators are loosened so its stream also covers
+/// the new subscription, and every existing consumer gets the original
+/// narrowing operators prepended to preserve its results.
+#[derive(Debug, Clone)]
+pub struct WidenAction {
+    /// The flow to widen (equals the part's `tap_flow`).
+    pub flow: FlowId,
+    /// The widened per-input properties the flow will carry.
+    pub widened: InputProperties,
+    /// Operators the widened flow executes (relative to its parent).
+    pub new_flow_ops: Vec<FlowOp>,
+    /// Estimated output of the widened stream.
+    pub widened_estimate: StreamEstimate,
+    /// Additional rate over the flow's existing route (widened − current,
+    /// floored at zero).
+    pub delta_estimate: StreamEstimate,
+    /// Ops to prepend per existing child flow, restoring each consumer's
+    /// original input.
+    pub child_patches: Vec<(FlowId, Vec<FlowOp>)>,
+}
+
+/// The plan for one input stream of a subscription (`P_s`).
+#[derive(Debug, Clone)]
+pub struct PlanPart {
+    /// Original input stream name.
+    pub stream: String,
+    /// Deployed flow whose stream is reused.
+    pub tap_flow: FlowId,
+    /// Peer where the stream is tapped and the residual operators run
+    /// (`v_b`).
+    pub tap_node: NodeId,
+    /// Residual operators installed at the tap node.
+    pub ops: Vec<FlowOp>,
+    /// Route of the produced stream from the tap node to the subscriber's
+    /// super-peer (inclusive).
+    pub route: Vec<NodeId>,
+    /// Estimated size/frequency of the produced stream.
+    pub estimate: StreamEstimate,
+    /// Widening performed on the tapped flow before reuse, if any.
+    pub widen: Option<WidenAction>,
+    /// Cost-function value of this part.
+    pub cost: f64,
+    /// `true` if the part overloads no connection or peer.
+    pub feasible: bool,
+}
+
+/// A complete evaluation plan for a subscription.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Per-input parts.
+    pub parts: Vec<PlanPart>,
+    /// The subscriber's super-peer (`v_q`), where post-processing runs.
+    pub post_node: NodeId,
+    /// Post-processing operators (any residual evaluation the strategy
+    /// placed at `v_q`, then restructuring).
+    pub post_ops: Vec<FlowOp>,
+    /// Route from `v_q` to the subscribing thin-peer (just `[v_q]` when the
+    /// subscription was registered at a super-peer directly).
+    pub deliver_route: Vec<NodeId>,
+    /// Estimated delivered result stream.
+    pub result_estimate: StreamEstimate,
+    /// Total cost across parts plus post-processing.
+    pub total_cost: f64,
+    /// `true` if no component overloads the network.
+    pub feasible: bool,
+}
+
+impl Plan {
+    /// Number of stream transports the plan adds to the network (excluding
+    /// the final thin-peer delivery).
+    pub fn num_routed_streams(&self) -> usize {
+        self.parts.iter().filter(|p| p.route.len() > 1).count()
+    }
+
+    /// Human-readable summary.
+    pub fn describe(&self, state: &NetworkState) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for part in &self.parts {
+            let names: Vec<&str> =
+                part.route.iter().map(|&n| state.topo.peer(n).name.as_str()).collect();
+            let _ = writeln!(
+                s,
+                "  input {}: reuse flow {} at {}, install {} op(s), route {}",
+                part.stream,
+                state.deployment.flow(part.tap_flow).label,
+                state.topo.peer(part.tap_node).name,
+                part.ops.len(),
+                names.join(" → "),
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  post-processing at {} ({} op(s)), cost {:.6}",
+            state.topo.peer(self.post_node).name,
+            self.post_ops.len(),
+            self.total_cost
+        );
+        s
+    }
+}
+
+/// Computes the residual flow operators needed to turn the reused stream
+/// into the subscription's stream. Aggregations already present upstream
+/// become re-aggregations (Figure 5) instead of recomputation from raw
+/// items.
+pub fn residual_flow_ops(
+    reused: &InputProperties,
+    wanted: &InputProperties,
+) -> Vec<FlowOp> {
+    let reused_agg: Option<&AggregationSpec> = reused.aggregation();
+    let reused_window: Option<&dss_properties::WindowOutputSpec> =
+        reused.operators().iter().find_map(|o| match o {
+            Operator::WindowOutput(w) => Some(w),
+            _ => None,
+        });
+    dss_properties::residual_operators(reused, wanted)
+        .into_iter()
+        .map(|op| match (&op, reused_agg, reused_window) {
+            (Operator::Aggregation(new_spec), Some(parent_spec), _) => FlowOp::ReAggregate {
+                reused: parent_spec.clone(),
+                new: new_spec.clone(),
+            },
+            (Operator::WindowOutput(new_spec), _, Some(parent_spec)) => FlowOp::ReWindow {
+                reused: parent_spec.clone(),
+                new: new_spec.clone(),
+            },
+            _ => FlowOp::Standard(op),
+        })
+        .collect()
+}
+
+/// `generatePlan(p_b, v_b, v_q)`: builds (and costs) the plan part that
+/// reuses `tap_flow`'s stream at `tap_node` to satisfy the subscription
+/// input `wanted`, delivering to `post_node`.
+///
+/// Returns `None` when no route exists.
+pub fn generate_plan_part(
+    state: &NetworkState,
+    wanted: &InputProperties,
+    tap_flow: FlowId,
+    tap_node: NodeId,
+    post_node: NodeId,
+) -> Option<PlanPart> {
+    generate_plan_part_cached(state, wanted, tap_flow, tap_node, post_node, None, None)
+}
+
+/// [`generate_plan_part`] with optional precomputed inputs — the BFS calls
+/// this once per candidate stream, but the subscription's chain estimate is
+/// fixed per search and the route is fixed per tap node, so the search
+/// computes each only once.
+pub fn generate_plan_part_cached(
+    state: &NetworkState,
+    wanted: &InputProperties,
+    tap_flow: FlowId,
+    tap_node: NodeId,
+    post_node: NodeId,
+    wanted_estimate: Option<StreamEstimate>,
+    route_hint: Option<&[NodeId]>,
+) -> Option<PlanPart> {
+    let stats = state.stats(wanted.stream())?;
+    let reused_props = state
+        .deployment
+        .flow(tap_flow)
+        .properties
+        .as_ref()
+        .and_then(|p| p.input_for(wanted.stream()))?
+        .clone();
+    let ops = residual_flow_ops(&reused_props, wanted);
+    let route = match route_hint {
+        Some(r) => r.to_vec(),
+        None => shortest_path(&state.topo, tap_node, post_node)?,
+    };
+    // The transported stream is semantically the subscription's stream.
+    let estimate =
+        wanted_estimate.unwrap_or_else(|| crate::cost::estimate_chain(stats, wanted.operators()));
+    // Cost: the route's additional traffic plus the tap node's additional
+    // operator load.
+    let mut uses = UseAccumulator::new();
+    uses.add_route(state, &route, estimate.kbps());
+    let bload: f64 = ops.iter().map(flow_op_base_load).sum();
+    uses.add_node_ops(state, tap_node, bload, state.flow_estimate(tap_flow).frequency);
+    let cost = uses.cost(state);
+    let feasible = uses.feasible();
+    Some(PlanPart {
+        stream: wanted.stream().to_string(),
+        tap_flow,
+        tap_node,
+        ops,
+        route,
+        estimate,
+        widen: None,
+        cost,
+        feasible,
+    })
+}
+
+/// `generatePlan` for a *widening* candidate: the stream at `tap_flow` does
+/// not match the subscription, but loosening its operators (predicate hull,
+/// projection union) makes it cover both its current consumers and the new
+/// one. Conditions:
+///
+/// * the candidate's chain is widenable (selection/projection only),
+/// * the candidate's **parent** stream contains everything the widened
+///   stream needs (we widen one flow, not a whole upstream chain).
+///
+/// The extra cost has three parts beyond a normal reuse: the widened
+/// stream's additional rate over the flow's existing route, the prepended
+/// restore-operators at every existing consumer, and the usual transport of
+/// the new subscription's stream from the tap to `post_node`.
+pub fn generate_widening_part(
+    state: &NetworkState,
+    wanted: &InputProperties,
+    tap_flow: FlowId,
+    tap_node: NodeId,
+    post_node: NodeId,
+) -> Option<PlanPart> {
+    let stats = state.stats(wanted.stream())?;
+    let flow = state.deployment.flow(tap_flow);
+    let current = flow.properties.as_ref()?.input_for(wanted.stream())?.clone();
+    let widened = dss_properties::widen_input(&current, wanted)?;
+    // The parent must be able to feed the widened stream.
+    let parent_props: InputProperties = match &flow.input {
+        dss_network::FlowInput::Source { stream } => InputProperties::original(stream.clone()),
+        dss_network::FlowInput::Tap { parent } => state
+            .deployment
+            .flow(*parent)
+            .properties
+            .as_ref()?
+            .input_for(wanted.stream())?
+            .clone(),
+    };
+    if !dss_properties::match_input_properties(&parent_props, &widened) {
+        return None;
+    }
+    let new_flow_ops = residual_flow_ops(&parent_props, &widened);
+    let widened_estimate = crate::cost::estimate_chain(stats, widened.operators());
+    let current_estimate = state.flow_estimate(tap_flow);
+    let delta_estimate = StreamEstimate {
+        item_size: widened_estimate.item_size,
+        frequency: (widened_estimate.bytes_per_s() - current_estimate.bytes_per_s())
+            .max(0.0)
+            / widened_estimate.item_size.max(1.0),
+    };
+    // Restore-ops for every existing consumer of the flow.
+    let child_patches: Vec<(FlowId, Vec<FlowOp>)> = state
+        .deployment
+        .children_of(tap_flow)
+        .into_iter()
+        .map(|c| (c, residual_flow_ops(&widened, &current)))
+        .collect();
+
+    // The new subscription taps the widened stream.
+    let ops = residual_flow_ops(&widened, wanted);
+    let route = shortest_path(&state.topo, tap_node, post_node)?;
+    let estimate = crate::cost::estimate_chain(stats, wanted.operators());
+
+    // ---- cost & feasibility ----------------------------------------------
+    let mut uses = UseAccumulator::new();
+    // Additional widened traffic over the flow's existing route.
+    uses.add_route(state, &flow.route, delta_estimate.kbps());
+    // Transport of the new stream.
+    uses.add_route(state, &route, estimate.kbps());
+    // Child restore-operators, charged at each child's processing node with
+    // the widened stream's frequency.
+    for (c, patch) in &child_patches {
+        let v = state.deployment.flow(*c).processing_node;
+        let bload: f64 = patch.iter().map(flow_op_base_load).sum();
+        uses.add_node_ops(state, v, bload, widened_estimate.frequency);
+    }
+    // The new subscription's residual ops at the tap node.
+    let bload: f64 = ops.iter().map(flow_op_base_load).sum();
+    uses.add_node_ops(state, tap_node, bload, widened_estimate.frequency);
+    let cost = uses.cost(state);
+    let feasible = uses.feasible();
+    Some(PlanPart {
+        stream: wanted.stream().to_string(),
+        tap_flow,
+        tap_node,
+        ops,
+        route,
+        estimate,
+        widen: Some(WidenAction {
+            flow: tap_flow,
+            widened,
+            new_flow_ops,
+            widened_estimate,
+            delta_estimate,
+            child_patches,
+        }),
+        cost,
+        feasible,
+    })
+}
+
+/// Assembles the full plan from its parts, adding the post-processing and
+/// delivery components (identical across candidate parts, so they do not
+/// influence the search — but they do count toward feasibility and the
+/// reported total cost).
+pub fn assemble_plan(
+    state: &NetworkState,
+    query: &CompiledQuery,
+    parts: Vec<PlanPart>,
+    extra_post_ops: Vec<FlowOp>,
+    post_node: NodeId,
+    subscriber: NodeId,
+) -> Plan {
+    let mut post_ops = extra_post_ops;
+    post_ops.push(restructure_flow_op(query));
+
+    // Input frequency at the post node: the (sum of) arriving streams.
+    let input_freq: f64 = parts.iter().map(|p| p.estimate.frequency).sum();
+    // The delivered result stream always corresponds to the query's *full*
+    // chain (under data shipping the chain runs inside the post-processing
+    // step, so the arriving raw rate would wildly overestimate delivery).
+    // Restructuring itself renames/reorders but does not add data.
+    let result_estimate = {
+        let mut size = 0.0f64;
+        let mut freq = 0.0f64;
+        for wanted in query.properties.inputs() {
+            if let Some(stats) = state.stats(wanted.stream()) {
+                let est = crate::cost::estimate_chain(stats, wanted.operators());
+                size = size.max(est.item_size);
+                freq += est.frequency;
+            }
+        }
+        StreamEstimate { item_size: size, frequency: freq }
+    };
+
+    let mut feasible = parts.iter().all(|p| p.feasible);
+    let bload: f64 = post_ops.iter().map(flow_op_base_load).sum();
+    let used_post = bload * state.topo.peer(post_node).pindex * input_freq
+        / state.topo.peer(post_node).capacity;
+    let avail_post = state.available_load_frac(post_node);
+    if used_post > avail_post {
+        feasible = false;
+    }
+    let mut edges = Vec::new();
+    let deliver_route = if subscriber == post_node {
+        vec![post_node]
+    } else {
+        shortest_path(&state.topo, post_node, subscriber)
+            .expect("subscriber reachable from its super-peer")
+    };
+    for w in deliver_route.windows(2) {
+        let e = state.topo.edge_between(w[0], w[1]).expect("existing edges");
+        let used = result_estimate.kbps() / state.topo.edge(e).bandwidth_kbps;
+        let available = state.available_bandwidth_frac(e);
+        if used > available {
+            feasible = false;
+        }
+        edges.push(EdgeUse { used, available });
+    }
+    let post_cost =
+        plan_cost(&state.params, &edges, &[NodeUse { used: used_post, available: avail_post }]);
+    let total_cost = parts.iter().map(|p| p.cost).sum::<f64>() + post_cost;
+    Plan {
+        parts,
+        post_node,
+        post_ops,
+        deliver_route,
+        result_estimate,
+        total_cost,
+        feasible,
+    }
+}
+
+/// Builds the full-chain flow ops of a compiled query (used by the data- and
+/// query-shipping strategies, which install everything at one peer).
+pub fn full_chain_ops(query: &CompiledQuery) -> Vec<FlowOp> {
+    query.operator_chain().iter().cloned().map(FlowOp::Standard).collect()
+}
+
+/// Convenience: the restructure op spec of a query as a `FlowOp`.
+pub fn restructure_flow_op(query: &CompiledQuery) -> FlowOp {
+    FlowOp::Restructure {
+        template: query.template.clone(),
+        agg: query.aggregation.as_ref().map(|a| a.op),
+        window: query.window_output.is_some(),
+    }
+}
+

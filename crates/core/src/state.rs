@@ -1,0 +1,156 @@
+//! Book-keeping of the network's current estimated resource usage.
+//!
+//! The planner's cost function needs, per connection, the relative
+//! bandwidth still available (`a_b(e)`) and, per peer, the relative load
+//! still available (`a_l(v)`). Both are maintained incrementally as plans
+//! are installed, using the same estimation formulas the planner itself
+//! uses.
+
+use std::collections::BTreeMap;
+
+use dss_network::{Deployment, EdgeId, FlowId, NodeId, Topology};
+
+use crate::cost::{CostParams, StreamEstimate};
+use crate::stats::StreamStats;
+
+/// Resource charges attributed to one deployed flow, recorded at install
+/// time so they can be reversed when the flow is retired.
+#[derive(Debug, Clone, Default)]
+pub struct FlowCharge {
+    /// Estimated kbps charged per connection.
+    pub edge_kbps: Vec<(EdgeId, f64)>,
+    /// Estimated work units per second charged per peer.
+    pub node_work: Vec<(NodeId, f64)>,
+}
+
+/// Mutable network state shared by planning and installation.
+#[derive(Debug)]
+pub struct NetworkState {
+    pub topo: Topology,
+    pub deployment: Deployment,
+    /// Statistics per *original* registered stream.
+    pub stream_stats: BTreeMap<String, StreamStats>,
+    /// Registered source flows per original stream name.
+    pub source_flows: BTreeMap<String, FlowId>,
+    /// Estimated size/frequency of every deployed flow's output.
+    pub flow_estimates: Vec<StreamEstimate>,
+    /// Charges recorded per flow (parallel to `flow_estimates`).
+    pub flow_charges: Vec<FlowCharge>,
+    /// Estimated bandwidth currently used per connection (kbps).
+    pub edge_used_kbps: Vec<f64>,
+    /// Estimated work currently executed per peer (work units per second).
+    pub node_used_work: Vec<f64>,
+    /// Cost-model parameters.
+    pub params: CostParams,
+}
+
+impl NetworkState {
+    /// Fresh state over a topology.
+    pub fn new(topo: Topology, params: CostParams) -> NetworkState {
+        let edges = topo.edge_count();
+        let nodes = topo.peer_count();
+        NetworkState {
+            topo,
+            deployment: Deployment::new(),
+            stream_stats: BTreeMap::new(),
+            source_flows: BTreeMap::new(),
+            flow_estimates: Vec::new(),
+            flow_charges: Vec::new(),
+            edge_used_kbps: vec![0.0; edges],
+            node_used_work: vec![0.0; nodes],
+            params,
+        }
+    }
+
+    /// Relative bandwidth still available on a connection (`a_b(e)`).
+    /// May be negative when the connection is already overloaded.
+    pub fn available_bandwidth_frac(&self, e: EdgeId) -> f64 {
+        1.0 - self.edge_used_kbps[e] / self.topo.edge(e).bandwidth_kbps
+    }
+
+    /// Relative load still available on a peer (`a_l(v)`).
+    pub fn available_load_frac(&self, v: NodeId) -> f64 {
+        1.0 - self.node_used_work[v] / self.topo.peer(v).capacity
+    }
+
+    /// Estimated output of a deployed flow.
+    pub fn flow_estimate(&self, f: FlowId) -> StreamEstimate {
+        self.flow_estimates[f]
+    }
+
+    /// Statistics of an original stream.
+    pub fn stats(&self, stream: &str) -> Option<&StreamStats> {
+        self.stream_stats.get(stream)
+    }
+
+    /// Charges a stream's estimated rate to every connection on a route,
+    /// attributing the charge to `flow` for later reversal.
+    pub fn charge_route_for(&mut self, flow: usize, route: &[NodeId], est: StreamEstimate) {
+        for w in route.windows(2) {
+            let e = self
+                .topo
+                .edge_between(w[0], w[1])
+                .expect("installed routes use existing connections");
+            self.edge_used_kbps[e] += est.kbps();
+            self.flow_charges[flow].edge_kbps.push((e, est.kbps()));
+        }
+    }
+
+    /// Charges operator work (`Σ bload · pindex(v) · input-freq`) to a
+    /// peer, attributing it to `flow`.
+    pub fn charge_node_for(&mut self, flow: usize, v: NodeId, base_load_sum: f64, input_frequency: f64) {
+        let work = base_load_sum * self.topo.peer(v).pindex * input_frequency;
+        self.node_used_work[v] += work;
+        self.flow_charges[flow].node_work.push((v, work));
+    }
+
+    /// Reverses every charge attributed to `flow` (flow retirement).
+    pub fn uncharge_flow(&mut self, flow: usize) {
+        let charge = std::mem::take(&mut self.flow_charges[flow]);
+        for (e, kbps) in charge.edge_kbps {
+            self.edge_used_kbps[e] -= kbps;
+        }
+        for (v, work) in charge.node_work {
+            self.node_used_work[v] -= work;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_network::grid_topology;
+
+    #[test]
+    fn availability_tracks_charges() {
+        let topo = grid_topology(2, 2);
+        let mut st = NetworkState::new(topo, CostParams::default());
+        let e = 0;
+        assert!((st.available_bandwidth_frac(e) - 1.0).abs() < 1e-12);
+        let (a, b) = (st.topo.edge(e).a, st.topo.edge(e).b);
+        let est = StreamEstimate { item_size: 12_500.0, frequency: 1.0 }; // 100 kbps
+        st.flow_charges.push(FlowCharge::default());
+        st.charge_route_for(0, &[a, b], est);
+        // Default bandwidth is 100 Mbit/s ⇒ 0.1 % used.
+        assert!((st.available_bandwidth_frac(e) - 0.999).abs() < 1e-9);
+
+        assert!((st.available_load_frac(a) - 1.0).abs() < 1e-12);
+        st.charge_node_for(0, a, 2.0, 100.0); // 200 units/s of 100k capacity
+        assert!((st.available_load_frac(a) - 0.998).abs() < 1e-9);
+
+        // Reversal restores full availability.
+        st.uncharge_flow(0);
+        assert!((st.available_bandwidth_frac(e) - 1.0).abs() < 1e-12);
+        assert!((st.available_load_frac(a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pindex_scales_node_charge() {
+        let mut topo = grid_topology(2, 2);
+        topo.peer_mut(0).pindex = 3.0;
+        let mut st = NetworkState::new(topo, CostParams::default());
+        st.flow_charges.push(FlowCharge::default());
+        st.charge_node_for(0, 0, 1.0, 100.0);
+        assert!((st.node_used_work[0] - 300.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,235 @@
+//! The `Subscribe` algorithm (Algorithm 1).
+//!
+//! For each input stream of a newly registered continuous query the
+//! algorithm performs a breadth-first search over the network graph,
+//! starting at the super-peer where the original input stream is
+//! registered. At every visited peer it inspects the data streams available
+//! there that are variants of the input, matches their properties against
+//! the subscription's (Algorithm 2), generates a candidate plan for every
+//! match, and keeps the cheapest according to the cost function `C`.
+//! Non-matching streams do not extend the search frontier — only the target
+//! nodes of matched streams are enqueued — which prunes the traversal to
+//! the relevant part of the network.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dss_network::NodeId;
+use dss_properties::match_input_properties;
+use dss_wxquery::CompiledQuery;
+
+use crate::plan::{
+    assemble_plan, generate_plan_part, generate_plan_part_cached, generate_widening_part, Plan,
+    PlanPart,
+};
+use crate::state::NetworkState;
+
+/// Frontier discipline of the search. The paper uses FIFO (breadth-first)
+/// and notes that LIFO (depth-first) "would be equally possible".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchOrder {
+    #[default]
+    Bfs,
+    Dfs,
+}
+
+/// Errors raised during subscription planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubscribeError {
+    /// The query references a stream that is not registered ("provided that
+    /// q refers to existing inputs").
+    UnknownStream(String),
+    /// Admission control: every candidate plan would overload a peer or a
+    /// connection.
+    Overload,
+}
+
+impl fmt::Display for SubscribeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubscribeError::UnknownStream(s) => {
+                write!(f, "query references unregistered stream {s:?}")
+            }
+            SubscribeError::Overload => {
+                write!(f, "no evaluation plan avoids overloading the network")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubscribeError {}
+
+/// Statistics of one `Subscribe` run (used by the evaluation section's
+/// registration-time analysis and by the benches).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    /// Peers dequeued from `L_V`.
+    pub nodes_visited: usize,
+    /// Candidate streams whose properties were matched.
+    pub candidates_matched: usize,
+    /// Successful matches.
+    pub matches: usize,
+    /// Candidate plans generated.
+    pub plans_generated: usize,
+}
+
+/// Runs Algorithm 1 for a compiled query to be answered at super-peer
+/// `v_q`, delivering to `subscriber`.
+///
+/// With `require_feasible`, candidate plans that would overload the network
+/// lose against feasible ones regardless of cost, and planning fails with
+/// [`SubscribeError::Overload`] when no feasible plan exists (the paper's
+/// admission-control experiment).
+pub fn subscribe(
+    state: &NetworkState,
+    query: &CompiledQuery,
+    v_q: NodeId,
+    subscriber: NodeId,
+    order: SearchOrder,
+    require_feasible: bool,
+) -> Result<(Plan, SearchStats), SubscribeError> {
+    subscribe_with(state, query, v_q, subscriber, order, require_feasible, false)
+}
+
+/// [`subscribe`] with stream *widening* enabled: when a candidate stream
+/// does not match, the search additionally considers loosening that
+/// stream's operators (predicate hull / projection union) so it covers both
+/// its current consumers and the new subscription — the paper's ongoing
+/// work ("widen data streams … by changing some operators in the network").
+#[allow(clippy::too_many_arguments)]
+pub fn subscribe_with(
+    state: &NetworkState,
+    query: &CompiledQuery,
+    v_q: NodeId,
+    subscriber: NodeId,
+    order: SearchOrder,
+    require_feasible: bool,
+    widening: bool,
+) -> Result<(Plan, SearchStats), SubscribeError> {
+    let mut stats = SearchStats::default();
+    let mut parts: Vec<PlanPart> = Vec::new();
+
+    // Line 2: iterate over the properties of all input data streams of q.
+    for wanted in query.properties.inputs() {
+        let stream = wanted.stream();
+        // Lines 3–6: initialization. The initial plan reuses the original
+        // registered stream at the super-peer it is registered at.
+        let &source_flow = state
+            .source_flows
+            .get(stream)
+            .ok_or_else(|| SubscribeError::UnknownStream(stream.to_string()))?;
+        let v_b = state.deployment.flow(source_flow).target_node();
+        let mut best = generate_plan_part(state, wanted, source_flow, v_b, v_q)
+            .ok_or_else(|| SubscribeError::UnknownStream(stream.to_string()))?;
+        stats.plans_generated += 1;
+        // Fixed per search: the subscription's own chain estimate.
+        let wanted_estimate = best.estimate;
+
+        let mut marked = vec![false; state.topo.peer_count()];
+        let mut queued = vec![false; state.topo.peer_count()];
+        let mut frontier: VecDeque<NodeId> = VecDeque::new();
+        frontier.push_back(v_b);
+        queued[v_b] = true;
+
+        // Lines 7–25: the pruned graph search.
+        while let Some(v) = match order {
+            SearchOrder::Bfs => frontier.pop_front(),
+            SearchOrder::Dfs => frontier.pop_back(),
+        } {
+            if marked[v] {
+                continue;
+            }
+            marked[v] = true;
+            stats.nodes_visited += 1;
+            // Fixed per tap node: the transport route to v_q.
+            let route_to_vq = dss_network::shortest_path(&state.topo, v, v_q);
+            // Lines 9–11: streams available at v that are variants of the
+            // input stream.
+            for flow_id in state.deployment.shareable_at(v) {
+                let flow = state.deployment.flow(flow_id);
+                let Some(candidate) = flow
+                    .properties
+                    .as_ref()
+                    .and_then(|p| p.input_for(stream))
+                else {
+                    continue;
+                };
+                stats.candidates_matched += 1;
+                // Line 14: MatchProperties.
+                if !match_input_properties(candidate, wanted) {
+                    // Widening extension: a non-matching stream may still be
+                    // usable after loosening its operators in place.
+                    if widening {
+                        if let Some(plan) =
+                            generate_widening_part(state, wanted, flow_id, v, v_q)
+                        {
+                            // A widenable stream can be tapped anywhere on
+                            // its route, so the route's peers join the
+                            // frontier just like a matched stream's.
+                            for &n in &flow.route {
+                                if !marked[n] && !queued[n] {
+                                    frontier.push_back(n);
+                                    queued[n] = true;
+                                }
+                            }
+                            stats.plans_generated += 1;
+                            let better = if require_feasible && plan.feasible != best.feasible {
+                                plan.feasible
+                            } else {
+                                plan.cost < best.cost
+                            };
+                            if better {
+                                best = plan;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                stats.matches += 1;
+                // Lines 15–18 extend the frontier with the matched stream's
+                // target node `getTNode(p)`. We additionally enqueue every
+                // peer on the stream's route: the stream is available (and
+                // can be duplicated) at each of them, and the paper's own
+                // motivating example reuses Query 1's stream at SP5 —
+                // mid-route, not at its target SP1. This matches the
+                // paper's remark that the search only follows connections
+                // carrying (matching) streams.
+                for &n in &flow.route {
+                    if !marked[n] && !queued[n] {
+                        frontier.push_back(n);
+                        queued[n] = true;
+                    }
+                }
+                // Lines 19–22: generate and compare a plan reusing the
+                // stream at v.
+                let Some(plan) = generate_plan_part_cached(
+                    state,
+                    wanted,
+                    flow_id,
+                    v,
+                    v_q,
+                    Some(wanted_estimate),
+                    route_to_vq.as_deref(),
+                ) else {
+                    continue;
+                };
+                stats.plans_generated += 1;
+                let better = if require_feasible && plan.feasible != best.feasible {
+                    plan.feasible
+                } else {
+                    plan.cost < best.cost
+                };
+                if better {
+                    best = plan;
+                }
+            }
+        }
+        parts.push(best);
+    }
+
+    let plan = assemble_plan(state, query, parts, Vec::new(), v_q, subscriber);
+    if require_feasible && !plan.feasible {
+        return Err(SubscribeError::Overload);
+    }
+    Ok((plan, stats))
+}

@@ -1,0 +1,417 @@
+//! The `StreamGlobe` façade: stream registration, query registration under
+//! a strategy, plan installation, and simulation.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use dss_network::{
+    sim, Deployment, FlowInput, NodeId, PeerKind, SimConfig, SimOutcome, StreamFlow, Topology,
+};
+use dss_properties::Properties;
+use dss_wxquery::{compile_query, CompiledQuery, QueryError};
+use dss_xml::Node;
+
+use crate::cost::{CostParams, StreamEstimate};
+use crate::plan::{flow_op_base_load, Plan};
+use crate::state::NetworkState;
+use crate::stats::StreamStats;
+use crate::strategy::{plan_query_with, Strategy};
+use crate::subscribe::SubscribeError;
+
+/// Errors surfaced by the system façade.
+#[derive(Debug)]
+pub enum SystemError {
+    /// The WXQuery text failed to parse/compile.
+    Query(QueryError),
+    /// Planning failed (unknown stream, admission rejection).
+    Subscribe(SubscribeError),
+    /// An unknown peer name was used.
+    UnknownPeer(String),
+    /// A stream with this name is already registered.
+    DuplicateStream(String),
+    /// No query with this id is registered.
+    UnknownQuery(String),
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::Query(e) => write!(f, "{e}"),
+            SystemError::Subscribe(e) => write!(f, "{e}"),
+            SystemError::UnknownPeer(p) => write!(f, "unknown peer {p:?}"),
+            SystemError::DuplicateStream(s) => write!(f, "stream {s:?} already registered"),
+            SystemError::UnknownQuery(q) => write!(f, "no registered query with id {q:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<QueryError> for SystemError {
+    fn from(e: QueryError) -> SystemError {
+        SystemError::Query(e)
+    }
+}
+
+impl From<SubscribeError> for SystemError {
+    fn from(e: SubscribeError) -> SystemError {
+        SystemError::Subscribe(e)
+    }
+}
+
+/// Result of registering a continuous query.
+#[derive(Debug)]
+pub struct Registration {
+    /// Caller-chosen query id.
+    pub query_id: String,
+    /// The installed evaluation plan.
+    pub plan: Plan,
+    /// Wall-clock time from the beginning of registration until the plan
+    /// was installed (Table 1's "query registration time").
+    pub elapsed: Duration,
+    /// Id of the flow delivering the final (restructured) result.
+    pub delivery_flow: dss_network::FlowId,
+    /// `true` if the plan reuses a non-original stream.
+    pub reused_derived_stream: bool,
+}
+
+/// One registered source stream.
+#[derive(Debug, Clone)]
+struct SourceInfo {
+    items: Vec<Node>,
+}
+
+/// Book-keeping for one installed query (enables unregistration).
+#[derive(Debug, Clone)]
+struct Installed {
+    query_id: String,
+    /// The post-processing/delivery flow; transport flows are found by
+    /// walking parents during retirement.
+    delivery_flow: dss_network::FlowId,
+}
+
+/// The data-stream-sharing system over one super-peer network.
+#[derive(Debug)]
+pub struct StreamGlobe {
+    state: NetworkState,
+    sources: BTreeMap<String, SourceInfo>,
+    registrations: Vec<Installed>,
+    /// Stream widening (the paper's ongoing-work extension) enabled?
+    widening: bool,
+}
+
+impl StreamGlobe {
+    /// Creates a system over a topology with default cost parameters.
+    pub fn new(topo: Topology) -> StreamGlobe {
+        StreamGlobe::with_params(topo, CostParams::default())
+    }
+
+    /// Creates a system with explicit cost parameters.
+    pub fn with_params(topo: Topology, params: CostParams) -> StreamGlobe {
+        StreamGlobe {
+            state: NetworkState::new(topo, params),
+            sources: BTreeMap::new(),
+            registrations: Vec::new(),
+            widening: false,
+        }
+    }
+
+    /// Enables or disables stream *widening*: non-matching streams may be
+    /// loosened in place (predicate hull, projection union) to serve a new
+    /// subscription, with every existing consumer patched to re-apply its
+    /// original narrowing operators. Off by default — the paper presents it
+    /// as ongoing work beyond plain stream sharing.
+    pub fn set_widening(&mut self, on: bool) {
+        self.widening = on;
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.state.topo
+    }
+
+    /// Mutable topology access (capacity caps for the admission
+    /// experiment). Only peer/edge parameters may be changed, not the
+    /// graph structure.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.state.topo
+    }
+
+    /// The deployed dataflow graph.
+    pub fn deployment(&self) -> &Deployment {
+        &self.state.deployment
+    }
+
+    /// The planner state (estimates, usage book-keeping).
+    pub fn state(&self) -> &NetworkState {
+        &self.state
+    }
+
+    /// Registers a data stream produced by `source_peer`, with `items` as
+    /// both the statistics sample and the simulation payload, arriving at
+    /// `frequency` items/second.
+    pub fn register_stream(
+        &mut self,
+        name: impl Into<String>,
+        source_peer: &str,
+        items: Vec<Node>,
+        frequency: f64,
+    ) -> Result<(), SystemError> {
+        let name = name.into();
+        if self.sources.contains_key(&name) {
+            return Err(SystemError::DuplicateStream(name));
+        }
+        let peer = self.node_by_name(source_peer)?;
+        let sp = self.super_peer_of(peer)?;
+        let stats = StreamStats::from_sample(&items, frequency);
+        let estimate = StreamEstimate { item_size: stats.item_size, frequency };
+        let route = if peer == sp { vec![peer] } else { vec![peer, sp] };
+        let flow = self.state.deployment.add_flow(StreamFlow {
+            label: format!("{name}@{}", self.state.topo.peer(sp).name),
+            input: FlowInput::Source { stream: name.clone() },
+            processing_node: peer,
+            ops: Vec::new(),
+            route: route.clone(),
+            properties: Some(Properties::original(name.clone())),
+            retired: false,
+        });
+        self.state.flow_estimates.push(estimate);
+        self.state.flow_charges.push(crate::state::FlowCharge::default());
+        self.state.charge_route_for(flow, &route, estimate);
+        self.state.stream_stats.insert(name.clone(), stats);
+        self.state.source_flows.insert(name.clone(), flow);
+        self.sources.insert(name, SourceInfo { items });
+        Ok(())
+    }
+
+    /// Registers a continuous WXQuery subscription at `at_peer` under the
+    /// given strategy, installing the resulting plan.
+    pub fn register_query(
+        &mut self,
+        query_id: impl Into<String>,
+        text: &str,
+        at_peer: &str,
+        strategy: Strategy,
+    ) -> Result<Registration, SystemError> {
+        self.register_query_opts(query_id, text, at_peer, strategy, false)
+    }
+
+    /// [`register_query`](Self::register_query) with admission control:
+    /// when `require_feasible` is set, registration fails instead of
+    /// overloading any peer or connection.
+    pub fn register_query_opts(
+        &mut self,
+        query_id: impl Into<String>,
+        text: &str,
+        at_peer: &str,
+        strategy: Strategy,
+        require_feasible: bool,
+    ) -> Result<Registration, SystemError> {
+        let query_id = query_id.into();
+        let start = Instant::now();
+        let compiled = compile_query(text)?;
+        let subscriber = self.node_by_name(at_peer)?;
+        let v_q = self.super_peer_of(subscriber)?;
+        let plan = plan_query_with(
+            &self.state,
+            &compiled,
+            v_q,
+            subscriber,
+            strategy,
+            require_feasible,
+            self.widening,
+        )?;
+        let registration = self.install(query_id, &compiled, plan, start);
+        Ok(registration)
+    }
+
+    /// Installs a planned query: creates the transport flow(s) and the
+    /// post-processing/delivery flow, and charges the estimated usage.
+    fn install(
+        &mut self,
+        query_id: String,
+        compiled: &CompiledQuery,
+        plan: Plan,
+        start: Instant,
+    ) -> Registration {
+        let mut reused_derived = false;
+        let mut upstream = Vec::new();
+        for part in &plan.parts {
+            // Widening: loosen the tapped flow in place and patch its
+            // existing consumers before the new subscription taps it.
+            if let Some(widen) = &part.widen {
+                reused_derived = true;
+                let widened_freq = widen.widened_estimate.frequency;
+                for (child, patch) in &widen.child_patches {
+                    if patch.is_empty() {
+                        continue;
+                    }
+                    let node = self.state.deployment.flow(*child).processing_node;
+                    let bload: f64 = patch.iter().map(flow_op_base_load).sum();
+                    let flow = self.state.deployment.flow_mut(*child);
+                    flow.ops.splice(0..0, patch.iter().cloned());
+                    self.state.charge_node_for(*child, node, bload, widened_freq);
+                }
+                let route = self.state.deployment.flow(widen.flow).route.clone();
+                {
+                    let flow = self.state.deployment.flow_mut(widen.flow);
+                    flow.ops = widen.new_flow_ops.clone();
+                    flow.properties = Some(Properties::single(widen.widened.clone()));
+                    flow.label.push_str("+widened");
+                }
+                self.state.flow_estimates[widen.flow] = widen.widened_estimate;
+                self.state.charge_route_for(widen.flow, &route, widen.delta_estimate);
+            }
+            let parent = part.tap_flow;
+            if !self
+                .state
+                .deployment
+                .flow(parent)
+                .properties
+                .as_ref()
+                .is_some_and(Properties::is_original)
+            {
+                reused_derived = true;
+            }
+            if part.ops.is_empty() && part.route.len() == 1 {
+                // Nothing to install: the reused stream already ends (or
+                // passes) exactly where post-processing runs.
+                upstream.push(parent);
+                continue;
+            }
+            // Transported stream properties: the reused stream's when we
+            // forward verbatim, otherwise the subscription's input chain.
+            // INVARIANT: every planner path (residual sharing, widening,
+            // query shipping) builds `part.ops` to transform the tapped
+            // stream into exactly the subscription's input stream, so
+            // non-empty ops ⇒ the produced content matches the
+            // subscription's chain. A future plan kind that installs a
+            // partial chain must carry its own properties instead.
+            let properties = if part.ops.is_empty() {
+                self.state.deployment.flow(parent).properties.clone()
+            } else {
+                compiled
+                    .properties
+                    .input_for(&part.stream)
+                    .map(|ip| Properties::single(ip.clone()))
+            };
+            let flow = self.state.deployment.add_flow(StreamFlow {
+                label: format!("{query_id}/{}", part.stream),
+                input: FlowInput::Tap { parent },
+                processing_node: part.tap_node,
+                ops: part.ops.clone(),
+                route: part.route.clone(),
+                properties,
+                retired: false,
+            });
+            self.state.flow_estimates.push(part.estimate);
+            self.state.flow_charges.push(crate::state::FlowCharge::default());
+            self.state.charge_route_for(flow, &part.route, part.estimate);
+            if !part.ops.is_empty() {
+                let bload: f64 = part.ops.iter().map(flow_op_base_load).sum();
+                let input_freq = self.state.flow_estimate(parent).frequency;
+                self.state.charge_node_for(flow, part.tap_node, bload, input_freq);
+            }
+            upstream.push(flow);
+        }
+        // Post-processing + delivery flow. Multi-input combination would
+        // need a join here; the flat fragment guarantees a single input.
+        let parent = upstream[0];
+        let delivery_flow = self.state.deployment.add_flow(StreamFlow {
+            label: format!("{query_id}/result"),
+            input: FlowInput::Tap { parent },
+            processing_node: plan.post_node,
+            ops: plan.post_ops.clone(),
+            route: plan.deliver_route.clone(),
+            properties: None,
+            retired: false,
+        });
+        self.state.flow_estimates.push(plan.result_estimate);
+        self.state.flow_charges.push(crate::state::FlowCharge::default());
+        self.state.charge_route_for(delivery_flow, &plan.deliver_route, plan.result_estimate);
+        let post_bload: f64 = plan.post_ops.iter().map(flow_op_base_load).sum();
+        let input_freq = self.state.flow_estimate(parent).frequency;
+        self.state.charge_node_for(delivery_flow, plan.post_node, post_bload, input_freq);
+
+        self.registrations.push(Installed { query_id: query_id.clone(), delivery_flow });
+        Registration {
+            query_id,
+            plan,
+            elapsed: start.elapsed(),
+            delivery_flow,
+            reused_derived_stream: reused_derived,
+        }
+    }
+
+    /// Runs the simulator over all registered streams and flows.
+    pub fn run_simulation(&self, cfg: SimConfig) -> SimOutcome {
+        let sources: BTreeMap<String, Vec<Node>> =
+            self.sources.iter().map(|(k, v)| (k.clone(), v.items.clone())).collect();
+        sim::run(&self.state.topo, &self.state.deployment, &sources, cfg)
+    }
+
+    /// Number of currently registered queries.
+    pub fn query_count(&self) -> usize {
+        self.registrations.len()
+    }
+
+    /// Unregisters a continuous query: its delivery flow is retired, its
+    /// resource charges reversed, and any transport flow left without
+    /// consumers is retired transitively (a stream kept alive by *other*
+    /// subscribers keeps flowing). Widened streams are not narrowed back —
+    /// their extra width simply becomes shareable slack.
+    pub fn unregister_query(&mut self, query_id: &str) -> Result<(), SystemError> {
+        let idx = self
+            .registrations
+            .iter()
+            .position(|r| r.query_id == query_id)
+            .ok_or_else(|| SystemError::UnknownQuery(query_id.to_string()))?;
+        let installed = self.registrations.remove(idx);
+        // Retire the delivery flow (it never has children).
+        let mut retire_frontier = vec![installed.delivery_flow];
+        while let Some(flow) = retire_frontier.pop() {
+            let parent = match &self.state.deployment.flow(flow).input {
+                dss_network::FlowInput::Tap { parent } => Some(*parent),
+                dss_network::FlowInput::Source { .. } => None,
+            };
+            self.state.deployment.retire(flow);
+            self.state.uncharge_flow(flow);
+            // Walk upward: a parent transport created by *some* query is
+            // retired once nothing taps it anymore. Source flows and flows
+            // still delivering to another query stay.
+            if let Some(p) = parent {
+                let is_source = matches!(
+                    self.state.deployment.flow(p).input,
+                    dss_network::FlowInput::Source { .. }
+                );
+                // No active consumers left ⇒ the stream is dead. (Any flow
+                // still serving another query has that query's delivery or
+                // transport flow among its children.)
+                if !is_source && self.state.deployment.children_of(p).is_empty() {
+                    retire_frontier.push(p);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn node_by_name(&self, name: &str) -> Result<NodeId, SystemError> {
+        self.state
+            .topo
+            .node(name)
+            .ok_or_else(|| SystemError::UnknownPeer(name.to_string()))
+    }
+
+    /// The super-peer a peer is attached to: the peer itself for
+    /// super-peers, the unique super-peer neighbor for thin-peers.
+    fn super_peer_of(&self, peer: NodeId) -> Result<NodeId, SystemError> {
+        if self.state.topo.peer(peer).kind == PeerKind::SuperPeer {
+            return Ok(peer);
+        }
+        self.state
+            .topo
+            .neighbors(peer)
+            .find(|&n| self.state.topo.peer(n).kind == PeerKind::SuperPeer)
+            .ok_or_else(|| SystemError::UnknownPeer(self.state.topo.peer(peer).name.clone()))
+    }
+}

@@ -1,0 +1,226 @@
+//! The stream-operator abstraction and operator pipelines.
+
+use std::fmt;
+
+use dss_xml::Node;
+
+/// A continuous-query operator over a stream of XML items.
+///
+/// Operators are push-based: [`process`](StreamOperator::process) consumes
+/// one input item and produces zero or more output items (zero for filtered
+/// items and open windows, several when a window step emits multiple
+/// results). [`flush`](StreamOperator::flush) signals end-of-stream.
+pub trait StreamOperator: fmt::Debug {
+    /// Short operator name for metrics and logs (e.g. `σ`, `Π`, `Φ`).
+    fn name(&self) -> &'static str;
+
+    /// Processes one input item.
+    fn process(&mut self, item: &Node) -> Vec<Node>;
+
+    /// Drains any buffered state at end-of-stream.
+    fn flush(&mut self) -> Vec<Node> {
+        Vec::new()
+    }
+
+    /// Relative base computational load `bload(o)` of this operator per
+    /// input item, used by the cost model (Section 3.2). Unit: the load of
+    /// a plain selection.
+    fn base_load(&self) -> f64;
+}
+
+/// Per-operator execution statistics gathered by a [`Pipeline`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpStats {
+    /// Operator name.
+    pub name: &'static str,
+    /// Items fed into the operator.
+    pub items_in: u64,
+    /// Items the operator emitted.
+    pub items_out: u64,
+    /// Accumulated work: `items_in × base_load`.
+    pub work: f64,
+}
+
+/// A chain of operators applied in order.
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    ops: Vec<Box<dyn StreamOperator>>,
+    stats: Vec<OpStats>,
+}
+
+impl Pipeline {
+    /// The empty pipeline (identity).
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Appends an operator.
+    pub fn push(&mut self, op: Box<dyn StreamOperator>) {
+        self.stats.push(OpStats { name: op.name(), ..OpStats::default() });
+        self.ops.push(op);
+    }
+
+    /// Builder-style [`push`](Pipeline::push).
+    pub fn with(mut self, op: Box<dyn StreamOperator>) -> Pipeline {
+        self.push(op);
+        self
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if the pipeline is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Pushes one item through the chain, returning the emitted items.
+    pub fn process(&mut self, item: &Node) -> Vec<Node> {
+        let Some((first, rest)) = self.ops.split_first_mut() else {
+            return vec![item.clone()];
+        };
+        // The first operator reads the caller's item by reference — no
+        // up-front clone for items a leading selection drops anyway.
+        self.stats[0].items_in += 1;
+        self.stats[0].work += first.base_load();
+        let mut current = first.process(item);
+        self.stats[0].items_out += current.len() as u64;
+        for (op, stats) in rest.iter_mut().zip(&mut self.stats[1..]) {
+            if current.is_empty() {
+                return current;
+            }
+            let mut next = Vec::with_capacity(current.len());
+            for item in &current {
+                stats.items_in += 1;
+                stats.work += op.base_load();
+                next.extend(op.process(item));
+            }
+            stats.items_out += next.len() as u64;
+            current = next;
+        }
+        current
+    }
+
+    /// Flushes all operators in order, cascading drained items downstream.
+    pub fn flush(&mut self) -> Vec<Node> {
+        let mut carried: Vec<Node> = Vec::new();
+        for i in 0..self.ops.len() {
+            // Items carried from upstream flushes run through operator i…
+            let mut produced = Vec::new();
+            for item in &carried {
+                self.stats[i].items_in += 1;
+                self.stats[i].work += self.ops[i].base_load();
+                produced.extend(self.ops[i].process(item));
+            }
+            // …then operator i's own buffered state drains.
+            produced.extend(self.ops[i].flush());
+            self.stats[i].items_out += produced.len() as u64;
+            carried = produced;
+        }
+        carried
+    }
+
+    /// Execution statistics per operator.
+    pub fn stats(&self) -> &[OpStats] {
+        &self.stats
+    }
+
+    /// Total accumulated work across operators.
+    pub fn total_work(&self) -> f64 {
+        self.stats.iter().map(|s| s.work).sum()
+    }
+
+    /// Sum of per-item base loads — the cost model's `Σ bload(o)` for the
+    /// operators installed at one peer by this pipeline.
+    pub fn base_load(&self) -> f64 {
+        self.ops.iter().map(|o| o.base_load()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_xml::Node;
+
+    /// Doubles every item (emits it twice) — test helper.
+    #[derive(Debug)]
+    struct Echo(u32);
+
+    impl StreamOperator for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn process(&mut self, item: &Node) -> Vec<Node> {
+            (0..self.0).map(|_| item.clone()).collect()
+        }
+        fn base_load(&self) -> f64 {
+            1.0
+        }
+    }
+
+    /// Buffers items, emitting them all on flush.
+    #[derive(Debug, Default)]
+    struct Hold(Vec<Node>);
+
+    impl StreamOperator for Hold {
+        fn name(&self) -> &'static str {
+            "hold"
+        }
+        fn process(&mut self, item: &Node) -> Vec<Node> {
+            self.0.push(item.clone());
+            Vec::new()
+        }
+        fn flush(&mut self) -> Vec<Node> {
+            std::mem::take(&mut self.0)
+        }
+        fn base_load(&self) -> f64 {
+            2.0
+        }
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let mut p = Pipeline::new();
+        let item = Node::leaf("x", "1");
+        assert_eq!(p.process(&item), vec![item.clone()]);
+        assert!(p.flush().is_empty());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn fanout_compounds() {
+        let mut p = Pipeline::new().with(Box::new(Echo(2))).with(Box::new(Echo(3)));
+        let item = Node::leaf("x", "1");
+        assert_eq!(p.process(&item).len(), 6);
+        assert_eq!(p.stats()[0].items_in, 1);
+        assert_eq!(p.stats()[0].items_out, 2);
+        assert_eq!(p.stats()[1].items_in, 2);
+        assert_eq!(p.stats()[1].items_out, 6);
+    }
+
+    #[test]
+    fn flush_cascades_downstream() {
+        let mut p = Pipeline::new().with(Box::new(Hold::default())).with(Box::new(Echo(2)));
+        let item = Node::leaf("x", "1");
+        assert!(p.process(&item).is_empty());
+        assert!(p.process(&item).is_empty());
+        let out = p.flush();
+        assert_eq!(out.len(), 4); // 2 held items × echo 2
+        // The downstream echo saw the flushed items as regular input.
+        assert_eq!(p.stats()[1].items_in, 2);
+    }
+
+    #[test]
+    fn work_accounting() {
+        let mut p = Pipeline::new().with(Box::new(Echo(1))).with(Box::new(Hold::default()));
+        let item = Node::leaf("x", "1");
+        p.process(&item);
+        p.process(&item);
+        assert_eq!(p.stats()[0].work, 2.0); // 2 items × bload 1.0
+        assert_eq!(p.stats()[1].work, 4.0); // 2 items × bload 2.0
+        assert_eq!(p.total_work(), 6.0);
+        assert_eq!(p.base_load(), 3.0);
+    }
+}

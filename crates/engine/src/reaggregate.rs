@@ -1,0 +1,358 @@
+//! The re-aggregation operator: computes a coarse window aggregate from the
+//! shared partial results of a finer one (Figure 5 of the paper).
+//!
+//! Input items are [`AggItem`]s produced by an upstream [`AggregateOp`]
+//! (possibly at another peer) with window spec `(Δ, µ)`. The operator
+//! assembles each new window `[w, w + Δ')` (with `w` on the µ'-grid) from
+//! the non-overlapping tiles `[w + jΔ, w + (j+1)Δ)`, `j = 0 … Δ'/Δ − 1`.
+//! The shareability conditions `Δ' mod Δ = 0`, `Δ mod µ = 0`, and
+//! `µ' mod µ = 0` guarantee these tiles exist in the reused stream (other
+//! incoming partials are simply ignored, as the paper describes).
+//!
+//! Because upstream emits partials in ascending start order and skips empty
+//! windows, a tile is treated as empty once any partial with a later start
+//! has been seen.
+
+use std::collections::BTreeMap;
+
+use dss_properties::{AggregationSpec, WindowSpec};
+use dss_xml::{Decimal, Node};
+
+use crate::agg_item::AggItem;
+use crate::aggregate::filter_accepts;
+use crate::window_track::grid_floor;
+use crate::op::StreamOperator;
+
+/// Re-aggregation from shared fine partials to a coarser window spec.
+#[derive(Debug)]
+pub struct ReAggregateOp {
+    /// Spec of the reused (incoming) aggregate stream.
+    reused: AggregationSpec,
+    /// Spec of the aggregate to produce.
+    new: AggregationSpec,
+    /// Buffered tiles by start (only starts on the Δ-tiling of some pending
+    /// window are kept).
+    tiles: BTreeMap<Decimal, AggItem>,
+    /// Start of the oldest new window not yet finalized (on the µ'-grid).
+    next_window: Option<Decimal>,
+    /// Highest partial start seen (monotone).
+    max_seen: Option<Decimal>,
+}
+
+impl ReAggregateOp {
+    /// Creates the operator.
+    ///
+    /// # Panics
+    /// Panics if the window specs are not shareable — the planner must only
+    /// install re-aggregations that `MatchAggregations` approved.
+    pub fn new(reused: AggregationSpec, new: AggregationSpec) -> ReAggregateOp {
+        assert!(
+            new.window.shareable_from(&reused.window),
+            "re-aggregation requires shareable windows ({} from {})",
+            new.window,
+            reused.window,
+        );
+        ReAggregateOp { reused, new, tiles: BTreeMap::new(), next_window: None, max_seen: None }
+    }
+
+    /// The produced aggregation spec.
+    pub fn spec(&self) -> &AggregationSpec {
+        &self.new
+    }
+
+    fn delta(&self) -> Decimal {
+        self.reused.window.size()
+    }
+
+    fn delta_new(&self) -> Decimal {
+        self.new.window.size()
+    }
+
+    fn mu_new(&self) -> Decimal {
+        self.new.window.step()
+    }
+
+    /// `true` if `start` is a tile position of the window at `w`.
+    fn is_tile_of(&self, start: Decimal, w: Decimal) -> bool {
+        if start < w || start >= w + self.delta_new() {
+            return false;
+        }
+        WindowSpec::is_multiple_of(start - w, self.delta())
+    }
+
+    /// Finalizes every pending window whose last tile is certainly
+    /// available or empty: all tiles with start < `horizon` are final.
+    fn finalize_ready(&mut self, horizon: Decimal, out: &mut Vec<Node>) {
+        let Some(mut w) = self.next_window else {
+            return;
+        };
+        // A window [w, w+Δ') is final once its last tile start (w+Δ'−Δ) is
+        // strictly below the horizon.
+        while w + self.delta_new() - self.delta() < horizon {
+            self.finalize_window(w, out);
+            w = w + self.mu_new();
+            self.next_window = Some(w);
+        }
+        // Garbage-collect tiles no longer needed by any pending window.
+        let keep_from = w;
+        self.tiles.retain(|start, _| *start >= keep_from);
+    }
+
+    fn finalize_window(&mut self, w: Decimal, out: &mut Vec<Node>) {
+        let mut merged = AggItem::empty(w, self.delta_new());
+        let mut tile = w;
+        while tile < w + self.delta_new() {
+            if let Some(part) = self.tiles.get(&tile) {
+                merged.merge(part);
+            }
+            tile = tile + self.delta();
+        }
+        if merged.count == 0 {
+            return;
+        }
+        if filter_accepts(self.new.op, &merged, &self.new.result_filter) {
+            out.push(merged.to_node());
+        }
+    }
+}
+
+impl StreamOperator for ReAggregateOp {
+    fn name(&self) -> &'static str {
+        "Φ↺"
+    }
+
+    fn process(&mut self, item: &Node) -> Vec<Node> {
+        let Ok(partial) = AggItem::from_node(item) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let s = partial.start;
+        self.max_seen = Some(match self.max_seen {
+            Some(m) if m > s => m,
+            _ => s,
+        });
+        if self.next_window.is_none() {
+            // Oldest new window that can use the first partial as a tile:
+            // w ≤ s ≤ w + Δ' − Δ, so the smallest µ'-grid value
+            // ≥ s − Δ' + Δ. Windows before it have only empty tiles.
+            let lo = s - self.delta_new() + self.delta();
+            let mut w = grid_floor(lo, self.mu_new());
+            if w < lo {
+                w = w + self.mu_new();
+            }
+            // Window starts are clamped to the non-negative grid, matching
+            // the direct aggregation operator.
+            if w < Decimal::ZERO {
+                w = Decimal::ZERO;
+            }
+            self.next_window = Some(w);
+        }
+        // Everything strictly below s is now final.
+        self.finalize_ready(s, &mut out);
+        // Keep the partial if it tiles some pending (or future) window.
+        if let Some(w0) = self.next_window {
+            let mut w = w0;
+            let mut needed = false;
+            while w <= s {
+                if self.is_tile_of(s, w) {
+                    needed = true;
+                    break;
+                }
+                w = w + self.mu_new();
+            }
+            if needed {
+                self.tiles.insert(s, partial);
+            }
+        }
+        out
+    }
+
+    fn flush(&mut self) -> Vec<Node> {
+        let mut out = Vec::new();
+        if let Some(max) = self.max_seen {
+            // All tiles are final now; finalize every window that could be
+            // non-empty (w ≤ max_seen). The horizon overshoots by design —
+            // empty windows are filtered at emission.
+            self.finalize_ready(max + self.delta_new() + self.delta(), &mut out);
+        }
+        out
+    }
+
+    fn base_load(&self) -> f64 {
+        0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateOp;
+    use crate::op::StreamOperator;
+    use dss_predicate::{CompOp, PredicateGraph};
+    use dss_properties::{AggOp, ResultFilter};
+    use dss_xml::Path;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    fn d(s: &str) -> Decimal {
+        s.parse().unwrap()
+    }
+
+    fn photon(t: &str, en: &str) -> Node {
+        Node::elem("photon", vec![Node::leaf("det_time", t), Node::leaf("en", en)])
+    }
+
+    fn diff_spec(
+        op: AggOp,
+        size: &str,
+        step: Option<&str>,
+        filter: ResultFilter,
+    ) -> AggregationSpec {
+        AggregationSpec {
+            op,
+            element: p("en"),
+            window: WindowSpec::diff(p("det_time"), d(size), step.map(d)).unwrap(),
+            pre_selection: PredicateGraph::new(),
+            result_filter: filter,
+        }
+    }
+
+    /// Runs items through `fine` aggregation, feeds the partials into a
+    /// re-aggregation to `coarse`, and also runs the same items directly
+    /// through `coarse`; returns (shared, direct) results.
+    fn shared_vs_direct(
+        fine: AggregationSpec,
+        coarse: AggregationSpec,
+        items: &[(f64, f64)],
+    ) -> (Vec<AggItem>, Vec<AggItem>) {
+        let mut fine_op = AggregateOp::new(fine.clone());
+        let mut re_op = ReAggregateOp::new(fine, coarse.clone());
+        let mut direct_op = AggregateOp::new(coarse);
+
+        let mut shared = Vec::new();
+        let mut direct = Vec::new();
+        for (t, en) in items {
+            let item = photon(&format!("{t}"), &format!("{en}"));
+            for partial in fine_op.process(&item) {
+                shared.extend(re_op.process(&partial));
+            }
+            direct.extend(direct_op.process(&item));
+        }
+        for partial in fine_op.flush() {
+            shared.extend(re_op.process(&partial));
+        }
+        shared.extend(re_op.flush());
+        direct.extend(direct_op.flush());
+
+        let parse = |v: Vec<Node>| v.iter().map(|n| AggItem::from_node(n).unwrap()).collect();
+        (parse(shared), parse(direct))
+    }
+
+    /// Figure 5: Query 4 (|diff 60 step 40|) assembled from Query 3
+    /// (|diff 20 step 10|) equals computing Query 4 directly.
+    #[test]
+    fn figure5_shared_equals_direct() {
+        let q3 = diff_spec(AggOp::Avg, "20", Some("10"), ResultFilter::none());
+        let q4 = diff_spec(AggOp::Avg, "60", Some("40"), ResultFilter::none());
+        let items: Vec<(f64, f64)> =
+            (0..200).map(|i| (i as f64 * 1.7 + 3.0, 1.0 + (i % 7) as f64 * 0.2)).collect();
+        let (shared, direct) = shared_vs_direct(q3, q4, &items);
+        assert!(!direct.is_empty());
+        assert_eq!(shared, direct);
+    }
+
+    #[test]
+    fn shared_equals_direct_with_result_filter() {
+        let q3 = diff_spec(AggOp::Avg, "20", Some("10"), ResultFilter::none());
+        let q4 = diff_spec(
+            AggOp::Avg,
+            "60",
+            Some("40"),
+            ResultFilter::single(CompOp::Ge, d("1.3")),
+        );
+        let items: Vec<(f64, f64)> =
+            (0..300).map(|i| (i as f64 * 0.9, 1.0 + (i % 10) as f64 * 0.1)).collect();
+        let (shared, direct) = shared_vs_direct(q3, q4, &items);
+        assert!(!direct.is_empty());
+        assert_eq!(shared, direct);
+    }
+
+    #[test]
+    fn tumbling_from_tumbling() {
+        let fine = diff_spec(AggOp::Sum, "10", None, ResultFilter::none());
+        let coarse = diff_spec(AggOp::Sum, "30", None, ResultFilter::none());
+        let items: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 1.0)).collect();
+        let (shared, direct) = shared_vs_direct(fine, coarse, &items);
+        assert!(!direct.is_empty());
+        assert_eq!(shared, direct);
+    }
+
+    #[test]
+    fn min_max_reaggregation() {
+        for op in [AggOp::Min, AggOp::Max, AggOp::Count, AggOp::Sum] {
+            let fine = diff_spec(op, "5", None, ResultFilter::none());
+            let coarse = diff_spec(op, "20", Some("10"), ResultFilter::none());
+            let items: Vec<(f64, f64)> =
+                (0..150).map(|i| (i as f64 * 0.8, (i % 13) as f64 * 0.5)).collect();
+            let (shared, direct) = shared_vs_direct(fine, coarse, &items);
+            assert!(!direct.is_empty(), "{op}");
+            assert_eq!(shared, direct, "{op}");
+        }
+    }
+
+    #[test]
+    fn data_not_starting_at_zero() {
+        let fine = diff_spec(AggOp::Avg, "20", Some("10"), ResultFilter::none());
+        let coarse = diff_spec(AggOp::Avg, "60", Some("40"), ResultFilter::none());
+        // Data begins at t = 1234.5 — grid anchoring must keep shared and
+        // direct aligned.
+        let items: Vec<(f64, f64)> =
+            (0..200).map(|i| (1234.5 + i as f64 * 1.1, 1.0 + (i % 5) as f64 * 0.3)).collect();
+        let (shared, direct) = shared_vs_direct(fine, coarse, &items);
+        assert!(!direct.is_empty());
+        assert_eq!(shared, direct);
+    }
+
+    #[test]
+    fn gaps_in_data() {
+        let fine = diff_spec(AggOp::Sum, "10", None, ResultFilter::none());
+        let coarse = diff_spec(AggOp::Sum, "40", None, ResultFilter::none());
+        // Two bursts with a long silent gap between them.
+        let mut items: Vec<(f64, f64)> = (0..30).map(|i| (i as f64, 1.0)).collect();
+        items.extend((0..30).map(|i| (500.0 + i as f64, 2.0)));
+        let (shared, direct) = shared_vs_direct(fine, coarse, &items);
+        assert!(!direct.is_empty());
+        assert_eq!(shared, direct);
+    }
+
+    #[test]
+    fn avg_partials_serve_sum_subscription() {
+        // The paper's relaxation: avg is shipped as (sum, count), so its
+        // partials can compute a sum aggregate.
+        let fine = diff_spec(AggOp::Avg, "10", None, ResultFilter::none());
+        let coarse_sum = diff_spec(AggOp::Sum, "20", None, ResultFilter::none());
+        let items: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 1.5)).collect();
+        let (shared, direct) = shared_vs_direct(fine, coarse_sum, &items);
+        assert!(!direct.is_empty());
+        assert_eq!(shared, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "shareable")]
+    fn incompatible_windows_rejected() {
+        let fine = diff_spec(AggOp::Sum, "20", Some("15"), ResultFilter::none());
+        let coarse = diff_spec(AggOp::Sum, "60", None, ResultFilter::none());
+        let _ = ReAggregateOp::new(fine, coarse);
+    }
+
+    #[test]
+    fn non_agg_items_ignored() {
+        let fine = diff_spec(AggOp::Sum, "10", None, ResultFilter::none());
+        let coarse = diff_spec(AggOp::Sum, "20", None, ResultFilter::none());
+        let mut op = ReAggregateOp::new(fine, coarse);
+        assert!(op.process(&photon("1", "1.0")).is_empty());
+        assert!(op.flush().is_empty());
+    }
+}

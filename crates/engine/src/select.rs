@@ -1,0 +1,78 @@
+//! The selection operator σ.
+
+use dss_predicate::PredicateGraph;
+use dss_xml::Node;
+
+use crate::op::StreamOperator;
+
+/// Selection: passes items satisfying a conjunctive predicate.
+#[derive(Debug)]
+pub struct SelectOp {
+    predicate: PredicateGraph,
+}
+
+impl SelectOp {
+    /// Creates a selection from a predicate graph.
+    pub fn new(predicate: PredicateGraph) -> SelectOp {
+        SelectOp { predicate }
+    }
+
+    /// The predicate.
+    pub fn predicate(&self) -> &PredicateGraph {
+        &self.predicate
+    }
+}
+
+impl StreamOperator for SelectOp {
+    fn name(&self) -> &'static str {
+        "σ"
+    }
+
+    fn process(&mut self, item: &Node) -> Vec<Node> {
+        if self.predicate.evaluate(item) {
+            vec![item.clone()]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn base_load(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_predicate::{Atom, CompOp};
+    use dss_xml::{Decimal, Path};
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    fn d(s: &str) -> Decimal {
+        s.parse().unwrap()
+    }
+
+    fn item(en: &str) -> Node {
+        Node::elem("photon", vec![Node::leaf("en", en)])
+    }
+
+    #[test]
+    fn filters_items() {
+        let g = PredicateGraph::from_atoms(&[Atom::var_const(p("en"), CompOp::Ge, d("1.3"))]);
+        let mut op = SelectOp::new(g);
+        assert_eq!(op.process(&item("1.5")).len(), 1);
+        assert_eq!(op.process(&item("1.3")).len(), 1);
+        assert!(op.process(&item("1.2")).is_empty());
+        assert!(op.process(&Node::empty("photon")).is_empty());
+        assert!(op.flush().is_empty());
+    }
+
+    #[test]
+    fn trivial_predicate_passes_all() {
+        let mut op = SelectOp::new(PredicateGraph::new());
+        assert_eq!(op.process(&item("0")).len(), 1);
+    }
+}

@@ -1,0 +1,395 @@
+//! Window-contents output: queries returning the raw contents of data
+//! windows (`for $w in … |window| return <wnd> { $w } </wnd>`).
+//!
+//! This is the cost model's third result class ("For queries returning the
+//! contents of data windows, the average size of a data window needs to be
+//! determined"). Window contents compose exactly like distributive
+//! aggregates: a coarse window's contents are the concatenation of its
+//! non-overlapping tiles, so the same three shareability conditions apply
+//! and a [`ReWindowOp`] can assemble coarser windows from a shared
+//! finer-windowed stream.
+
+use std::collections::BTreeMap;
+
+use dss_properties::{WindowOutputSpec, WindowSpec};
+use dss_xml::{Decimal, Node, XmlError};
+
+use crate::op::StreamOperator;
+use crate::window_track::{grid_floor, WindowTracker};
+
+/// One window's contents, as shipped between peers:
+///
+/// ```xml
+/// <window>
+///   <start>40</start><size>60</size>
+///   <items> …stream items… </items>
+/// </window>
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WindowItem {
+    /// Window start (reference value / arrival index).
+    pub start: Decimal,
+    /// Window size Δ.
+    pub size: Decimal,
+    /// The contained stream items, in arrival order.
+    pub items: Vec<Node>,
+}
+
+impl WindowItem {
+    /// An empty window `[start, start + size)`.
+    pub fn empty(start: Decimal, size: Decimal) -> WindowItem {
+        WindowItem { start, size, items: Vec::new() }
+    }
+
+    /// Appends an adjacent tile's contents (ascending-order composition).
+    pub fn merge(&mut self, other: &WindowItem) {
+        self.items.extend(other.items.iter().cloned());
+    }
+
+    /// Serializes the window as a stream item.
+    pub fn to_node(&self) -> Node {
+        Node::elem(
+            "window",
+            vec![
+                Node::decimal_leaf("start", self.start),
+                Node::decimal_leaf("size", self.size),
+                Node::elem("items", self.items.clone()),
+            ],
+        )
+    }
+
+    /// Parses a window item back.
+    pub fn from_node(node: &Node) -> Result<WindowItem, XmlError> {
+        let field = |name: &str| -> Result<Decimal, XmlError> {
+            node.child(name)
+                .ok_or_else(|| XmlError::ValueParse {
+                    value: format!("<window> missing <{name}>"),
+                    wanted: "window item",
+                })?
+                .decimal_value()
+        };
+        let items = node
+            .child("items")
+            .ok_or_else(|| XmlError::ValueParse {
+                value: "<window> missing <items>".into(),
+                wanted: "window item",
+            })?
+            .children()
+            .to_vec();
+        Ok(WindowItem { start: field("start")?, size: field("size")?, items })
+    }
+
+    /// `true` if `node` looks like a window item.
+    pub fn is_window_node(node: &Node) -> bool {
+        node.name() == "window" && node.child("start").is_some() && node.child("items").is_some()
+    }
+}
+
+/// Produces window-contents items from raw stream items.
+#[derive(Debug)]
+pub struct WindowContentsOp {
+    spec: WindowOutputSpec,
+    tracker: WindowTracker<Vec<Node>>,
+}
+
+impl WindowContentsOp {
+    /// Creates the operator. Like aggregation, the spec's `pre_selection`
+    /// runs as a separate upstream selection operator.
+    pub fn new(spec: WindowOutputSpec) -> WindowContentsOp {
+        let tracker = WindowTracker::new(spec.window.clone());
+        WindowContentsOp { spec, tracker }
+    }
+
+    /// The window-output spec.
+    pub fn spec(&self) -> &WindowOutputSpec {
+        &self.spec
+    }
+
+    fn emit(&self, start: Decimal, items: Vec<Node>, out: &mut Vec<Node>) {
+        if items.is_empty() {
+            return; // empty windows are never emitted (as with aggregates)
+        }
+        out.push(WindowItem { start, size: self.spec.window.size(), items }.to_node());
+    }
+}
+
+impl StreamOperator for WindowContentsOp {
+    fn name(&self) -> &'static str {
+        "ω"
+    }
+
+    fn process(&mut self, item: &Node) -> Vec<Node> {
+        let closed = self.tracker.observe(item, |acc, _| acc.push(item.clone()));
+        let mut out = Vec::new();
+        for (start, items) in closed {
+            self.emit(start, items, &mut out);
+        }
+        out
+    }
+
+    fn flush(&mut self) -> Vec<Node> {
+        let mut out = Vec::new();
+        for (start, items) in self.tracker.flush() {
+            self.emit(start, items, &mut out);
+        }
+        out
+    }
+
+    fn base_load(&self) -> f64 {
+        1.5
+    }
+}
+
+/// Re-windowing: assembles coarser window contents from a shared
+/// finer-windowed stream, mirroring [`crate::reaggregate::ReAggregateOp`].
+#[derive(Debug)]
+pub struct ReWindowOp {
+    reused: WindowOutputSpec,
+    new: WindowOutputSpec,
+    /// Buffered tiles by start.
+    tiles: BTreeMap<Decimal, WindowItem>,
+    /// Start of the oldest new window not yet finalized (µ'-grid).
+    next_window: Option<Decimal>,
+    /// Highest tile start seen (monotone).
+    max_seen: Option<Decimal>,
+}
+
+impl ReWindowOp {
+    /// Creates the operator.
+    ///
+    /// # Panics
+    /// Panics if the windows are not shareable.
+    pub fn new(reused: WindowOutputSpec, new: WindowOutputSpec) -> ReWindowOp {
+        assert!(
+            new.window.shareable_from(&reused.window),
+            "re-windowing requires shareable windows ({} from {})",
+            new.window,
+            reused.window,
+        );
+        ReWindowOp { reused, new, tiles: BTreeMap::new(), next_window: None, max_seen: None }
+    }
+
+    fn delta(&self) -> Decimal {
+        self.reused.window.size()
+    }
+
+    fn delta_new(&self) -> Decimal {
+        self.new.window.size()
+    }
+
+    fn mu_new(&self) -> Decimal {
+        self.new.window.step()
+    }
+
+    fn is_tile_of(&self, start: Decimal, w: Decimal) -> bool {
+        if start < w || start >= w + self.delta_new() {
+            return false;
+        }
+        WindowSpec::is_multiple_of(start - w, self.delta())
+    }
+
+    fn finalize_ready(&mut self, horizon: Decimal, out: &mut Vec<Node>) {
+        let Some(mut w) = self.next_window else {
+            return;
+        };
+        while w + self.delta_new() - self.delta() < horizon {
+            self.finalize_window(w, out);
+            w = w + self.mu_new();
+            self.next_window = Some(w);
+        }
+        let keep_from = w;
+        self.tiles.retain(|start, _| *start >= keep_from);
+    }
+
+    fn finalize_window(&mut self, w: Decimal, out: &mut Vec<Node>) {
+        let mut merged = WindowItem::empty(w, self.delta_new());
+        let mut tile = w;
+        while tile < w + self.delta_new() {
+            if let Some(part) = self.tiles.get(&tile) {
+                merged.merge(part);
+            }
+            tile = tile + self.delta();
+        }
+        if !merged.items.is_empty() {
+            out.push(merged.to_node());
+        }
+    }
+}
+
+impl StreamOperator for ReWindowOp {
+    fn name(&self) -> &'static str {
+        "ω↺"
+    }
+
+    fn process(&mut self, item: &Node) -> Vec<Node> {
+        let Ok(tile) = WindowItem::from_node(item) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let s = tile.start;
+        self.max_seen = Some(match self.max_seen {
+            Some(m) if m > s => m,
+            _ => s,
+        });
+        if self.next_window.is_none() {
+            let lo = s - self.delta_new() + self.delta();
+            let mut w = grid_floor(lo, self.mu_new());
+            if w < lo {
+                w = w + self.mu_new();
+            }
+            if w < Decimal::ZERO {
+                w = Decimal::ZERO;
+            }
+            self.next_window = Some(w);
+        }
+        self.finalize_ready(s, &mut out);
+        if let Some(w0) = self.next_window {
+            let mut w = w0;
+            while w <= s {
+                if self.is_tile_of(s, w) {
+                    self.tiles.insert(s, tile);
+                    break;
+                }
+                w = w + self.mu_new();
+            }
+        }
+        out
+    }
+
+    fn flush(&mut self) -> Vec<Node> {
+        let mut out = Vec::new();
+        if let Some(max) = self.max_seen {
+            self.finalize_ready(max + self.delta_new() + self.delta(), &mut out);
+        }
+        out
+    }
+
+    fn base_load(&self) -> f64 {
+        0.7
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_predicate::PredicateGraph;
+    use dss_xml::Path;
+
+    fn d(s: &str) -> Decimal {
+        s.parse().unwrap()
+    }
+
+    fn spec(size: &str, step: Option<&str>) -> WindowOutputSpec {
+        WindowOutputSpec {
+            window: WindowSpec::diff("t".parse::<Path>().unwrap(), d(size), step.map(d)).unwrap(),
+            pre_selection: PredicateGraph::new(),
+        }
+    }
+
+    fn item(t: u32, v: u32) -> Node {
+        Node::elem("i", vec![Node::leaf("t", t.to_string()), Node::leaf("v", v.to_string())])
+    }
+
+    fn run_contents(spec: WindowOutputSpec, items: &[Node]) -> Vec<WindowItem> {
+        let mut op = WindowContentsOp::new(spec);
+        let mut out = Vec::new();
+        for i in items {
+            out.extend(op.process(i));
+        }
+        out.extend(op.flush());
+        out.iter().map(|n| WindowItem::from_node(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn window_item_round_trip() {
+        let w = WindowItem {
+            start: d("40"),
+            size: d("60"),
+            items: vec![item(41, 1), item(55, 2)],
+        };
+        let n = w.to_node();
+        assert!(WindowItem::is_window_node(&n));
+        assert_eq!(WindowItem::from_node(&n).unwrap(), w);
+        assert!(WindowItem::from_node(&Node::empty("window")).is_err());
+    }
+
+    #[test]
+    fn contents_windows_partition_items() {
+        let items: Vec<Node> = (0..10).map(|i| item(i * 5, i)).collect();
+        let windows = run_contents(spec("10", None), &items);
+        // Tumbling [0,10): t ∈ {0,5}; [10,20): {10,15}; … 5 windows.
+        assert_eq!(windows.len(), 5);
+        assert!(windows.iter().all(|w| w.items.len() == 2));
+        assert_eq!(windows[0].items, vec![item(0, 0), item(5, 1)]);
+    }
+
+    #[test]
+    fn sliding_contents_overlap() {
+        let items: Vec<Node> = (0..4).map(|i| item(i * 10 + 5, i)).collect();
+        let windows = run_contents(spec("20", Some("10")), &items);
+        // Windows [0,20), [10,30), [20,40), [30,50).
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[0].items.len(), 2);
+        assert_eq!(windows[1].items, vec![item(15, 1), item(25, 2)]);
+    }
+
+    #[test]
+    fn empty_windows_not_emitted() {
+        let items = vec![item(5, 0), item(95, 1)];
+        let windows = run_contents(spec("10", None), &items);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].start, d("0"));
+        assert_eq!(windows[1].start, d("90"));
+    }
+
+    fn shared_vs_direct(
+        fine: WindowOutputSpec,
+        coarse: WindowOutputSpec,
+        items: &[Node],
+    ) -> (Vec<WindowItem>, Vec<WindowItem>) {
+        let direct = run_contents(coarse.clone(), items);
+        let mut fine_op = WindowContentsOp::new(fine.clone());
+        let mut re_op = ReWindowOp::new(fine, coarse);
+        let mut shared = Vec::new();
+        for i in items {
+            for tile in fine_op.process(i) {
+                shared.extend(re_op.process(&tile));
+            }
+        }
+        for tile in fine_op.flush() {
+            shared.extend(re_op.process(&tile));
+        }
+        shared.extend(re_op.flush());
+        (shared.iter().map(|n| WindowItem::from_node(n).unwrap()).collect(), direct)
+    }
+
+    #[test]
+    fn rewindow_equals_direct() {
+        let items: Vec<Node> = (0..120).map(|i| item(i * 3 + 1, i)).collect();
+        let (shared, direct) = shared_vs_direct(spec("20", Some("10")), spec("60", Some("40")), &items);
+        assert!(!direct.is_empty());
+        assert_eq!(shared, direct);
+    }
+
+    #[test]
+    fn rewindow_with_data_gaps() {
+        let mut items: Vec<Node> = (0..20).map(|i| item(i, i)).collect();
+        items.extend((0..20).map(|i| item(700 + i, i)));
+        let (shared, direct) = shared_vs_direct(spec("10", None), spec("40", None), &items);
+        assert!(!direct.is_empty());
+        assert_eq!(shared, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "shareable")]
+    fn rewindow_rejects_incompatible() {
+        let _ = ReWindowOp::new(spec("20", Some("15")), spec("60", None));
+    }
+
+    #[test]
+    fn rewindow_ignores_non_window_items() {
+        let mut op = ReWindowOp::new(spec("10", None), spec("20", None));
+        assert!(op.process(&item(1, 1)).is_empty());
+        assert!(op.flush().is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Shared window bookkeeping for the windowed operators.
+//!
+//! Both window aggregation ([`crate::aggregate::AggregateOp`]) and
+//! window-contents output ([`crate::window_contents::WindowContentsOp`])
+//! maintain the same sliding-window state: windows anchored on the
+//! absolute grid `{k·µ}` (clamped to non-negative starts), opened on
+//! demand when a reference value overlaps them, closed in ascending start
+//! order once the (sorted) reference value passes their end. This module
+//! factors that machinery; the operators only supply the per-window
+//! accumulator type.
+
+use std::collections::VecDeque;
+
+use dss_properties::{WindowKind, WindowSpec};
+use dss_xml::{Decimal, Node};
+
+/// Largest grid multiple of `step` that is ≤ `v` (floor toward −∞).
+pub fn grid_floor(v: Decimal, step: Decimal) -> Decimal {
+    let scale = v.scale().max(step.scale());
+    let (vu, su) = (v.units_at_scale(scale), step.units_at_scale(scale));
+    debug_assert!(su > 0);
+    let q = vu.div_euclid(su);
+    Decimal::new(q * su, scale)
+}
+
+/// Sliding-window state over an ordered stream.
+#[derive(Debug)]
+pub struct WindowTracker<T> {
+    window: WindowSpec,
+    /// Open windows (start, accumulator), ascending by start.
+    active: VecDeque<(Decimal, T)>,
+    /// Start of the youngest window opened so far (grid-aligned).
+    youngest_start: Option<Decimal>,
+    /// Arrival index for `count` windows.
+    items_seen: u64,
+}
+
+impl<T: Default> WindowTracker<T> {
+    /// Creates a tracker for the given window specification.
+    pub fn new(window: WindowSpec) -> WindowTracker<T> {
+        WindowTracker { window, active: VecDeque::new(), youngest_start: None, items_seen: 0 }
+    }
+
+    /// The window specification.
+    pub fn window(&self) -> &WindowSpec {
+        &self.window
+    }
+
+    /// Reference value of an item: arrival index for `count` windows, the
+    /// reference element's value for `diff` windows. `None` when a `diff`
+    /// item has no readable reference value.
+    pub fn reference_value(&self, item: &Node) -> Option<Decimal> {
+        match self.window.kind() {
+            WindowKind::Count => Some(Decimal::from_int(self.items_seen as i64)),
+            WindowKind::Diff => {
+                let r = self.window.reference().expect("diff windows carry a reference");
+                r.decimal_value(item).ok()
+            }
+        }
+    }
+
+    /// Observes one item: closes every window whose range ended before the
+    /// item's reference value (returned in ascending start order), opens
+    /// the grid windows newly overlapping it, and folds the item into every
+    /// open window containing it via `fold(accumulator, window_start)`.
+    ///
+    /// Items without a reference value, or with a negative one
+    /// (out-of-domain), are skipped and close nothing.
+    pub fn observe(
+        &mut self,
+        item: &Node,
+        mut fold: impl FnMut(&mut T, Decimal),
+    ) -> Vec<(Decimal, T)> {
+        let Some(v) = self.reference_value(item) else {
+            return Vec::new();
+        };
+        if v < Decimal::ZERO {
+            return Vec::new();
+        }
+        self.items_seen += 1;
+        let closed = self.close_before(v);
+        self.open_overlapping(v);
+        let size = self.window.size();
+        for (start, acc) in &mut self.active {
+            if *start <= v && v < *start + size {
+                fold(acc, *start);
+            }
+        }
+        closed
+    }
+
+    /// Drains all still-open windows at end-of-stream.
+    pub fn flush(&mut self) -> Vec<(Decimal, T)> {
+        self.active.drain(..).collect()
+    }
+
+    /// Closes (removes and returns) every open window with `end ≤ v`.
+    fn close_before(&mut self, v: Decimal) -> Vec<(Decimal, T)> {
+        let size = self.window.size();
+        let mut out = Vec::new();
+        while let Some((start, _)) = self.active.front() {
+            if *start + size <= v {
+                out.push(self.active.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Opens every grid window overlapping reference value `v` that is not
+    /// open yet: starts in `(v − Δ, v]` on the non-negative µ-grid.
+    fn open_overlapping(&mut self, v: Decimal) {
+        let size = self.window.size();
+        let step = self.window.step();
+        let highest = grid_floor(v, step);
+        let mut start = match self.youngest_start {
+            Some(y) => y + step,
+            None => {
+                let mut s = highest;
+                while s > Decimal::ZERO && v < (s - step) + size && s - step <= v {
+                    s = s - step;
+                }
+                s
+            }
+        };
+        while start <= highest {
+            if v < start + size {
+                self.active.push_back((start, T::default()));
+            }
+            self.youngest_start = Some(start);
+            start = start + step;
+        }
+        if self.youngest_start.is_none() {
+            self.youngest_start = Some(highest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_xml::Path;
+
+    fn d(s: &str) -> Decimal {
+        s.parse().unwrap()
+    }
+
+    fn diff_window(size: &str, step: Option<&str>) -> WindowSpec {
+        WindowSpec::diff("t".parse::<Path>().unwrap(), d(size), step.map(d)).unwrap()
+    }
+
+    fn item(t: &str) -> Node {
+        Node::elem("i", vec![Node::leaf("t", t)])
+    }
+
+    #[test]
+    fn counts_items_per_window() {
+        let mut tr: WindowTracker<u32> = WindowTracker::new(diff_window("20", Some("10")));
+        let mut closed = Vec::new();
+        for t in ["5", "15", "25", "35"] {
+            closed.extend(tr.observe(&item(t), |acc, _| *acc += 1));
+        }
+        closed.extend(tr.flush());
+        let view: Vec<(String, u32)> =
+            closed.iter().map(|(s, c)| (s.to_string(), *c)).collect();
+        assert_eq!(
+            view,
+            vec![
+                ("0".into(), 2),
+                ("10".into(), 2),
+                ("20".into(), 2),
+                ("30".into(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn fold_sees_window_start() {
+        let mut tr: WindowTracker<Vec<String>> =
+            WindowTracker::new(diff_window("20", Some("10")));
+        tr.observe(&item("15"), |acc, start| acc.push(start.to_string()));
+        let open: Vec<Vec<String>> = tr.flush().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(open, vec![vec!["0".to_string()], vec!["10".to_string()]]);
+    }
+
+    #[test]
+    fn skips_unreadable_and_negative_references() {
+        let mut tr: WindowTracker<u32> = WindowTracker::new(diff_window("10", None));
+        assert!(tr.observe(&Node::empty("i"), |a, _| *a += 1).is_empty());
+        assert!(tr.observe(&item("-5"), |a, _| *a += 1).is_empty());
+        tr.observe(&item("1"), |a, _| *a += 1);
+        let flushed = tr.flush();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].1, 1);
+    }
+
+    #[test]
+    fn count_windows_use_arrival_index() {
+        let spec = WindowSpec::count(d("3"), None).unwrap();
+        let mut tr: WindowTracker<u32> = WindowTracker::new(spec);
+        let mut closed = Vec::new();
+        for _ in 0..7 {
+            closed.extend(tr.observe(&Node::empty("i"), |a, _| *a += 1));
+        }
+        closed.extend(tr.flush());
+        let counts: Vec<u32> = closed.iter().map(|(_, c)| *c).collect();
+        assert_eq!(counts, vec![3, 3, 1]);
+    }
+}

@@ -1,0 +1,25 @@
+//! The super-peer P2P network substrate and simulator.
+//!
+//! The paper evaluates StreamGlobe on a blade cluster; this crate replaces
+//! that testbed with a faithful discrete simulator (see DESIGN.md's
+//! substitution table): [`topology`] models super-peer backbones with
+//! bandwidths and peer capacities, [`routing`] provides shortest paths,
+//! [`flow`] describes the deployed streams (with *taps* modeling stream
+//! duplication for sharing), and [`sim`] executes the very same operator
+//! pipelines over the very same XML items, charging connections by exact
+//! serialized bytes and peers by operator plus forwarding work.
+
+pub mod flow;
+pub mod metrics;
+pub mod routing;
+pub mod sim;
+pub mod topology;
+
+pub use flow::{build_flow_pipeline, Deployment, FlowId, FlowInput, FlowOp, StreamFlow};
+pub use metrics::NetworkMetrics;
+pub use routing::{distance, path_edges, shortest_path};
+pub use sim::{run, SimConfig, SimOutcome};
+pub use topology::{
+    example_topology, grid_topology, hierarchical_topology, Edge, EdgeId, NodeId, Peer,
+    PeerKind, Topology,
+};

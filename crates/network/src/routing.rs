@@ -1,0 +1,103 @@
+//! Shortest-path routing over the super-peer backbone.
+
+use std::collections::VecDeque;
+
+use crate::topology::{NodeId, Topology};
+
+/// Breadth-first shortest path (hop count) from `from` to `to`, inclusive
+/// of both endpoints. Ties break deterministically toward lower-numbered
+/// edges (insertion order), so repeated runs of the planner are stable.
+pub fn shortest_path(topo: &Topology, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let n = topo.peer_count();
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[from] = true;
+    let mut q = VecDeque::from([from]);
+    while let Some(u) = q.pop_front() {
+        for v in topo.neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                prev[v] = Some(u);
+                if v == to {
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while let Some(p) = prev[cur] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                q.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Hop distance between two peers.
+pub fn distance(topo: &Topology, from: NodeId, to: NodeId) -> Option<usize> {
+    shortest_path(topo, from, to).map(|p| p.len() - 1)
+}
+
+/// The edge ids along a node path.
+pub fn path_edges(topo: &Topology, path: &[NodeId]) -> Vec<crate::topology::EdgeId> {
+    path.windows(2)
+        .map(|w| {
+            topo.edge_between(w[0], w[1])
+                .unwrap_or_else(|| panic!("path uses non-existent connection {}–{}", w[0], w[1]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{example_topology, grid_topology};
+
+    #[test]
+    fn trivial_and_adjacent_paths() {
+        let t = grid_topology(2, 2);
+        let a = t.expect_node("SP0");
+        let b = t.expect_node("SP1");
+        assert_eq!(shortest_path(&t, a, a), Some(vec![a]));
+        assert_eq!(shortest_path(&t, a, b), Some(vec![a, b]));
+        assert_eq!(distance(&t, a, b), Some(1));
+    }
+
+    #[test]
+    fn paper_route_sp4_to_sp1() {
+        // "its execution can be pushed into the network and computed at SP4
+        // … The result is then routed to P1 via SP5 and SP1."
+        let t = example_topology();
+        let path = shortest_path(&t, t.expect_node("SP4"), t.expect_node("P1")).unwrap();
+        let names: Vec<&str> = path.iter().map(|&n| t.peer(n).name.as_str()).collect();
+        assert_eq!(names, vec!["SP4", "SP0", "SP5", "SP1", "P1"]);
+    }
+
+    #[test]
+    fn grid_distances() {
+        let t = grid_topology(4, 4);
+        assert_eq!(distance(&t, t.expect_node("SP0"), t.expect_node("SP15")), Some(6));
+        assert_eq!(distance(&t, t.expect_node("SP0"), t.expect_node("SP5")), Some(2));
+    }
+
+    #[test]
+    fn disconnected_nodes_unroutable() {
+        let mut t = grid_topology(2, 2);
+        let lonely = t.add_super_peer("SPX");
+        assert_eq!(shortest_path(&t, t.expect_node("SP0"), lonely), None);
+        assert_eq!(distance(&t, lonely, t.expect_node("SP3")), None);
+    }
+
+    #[test]
+    fn path_edges_resolves_connections() {
+        let t = grid_topology(2, 2);
+        let path = shortest_path(&t, t.expect_node("SP0"), t.expect_node("SP3")).unwrap();
+        let edges = path_edges(&t, &path);
+        assert_eq!(edges.len(), 2);
+    }
+}

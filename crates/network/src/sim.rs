@@ -1,0 +1,297 @@
+//! The network simulator: pushes real XML items through the deployed
+//! flows and measures actual bytes per connection and work per peer.
+//!
+//! The paper evaluated on a blade cluster; we substitute a discrete
+//! simulator that executes the *same* operator plans over the *same* XML
+//! items and charges edges by the exact serialized size of every item that
+//! crosses them (the serializer defines the byte counts, see
+//! `dss_xml::writer`). Peer work combines operator execution (per-item base
+//! loads scaled by the peer's performance index) and forwarding work for
+//! every byte a peer sends or receives — this is what makes pure data
+//! shipping show elevated CPU load across all forwarding peers, as in
+//! Figure 6.
+
+use std::collections::BTreeMap;
+
+use dss_xml::writer::serialized_size;
+use dss_xml::Node;
+
+use crate::flow::{build_flow_pipeline, Deployment, FlowInput};
+use crate::metrics::NetworkMetrics;
+use crate::routing::path_edges;
+use crate::topology::Topology;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Simulated duration of the source streams in seconds; used to convert
+    /// byte/work totals into rates. Must be positive.
+    pub duration_s: f64,
+    /// Forwarding work units charged per kilobyte sent or received by a
+    /// peer (before scaling with its performance index).
+    pub forward_work_per_kb: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig { duration_s: 60.0, forward_work_per_kb: 1.0 }
+    }
+}
+
+/// Result of a simulation run: metrics plus each flow's delivered items.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// Per-edge / per-peer measurements.
+    pub metrics: NetworkMetrics,
+    /// Output items per flow (what arrived at each flow's target).
+    pub flow_outputs: Vec<Vec<Node>>,
+}
+
+/// Runs the deployment over the given source streams.
+///
+/// `sources` maps stream names to their item sequences. Flows are executed
+/// in id order; taps read the parent's full output (tapping never costs
+/// extra transmission — the parent stream already flows past the tap).
+pub fn run(
+    topo: &Topology,
+    deployment: &Deployment,
+    sources: &BTreeMap<String, Vec<Node>>,
+    cfg: SimConfig,
+) -> SimOutcome {
+    assert!(cfg.duration_s > 0.0, "simulation duration must be positive");
+    deployment.validate(topo);
+    let mut metrics = NetworkMetrics::new(topo, cfg.duration_s);
+    let mut flow_outputs: Vec<Vec<Node>> = Vec::with_capacity(deployment.len());
+
+    for flow in deployment.flows() {
+        if flow.retired {
+            // Retired flows carry nothing; keep output indices aligned.
+            flow_outputs.push(Vec::new());
+            continue;
+        }
+        // Gather the flow's input items.
+        let inputs: &[Node] = match &flow.input {
+            FlowInput::Source { stream } => sources
+                .get(stream)
+                .unwrap_or_else(|| panic!("flow {} reads unknown source {stream:?}", flow.label))
+                .as_slice(),
+            FlowInput::Tap { parent } => flow_outputs[*parent].as_slice(),
+        };
+
+        // Execute the pipeline at the processing node.
+        let mut pipeline = build_flow_pipeline(&flow.ops);
+        let mut outputs: Vec<Node> = Vec::new();
+        for item in inputs {
+            outputs.extend(pipeline.process(item));
+        }
+        outputs.extend(pipeline.flush());
+
+        let pindex = topo.peer(flow.processing_node).pindex;
+        metrics.record_work(flow.processing_node, pipeline.total_work() * pindex);
+
+        // Transmit the outputs along the route, charging edges and
+        // forwarding work.
+        let edges = path_edges(topo, &flow.route);
+        if !edges.is_empty() {
+            let total_bytes: u64 = outputs.iter().map(|n| serialized_size(n) as u64).sum();
+            for (hop, &e) in edges.iter().enumerate() {
+                let (sender, receiver) = (flow.route[hop], flow.route[hop + 1]);
+                metrics.record_transmission(e, sender, receiver, total_bytes);
+                let kb = total_bytes as f64 / 1024.0;
+                metrics
+                    .record_work(sender, kb * cfg.forward_work_per_kb * topo.peer(sender).pindex);
+                metrics.record_work(
+                    receiver,
+                    kb * cfg.forward_work_per_kb * topo.peer(receiver).pindex,
+                );
+            }
+        }
+
+        flow_outputs.push(outputs);
+    }
+
+    SimOutcome { metrics, flow_outputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{FlowOp, StreamFlow};
+    use crate::topology::grid_topology;
+    use dss_predicate::{Atom, CompOp, PredicateGraph};
+    use dss_properties::{InputProperties, Operator, Properties};
+    use dss_xml::{Decimal, Path};
+
+    fn items(n: usize) -> Vec<Node> {
+        (0..n)
+            .map(|i| {
+                Node::elem(
+                    "photon",
+                    vec![
+                        Node::leaf("en", format!("{}", 1.0 + (i % 10) as f64 / 10.0)),
+                        Node::leaf("det_time", i.to_string()),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    fn selection_ge(en: &str) -> FlowOp {
+        FlowOp::Standard(Operator::Selection(PredicateGraph::from_atoms(&[Atom::var_const(
+            "en".parse::<Path>().unwrap(),
+            CompOp::Ge,
+            en.parse::<Decimal>().unwrap(),
+        )])))
+    }
+
+    #[test]
+    fn source_flow_charges_route_edges() {
+        let t = grid_topology(2, 2);
+        let (sp0, sp1, sp3) = (t.expect_node("SP0"), t.expect_node("SP1"), t.expect_node("SP3"));
+        let mut d = Deployment::new();
+        d.add_flow(StreamFlow {
+            label: "photons".into(),
+            input: FlowInput::Source { stream: "photons".into() },
+            processing_node: sp0,
+            ops: Vec::new(),
+            route: vec![sp0, sp1, sp3],
+            properties: Some(Properties::single(InputProperties::original("photons"))),
+            retired: false,
+        });
+        let mut sources = BTreeMap::new();
+        sources.insert("photons".to_string(), items(100));
+        let out = run(&t, &d, &sources, SimConfig::default());
+        let e01 = t.edge_between(sp0, sp1).unwrap();
+        let e13 = t.edge_between(sp1, sp3).unwrap();
+        assert!(out.metrics.edge_bytes[e01] > 0);
+        assert_eq!(out.metrics.edge_bytes[e01], out.metrics.edge_bytes[e13]);
+        assert_eq!(out.flow_outputs[0].len(), 100);
+        // Forwarding work charged on every node along the route.
+        assert!(out.metrics.node_work[sp0] > 0.0);
+        assert!(out.metrics.node_work[sp1] > 0.0);
+        assert!(out.metrics.node_work[sp3] > 0.0);
+        // The middle node both receives and sends.
+        assert_eq!(out.metrics.node_bytes_in[sp1], out.metrics.node_bytes_out[sp1]);
+    }
+
+    #[test]
+    fn selection_reduces_downstream_traffic() {
+        let t = grid_topology(2, 2);
+        let (sp0, sp1, sp3) = (t.expect_node("SP0"), t.expect_node("SP1"), t.expect_node("SP3"));
+        let mut d = Deployment::new();
+        let src = d.add_flow(StreamFlow {
+            label: "photons".into(),
+            input: FlowInput::Source { stream: "photons".into() },
+            processing_node: sp0,
+            ops: Vec::new(),
+            route: vec![sp0, sp1],
+            properties: Some(Properties::single(InputProperties::original("photons"))),
+            retired: false,
+        });
+        d.add_flow(StreamFlow {
+            label: "filtered".into(),
+            input: FlowInput::Tap { parent: src },
+            processing_node: sp1,
+            ops: vec![selection_ge("1.5")],
+            route: vec![sp1, sp3],
+            properties: None,
+            retired: false,
+        });
+        let mut sources = BTreeMap::new();
+        sources.insert("photons".to_string(), items(100));
+        let out = run(&t, &d, &sources, SimConfig::default());
+        let e01 = t.edge_between(sp0, sp1).unwrap();
+        let e13 = t.edge_between(sp1, sp3).unwrap();
+        assert!(out.metrics.edge_bytes[e13] < out.metrics.edge_bytes[e01]);
+        // en cycles 1.0..1.9, so exactly half the items pass en >= 1.5.
+        assert_eq!(out.flow_outputs[1].len(), 50);
+    }
+
+    #[test]
+    fn tapping_is_free_on_the_parent_route() {
+        let t = grid_topology(2, 2);
+        let (sp0, sp1) = (t.expect_node("SP0"), t.expect_node("SP1"));
+        let mut d = Deployment::new();
+        let src = d.add_flow(StreamFlow {
+            label: "photons".into(),
+            input: FlowInput::Source { stream: "photons".into() },
+            processing_node: sp0,
+            ops: Vec::new(),
+            route: vec![sp0, sp1],
+            properties: Some(Properties::single(InputProperties::original("photons"))),
+            retired: false,
+        });
+        // A consumer at SP1 tapping the stream with a zero-length route
+        // adds no transmission.
+        d.add_flow(StreamFlow {
+            label: "local-consumer".into(),
+            input: FlowInput::Tap { parent: src },
+            processing_node: sp1,
+            ops: vec![selection_ge("1.5")],
+            route: vec![sp1],
+            properties: None,
+            retired: false,
+        });
+        let mut sources = BTreeMap::new();
+        sources.insert("photons".to_string(), items(10));
+        let out = run(&t, &d, &sources, SimConfig::default());
+        let without_tap: u64 = {
+            let mut d2 = Deployment::new();
+            d2.add_flow(StreamFlow {
+                label: "photons".into(),
+                input: FlowInput::Source { stream: "photons".into() },
+                processing_node: sp0,
+                ops: Vec::new(),
+                route: vec![sp0, sp1],
+                properties: Some(Properties::single(InputProperties::original("photons"))),
+                retired: false,
+            });
+            run(&t, &d2, &sources, SimConfig::default()).metrics.total_edge_bytes()
+        };
+        assert_eq!(out.metrics.total_edge_bytes(), without_tap);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source")]
+    fn missing_source_panics() {
+        let t = grid_topology(2, 2);
+        let mut d = Deployment::new();
+        let sp0 = t.expect_node("SP0");
+        d.add_flow(StreamFlow {
+            label: "ghost".into(),
+            input: FlowInput::Source { stream: "nope".into() },
+            processing_node: sp0,
+            ops: Vec::new(),
+            route: vec![sp0],
+            properties: None,
+            retired: false,
+        });
+        run(&t, &d, &BTreeMap::new(), SimConfig::default());
+    }
+
+    #[test]
+    fn pindex_scales_work() {
+        let mut t = grid_topology(2, 2);
+        let sp0 = t.expect_node("SP0");
+        t.peer_mut(sp0).pindex = 4.0;
+        let mut d = Deployment::new();
+        d.add_flow(StreamFlow {
+            label: "photons".into(),
+            input: FlowInput::Source { stream: "photons".into() },
+            processing_node: sp0,
+            ops: vec![selection_ge("0.0")],
+            route: vec![sp0],
+            properties: None,
+            retired: false,
+        });
+        let mut sources = BTreeMap::new();
+        sources.insert("photons".to_string(), items(10));
+        let fast = {
+            let mut t2 = grid_topology(2, 2);
+            t2.peer_mut(sp0).pindex = 1.0;
+            run(&t2, &d, &sources, SimConfig::default()).metrics.node_work[sp0]
+        };
+        let slow = run(&t, &d, &sources, SimConfig::default()).metrics.node_work[sp0];
+        assert!((slow - 4.0 * fast).abs() < 1e-9);
+    }
+}

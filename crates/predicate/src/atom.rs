@@ -1,0 +1,245 @@
+//! Atomic predicates: `$v θ c` and `$v θ $w + c`.
+
+use std::fmt;
+
+use dss_xml::{Decimal, Node, Path};
+
+/// Comparison operator `θ ∈ {=, <, ≤, >, ≥}` (Section 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompOp {
+    Eq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CompOp {
+    /// Evaluates `lhs θ rhs`.
+    pub fn evaluate(self, lhs: Decimal, rhs: Decimal) -> bool {
+        match self {
+            CompOp::Eq => lhs == rhs,
+            CompOp::Lt => lhs < rhs,
+            CompOp::Le => lhs <= rhs,
+            CompOp::Gt => lhs > rhs,
+            CompOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The operator with sides swapped: `a θ b ⇔ b θ.flip() a`.
+    pub fn flip(self) -> CompOp {
+        match self {
+            CompOp::Eq => CompOp::Eq,
+            CompOp::Lt => CompOp::Gt,
+            CompOp::Le => CompOp::Ge,
+            CompOp::Gt => CompOp::Lt,
+            CompOp::Ge => CompOp::Le,
+        }
+    }
+
+    /// Parses the WXQuery operator spelling.
+    pub fn parse(s: &str) -> Option<CompOp> {
+        match s {
+            "=" => Some(CompOp::Eq),
+            "<" => Some(CompOp::Lt),
+            "<=" => Some(CompOp::Le),
+            ">" => Some(CompOp::Gt),
+            ">=" => Some(CompOp::Ge),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CompOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompOp::Eq => "=",
+            CompOp::Lt => "<",
+            CompOp::Le => "<=",
+            CompOp::Gt => ">",
+            CompOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Right-hand side of an atomic predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A constant `c`.
+    Const(Decimal),
+    /// A variable plus constant offset, `$w + c`.
+    VarPlus(Path, Decimal),
+}
+
+/// An atomic predicate `$v θ term`, where `$v` is an absolute element path
+/// within a stream item.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    pub var: Path,
+    pub op: CompOp,
+    pub rhs: Term,
+}
+
+impl Atom {
+    /// `$v θ c`.
+    pub fn var_const(var: Path, op: CompOp, c: Decimal) -> Atom {
+        Atom { var, op, rhs: Term::Const(c) }
+    }
+
+    /// `$v θ $w + c`.
+    pub fn var_var(var: Path, op: CompOp, w: Path, c: Decimal) -> Atom {
+        Atom { var, op, rhs: Term::VarPlus(w, c) }
+    }
+
+    /// Variables referenced by the atom.
+    pub fn variables(&self) -> Vec<&Path> {
+        match &self.rhs {
+            Term::Const(_) => vec![&self.var],
+            Term::VarPlus(w, _) => vec![&self.var, w],
+        }
+    }
+
+    /// Evaluates the atom against a stream item. A missing or non-numeric
+    /// referenced element makes the atom false (the item cannot be proven to
+    /// satisfy the predicate).
+    pub fn evaluate(&self, item: &Node) -> bool {
+        let Ok(v) = self.var.decimal_value(item) else {
+            return false;
+        };
+        match &self.rhs {
+            Term::Const(c) => self.op.evaluate(v, *c),
+            Term::VarPlus(w, c) => {
+                let Ok(wv) = w.decimal_value(item) else {
+                    return false;
+                };
+                match wv.checked_add(*c) {
+                    Some(rhs) => self.op.evaluate(v, rhs),
+                    None => false,
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.rhs {
+            Term::Const(c) => write!(f, "${} {} {}", self.var, self.op, c),
+            Term::VarPlus(w, c) => {
+                if *c == Decimal::ZERO {
+                    write!(f, "${} {} ${}", self.var, self.op, w)
+                } else {
+                    write!(f, "${} {} ${} + {}", self.var, self.op, w, c)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    fn d(s: &str) -> Decimal {
+        s.parse().unwrap()
+    }
+
+    fn photon(ra: &str, en: &str) -> Node {
+        Node::elem(
+            "photon",
+            vec![
+                Node::elem(
+                    "coord",
+                    vec![Node::elem("cel", vec![Node::leaf("ra", ra)])],
+                ),
+                Node::leaf("en", en),
+            ],
+        )
+    }
+
+    #[test]
+    fn comp_op_evaluate() {
+        assert!(CompOp::Ge.evaluate(d("1.3"), d("1.3")));
+        assert!(!CompOp::Gt.evaluate(d("1.3"), d("1.3")));
+        assert!(CompOp::Eq.evaluate(d("2.50"), d("2.5")));
+        assert!(CompOp::Lt.evaluate(d("-49"), d("-40")));
+        assert!(CompOp::Le.evaluate(d("-49"), d("-49.0")));
+    }
+
+    #[test]
+    fn comp_op_flip_is_involutive_on_inequalities() {
+        for op in [CompOp::Eq, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge] {
+            assert_eq!(op.flip().flip(), op);
+        }
+        // a < b ⇔ b > a
+        assert!(CompOp::Lt.evaluate(d("1"), d("2")));
+        assert!(CompOp::Lt.flip().evaluate(d("2"), d("1")));
+    }
+
+    #[test]
+    fn comp_op_parse() {
+        assert_eq!(CompOp::parse(">="), Some(CompOp::Ge));
+        assert_eq!(CompOp::parse("="), Some(CompOp::Eq));
+        assert_eq!(CompOp::parse("=="), None);
+        assert_eq!(CompOp::parse("!="), None);
+    }
+
+    #[test]
+    fn atom_evaluate_var_const() {
+        let a = Atom::var_const(p("coord/cel/ra"), CompOp::Ge, d("120.0"));
+        assert!(a.evaluate(&photon("130.7", "1.4")));
+        assert!(!a.evaluate(&photon("119.9", "1.4")));
+        assert!(a.evaluate(&photon("120.0", "1.4")));
+    }
+
+    #[test]
+    fn atom_evaluate_var_var() {
+        // en >= ra + (-129): satisfied when en - ra >= -129
+        let a = Atom::var_var(p("en"), CompOp::Ge, p("coord/cel/ra"), d("-129.5"));
+        assert!(a.evaluate(&photon("130.7", "1.4"))); // 1.4 >= 130.7-129.5=1.2
+        assert!(!a.evaluate(&photon("131.0", "1.4"))); // 1.4 >= 1.5 is false
+    }
+
+    #[test]
+    fn missing_element_fails_closed() {
+        let a = Atom::var_const(p("missing"), CompOp::Ge, d("0"));
+        assert!(!a.evaluate(&photon("130.7", "1.4")));
+        let b = Atom::var_var(p("en"), CompOp::Ge, p("nope"), d("0"));
+        assert!(!b.evaluate(&photon("130.7", "1.4")));
+    }
+
+    #[test]
+    fn non_numeric_fails_closed() {
+        let a = Atom::var_const(p("en"), CompOp::Ge, d("0"));
+        assert!(!a.evaluate(&photon("130.7", "bright")));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Atom::var_const(p("coord/cel/ra"), CompOp::Ge, d("120.0")).to_string(),
+            "$coord/cel/ra >= 120"
+        );
+        assert_eq!(
+            Atom::var_var(p("a"), CompOp::Le, p("b"), d("3")).to_string(),
+            "$a <= $b + 3"
+        );
+        assert_eq!(
+            Atom::var_var(p("a"), CompOp::Eq, p("b"), Decimal::ZERO).to_string(),
+            "$a = $b"
+        );
+    }
+
+    #[test]
+    fn variables() {
+        let a = Atom::var_var(p("a"), CompOp::Le, p("b"), d("3"));
+        assert_eq!(a.variables(), vec![&p("a"), &p("b")]);
+        let b = Atom::var_const(p("a"), CompOp::Le, d("3"));
+        assert_eq!(b.variables(), vec![&p("a")]);
+    }
+}

@@ -1,0 +1,596 @@
+//! `MatchProperties` (Algorithm 2) and `MatchAggregations` (Section 3.3).
+
+use dss_predicate::match_predicates;
+
+use crate::operator::{AggOp, AggregationSpec, Operator, WindowOutputSpec};
+use crate::properties::InputProperties;
+
+/// Matching for window-contents operators: can the windowed item sequences
+/// described by `reused` be used to produce those described by `new`?
+///
+/// Window contents compose exactly like distributive aggregates — a coarse
+/// window's contents are the concatenation of its non-overlapping tiles —
+/// so the same three modulo conditions apply, plus (as with aggregates) the
+/// pre-windowing selections must be semantically identical: an item missing
+/// from a reused window cannot be recovered downstream.
+pub fn match_window_output(reused: &WindowOutputSpec, new: &WindowOutputSpec) -> bool {
+    let same_selection = match_predicates(&reused.pre_selection, &new.pre_selection)
+        && match_predicates(&new.pre_selection, &reused.pre_selection);
+    same_selection && new.window.shareable_from(&reused.window)
+}
+
+/// `MatchAggregations`: can the results of the aggregation described by
+/// `reused` be used to compute the aggregation described by `new`?
+///
+/// Conditions (Section 3.3, "Window-based Aggregation"):
+///
+/// 1. Compatible aggregation operators. Normally they must be equal; but
+///    because `avg` aggregates are internally transported as their
+///    `(sum, count)` pair, a reused `avg` also serves new `sum` and `count`
+///    subscriptions.
+/// 2. Same aggregated element (same input data is checked by the caller at
+///    the stream level).
+/// 3. Selections applied *before* aggregation must be the same in both —
+///    implication is not enough once values are folded into aggregates.
+/// 4. If the reused aggregation result was filtered, the new subscription
+///    must apply the same or a more restrictive filter (otherwise required
+///    partials may have been dropped).
+/// 5. Window compatibility: `Δ' mod Δ = 0`, `Δ mod µ = 0`, `µ' mod µ = 0`,
+///    with equal ordered reference elements for `diff` windows.
+pub fn match_aggregations(reused: &AggregationSpec, new: &AggregationSpec) -> bool {
+    let ops_compatible = reused.op == new.op
+        || (reused.op == AggOp::Avg && matches!(new.op, AggOp::Sum | AggOp::Count));
+    if !ops_compatible {
+        return false;
+    }
+    if reused.element != new.element {
+        return false;
+    }
+    // Pre-aggregation selections must be semantically identical.
+    let same_selection = match_predicates(&reused.pre_selection, &new.pre_selection)
+        && match_predicates(&new.pre_selection, &reused.pre_selection);
+    if !same_selection {
+        return false;
+    }
+    if !reused.result_filter.is_trivial() {
+        // A filtered aggregate stream is missing the windows its filter
+        // dropped. Those windows are unrecoverable, so reuse is only sound
+        // when (a) no window composition is needed — the windows are
+        // identical — and (b) the new subscription filters at least as
+        // restrictively. ("Reusing such aggregate values for computing
+        // more coarse-grained window aggregates is not possible in
+        // general", Section 3.3 — here enforced.)
+        if new.window != reused.window {
+            return false;
+        }
+        // Filters on different aggregate operators compare different
+        // quantities (an avg threshold says nothing about a sum), so the
+        // restrictiveness check is only meaningful for equal operators.
+        if reused.op != new.op {
+            return false;
+        }
+        if !new.result_filter.at_least_as_restrictive_as(&reused.result_filter) {
+            return false;
+        }
+        return true;
+    }
+    new.window.shareable_from(&reused.window)
+}
+
+/// `MatchProperties` (Algorithm 2) for one input stream: `true` iff the
+/// data stream described by `stream_props` can be shared to answer the
+/// subscription input described by `new_props`.
+///
+/// For every operator applied to the candidate stream there must be a
+/// corresponding operator in the new subscription with compatible
+/// conditions — otherwise the stream is missing data the subscription
+/// needs:
+///
+/// * selection: the new predicates must imply the stream's
+///   (`MatchPredicates`),
+/// * projection: the stream's output elements must cover everything the
+///   subscription references (`R ⊇ R'`),
+/// * aggregation: `MatchAggregations`,
+/// * unknown (user-defined) operators: assumed deterministic, shareable
+///   only with an identical input vector.
+pub fn match_input_properties(stream_props: &InputProperties, new_props: &InputProperties) -> bool {
+    // Lines 1–4: the original input streams must be identical.
+    if !stream_props.same_origin(new_props) {
+        return false;
+    }
+    // Lines 6–36: every operator of the stream needs a compatible partner.
+    for o in stream_props.operators() {
+        let mut matched = false;
+        for o_new in new_props.operators() {
+            if o.kind() != o_new.kind() {
+                continue;
+            }
+            let ok = match (o, o_new) {
+                (Operator::Selection(g), Operator::Selection(g_new)) => {
+                    match_predicates(g, g_new)
+                }
+                (Operator::Projection(r), Operator::Projection(r_new)) => r.covers(r_new),
+                (Operator::Aggregation(c), Operator::Aggregation(c_new)) => {
+                    match_aggregations(c, c_new)
+                }
+                (Operator::WindowOutput(w), Operator::WindowOutput(w_new)) => {
+                    match_window_output(w, w_new)
+                }
+                (
+                    Operator::Udf { params, .. },
+                    Operator::Udf { params: new_params, .. },
+                ) => params == new_params,
+                _ => unreachable!("kind equality guarantees identical variants"),
+            };
+            if ok {
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return false;
+        }
+    }
+    true
+}
+
+/// Stream *widening* (the paper's ongoing work): computes properties of a
+/// stream that contains everything **both** inputs need, obtained by
+/// loosening the existing stream's operators — the selection becomes the
+/// predicate hull, the projection the union of output sets. Consumers of
+/// either original stream re-apply their own narrower operators downstream.
+///
+/// Only selection/projection chains are widenable: folding values into
+/// aggregates or windows loses the items needed to widen. Returns `None`
+/// when widening is not possible, and also when one side already matches
+/// the other (no widening needed — plain sharing applies).
+pub fn widen_input(a: &InputProperties, b: &InputProperties) -> Option<InputProperties> {
+    if !a.same_origin(b) {
+        return None;
+    }
+    if match_input_properties(a, b) {
+        return None; // plain sharing already applies
+    }
+    let simple = |p: &InputProperties| {
+        p.operators().iter().all(|o| {
+            matches!(o, Operator::Selection(_) | Operator::Projection(_))
+        })
+    };
+    if !simple(a) || !simple(b) {
+        return None;
+    }
+    // Widened selection: the hull, dropped entirely when either side is
+    // unfiltered.
+    let mut ops = Vec::new();
+    if let (Some(ga), Some(gb)) = (a.selection(), b.selection()) {
+        let hull = ga.hull(gb);
+        if !hull.is_trivial() {
+            ops.push(Operator::Selection(hull));
+        }
+    }
+    // Widened projection: the widened stream must *carry* everything either
+    // side references — downstream restore-selections read predicate
+    // elements that may not be in anyone's output set — so the widened
+    // output is the union of the referenced sets (each consumer re-projects
+    // to its own narrower output downstream).
+    if let (Some(pa), Some(pb)) = (a.projection(), b.projection()) {
+        let referenced: std::collections::BTreeSet<_> =
+            pa.referenced.union(&pb.referenced).cloned().collect();
+        ops.push(Operator::Projection(crate::operator::ProjectionSpec {
+            output: referenced.clone(),
+            referenced,
+        }));
+    }
+    let widened = InputProperties::new(a.stream(), ops).ok()?;
+    // Sanity: the widened stream must serve both sides.
+    debug_assert!(match_input_properties(&widened, a));
+    debug_assert!(match_input_properties(&widened, b));
+    Some(widened)
+}
+
+/// Pairs an operator kind with itself across two chains — helper used by
+/// the planner to determine which *additional* operators must be installed
+/// on top of a reused stream (everything in `new_props` not already covered
+/// by `stream_props` semantics is re-applied; re-applying an operator the
+/// stream already satisfies is harmless for selections/projections).
+pub fn residual_operators(
+    stream_props: &InputProperties,
+    new_props: &InputProperties,
+) -> Vec<Operator> {
+    // If the stream is the unmodified original, everything must be applied.
+    if stream_props.is_original() {
+        return new_props.operators().to_vec();
+    }
+    new_props
+        .operators()
+        .iter()
+        .filter(|o_new| {
+            // Drop operators that are *exactly* satisfied by the stream
+            // already; keep the rest for installation.
+            !stream_props.operators().iter().any(|o| match (o, *o_new) {
+                (Operator::Selection(g), Operator::Selection(g_new)) => {
+                    // The stream's filter equals the new one semantically.
+                    match_predicates(g, g_new) && match_predicates(g_new, g)
+                }
+                (Operator::Projection(r), Operator::Projection(r_new)) => {
+                    r.covers(r_new) && r_new.covers(r)
+                }
+                (Operator::Aggregation(c), Operator::Aggregation(c_new)) => {
+                    // Identical aggregation (same op, window, filter):
+                    // nothing to re-apply. A compatible-but-coarser window
+                    // still needs a re-aggregation operator.
+                    c == c_new
+                }
+                (Operator::WindowOutput(w), Operator::WindowOutput(w_new)) => {
+                    // Identical windowing: nothing to re-apply; a coarser
+                    // compatible window still needs a re-windowing operator.
+                    w == w_new
+                }
+                (Operator::Udf { name, params }, Operator::Udf { name: n2, params: p2 }) => {
+                    name == n2 && params == p2
+                }
+                _ => false,
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{ProjectionSpec, ResultFilter};
+    use crate::window::WindowSpec;
+    use dss_predicate::{Atom, CompOp, PredicateGraph};
+    use dss_xml::{Decimal, Path};
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    fn d(s: &str) -> Decimal {
+        s.parse().unwrap()
+    }
+
+    fn q1_selection() -> PredicateGraph {
+        PredicateGraph::from_atoms(&[
+            Atom::var_const(p("coord/cel/ra"), CompOp::Ge, d("120.0")),
+            Atom::var_const(p("coord/cel/ra"), CompOp::Le, d("138.0")),
+            Atom::var_const(p("coord/cel/dec"), CompOp::Ge, d("-49.0")),
+            Atom::var_const(p("coord/cel/dec"), CompOp::Le, d("-40.0")),
+        ])
+    }
+
+    fn q2_selection() -> PredicateGraph {
+        PredicateGraph::from_atoms(&[
+            Atom::var_const(p("en"), CompOp::Ge, d("1.3")),
+            Atom::var_const(p("coord/cel/ra"), CompOp::Ge, d("130.5")),
+            Atom::var_const(p("coord/cel/ra"), CompOp::Le, d("135.5")),
+            Atom::var_const(p("coord/cel/dec"), CompOp::Ge, d("-48.0")),
+            Atom::var_const(p("coord/cel/dec"), CompOp::Le, d("-45.0")),
+        ])
+    }
+
+    fn q1_props() -> InputProperties {
+        InputProperties::new(
+            "photons",
+            vec![
+                Operator::Selection(q1_selection()),
+                Operator::Projection(ProjectionSpec::returning([
+                    p("coord/cel/ra"),
+                    p("coord/cel/dec"),
+                    p("phc"),
+                    p("en"),
+                    p("det_time"),
+                ])),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn q2_props() -> InputProperties {
+        InputProperties::new(
+            "photons",
+            vec![
+                Operator::Selection(q2_selection()),
+                Operator::Projection(ProjectionSpec::returning([
+                    p("coord/cel/ra"),
+                    p("coord/cel/dec"),
+                    p("en"),
+                    p("det_time"),
+                ])),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// The motivating example: Query 2's result is completely contained in
+    /// Query 1's answer, so Q1's stream is shareable for Q2 — not vice
+    /// versa.
+    #[test]
+    fn q2_can_reuse_q1_stream() {
+        assert!(match_input_properties(&q1_props(), &q2_props()));
+        assert!(!match_input_properties(&q2_props(), &q1_props()));
+    }
+
+    #[test]
+    fn different_origin_streams_never_match() {
+        let other = InputProperties::original("spectra");
+        assert!(!match_input_properties(&other, &q2_props()));
+    }
+
+    #[test]
+    fn original_stream_matches_everything_with_same_origin() {
+        let original = InputProperties::original("photons");
+        assert!(match_input_properties(&original, &q1_props()));
+        assert!(match_input_properties(&original, &q2_props()));
+        assert!(match_input_properties(&original, &InputProperties::original("photons")));
+    }
+
+    #[test]
+    fn filtered_stream_cannot_serve_unfiltered_subscription() {
+        let original = InputProperties::original("photons");
+        assert!(!match_input_properties(&q1_props(), &original));
+    }
+
+    #[test]
+    fn udf_matching_requires_identical_params() {
+        let stream = InputProperties::new(
+            "photons",
+            vec![Operator::Udf { name: "deskew".into(), params: vec!["7".into()] }],
+        )
+        .unwrap();
+        let same = stream.clone();
+        assert!(match_input_properties(&stream, &same));
+        let diff_params = InputProperties::new(
+            "photons",
+            vec![Operator::Udf { name: "deskew".into(), params: vec!["8".into()] }],
+        )
+        .unwrap();
+        assert!(!match_input_properties(&stream, &diff_params));
+        let diff_name = InputProperties::new(
+            "photons",
+            vec![Operator::Udf { name: "other".into(), params: vec!["7".into()] }],
+        )
+        .unwrap();
+        assert!(!match_input_properties(&stream, &diff_name));
+    }
+
+    fn agg(window: WindowSpec, filter: ResultFilter) -> AggregationSpec {
+        AggregationSpec {
+            op: AggOp::Avg,
+            element: p("en"),
+            window,
+            pre_selection: q1_selection(),
+            result_filter: filter,
+        }
+    }
+
+    fn q3_agg() -> AggregationSpec {
+        agg(
+            WindowSpec::diff(p("det_time"), d("20"), Some(d("10"))).unwrap(),
+            ResultFilter::none(),
+        )
+    }
+
+    fn q4_agg() -> AggregationSpec {
+        agg(
+            WindowSpec::diff(p("det_time"), d("60"), Some(d("40"))).unwrap(),
+            ResultFilter::single(CompOp::Ge, d("1.3")),
+        )
+    }
+
+    /// Figure 5: Query 4's windows are assembled from Query 3's.
+    #[test]
+    fn q4_reuses_q3_aggregates() {
+        assert!(match_aggregations(&q3_agg(), &q4_agg()));
+        assert!(!match_aggregations(&q4_agg(), &q3_agg()));
+    }
+
+    #[test]
+    fn filtered_aggregate_only_serves_more_restrictive() {
+        // Q4's output is filtered with $a >= 1.3. A new subscription with
+        // the same windows and no filter cannot reuse it…
+        let unfiltered = agg(q4_agg().window.clone(), ResultFilter::none());
+        assert!(!match_aggregations(&q4_agg(), &unfiltered));
+        // …but one with an equal or tighter filter can.
+        let tighter = agg(q4_agg().window.clone(), ResultFilter::single(CompOp::Ge, d("1.5")));
+        assert!(match_aggregations(&q4_agg(), &tighter));
+        assert!(match_aggregations(&q4_agg(), &q4_agg()));
+    }
+
+    #[test]
+    fn filtered_aggregate_never_serves_coarser_windows() {
+        // Q4's filter drops windows; composing coarser windows from the
+        // surviving partials would be wrong, however restrictive the new
+        // filter is.
+        let coarser = agg(
+            WindowSpec::diff(p("det_time"), d("120"), Some(d("40"))).unwrap(),
+            ResultFilter::single(CompOp::Ge, d("2.0")),
+        );
+        assert!(!match_aggregations(&q4_agg(), &coarser));
+    }
+
+    #[test]
+    fn filtered_avg_never_serves_sum_or_count() {
+        // An avg filter thresholds a different quantity than a sum filter;
+        // cross-operator reuse of a filtered stream is unsound.
+        let mut sum_new = agg(q4_agg().window.clone(), ResultFilter::single(CompOp::Ge, d("99")));
+        sum_new.op = AggOp::Sum;
+        assert!(!match_aggregations(&q4_agg(), &sum_new));
+    }
+
+    #[test]
+    fn aggregation_requires_same_pre_selection() {
+        let mut other = q4_agg();
+        other.pre_selection = q2_selection();
+        assert!(!match_aggregations(&q3_agg(), &other));
+    }
+
+    #[test]
+    fn aggregation_requires_same_element() {
+        let mut other = q4_agg();
+        other.element = p("phc");
+        assert!(!match_aggregations(&q3_agg(), &other));
+    }
+
+    #[test]
+    fn avg_serves_sum_and_count() {
+        let mut sum = q4_agg();
+        sum.op = AggOp::Sum;
+        sum.result_filter = ResultFilter::none();
+        let mut reused = q3_agg();
+        reused.op = AggOp::Avg;
+        assert!(match_aggregations(&reused, &sum));
+        let mut count = sum.clone();
+        count.op = AggOp::Count;
+        assert!(match_aggregations(&reused, &count));
+        // sum does not serve avg (count partial missing).
+        let mut avg_new = sum.clone();
+        avg_new.op = AggOp::Avg;
+        let mut sum_reused = reused.clone();
+        sum_reused.op = AggOp::Sum;
+        assert!(!match_aggregations(&sum_reused, &avg_new));
+        // min never serves max.
+        let mut min_reused = reused.clone();
+        min_reused.op = AggOp::Min;
+        let mut max_new = avg_new.clone();
+        max_new.op = AggOp::Max;
+        assert!(!match_aggregations(&min_reused, &max_new));
+    }
+
+    #[test]
+    fn aggregate_streams_match_via_properties() {
+        let stream = InputProperties::new("photons", vec![Operator::Aggregation(q3_agg())]).unwrap();
+        let newq = InputProperties::new("photons", vec![Operator::Aggregation(q4_agg())]).unwrap();
+        assert!(match_input_properties(&stream, &newq));
+        assert!(!match_input_properties(&newq, &stream));
+    }
+
+    fn window_output(size: &str, step: Option<&str>, sel: PredicateGraph) -> crate::operator::WindowOutputSpec {
+        crate::operator::WindowOutputSpec {
+            window: WindowSpec::diff(p("det_time"), d(size), step.map(d)).unwrap(),
+            pre_selection: sel,
+        }
+    }
+
+    #[test]
+    fn window_output_matching_mirrors_aggregates() {
+        use crate::matching::match_window_output;
+        let fine = window_output("20", Some("10"), q1_selection());
+        let coarse = window_output("60", Some("40"), q1_selection());
+        assert!(match_window_output(&fine, &coarse));
+        assert!(!match_window_output(&coarse, &fine));
+        // Different pre-selection (even a tighter one) blocks sharing.
+        let other_sel = window_output("20", Some("10"), q2_selection());
+        assert!(!match_window_output(&other_sel, &coarse));
+        // Identical specs always match.
+        assert!(match_window_output(&fine, &fine));
+    }
+
+    #[test]
+    fn window_output_streams_match_via_properties() {
+        let fine = InputProperties::new(
+            "photons",
+            vec![Operator::WindowOutput(window_output("20", Some("10"), PredicateGraph::new()))],
+        )
+        .unwrap();
+        let coarse = InputProperties::new(
+            "photons",
+            vec![Operator::WindowOutput(window_output("60", Some("40"), PredicateGraph::new()))],
+        )
+        .unwrap();
+        assert!(match_input_properties(&fine, &coarse));
+        assert!(!match_input_properties(&coarse, &fine));
+        // Residual: identical windowing needs nothing, coarser needs one op.
+        assert!(residual_operators(&fine, &fine).is_empty());
+        assert_eq!(residual_operators(&fine, &coarse).len(), 1);
+    }
+
+    #[test]
+    fn widening_q2_stream_for_q1_yields_q1_stream() {
+        // Q2's stream cannot serve Q1 (narrower region + energy cut), but
+        // widening it produces exactly Q1's stream: the region hull is
+        // Vela, the energy cut is unbounded in Q1, and Q2's outputs are a
+        // subset of Q1's.
+        let widened = widen_input(&q2_props(), &q1_props()).expect("widenable");
+        assert!(match_input_properties(&widened, &q1_props()));
+        assert!(match_input_properties(&widened, &q2_props()));
+        assert_eq!(widened.selection(), q1_props().selection());
+        assert_eq!(
+            widened.projection().unwrap().output,
+            q1_props().projection().unwrap().output
+        );
+    }
+
+    #[test]
+    fn widening_not_needed_when_sharing_applies() {
+        // Q1's stream already serves Q2 — no widening necessary.
+        assert!(widen_input(&q1_props(), &q2_props()).is_none());
+    }
+
+    #[test]
+    fn widening_rejects_aggregates_and_foreign_streams() {
+        let agg_stream =
+            InputProperties::new("photons", vec![Operator::Aggregation(q3_agg())]).unwrap();
+        assert!(widen_input(&agg_stream, &q1_props()).is_none());
+        assert!(widen_input(&q1_props(), &agg_stream).is_none());
+        let other = InputProperties::original("spectra");
+        assert!(widen_input(&other, &q1_props()).is_none());
+    }
+
+    #[test]
+    fn widening_disjoint_regions_takes_bounding_box() {
+        let region = |ra_lo: &str, ra_hi: &str| {
+            InputProperties::new(
+                "photons",
+                vec![
+                    Operator::Selection(PredicateGraph::from_atoms(&[
+                        Atom::var_const(p("coord/cel/ra"), CompOp::Ge, d(ra_lo)),
+                        Atom::var_const(p("coord/cel/ra"), CompOp::Le, d(ra_hi)),
+                    ])),
+                    Operator::Projection(ProjectionSpec::returning([p("en")])),
+                ],
+            )
+            .unwrap()
+        };
+        let a = region("100", "110");
+        let b = region("150", "160");
+        let w = widen_input(&a, &b).expect("widenable");
+        assert!(match_input_properties(&w, &a));
+        assert!(match_input_properties(&w, &b));
+        let sel = w.selection().unwrap();
+        assert!(sel.implies_atom(&Atom::var_const(p("coord/cel/ra"), CompOp::Ge, d("100"))));
+        assert!(sel.implies_atom(&Atom::var_const(p("coord/cel/ra"), CompOp::Le, d("160"))));
+    }
+
+    #[test]
+    fn residual_ops_from_original_is_full_chain() {
+        let original = InputProperties::original("photons");
+        let res = residual_operators(&original, &q2_props());
+        assert_eq!(res.len(), q2_props().operators().len());
+    }
+
+    #[test]
+    fn residual_ops_from_equal_stream_is_empty() {
+        let res = residual_operators(&q1_props(), &q1_props());
+        assert!(res.is_empty(), "identical stream needs no extra operators, got {res:?}");
+    }
+
+    #[test]
+    fn residual_ops_from_wider_stream_keeps_narrowing_ops() {
+        let res = residual_operators(&q1_props(), &q2_props());
+        // Q2 still needs its (tighter) selection and its projection applied
+        // on top of Q1's stream.
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn residual_ops_identical_aggregation_dropped() {
+        let stream = InputProperties::new("photons", vec![Operator::Aggregation(q3_agg())]).unwrap();
+        assert!(residual_operators(&stream, &stream).is_empty());
+        let newq = InputProperties::new("photons", vec![Operator::Aggregation(q4_agg())]).unwrap();
+        // Q4 over Q3's stream needs a re-aggregation operator.
+        assert_eq!(residual_operators(&stream, &newq).len(), 1);
+    }
+}

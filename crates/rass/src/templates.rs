@@ -1,0 +1,233 @@
+//! WXQuery template generator for the evaluation workloads.
+//!
+//! Section 4: "The queries were generated using query templates for
+//! selection, projection, and aggregation queries. Constant values, e.g.,
+//! in selection predicates or data window definitions, were chosen
+//! uniformly from a predefined set of values to enable a certain degree of
+//! shareability."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Template kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplateKind {
+    /// Region (+ optional energy-cut) selection returning most elements.
+    Selection,
+    /// Projection to a subset of elements, no predicate.
+    Projection,
+    /// Window-based aggregation over a region.
+    Aggregation,
+}
+
+/// Predefined value sets (the "predefined set of values" of Section 4).
+/// Narrow sets create many shareable queries; wide sets fewer.
+#[derive(Debug, Clone)]
+pub struct ValueSets {
+    /// Candidate (ra_min, ra_max) ranges.
+    pub ra_ranges: Vec<(f64, f64)>,
+    /// Candidate (dec_min, dec_max) ranges.
+    pub dec_ranges: Vec<(f64, f64)>,
+    /// Candidate minimum-energy cuts (None entries mean "no cut").
+    pub en_cuts: Vec<Option<f64>>,
+    /// Candidate (window size, step) pairs for `det_time diff` windows.
+    /// All pairs satisfy `Δ mod µ = 0`, so produced aggregates are
+    /// composable.
+    pub windows: Vec<(u32, u32)>,
+    /// Candidate aggregation operators.
+    pub agg_ops: Vec<&'static str>,
+    /// Candidate projection element subsets (paths below `photon`).
+    pub projections: Vec<Vec<&'static str>>,
+}
+
+impl Default for ValueSets {
+    fn default() -> ValueSets {
+        ValueSets {
+            ra_ranges: vec![
+                (120.0, 138.0), // Vela
+                (130.5, 135.5), // RX J0852.0-4622
+                (100.0, 140.0),
+                (110.0, 130.0),
+                (125.0, 145.0),
+            ],
+            dec_ranges: vec![
+                (-49.0, -40.0), // Vela
+                (-48.0, -45.0), // RX J0852.0-4622
+                (-55.0, -35.0),
+                (-50.0, -42.0),
+            ],
+            en_cuts: vec![None, Some(0.5), Some(1.0), Some(1.3), Some(1.5)],
+            windows: vec![(20, 10), (40, 20), (60, 20), (80, 40), (120, 40)],
+            agg_ops: vec!["avg", "sum", "count", "min", "max"],
+            projections: vec![
+                vec!["coord/cel/ra", "coord/cel/dec", "phc", "en", "det_time"],
+                vec!["coord/cel/ra", "coord/cel/dec", "en", "det_time"],
+                vec!["coord/cel/ra", "coord/cel/dec", "en"],
+                vec!["en", "det_time"],
+                vec!["coord", "en", "det_time"],
+            ],
+        }
+    }
+}
+
+/// Generates WXQuery subscription texts from the templates.
+#[derive(Debug)]
+pub struct QueryTemplateGenerator {
+    sets: ValueSets,
+    rng: StdRng,
+    /// Stream the generated queries reference.
+    stream: String,
+    counter: usize,
+}
+
+impl QueryTemplateGenerator {
+    /// Generator over the default value sets for a given stream name.
+    pub fn new(seed: u64, stream: impl Into<String>) -> QueryTemplateGenerator {
+        QueryTemplateGenerator::with_sets(seed, stream, ValueSets::default())
+    }
+
+    /// Generator with custom value sets.
+    pub fn with_sets(
+        seed: u64,
+        stream: impl Into<String>,
+        sets: ValueSets,
+    ) -> QueryTemplateGenerator {
+        QueryTemplateGenerator {
+            sets,
+            rng: StdRng::seed_from_u64(seed),
+            stream: stream.into(),
+            counter: 0,
+        }
+    }
+
+    fn pick<'a, T>(rng: &mut StdRng, v: &'a [T]) -> &'a T {
+        &v[rng.gen_range(0..v.len())]
+    }
+
+    /// Generates one query of a uniformly chosen kind.
+    pub fn next_query(&mut self) -> String {
+        let kind = match self.rng.gen_range(0..3) {
+            0 => TemplateKind::Selection,
+            1 => TemplateKind::Projection,
+            _ => TemplateKind::Aggregation,
+        };
+        self.next_query_of(kind)
+    }
+
+    /// Generates one query of the given kind.
+    pub fn next_query_of(&mut self, kind: TemplateKind) -> String {
+        self.counter += 1;
+        match kind {
+            TemplateKind::Selection => self.selection_query(),
+            TemplateKind::Projection => self.projection_query(),
+            TemplateKind::Aggregation => self.aggregation_query(),
+        }
+    }
+
+    fn region_predicate(&mut self) -> String {
+        let (ra_min, ra_max) = *Self::pick(&mut self.rng, &self.sets.ra_ranges);
+        let (dec_min, dec_max) = *Self::pick(&mut self.rng, &self.sets.dec_ranges);
+        format!(
+            "$p/coord/cel/ra >= {ra_min:.1} and $p/coord/cel/ra <= {ra_max:.1} \
+             and $p/coord/cel/dec >= {dec_min:.1} and $p/coord/cel/dec <= {dec_max:.1}"
+        )
+    }
+
+    fn selection_query(&mut self) -> String {
+        let mut predicate = self.region_predicate();
+        if let Some(cut) = *Self::pick(&mut self.rng, &self.sets.en_cuts) {
+            predicate.push_str(&format!(" and $p/en >= {cut:.1}"));
+        }
+        let stream = &self.stream;
+        format!(
+            "<{stream}>\n{{ for $p in stream(\"{stream}\")/{stream}/photon\n  \
+             where {predicate}\n  \
+             return <hit> {{ $p/coord/cel/ra }} {{ $p/coord/cel/dec }} \
+             {{ $p/phc }} {{ $p/en }} {{ $p/det_time }} </hit> }}\n</{stream}>"
+        )
+    }
+
+    fn projection_query(&mut self) -> String {
+        let paths = Self::pick(&mut self.rng, &self.sets.projections).clone();
+        let body: String =
+            paths.iter().map(|p| format!("{{ $p/{p} }} ")).collect();
+        let stream = &self.stream;
+        format!(
+            "<{stream}>\n{{ for $p in stream(\"{stream}\")/{stream}/photon\n  \
+             return <slim> {body}</slim> }}\n</{stream}>"
+        )
+    }
+
+    fn aggregation_query(&mut self) -> String {
+        let (ra_min, ra_max) = *Self::pick(&mut self.rng, &self.sets.ra_ranges);
+        let (dec_min, dec_max) = *Self::pick(&mut self.rng, &self.sets.dec_ranges);
+        let (size, step) = *Self::pick(&mut self.rng, &self.sets.windows);
+        let op = *Self::pick(&mut self.rng, &self.sets.agg_ops);
+        let stream = &self.stream;
+        format!(
+            "<{stream}>\n{{ for $w in stream(\"{stream}\")/{stream}/photon\n  \
+             [coord/cel/ra >= {ra_min:.1} and coord/cel/ra <= {ra_max:.1} \
+             and coord/cel/dec >= {dec_min:.1} and coord/cel/dec <= {dec_max:.1}]\n  \
+             |det_time diff {size} step {step}|\n  \
+             let $a := {op}($w/en)\n  \
+             return <{op}_en> {{ $a }} </{op}_en> }}\n</{stream}>"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_wxquery::compile_query;
+
+    #[test]
+    fn generated_queries_compile() {
+        let mut g = QueryTemplateGenerator::new(11, "photons");
+        for i in 0..100 {
+            let q = g.next_query();
+            compile_query(&q).unwrap_or_else(|e| panic!("query {i} invalid: {e}\n{q}"));
+        }
+    }
+
+    #[test]
+    fn each_kind_produces_its_operator() {
+        let mut g = QueryTemplateGenerator::new(5, "photons");
+        let sel = compile_query(&g.next_query_of(TemplateKind::Selection)).unwrap();
+        assert!(sel.properties.inputs()[0].selection().is_some());
+        assert!(sel.aggregation.is_none());
+
+        let proj = compile_query(&g.next_query_of(TemplateKind::Projection)).unwrap();
+        assert!(proj.properties.inputs()[0].selection().is_none());
+        assert!(proj.properties.inputs()[0].projection().is_some());
+
+        let agg = compile_query(&g.next_query_of(TemplateKind::Aggregation)).unwrap();
+        assert!(agg.aggregation.is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = QueryTemplateGenerator::new(3, "photons");
+        let mut b = QueryTemplateGenerator::new(3, "photons");
+        for _ in 0..20 {
+            assert_eq!(a.next_query(), b.next_query());
+        }
+    }
+
+    #[test]
+    fn constants_come_from_the_value_sets() {
+        // With the small default sets, 50 queries must produce duplicate
+        // predicates — the "degree of shareability" the paper engineers.
+        let mut g = QueryTemplateGenerator::new(1, "photons");
+        let queries: Vec<String> = (0..50).map(|_| g.next_query()).collect();
+        let unique: std::collections::BTreeSet<&String> = queries.iter().collect();
+        assert!(unique.len() < queries.len(), "expected repeated queries for shareability");
+    }
+
+    #[test]
+    fn custom_stream_name_used() {
+        let mut g = QueryTemplateGenerator::new(2, "spectra");
+        let q = g.next_query_of(TemplateKind::Selection);
+        assert!(q.contains("stream(\"spectra\")/spectra/photon"));
+        compile_query(&q).unwrap();
+    }
+}

@@ -1,0 +1,191 @@
+//! Abstract syntax of WXQuery (Definition 2.1).
+
+use dss_predicate::CompOp;
+use dss_properties::AggOp;
+use dss_xml::{Decimal, Path};
+
+/// A variable-rooted path `$v/π` (or the bare variable `$v` with an empty
+/// path). Inside a path condition `[p]`, paths are written without a
+/// variable; the parser attributes them to the enclosing `for` variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarPath {
+    /// Variable name without the `$`.
+    pub var: String,
+    /// Relative child-axis path below the variable (may be empty).
+    pub path: Path,
+}
+
+impl VarPath {
+    /// Builds a variable-rooted path.
+    pub fn new(var: impl Into<String>, path: Path) -> VarPath {
+        VarPath { var: var.into(), path }
+    }
+}
+
+/// Right-hand side of an atomic predicate: a constant `c` or `$w/π + c`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredTerm {
+    Const(Decimal),
+    VarPlus(VarPath, Decimal),
+}
+
+/// An atomic predicate `$v θ c` or `$v θ $w + c` (Section 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredAtom {
+    pub lhs: VarPath,
+    pub op: CompOp,
+    pub rhs: PredTerm,
+}
+
+/// A conjunction of atomic predicates (the paper's χ / `[p]`).
+pub type Condition = Vec<PredAtom>;
+
+/// A data window written `|count Δ [step µ]|` or `|π diff Δ [step µ]|`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WindowAst {
+    Count { size: Decimal, step: Option<Decimal> },
+    Diff { reference: Path, size: Decimal, step: Option<Decimal> },
+}
+
+/// Source of a `for` binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForSource {
+    /// `stream("name")` — a possibly infinite data stream.
+    Stream(String),
+    /// `doc("name")` — a document node.
+    Doc(String),
+    /// Another bound variable.
+    Var(String),
+}
+
+/// A `for` or `let` clause of a FLWR expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Clause {
+    /// `for $x in $y/π [p]? |window|?`
+    For {
+        var: String,
+        source: ForSource,
+        /// Path applied to the source (for `stream(...)/photons/photon`
+        /// this is `photons/photon`: stream root, then item steps).
+        path: Path,
+        /// Conditions embedded in the path (`[p]`), attributed to the
+        /// bound variable.
+        conditions: Condition,
+        window: Option<WindowAst>,
+    },
+    /// `let $a := Φ($y/π)`
+    Let { var: String, op: AggOp, source: VarPath },
+}
+
+/// A FLWR expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flwr {
+    pub clauses: Vec<Clause>,
+    pub where_: Condition,
+    pub ret: Box<Expr>,
+}
+
+/// Content of a direct element constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Content {
+    /// A nested direct element constructor.
+    Element(ElementCtor),
+    /// An enclosed expression `{ α }`.
+    Enclosed(Expr),
+    /// Literal text.
+    Text(String),
+}
+
+/// A direct element constructor `<t> … </t>` or `<t/>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementCtor {
+    pub tag: String,
+    pub content: Vec<Content>,
+}
+
+/// A WXQuery expression (Definition 2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Expressions 1–2: element constructors.
+    Element(ElementCtor),
+    /// Expression 3: FLWR.
+    Flwr(Flwr),
+    /// Expression 4: `if χ then α else β`.
+    If { cond: Condition, then: Box<Expr>, els: Box<Expr> },
+    /// Expressions 5–6: `$z/π` output (empty path for bare `$z`).
+    PathOutput(VarPath),
+    /// Expression 7: sequence `( α, β, … )`.
+    Sequence(Vec<Expr>),
+}
+
+impl Expr {
+    /// Walks the expression tree, yielding every FLWR in evaluation order.
+    pub fn flwrs(&self) -> Vec<&Flwr> {
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Flwr>) {
+            match e {
+                Expr::Flwr(f) => {
+                    out.push(f);
+                    walk(&f.ret, out);
+                }
+                Expr::Element(el) => walk_ctor(el, out),
+                Expr::If { then, els, .. } => {
+                    walk(then, out);
+                    walk(els, out);
+                }
+                Expr::Sequence(items) => {
+                    for i in items {
+                        walk(i, out);
+                    }
+                }
+                Expr::PathOutput(_) => {}
+            }
+        }
+        fn walk_ctor<'a>(el: &'a ElementCtor, out: &mut Vec<&'a Flwr>) {
+            for c in &el.content {
+                match c {
+                    Content::Enclosed(inner) => walk(inner, out),
+                    Content::Element(nested) => walk_ctor(nested, out),
+                    Content::Text(_) => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flwrs_walks_nested_structure() {
+        let inner = Flwr {
+            clauses: vec![],
+            where_: vec![],
+            ret: Box::new(Expr::PathOutput(VarPath::new("p", Path::this()))),
+        };
+        let outer = Expr::Element(ElementCtor {
+            tag: "photons".into(),
+            content: vec![Content::Enclosed(Expr::Flwr(inner.clone()))],
+        });
+        assert_eq!(outer.flwrs().len(), 1);
+        assert_eq!(outer.flwrs()[0], &inner);
+    }
+
+    #[test]
+    fn flwrs_in_sequence_and_if() {
+        let mk = || {
+            Expr::Flwr(Flwr {
+                clauses: vec![],
+                where_: vec![],
+                ret: Box::new(Expr::PathOutput(VarPath::new("p", Path::this()))),
+            })
+        };
+        let seq = Expr::Sequence(vec![mk(), mk()]);
+        assert_eq!(seq.flwrs().len(), 2);
+        let iff = Expr::If { cond: vec![], then: Box::new(mk()), els: Box::new(mk()) };
+        assert_eq!(iff.flwrs().len(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Pretty-printing (unparsing) of WXQuery ASTs.
+//!
+//! The printer produces text the parser accepts, and parsing its output
+//! yields the original AST — a round-trip property checked by the
+//! workspace's proptest suite. It is also used to echo normalized
+//! subscriptions in logs and the CLI.
+
+use std::fmt;
+
+use dss_xml::Decimal;
+
+use crate::ast::{
+    Clause, Condition, Content, ElementCtor, Expr, Flwr, ForSource, PredAtom, PredTerm, VarPath,
+    WindowAst,
+};
+
+impl fmt::Display for VarPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.var)?;
+        if !self.path.is_empty() {
+            write!(f, "/{}", self.path)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PredAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} ", self.lhs, self.op)?;
+        match &self.rhs {
+            PredTerm::Const(c) => write!(f, "{c}"),
+            PredTerm::VarPlus(vp, c) => {
+                write!(f, "{vp}")?;
+                if *c > Decimal::ZERO {
+                    write!(f, " + {c}")?;
+                } else if *c < Decimal::ZERO {
+                    write!(f, " - {}", -*c)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Prints a conjunction with `and` separators. Bare-path conditions inside
+/// `[p]` blocks keep their variable prefix when printed — the parser
+/// accepts both spellings.
+fn fmt_condition(cond: &Condition, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for (i, atom) in cond.iter().enumerate() {
+        if i > 0 {
+            write!(f, " and ")?;
+        }
+        write!(f, "{atom}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for WindowAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowAst::Count { size, step } => {
+                write!(f, "|count {size}")?;
+                if let Some(s) = step {
+                    write!(f, " step {s}")?;
+                }
+                write!(f, "|")
+            }
+            WindowAst::Diff { reference, size, step } => {
+                write!(f, "|{reference} diff {size}")?;
+                if let Some(s) = step {
+                    write!(f, " step {s}")?;
+                }
+                write!(f, "|")
+            }
+        }
+    }
+}
+
+impl fmt::Display for ForSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForSource::Stream(s) => write!(f, "stream(\"{s}\")"),
+            ForSource::Doc(d) => write!(f, "doc(\"{d}\")"),
+            ForSource::Var(v) => write!(f, "${v}"),
+        }
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Clause::For { var, source, path, conditions, window } => {
+                write!(f, "for ${var} in {source}")?;
+                if !path.is_empty() {
+                    write!(f, "/{path}")?;
+                }
+                if !conditions.is_empty() {
+                    write!(f, "[")?;
+                    fmt_condition(conditions, f)?;
+                    write!(f, "]")?;
+                }
+                if let Some(w) = window {
+                    write!(f, " {w}")?;
+                }
+                Ok(())
+            }
+            Clause::Let { var, op, source } => write!(f, "let ${var} := {op}({source})"),
+        }
+    }
+}
+
+impl fmt::Display for Flwr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for clause in &self.clauses {
+            write!(f, "{clause} ")?;
+        }
+        if !self.where_.is_empty() {
+            write!(f, "where ")?;
+            fmt_condition(&self.where_, f)?;
+            write!(f, " ")?;
+        }
+        write!(f, "return {}", self.ret)
+    }
+}
+
+impl fmt::Display for ElementCtor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.content.is_empty() {
+            return write!(f, "<{}/>", self.tag);
+        }
+        write!(f, "<{}>", self.tag)?;
+        for c in &self.content {
+            match c {
+                Content::Element(e) => write!(f, "{e}")?,
+                Content::Enclosed(e) => write!(f, "{{ {e} }}")?,
+                Content::Text(t) => write!(f, "{t}")?,
+            }
+        }
+        write!(f, "</{}>", self.tag)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Element(e) => write!(f, "{e}"),
+            Expr::Flwr(fl) => write!(f, "{fl}"),
+            Expr::If { cond, then, els } => {
+                write!(f, "if ")?;
+                fmt_condition(cond, f)?;
+                write!(f, " then {then} else {els}")
+            }
+            Expr::PathOutput(vp) => write!(f, "{vp}"),
+            Expr::Sequence(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::parse_query;
+    use crate::queries;
+
+    /// Parsing the printed form of each paper query reproduces the AST.
+    #[test]
+    fn paper_queries_round_trip_through_display() {
+        for (name, text) in queries::ALL {
+            let ast = parse_query(text).unwrap();
+            let printed = ast.to_string();
+            let reparsed = parse_query(&printed)
+                .unwrap_or_else(|e| panic!("{name} printed form does not parse: {e}\n{printed}"));
+            assert_eq!(ast, reparsed, "{name} round trip changed the AST:\n{printed}");
+        }
+    }
+
+    #[test]
+    fn printed_queries_are_single_line_normal_forms() {
+        let ast = parse_query(queries::Q4).unwrap();
+        let printed = ast.to_string();
+        assert!(printed.contains("|det_time diff 60 step 40|"));
+        assert!(printed.contains("let $a := avg($w/en)"));
+        assert!(printed.contains("where $a >= 1.3"));
+    }
+}

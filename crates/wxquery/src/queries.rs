@@ -1,0 +1,57 @@
+//! The paper's four example queries, verbatim (Sections 1 and 2).
+//!
+//! These are used across the workspace's tests, examples, and benchmarks.
+
+/// Query 1: the Vela supernova remnant region.
+pub const Q1: &str = r#"
+<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/coord/cel/ra >= 120.0 and $p/coord/cel/ra <= 138.0
+  and $p/coord/cel/dec >= -49.0 and $p/coord/cel/dec <= -40.0
+  return <vela> { $p/coord/cel/ra } { $p/coord/cel/dec }
+  { $p/phc } { $p/en } { $p/det_time } </vela> }
+</photons>
+"#;
+
+/// Query 2: the RX J0852.0-4622 region (contained in Vela) with an energy
+/// cut of at least 1.3 keV.
+pub const Q2: &str = r#"
+<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/en >= 1.3
+  and $p/coord/cel/ra >= 130.5 and $p/coord/cel/ra <= 135.5
+  and $p/coord/cel/dec >= -48.0 and $p/coord/cel/dec <= -45.0
+  return <rxj> { $p/coord/cel/ra } { $p/coord/cel/dec }
+  { $p/en } { $p/det_time } </rxj> }
+</photons>
+"#;
+
+/// Query 3: average energy over |det_time diff 20 step 10| windows in the
+/// Vela region.
+pub const Q3: &str = r#"
+<photons>
+{ for $w in stream("photons")/photons/photon
+  [coord/cel/ra >= 120.0 and coord/cel/ra <= 138.0
+  and coord/cel/dec >= -49.0 and coord/cel/dec <= -40.0]
+  |det_time diff 20 step 10|
+  let $a := avg($w/en)
+  return <avg_en> { $a } </avg_en> }
+</photons>
+"#;
+
+/// Query 4: like Query 3 but with |det_time diff 60 step 40| windows and a
+/// filter on the aggregate value.
+pub const Q4: &str = r#"
+<photons>
+{ for $w in stream("photons")/photons/photon
+  [coord/cel/ra >= 120.0 and coord/cel/ra <= 138.0
+  and coord/cel/dec >= -49.0 and coord/cel/dec <= -40.0]
+  |det_time diff 60 step 40|
+  let $a := avg($w/en)
+  where $a >= 1.3
+  return <avg_en> { $a } </avg_en> }
+</photons>
+"#;
+
+/// All four queries with their paper names.
+pub const ALL: [(&str, &str); 4] = [("Q1", Q1), ("Q2", Q2), ("Q3", Q3), ("Q4", Q4)];

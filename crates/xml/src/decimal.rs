@@ -1,0 +1,418 @@
+//! Exact fixed-point decimals.
+//!
+//! The paper restricts predicate constants to "integer values or decimal
+//! values with a finite number of decimal places" (Section 2). Predicate
+//! graphs compare and add such constants; binary floating point would make
+//! implication tests (`ζ(x) ⇐ ζ(y)`) unsound at the boundaries the paper's
+//! example queries actually use (`120.0`, `-49.0`, `1.3`, …). We therefore
+//! represent every value as `units · 10^-scale` with `i128` units.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+use std::str::FromStr;
+
+use crate::error::XmlError;
+
+/// Maximum number of decimal places we accept. Far beyond anything the data
+/// streams contain, while keeping sums of many values comfortably inside
+/// `i128`.
+pub const MAX_SCALE: u32 = 18;
+
+/// Maximum magnitude (in units) accepted from *untrusted* input
+/// ([`FromStr`]): 10¹⁹. Together with [`MAX_SCALE`] this keeps every
+/// rescaling (`units · 10^Δscale ≤ 10¹⁹ · 10¹⁸ = 10³⁷`) inside `i128`
+/// (≈ 1.7·10³⁸), so comparisons and window-grid arithmetic over parsed
+/// stream values cannot overflow. Internal arithmetic (sums of many
+/// values) may exceed this bound; comparisons stay safe via checked
+/// rescaling.
+pub const MAX_INPUT_UNITS: i128 = 10_000_000_000_000_000_000;
+
+/// An exact decimal number: `units · 10^-scale`.
+///
+/// The representation is kept canonical (no trailing zero digits in the
+/// fractional part, and scale 0 for integers), so derived `Eq`/`Hash` agree
+/// with numeric equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Decimal {
+    units: i128,
+    scale: u32,
+}
+
+const POW10: [i128; 19] = [
+    1,
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+    100_000_000_000,
+    1_000_000_000_000,
+    10_000_000_000_000,
+    100_000_000_000_000,
+    1_000_000_000_000_000,
+    10_000_000_000_000_000,
+    100_000_000_000_000_000,
+    1_000_000_000_000_000_000,
+];
+
+impl Decimal {
+    /// Zero.
+    pub const ZERO: Decimal = Decimal { units: 0, scale: 0 };
+    /// One.
+    pub const ONE: Decimal = Decimal { units: 1, scale: 0 };
+
+    /// Builds a decimal from raw units and a scale, canonicalizing the result.
+    ///
+    /// # Panics
+    /// Panics if `scale > MAX_SCALE`.
+    pub fn new(units: i128, scale: u32) -> Decimal {
+        assert!(scale <= MAX_SCALE, "decimal scale {scale} exceeds MAX_SCALE");
+        let mut d = Decimal { units, scale };
+        d.canonicalize();
+        d
+    }
+
+    /// An integer value.
+    pub fn from_int(v: i64) -> Decimal {
+        Decimal { units: v as i128, scale: 0 }
+    }
+
+    fn canonicalize(&mut self) {
+        if self.units == 0 {
+            self.scale = 0;
+            return;
+        }
+        while self.scale > 0 && self.units % 10 == 0 {
+            self.units /= 10;
+            self.scale -= 1;
+        }
+    }
+
+    /// Raw units at this decimal's scale.
+    pub fn units(&self) -> i128 {
+        self.units
+    }
+
+    /// Number of decimal places in canonical form.
+    pub fn scale(&self) -> u32 {
+        self.scale
+    }
+
+    /// Units of this value at a *given* scale (≥ its own canonical scale).
+    ///
+    /// # Panics
+    /// Panics if `scale` is smaller than the canonical scale (the value would
+    /// not be representable) or exceeds [`MAX_SCALE`].
+    pub fn units_at_scale(&self, scale: u32) -> i128 {
+        assert!(scale <= MAX_SCALE);
+        assert!(
+            scale >= self.scale,
+            "cannot rescale {self} to {scale} decimal places without loss"
+        );
+        self.units * POW10[(scale - self.scale) as usize]
+    }
+
+    /// Smallest positive decimal representable at `scale` decimal places
+    /// (one "unit in the last place"). Used to normalize strict comparisons:
+    /// over values with at most `scale` decimal places, `x < c` is exactly
+    /// `x ≤ c − ulp(scale)`.
+    pub fn ulp(scale: u32) -> Decimal {
+        assert!(scale <= MAX_SCALE);
+        Decimal::new(1, scale)
+    }
+
+    /// `true` if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.scale == 0
+    }
+
+    /// Sign: -1, 0, or 1.
+    pub fn signum(&self) -> i32 {
+        match self.units.cmp(&0) {
+            Ordering::Less => -1,
+            Ordering::Equal => 0,
+            Ordering::Greater => 1,
+        }
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: Decimal) -> Option<Decimal> {
+        let scale = self.scale.max(rhs.scale);
+        let a = self.units.checked_mul(POW10[(scale - self.scale) as usize])?;
+        let b = rhs.units.checked_mul(POW10[(scale - rhs.scale) as usize])?;
+        Some(Decimal::new(a.checked_add(b)?, scale))
+    }
+
+    /// Checked subtraction; `None` on overflow.
+    pub fn checked_sub(self, rhs: Decimal) -> Option<Decimal> {
+        self.checked_add(-rhs)
+    }
+
+    /// Converts to `f64` (for statistics and metric output only; never used
+    /// in predicate reasoning).
+    pub fn to_f64(&self) -> f64 {
+        self.units as f64 / POW10[self.scale as usize] as f64
+    }
+
+    /// Builds the closest decimal with `scale` places to an `f64` (used by
+    /// synthetic data generators; again never in predicate reasoning).
+    pub fn from_f64_rounded(v: f64, scale: u32) -> Decimal {
+        assert!(scale <= MAX_SCALE);
+        let units = (v * POW10[scale as usize] as f64).round() as i128;
+        Decimal::new(units, scale)
+    }
+}
+
+impl Add for Decimal {
+    type Output = Decimal;
+    fn add(self, rhs: Decimal) -> Decimal {
+        self.checked_add(rhs).expect("decimal addition overflow")
+    }
+}
+
+impl Sub for Decimal {
+    type Output = Decimal;
+    fn sub(self, rhs: Decimal) -> Decimal {
+        self.checked_sub(rhs).expect("decimal subtraction overflow")
+    }
+}
+
+impl Neg for Decimal {
+    type Output = Decimal;
+    fn neg(self) -> Decimal {
+        Decimal { units: -self.units, scale: self.scale }
+    }
+}
+
+impl Mul<i64> for Decimal {
+    type Output = Decimal;
+    fn mul(self, rhs: i64) -> Decimal {
+        Decimal::new(
+            self.units.checked_mul(rhs as i128).expect("decimal multiplication overflow"),
+            self.scale,
+        )
+    }
+}
+
+impl PartialOrd for Decimal {
+    fn partial_cmp(&self, other: &Decimal) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Decimal {
+    fn cmp(&self, other: &Decimal) -> Ordering {
+        let scale = self.scale.max(other.scale);
+        // At most one side actually rescales (the other multiplies by 1),
+        // so an overflowing side is decided by its sign alone.
+        let a = self.units.checked_mul(POW10[(scale - self.scale) as usize]);
+        let b = other.units.checked_mul(POW10[(scale - other.scale) as usize]);
+        match (a, b) {
+            (Some(a), Some(b)) => a.cmp(&b),
+            (None, _) => {
+                if self.units > 0 {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (_, None) => {
+                if other.units > 0 {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.scale == 0 {
+            return write!(f, "{}", self.units);
+        }
+        let sign = if self.units < 0 { "-" } else { "" };
+        let abs = self.units.unsigned_abs();
+        let div = POW10[self.scale as usize] as u128;
+        let int = abs / div;
+        let frac = abs % div;
+        write!(f, "{sign}{int}.{frac:0width$}", width = self.scale as usize)
+    }
+}
+
+impl FromStr for Decimal {
+    type Err = XmlError;
+
+    fn from_str(s: &str) -> Result<Decimal, XmlError> {
+        let err = || XmlError::ValueParse { value: s.to_string(), wanted: "decimal" };
+        let t = s.trim();
+        if t.is_empty() {
+            return Err(err());
+        }
+        let (neg, t) = match t.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, t.strip_prefix('+').unwrap_or(t)),
+        };
+        let (int_part, frac_part) = match t.split_once('.') {
+            Some((i, fr)) => (i, fr),
+            None => (t, ""),
+        };
+        if int_part.is_empty() && frac_part.is_empty() {
+            return Err(err());
+        }
+        if !int_part.chars().all(|c| c.is_ascii_digit())
+            || !frac_part.chars().all(|c| c.is_ascii_digit())
+        {
+            return Err(err());
+        }
+        if frac_part.len() as u32 > MAX_SCALE {
+            return Err(err());
+        }
+        let mut units: i128 = 0;
+        for c in int_part.chars().chain(frac_part.chars()) {
+            units = units.checked_mul(10).ok_or_else(err)?;
+            units = units.checked_add((c as u8 - b'0') as i128).ok_or_else(err)?;
+        }
+        if units > MAX_INPUT_UNITS {
+            return Err(err());
+        }
+        if neg {
+            units = -units;
+        }
+        Ok(Decimal::new(units, frac_part.len() as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Decimal {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0", "1", "-1", "1.3", "-49.0", "120.0", "0.001", "-0.5", "138"] {
+            let v = d(s);
+            let back: Decimal = v.to_string().parse().unwrap();
+            assert_eq!(v, back, "round trip through {s:?} -> {v}");
+        }
+    }
+
+    #[test]
+    fn canonical_form_strips_trailing_zeros() {
+        assert_eq!(d("1.300"), d("1.3"));
+        assert_eq!(d("1.300").scale(), 1);
+        assert_eq!(d("-49.0"), Decimal::from_int(-49));
+        assert_eq!(d("0.0"), Decimal::ZERO);
+        assert_eq!(d("0.0").scale(), 0);
+    }
+
+    #[test]
+    fn display_pads_fraction() {
+        assert_eq!(d("0.001").to_string(), "0.001");
+        assert_eq!(d("-0.001").to_string(), "-0.001");
+        assert_eq!(Decimal::new(1205, 1).to_string(), "120.5");
+    }
+
+    #[test]
+    fn ordering_across_scales() {
+        assert!(d("1.3") > d("1.25"));
+        assert!(d("-49.0") < d("-48.9"));
+        assert!(d("120") < d("120.5"));
+        assert_eq!(d("2.50").cmp(&d("2.5")), Ordering::Equal);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(d("1.3") + d("0.7"), Decimal::from_int(2));
+        assert_eq!(d("1.3") - d("1.3"), Decimal::ZERO);
+        assert_eq!(d("130.5") - d("120.0"), d("10.5"));
+        assert_eq!(-d("1.5"), d("-1.5"));
+    }
+
+    #[test]
+    fn ulp_is_smallest_step() {
+        assert_eq!(Decimal::ulp(1), d("0.1"));
+        assert_eq!(Decimal::ulp(0), Decimal::ONE);
+        assert_eq!(d("1.3") - Decimal::ulp(1), d("1.2"));
+    }
+
+    #[test]
+    fn units_at_scale_rescales() {
+        assert_eq!(d("1.3").units_at_scale(3), 1300);
+        assert_eq!(d("-2").units_at_scale(2), -200);
+    }
+
+    #[test]
+    #[should_panic(expected = "without loss")]
+    fn units_at_scale_rejects_lossy() {
+        let _ = d("1.25").units_at_scale(1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", ".", "-", "1.2.3", "abc", "1e5", "--1", "1..2"] {
+            assert!(s.parse::<Decimal>().is_err(), "{s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_common_forms() {
+        assert_eq!(d(".5"), Decimal::new(5, 1));
+        assert_eq!(d("+1.5"), d("1.5"));
+        assert_eq!(d(" 42 "), Decimal::from_int(42));
+    }
+
+    #[test]
+    fn f64_conversion_is_close() {
+        assert!((d("1.3").to_f64() - 1.3).abs() < 1e-12);
+        assert_eq!(Decimal::from_f64_rounded(1.2999999, 2), d("1.3"));
+    }
+
+    #[test]
+    fn parse_rejects_oversized_magnitudes() {
+        // Values beyond MAX_INPUT_UNITS are rejected at the untrusted
+        // boundary so downstream rescaling cannot overflow.
+        assert!("99999999999999999999999999999999999999".parse::<Decimal>().is_err());
+        assert!("10000000000000000001".parse::<Decimal>().is_err()); // > 10^19 units
+        assert!("10000000000000000000".parse::<Decimal>().is_ok()); // exactly 10^19
+        assert!("-10000000000000000001".parse::<Decimal>().is_err());
+    }
+
+    #[test]
+    fn cmp_survives_internal_overflow() {
+        // Internal arithmetic can exceed MAX_INPUT_UNITS; comparing such a
+        // value against one of a different scale must not overflow.
+        let huge = Decimal::new(i128::MAX / 2, 0);
+        let small = Decimal::new(15, 1); // 1.5
+        assert!(huge > small);
+        assert!(small < huge);
+        let neg_huge = Decimal::new(i128::MIN / 2, 0);
+        assert!(neg_huge < small);
+        assert!(small > neg_huge);
+    }
+
+    #[test]
+    fn checked_ops_catch_overflow() {
+        let big = Decimal::new(i128::MAX / 2, 0);
+        assert!(big.checked_add(big).is_none() || big.checked_add(big).is_some());
+        let huge = Decimal::new(i128::MAX, 0);
+        assert!(huge.checked_add(Decimal::ONE).is_none());
+    }
+
+    #[test]
+    fn signum() {
+        assert_eq!(d("-3.2").signum(), -1);
+        assert_eq!(Decimal::ZERO.signum(), 0);
+        assert_eq!(d("0.01").signum(), 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Parse events produced by the tokenizer / pull parser.
+
+/// A single low-level XML event.
+///
+/// Attributes are carried on `StartElement` events as name/value pairs; the
+/// tree layer converts them into child elements, following the paper's
+/// element-only data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="v" …>` — also emitted for self-closing tags, immediately
+    /// followed by a matching `EndElement`.
+    StartElement { name: String, attributes: Vec<(String, String)> },
+    /// `</name>`.
+    EndElement { name: String },
+    /// Character data between tags, entity-resolved. Whitespace-only text is
+    /// *not* emitted (the paper's data model has no mixed content).
+    Text(String),
+}
+
+impl XmlEvent {
+    /// Convenience constructor for an attribute-less start tag.
+    pub fn start(name: &str) -> XmlEvent {
+        XmlEvent::StartElement { name: name.to_string(), attributes: Vec::new() }
+    }
+
+    /// Convenience constructor for an end tag.
+    pub fn end(name: &str) -> XmlEvent {
+        XmlEvent::EndElement { name: name.to_string() }
+    }
+
+    /// Convenience constructor for a text event.
+    pub fn text(t: &str) -> XmlEvent {
+        XmlEvent::Text(t.to_string())
+    }
+
+    /// The element name, if this is a start or end event.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            XmlEvent::StartElement { name, .. } | XmlEvent::EndElement { name } => Some(name),
+            XmlEvent::Text(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_name() {
+        assert_eq!(XmlEvent::start("photon").name(), Some("photon"));
+        assert_eq!(XmlEvent::end("photon").name(), Some("photon"));
+        assert_eq!(XmlEvent::text("1.3").name(), None);
+    }
+
+    #[test]
+    fn start_with_attributes_compares_structurally() {
+        let a = XmlEvent::StartElement {
+            name: "p".into(),
+            attributes: vec![("id".into(), "1".into())],
+        };
+        let b = XmlEvent::StartElement {
+            name: "p".into(),
+            attributes: vec![("id".into(), "1".into())],
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, XmlEvent::start("p"));
+    }
+}

@@ -1,0 +1,307 @@
+//! DTD-like tree schemas for stream items.
+//!
+//! The paper's streams carry items complying to a DTD (the photon tree in
+//! Section 1). We model the element structure as a tree of names. A schema
+//! serves three purposes here:
+//!
+//! 1. validating generated/parsed items,
+//! 2. enumerating the leaf paths available for projection and predicates,
+//! 3. anchoring the per-element statistics of the cost model (occurrence and
+//!    average size of each element, Section 3.2).
+
+use crate::error::XmlError;
+use crate::path::Path;
+use crate::text;
+use crate::tree::Node;
+
+/// One element in a schema tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaNode {
+    name: String,
+    children: Vec<SchemaNode>,
+}
+
+impl SchemaNode {
+    /// A leaf schema element.
+    pub fn leaf(name: impl Into<String>) -> SchemaNode {
+        SchemaNode { name: name.into(), children: Vec::new() }
+    }
+
+    /// An inner schema element.
+    pub fn elem(name: impl Into<String>, children: Vec<SchemaNode>) -> SchemaNode {
+        SchemaNode { name: name.into(), children }
+    }
+
+    /// Element name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Child schema elements.
+    pub fn children(&self) -> &[SchemaNode] {
+        &self.children
+    }
+
+    fn child(&self, name: &str) -> Option<&SchemaNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+}
+
+/// Schema for the items of one data stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    item: SchemaNode,
+}
+
+impl Schema {
+    /// Wraps an item schema tree, validating all names.
+    pub fn new(item: SchemaNode) -> Result<Schema, XmlError> {
+        fn validate(n: &SchemaNode) -> Result<(), XmlError> {
+            text::validate_name(&n.name)?;
+            for c in &n.children {
+                validate(c)?;
+            }
+            Ok(())
+        }
+        validate(&item)?;
+        Ok(Schema { item })
+    }
+
+    /// The item's root schema node (e.g. `photon`).
+    pub fn item(&self) -> &SchemaNode {
+        &self.item
+    }
+
+    /// The item element name.
+    pub fn item_name(&self) -> &str {
+        &self.item.name
+    }
+
+    /// Schema node at `path` (relative to the item root).
+    pub fn node_at(&self, path: &Path) -> Option<&SchemaNode> {
+        let mut cur = &self.item;
+        for step in path.steps() {
+            cur = cur.child(step)?;
+        }
+        Some(cur)
+    }
+
+    /// `true` if `path` denotes an element of the schema.
+    pub fn contains_path(&self, path: &Path) -> bool {
+        self.node_at(path).is_some()
+    }
+
+    /// All paths to leaf elements, relative to the item root, in document
+    /// order.
+    pub fn leaf_paths(&self) -> Vec<Path> {
+        let mut out = Vec::new();
+        fn walk(n: &SchemaNode, prefix: &Path, out: &mut Vec<Path>) {
+            if n.children.is_empty() {
+                out.push(prefix.clone());
+                return;
+            }
+            for c in &n.children {
+                let next = prefix.child(&c.name).expect("validated names");
+                walk(c, &next, out);
+            }
+        }
+        walk(&self.item, &Path::this(), &mut out);
+        out
+    }
+
+    /// All element paths (inner and leaf), relative to the item root,
+    /// excluding the empty path of the item root itself.
+    pub fn all_paths(&self) -> Vec<Path> {
+        let mut out = Vec::new();
+        fn walk(n: &SchemaNode, prefix: &Path, out: &mut Vec<Path>) {
+            for c in &n.children {
+                let next = prefix.child(&c.name).expect("validated names");
+                out.push(next.clone());
+                walk(c, &next, out);
+            }
+        }
+        walk(&self.item, &Path::this(), &mut out);
+        out
+    }
+
+    /// Validates that `node` is a *projection* of this schema: its name is
+    /// the item name and every element it contains appears at the matching
+    /// position in the schema. Missing elements are allowed — projection
+    /// operators legitimately remove subtrees.
+    pub fn validate_projection(&self, node: &Node) -> Result<(), XmlError> {
+        fn check(schema: &SchemaNode, node: &Node) -> Result<(), XmlError> {
+            if schema.name != node.name() {
+                return Err(XmlError::SchemaViolation {
+                    message: format!("expected element <{}>, found <{}>", schema.name, node.name()),
+                });
+            }
+            for child in node.children() {
+                match schema.child(child.name()) {
+                    Some(s) => check(s, child)?,
+                    None => {
+                        return Err(XmlError::SchemaViolation {
+                            message: format!(
+                                "element <{}> not allowed inside <{}>",
+                                child.name(),
+                                schema.name
+                            ),
+                        })
+                    }
+                }
+            }
+            Ok(())
+        }
+        check(&self.item, node)
+    }
+
+    /// Validates that `node` contains the *complete* schema structure (used
+    /// for unprojected source streams).
+    pub fn validate_complete(&self, node: &Node) -> Result<(), XmlError> {
+        self.validate_projection(node)?;
+        fn check(schema: &SchemaNode, node: &Node) -> Result<(), XmlError> {
+            for sc in &schema.children {
+                match node.child(&sc.name) {
+                    Some(c) => check(sc, c)?,
+                    None => {
+                        return Err(XmlError::SchemaViolation {
+                            message: format!(
+                                "required element <{}> missing inside <{}>",
+                                sc.name,
+                                node.name()
+                            ),
+                        })
+                    }
+                }
+            }
+            Ok(())
+        }
+        check(&self.item, node)
+    }
+}
+
+/// The photon schema from Section 1 of the paper:
+///
+/// ```text
+/// photon
+/// ├── phc
+/// ├── coord
+/// │   ├── cel ── ra, dec
+/// │   └── det ── dx, dy
+/// ├── en
+/// └── det_time
+/// ```
+pub fn photon_schema() -> Schema {
+    Schema::new(SchemaNode::elem(
+        "photon",
+        vec![
+            SchemaNode::leaf("phc"),
+            SchemaNode::elem(
+                "coord",
+                vec![
+                    SchemaNode::elem("cel", vec![SchemaNode::leaf("ra"), SchemaNode::leaf("dec")]),
+                    SchemaNode::elem("det", vec![SchemaNode::leaf("dx"), SchemaNode::leaf("dy")]),
+                ],
+            ),
+            SchemaNode::leaf("en"),
+            SchemaNode::leaf("det_time"),
+        ],
+    ))
+    .expect("photon schema names are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn photon_schema_paths() {
+        let s = photon_schema();
+        assert_eq!(s.item_name(), "photon");
+        let leaves = s.leaf_paths();
+        assert_eq!(
+            leaves,
+            vec![
+                p("phc"),
+                p("coord/cel/ra"),
+                p("coord/cel/dec"),
+                p("coord/det/dx"),
+                p("coord/det/dy"),
+                p("en"),
+                p("det_time"),
+            ]
+        );
+        assert_eq!(s.all_paths().len(), 10); // 7 leaves + phc? no: 7 leaves + coord, cel, det
+    }
+
+    #[test]
+    fn contains_path() {
+        let s = photon_schema();
+        assert!(s.contains_path(&p("coord/cel/ra")));
+        assert!(s.contains_path(&p("coord")));
+        assert!(s.contains_path(&Path::this()));
+        assert!(!s.contains_path(&p("coord/ra")));
+        assert!(!s.contains_path(&p("energy")));
+    }
+
+    #[test]
+    fn validates_complete_photon() {
+        let s = photon_schema();
+        let photon = Node::parse(
+            "<photon><phc>5</phc><coord><cel><ra>1</ra><dec>2</dec></cel>\
+             <det><dx>3</dx><dy>4</dy></det></coord><en>1.3</en><det_time>9</det_time></photon>",
+        )
+        .unwrap();
+        s.validate_complete(&photon).unwrap();
+        s.validate_projection(&photon).unwrap();
+    }
+
+    #[test]
+    fn projection_allows_missing_elements() {
+        let s = photon_schema();
+        let projected = Node::parse(
+            "<photon><coord><cel><ra>1</ra></cel></coord><en>1.3</en></photon>",
+        )
+        .unwrap();
+        s.validate_projection(&projected).unwrap();
+        assert!(s.validate_complete(&projected).is_err());
+    }
+
+    #[test]
+    fn rejects_foreign_elements() {
+        let s = photon_schema();
+        let bad = Node::parse("<photon><energy>1</energy></photon>").unwrap();
+        assert!(matches!(s.validate_projection(&bad), Err(XmlError::SchemaViolation { .. })));
+    }
+
+    #[test]
+    fn rejects_misplaced_elements() {
+        let s = photon_schema();
+        // `ra` directly under photon instead of under coord/cel.
+        let bad = Node::parse("<photon><ra>1</ra></photon>").unwrap();
+        assert!(s.validate_projection(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        let s = photon_schema();
+        let bad = Node::parse("<proton><en>1</en></proton>").unwrap();
+        assert!(s.validate_projection(&bad).is_err());
+    }
+
+    #[test]
+    fn schema_rejects_invalid_names() {
+        assert!(Schema::new(SchemaNode::leaf("1bad")).is_err());
+        assert!(Schema::new(SchemaNode::elem("ok", vec![SchemaNode::leaf("also ok")])).is_err());
+    }
+
+    #[test]
+    fn node_at_navigates() {
+        let s = photon_schema();
+        assert_eq!(s.node_at(&p("coord/cel")).unwrap().children().len(), 2);
+        assert!(s.node_at(&p("nope")).is_none());
+    }
+}

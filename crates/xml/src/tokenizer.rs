@@ -1,0 +1,547 @@
+//! Incremental, byte-level XML tokenizer.
+//!
+//! The tokenizer is push/pull hybrid: callers [`feed`](Tokenizer::feed) it
+//! arbitrary byte chunks (e.g. as they arrive over a network connection in
+//! the simulator) and repeatedly call [`next_event`](Tokenizer::next_event),
+//! which returns `Ok(None)` whenever more input is required to complete the
+//! next construct. This makes it usable on unbounded streams — the paper's
+//! data streams are "possibly infinite".
+//!
+//! Supported constructs: start/end/self-closing tags with attributes, text
+//! with entity references, CDATA sections, comments, processing
+//! instructions, the XML declaration, and DOCTYPE (with internal subset).
+//! Comments/PIs/declarations are consumed silently. Whitespace-only text is
+//! dropped, matching the paper's element-only data model (no mixed content).
+
+use crate::error::XmlError;
+use crate::event::XmlEvent;
+use crate::text;
+
+/// Incremental XML tokenizer. See the module docs.
+#[derive(Debug, Default)]
+pub struct Tokenizer {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`.
+    pos: usize,
+    /// Absolute stream offset of `buf[0]` (for error messages).
+    base: usize,
+    /// Synthesized end event for a self-closing tag, delivered next.
+    pending: Option<XmlEvent>,
+    eof: bool,
+}
+
+/// Outcome of scanning for one construct.
+enum Scan {
+    /// A complete event, plus the buffer length just past it.
+    Event(XmlEvent, usize),
+    /// A self-closing tag: start event, synthesized end event, consumed len.
+    Pair(XmlEvent, XmlEvent, usize),
+    /// A complete construct that produces no event (comment, PI, …).
+    Skip(usize),
+    /// Not enough buffered input to finish the construct.
+    NeedMore,
+}
+
+impl Tokenizer {
+    /// Creates an empty tokenizer.
+    pub fn new() -> Tokenizer {
+        Tokenizer::default()
+    }
+
+    /// Creates a tokenizer over a complete in-memory document.
+    // Not the FromStr trait: construction is infallible and the name is
+    // the natural dual of `feed`/`finish`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(input: &str) -> Tokenizer {
+        let mut t = Tokenizer::new();
+        t.feed(input.as_bytes());
+        t.finish();
+        t
+    }
+
+    /// Appends input bytes.
+    ///
+    /// # Panics
+    /// Panics if called after [`finish`](Tokenizer::finish).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        assert!(!self.eof, "feed after finish");
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Signals end of input. Subsequent `next_event` calls drain the
+    /// remaining complete constructs, then report `Ok(None)`; a dangling
+    /// partial construct yields [`XmlError::UnexpectedEof`].
+    pub fn finish(&mut self) {
+        self.eof = true;
+    }
+
+    /// `true` once `finish` has been called and all input was consumed.
+    pub fn is_done(&self) -> bool {
+        self.eof
+            && self.pending.is_none()
+            && self.remaining().iter().all(|b| b.is_ascii_whitespace())
+    }
+
+    fn remaining(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Drops consumed bytes once they dominate the buffer, keeping memory
+    /// bounded on infinite streams.
+    fn compact(&mut self) {
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.base += self.pos;
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    fn abs(&self, rel: usize) -> usize {
+        self.base + self.pos + rel
+    }
+
+    fn syntax(&self, rel: usize, message: impl Into<String>) -> XmlError {
+        XmlError::Syntax { message: message.into(), offset: self.abs(rel) }
+    }
+
+    /// Returns the next event; `Ok(None)` means "need more input" before
+    /// [`finish`], and "cleanly exhausted" after it.
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent>, XmlError> {
+        if let Some(ev) = self.pending.take() {
+            return Ok(Some(ev));
+        }
+        loop {
+            match self.scan()? {
+                Scan::Event(ev, end) => {
+                    self.pos += end;
+                    return Ok(Some(ev));
+                }
+                Scan::Pair(start, end_ev, end) => {
+                    self.pos += end;
+                    self.pending = Some(end_ev);
+                    return Ok(Some(start));
+                }
+                Scan::Skip(end) => {
+                    self.pos += end;
+                }
+                Scan::NeedMore => {
+                    if !self.eof {
+                        return Ok(None);
+                    }
+                    let rem = self.remaining();
+                    if rem.iter().all(|b| b.is_ascii_whitespace()) {
+                        self.pos = self.buf.len();
+                        return Ok(None);
+                    }
+                    if !rem.contains(&b'<') {
+                        // Trailing text at EOF (callers decide whether it is
+                        // legal — the reader treats it as trailing content).
+                        let raw = std::str::from_utf8(rem)
+                            .map_err(|_| self.syntax(0, "invalid UTF-8 in text"))?;
+                        let t = text::unescape_text(raw.trim())?;
+                        self.pos = self.buf.len();
+                        return Ok(Some(XmlEvent::Text(t)));
+                    }
+                    return Err(XmlError::UnexpectedEof);
+                }
+            }
+        }
+    }
+
+    /// Scans one construct at the current position without consuming it.
+    fn scan(&self) -> Result<Scan, XmlError> {
+        let rem = self.remaining();
+        if rem.is_empty() {
+            return Ok(Scan::NeedMore);
+        }
+        if rem[0] == b'<' {
+            if rem.len() < 2 {
+                return Ok(Scan::NeedMore);
+            }
+            match rem[1] {
+                b'/' => self.scan_end_tag(rem),
+                b'?' => Ok(self.scan_until(rem, 2, b"?>")),
+                b'!' => self.scan_bang(rem),
+                _ => self.scan_start_tag(rem),
+            }
+        } else {
+            self.scan_text(rem)
+        }
+    }
+
+    /// Text up to the next `<`. Whitespace-only runs are skipped.
+    fn scan_text(&self, rem: &[u8]) -> Result<Scan, XmlError> {
+        let Some(end) = rem.iter().position(|&b| b == b'<') else {
+            return Ok(Scan::NeedMore);
+        };
+        let raw = std::str::from_utf8(&rem[..end])
+            .map_err(|_| self.syntax(0, "invalid UTF-8 in text"))?;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            Ok(Scan::Skip(end))
+        } else {
+            Ok(Scan::Event(XmlEvent::Text(text::unescape_text(trimmed)?), end))
+        }
+    }
+
+    /// `<!--…-->`, `<![CDATA[…]]>`, or `<!DOCTYPE …>` (with internal subset).
+    fn scan_bang(&self, rem: &[u8]) -> Result<Scan, XmlError> {
+        const CDATA: &[u8] = b"<![CDATA[";
+        if rem.len() < 4 && (b"<!--".starts_with(rem) || CDATA.starts_with(rem)) {
+            return Ok(Scan::NeedMore);
+        }
+        if rem.starts_with(b"<!--") {
+            return Ok(self.scan_until(rem, 4, b"-->"));
+        }
+        if rem.starts_with(CDATA) || (rem.len() < CDATA.len() && CDATA.starts_with(rem)) {
+            if rem.len() < CDATA.len() {
+                return Ok(Scan::NeedMore);
+            }
+            let Some(close) = find(&rem[CDATA.len()..], b"]]>") else {
+                return Ok(Scan::NeedMore);
+            };
+            let raw = std::str::from_utf8(&rem[CDATA.len()..CDATA.len() + close])
+                .map_err(|_| self.syntax(CDATA.len(), "invalid UTF-8 in CDATA"))?;
+            let consumed = CDATA.len() + close + 3;
+            if raw.trim().is_empty() {
+                return Ok(Scan::Skip(consumed));
+            }
+            return Ok(Scan::Event(XmlEvent::Text(raw.to_string()), consumed));
+        }
+        // DOCTYPE (or any other <!…>): skip to the matching '>', honouring a
+        // bracketed internal subset.
+        let mut depth = 0usize;
+        for (i, &b) in rem.iter().enumerate().skip(2) {
+            match b {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => return Ok(Scan::Skip(i + 1)),
+                _ => {}
+            }
+        }
+        Ok(Scan::NeedMore)
+    }
+
+    /// Generic "skip to closing delimiter" used for comments and PIs.
+    fn scan_until(&self, rem: &[u8], from: usize, close: &[u8]) -> Scan {
+        if rem.len() <= from {
+            return Scan::NeedMore;
+        }
+        match find(&rem[from..], close) {
+            Some(i) => Scan::Skip(from + i + close.len()),
+            None => Scan::NeedMore,
+        }
+    }
+
+    fn scan_end_tag(&self, rem: &[u8]) -> Result<Scan, XmlError> {
+        let Some(gt) = rem.iter().position(|&b| b == b'>') else {
+            return Ok(Scan::NeedMore);
+        };
+        let inner = std::str::from_utf8(&rem[2..gt])
+            .map_err(|_| self.syntax(2, "invalid UTF-8 in end tag"))?;
+        let name = inner.trim();
+        text::validate_name(name)?;
+        Ok(Scan::Event(XmlEvent::EndElement { name: name.to_string() }, gt + 1))
+    }
+
+    fn scan_start_tag(&self, rem: &[u8]) -> Result<Scan, XmlError> {
+        // The whole tag must be buffered: find '>' outside quotes.
+        let mut quote: Option<u8> = None;
+        let mut gt = None;
+        for (i, &b) in rem.iter().enumerate().skip(1) {
+            match (quote, b) {
+                (Some(q), _) if b == q => quote = None,
+                (Some(_), _) => {}
+                (None, b'"') | (None, b'\'') => quote = Some(b),
+                (None, b'>') => {
+                    gt = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(gt) = gt else {
+            return Ok(Scan::NeedMore);
+        };
+        let self_closing = gt >= 2 && rem[gt - 1] == b'/';
+        let body_end = if self_closing { gt - 1 } else { gt };
+        let body = std::str::from_utf8(&rem[1..body_end])
+            .map_err(|_| self.syntax(1, "invalid UTF-8 in start tag"))?;
+        let (name, attributes) = self.parse_tag_body(body)?;
+        let start = XmlEvent::StartElement { name: name.clone(), attributes };
+        if self_closing {
+            Ok(Scan::Pair(start, XmlEvent::EndElement { name }, gt + 1))
+        } else {
+            Ok(Scan::Event(start, gt + 1))
+        }
+    }
+
+    /// Parses `name attr="v" …` (the inside of a start tag).
+    fn parse_tag_body(&self, body: &str) -> Result<(String, Vec<(String, String)>), XmlError> {
+        let name_end = body.find(char::is_whitespace).unwrap_or(body.len());
+        let name = &body[..name_end];
+        text::validate_name(name)?;
+        let mut attributes = Vec::new();
+        let mut s = body[name_end..].trim_start();
+        while !s.is_empty() {
+            let eq = s.find('=').ok_or_else(|| self.syntax(0, "attribute without value"))?;
+            let attr_name = s[..eq].trim();
+            text::validate_name(attr_name)?;
+            let after = s[eq + 1..].trim_start();
+            let quote = after
+                .chars()
+                .next()
+                .filter(|&c| c == '"' || c == '\'')
+                .ok_or_else(|| self.syntax(0, "unquoted attribute value"))?;
+            let after = &after[1..];
+            let close = after
+                .find(quote)
+                .ok_or_else(|| self.syntax(0, "unterminated attribute value"))?;
+            attributes.push((attr_name.to_string(), text::unescape_text(&after[..close])?));
+            s = after[close + 1..].trim_start();
+        }
+        Ok((name.to_string(), attributes))
+    }
+}
+
+/// Finds `needle` in `haystack`, returning the start index.
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_events(input: &str) -> Vec<XmlEvent> {
+        let mut t = Tokenizer::from_str(input);
+        let mut out = Vec::new();
+        while let Some(ev) = t.next_event().unwrap() {
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn simple_element() {
+        assert_eq!(
+            all_events("<ra>120.5</ra>"),
+            vec![XmlEvent::start("ra"), XmlEvent::text("120.5"), XmlEvent::end("ra")]
+        );
+    }
+
+    #[test]
+    fn nested_photon_structure() {
+        let events = all_events("<photon><coord><cel><ra>120.5</ra></cel></coord></photon>");
+        assert_eq!(events.len(), 9);
+        assert_eq!(events[0], XmlEvent::start("photon"));
+        assert_eq!(events[8], XmlEvent::end("photon"));
+    }
+
+    #[test]
+    fn whitespace_between_tags_is_dropped() {
+        let events = all_events("<a>\n  <b>1</b>\n  <c>2</c>\n</a>");
+        assert_eq!(
+            events,
+            vec![
+                XmlEvent::start("a"),
+                XmlEvent::start("b"),
+                XmlEvent::text("1"),
+                XmlEvent::end("b"),
+                XmlEvent::start("c"),
+                XmlEvent::text("2"),
+                XmlEvent::end("c"),
+                XmlEvent::end("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_expands_to_pair() {
+        assert_eq!(all_events("<t/>"), vec![XmlEvent::start("t"), XmlEvent::end("t")]);
+        assert_eq!(
+            all_events("<a><b/><c/></a>"),
+            vec![
+                XmlEvent::start("a"),
+                XmlEvent::start("b"),
+                XmlEvent::end("b"),
+                XmlEvent::start("c"),
+                XmlEvent::end("c"),
+                XmlEvent::end("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_are_parsed() {
+        let events = all_events(r#"<p id="7" kind='x y'>v</p>"#);
+        assert_eq!(
+            events[0],
+            XmlEvent::StartElement {
+                name: "p".into(),
+                attributes: vec![("id".into(), "7".into()), ("kind".into(), "x y".into())],
+            }
+        );
+    }
+
+    #[test]
+    fn attribute_value_may_contain_gt() {
+        let events = all_events(r#"<p expr="a > b">v</p>"#);
+        assert_eq!(
+            events[0],
+            XmlEvent::StartElement {
+                name: "p".into(),
+                attributes: vec![("expr".into(), "a > b".into())],
+            }
+        );
+    }
+
+    #[test]
+    fn entities_in_text() {
+        assert_eq!(all_events("<t>a &lt; b &amp; c</t>")[1], XmlEvent::text("a < b & c"));
+    }
+
+    #[test]
+    fn comments_pis_doctype_skipped() {
+        let events = all_events(
+            "<?xml version=\"1.0\"?><!DOCTYPE photons [<!ELEMENT x (y)>]>\
+             <!-- survey --><t>1</t><!-- end -->",
+        );
+        assert_eq!(events, vec![XmlEvent::start("t"), XmlEvent::text("1"), XmlEvent::end("t")]);
+    }
+
+    #[test]
+    fn cdata_becomes_text() {
+        assert_eq!(all_events("<t><![CDATA[a <raw> & b]]></t>")[1], XmlEvent::text("a <raw> & b"));
+    }
+
+    #[test]
+    fn incremental_feeding_across_construct_boundaries() {
+        let doc = "<photons><photon><en>1.3</en></photon></photons>";
+        // Feed a single byte at a time; events must come out identically.
+        let mut t = Tokenizer::new();
+        let mut events = Vec::new();
+        for b in doc.bytes() {
+            t.feed(&[b]);
+            while let Some(ev) = t.next_event().unwrap() {
+                events.push(ev);
+            }
+        }
+        t.finish();
+        while let Some(ev) = t.next_event().unwrap() {
+            events.push(ev);
+        }
+        assert_eq!(events, all_events(doc));
+        assert!(t.is_done());
+    }
+
+    #[test]
+    fn need_more_before_finish() {
+        let mut t = Tokenizer::new();
+        t.feed(b"<photon><en>1.");
+        assert_eq!(t.next_event().unwrap(), Some(XmlEvent::start("photon")));
+        assert_eq!(t.next_event().unwrap(), Some(XmlEvent::start("en")));
+        assert_eq!(t.next_event().unwrap(), None); // text not terminated yet
+        t.feed(b"3</en>");
+        assert_eq!(t.next_event().unwrap(), Some(XmlEvent::text("1.3")));
+        assert_eq!(t.next_event().unwrap(), Some(XmlEvent::end("en")));
+    }
+
+    #[test]
+    fn truncated_tag_at_eof_errors() {
+        let mut t = Tokenizer::new();
+        t.feed(b"<photon><en");
+        t.finish();
+        assert_eq!(t.next_event().unwrap(), Some(XmlEvent::start("photon")));
+        assert_eq!(t.next_event(), Err(XmlError::UnexpectedEof));
+    }
+
+    #[test]
+    fn bad_names_are_rejected() {
+        let mut t = Tokenizer::from_str("<1bad>x</1bad>");
+        assert!(matches!(t.next_event(), Err(XmlError::InvalidName { .. })));
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        let mut t = Tokenizer::from_str("<t>&nope;</t>");
+        t.next_event().unwrap(); // <t>
+        assert!(matches!(t.next_event(), Err(XmlError::UnknownEntity { .. })));
+    }
+
+    #[test]
+    fn long_stream_compacts_buffer() {
+        let mut t = Tokenizer::new();
+        let item = "<photon><en>1.3</en></photon>";
+        let mut n = 0;
+        for _ in 0..2000 {
+            t.feed(item.as_bytes());
+            while let Some(_ev) = t.next_event().unwrap() {
+                n += 1;
+            }
+        }
+        assert_eq!(n, 2000 * 5);
+        // The buffer must not have grown to hold the whole stream.
+        assert!(t.buf.len() < 8 * item.len() + 8192, "buffer grew to {}", t.buf.len());
+    }
+
+    #[test]
+    fn constructs_split_across_feeds() {
+        // Comments, CDATA, and DOCTYPE split at awkward byte positions.
+        let doc = "<?xml version=\"1.0\"?><!DOCTYPE s [<!ELEMENT x (y)>]>\
+                   <s><!-- com--ment --><i><![CDATA[a <b> c]]></i></s>";
+        let whole = {
+            let mut t = Tokenizer::from_str(doc);
+            let mut out = Vec::new();
+            while let Some(ev) = t.next_event().unwrap() {
+                out.push(ev);
+            }
+            out
+        };
+        for chunk in [1usize, 2, 3, 5, 7] {
+            let mut t = Tokenizer::new();
+            let mut out = Vec::new();
+            for piece in doc.as_bytes().chunks(chunk) {
+                t.feed(piece);
+                while let Some(ev) = t.next_event().unwrap() {
+                    out.push(ev);
+                }
+            }
+            t.finish();
+            while let Some(ev) = t.next_event().unwrap() {
+                out.push(ev);
+            }
+            assert_eq!(out, whole, "chunk size {chunk}");
+        }
+        assert_eq!(whole[2], XmlEvent::text("a <b> c"));
+    }
+
+    #[test]
+    fn multibyte_utf8_split_across_feeds() {
+        let doc = "<s><t>αβγ☃</t></s>";
+        let mut t = Tokenizer::new();
+        let mut out = Vec::new();
+        for piece in doc.as_bytes().chunks(1) {
+            t.feed(piece);
+            while let Some(ev) = t.next_event().unwrap() {
+                out.push(ev);
+            }
+        }
+        t.finish();
+        while let Some(ev) = t.next_event().unwrap() {
+            out.push(ev);
+        }
+        assert_eq!(out[2], XmlEvent::text("αβγ☃"));
+    }
+
+    #[test]
+    fn empty_input_is_done() {
+        let mut t = Tokenizer::from_str("   \n ");
+        assert_eq!(t.next_event().unwrap(), None);
+        assert!(t.is_done());
+    }
+}

@@ -1,0 +1,371 @@
+//! Element-only XML tree model.
+//!
+//! Following Section 2 of the paper, the data model consists purely of
+//! elements: a node has a name and either text content (a leaf value such as
+//! a photon's `ra`) or child elements. Attributes encountered during parsing
+//! are converted into leading child elements ("attributes in XML data can
+//! always be converted into corresponding elements").
+
+use crate::decimal::Decimal;
+use crate::error::XmlError;
+use crate::event::XmlEvent;
+
+/// Maximum element nesting depth accepted by the parsers. Bounds both the
+/// build recursion and the eventual `Drop` recursion, so untrusted deeply
+/// nested documents error out instead of overflowing the stack.
+pub const MAX_DEPTH: usize = 512;
+
+/// An XML element: a name plus text and/or children. In the paper's
+/// element-only data model an element has either a text value (a leaf) or
+/// child elements; both are populated only for elements whose attributes
+/// were converted into leading children, or for constructed results mixing
+/// a label with copied subtrees. Text always renders before the children.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Node {
+    name: String,
+    text: Option<String>,
+    children: Vec<Node>,
+}
+
+impl Node {
+    /// An empty element `<name/>`.
+    pub fn empty(name: impl Into<String>) -> Node {
+        Node { name: name.into(), text: None, children: Vec::new() }
+    }
+
+    /// A leaf element with text content.
+    pub fn leaf(name: impl Into<String>, text: impl Into<String>) -> Node {
+        Node { name: name.into(), text: Some(text.into()), children: Vec::new() }
+    }
+
+    /// A leaf element holding a decimal value.
+    pub fn decimal_leaf(name: impl Into<String>, value: Decimal) -> Node {
+        Node::leaf(name, value.to_string())
+    }
+
+    /// An inner element with children.
+    pub fn elem(name: impl Into<String>, children: Vec<Node>) -> Node {
+        Node { name: name.into(), text: None, children }
+    }
+
+    /// Element name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Text content, if this is a non-empty leaf.
+    pub fn text(&self) -> Option<&str> {
+        self.text.as_deref()
+    }
+
+    /// Child elements.
+    pub fn children(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// Mutable access to children (used by the restructuring operator).
+    pub fn children_mut(&mut self) -> &mut Vec<Node> {
+        &mut self.children
+    }
+
+    /// Appends a child. Existing text content is kept (it renders before
+    /// the children) — needed so attribute-derived children and a text
+    /// value can coexist on one element.
+    pub fn push_child(&mut self, child: Node) {
+        self.children.push(child);
+    }
+
+    /// Sets the text content (rendered before any children).
+    pub fn set_text(&mut self, text: impl Into<String>) {
+        self.text = Some(text.into());
+    }
+
+    /// First child with the given name.
+    pub fn child(&self, name: &str) -> Option<&Node> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All children with the given name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Node> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// `true` if the node has neither text nor children.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_none() && self.children.is_empty()
+    }
+
+    /// Leaf text parsed as a decimal.
+    pub fn decimal_value(&self) -> Result<Decimal, XmlError> {
+        match &self.text {
+            Some(t) => t.parse(),
+            None => {
+                Err(XmlError::ValueParse { value: format!("<{}>", self.name), wanted: "decimal" })
+            }
+        }
+    }
+
+    /// Total number of elements in the subtree (including `self`).
+    pub fn element_count(&self) -> usize {
+        1 + self.children.iter().map(Node::element_count).sum::<usize>()
+    }
+
+    /// Depth of the subtree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(Node::depth).max().unwrap_or(0)
+    }
+
+    /// Builds a tree from a stream of events that must describe exactly one
+    /// element (the next start tag through its matching end tag).
+    ///
+    /// `events` is any fallible event source; `None` mid-element is an
+    /// [`XmlError::UnexpectedEof`].
+    pub fn from_events<F>(next: &mut F) -> Result<Node, XmlError>
+    where
+        F: FnMut() -> Result<Option<XmlEvent>, XmlError>,
+    {
+        let first = next()?.ok_or(XmlError::UnexpectedEof)?;
+        let (name, attributes) = match first {
+            XmlEvent::StartElement { name, attributes } => (name, attributes),
+            other => {
+                return Err(XmlError::Syntax {
+                    message: format!("expected start tag, found {other:?}"),
+                    offset: 0,
+                })
+            }
+        };
+        Node::from_events_after_start(name, attributes, next)
+    }
+
+    /// Continues building a tree whose start tag (with `name` and
+    /// `attributes`) has already been consumed. Iterative (explicit stack)
+    /// with a [`MAX_DEPTH`] cap, so untrusted nesting cannot overflow the
+    /// call stack.
+    pub fn from_events_after_start<F>(
+        name: String,
+        attributes: Vec<(String, String)>,
+        next: &mut F,
+    ) -> Result<Node, XmlError>
+    where
+        F: FnMut() -> Result<Option<XmlEvent>, XmlError>,
+    {
+        // Per frame: the node under construction plus its pending
+        // attribute-derived children (prepended at completion so a text
+        // value arriving first is not mistaken for mixed content).
+        let mut stack: Vec<(Node, Vec<Node>)> = Vec::new();
+        let attr_children =
+            |attrs: Vec<(String, String)>| attrs.into_iter().map(|(k, v)| Node::leaf(k, v)).collect();
+        let mut current = Node::empty(name);
+        let mut current_attrs: Vec<Node> = attr_children(attributes);
+        loop {
+            match next()?.ok_or(XmlError::UnexpectedEof)? {
+                XmlEvent::StartElement { name, attributes } => {
+                    if stack.len() + 1 >= MAX_DEPTH {
+                        return Err(XmlError::Syntax {
+                            message: format!("element nesting deeper than {MAX_DEPTH}"),
+                            offset: 0,
+                        });
+                    }
+                    stack.push((current, current_attrs));
+                    current = Node::empty(name);
+                    current_attrs = attr_children(attributes);
+                }
+                XmlEvent::EndElement { name } => {
+                    if name != current.name {
+                        return Err(XmlError::MismatchedTag {
+                            expected: current.name,
+                            found: name,
+                        });
+                    }
+                    // Attach attribute-derived children in front.
+                    if !current_attrs.is_empty() {
+                        current_attrs.append(&mut current.children);
+                        current.children = current_attrs;
+                    }
+                    match stack.pop() {
+                        Some((mut parent, parent_attrs)) => {
+                            parent.push_child(current);
+                            current = parent;
+                            current_attrs = parent_attrs;
+                        }
+                        None => return Ok(current),
+                    }
+                }
+                XmlEvent::Text(t) => {
+                    if current.children.is_empty() {
+                        // Concatenate split text runs (e.g. around a CDATA).
+                        match &mut current.text {
+                            Some(existing) => existing.push_str(&t),
+                            None => current.text = Some(t),
+                        }
+                    }
+                    // Text after child elements would be mixed content;
+                    // dropped by the element-only model.
+                }
+            }
+        }
+    }
+
+    /// Parses a complete document string into its root element.
+    pub fn parse(input: &str) -> Result<Node, XmlError> {
+        let mut tok = crate::tokenizer::Tokenizer::from_str(input);
+        let node = Node::from_events(&mut || tok.next_event())?;
+        match tok.next_event()? {
+            None => Ok(node),
+            Some(_) => Err(XmlError::TrailingContent),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's photon item (Section 1 DTD), used across the test suite.
+    pub fn sample_photon() -> Node {
+        Node::elem(
+            "photon",
+            vec![
+                Node::leaf("phc", "57"),
+                Node::elem(
+                    "coord",
+                    vec![
+                        Node::elem(
+                            "cel",
+                            vec![Node::leaf("ra", "130.7"), Node::leaf("dec", "-46.2")],
+                        ),
+                        Node::elem("det", vec![Node::leaf("dx", "12"), Node::leaf("dy", "34")]),
+                    ],
+                ),
+                Node::leaf("en", "1.4"),
+                Node::leaf("det_time", "1017.5"),
+            ],
+        )
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let p = sample_photon();
+        assert_eq!(p.name(), "photon");
+        assert_eq!(p.children().len(), 4);
+        assert_eq!(p.child("en").unwrap().text(), Some("1.4"));
+        assert_eq!(
+            p.child("coord").unwrap().child("cel").unwrap().child("ra").unwrap().text(),
+            Some("130.7")
+        );
+        assert!(p.child("missing").is_none());
+    }
+
+    #[test]
+    fn decimal_values() {
+        let p = sample_photon();
+        assert_eq!(
+            p.child("en").unwrap().decimal_value().unwrap(),
+            "1.4".parse::<Decimal>().unwrap()
+        );
+        assert!(p.child("coord").unwrap().decimal_value().is_err());
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let p = sample_photon();
+        assert_eq!(p.element_count(), 11);
+        assert_eq!(p.depth(), 4); // photon/coord/cel/ra
+        assert_eq!(Node::empty("x").element_count(), 1);
+        assert_eq!(Node::empty("x").depth(), 1);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let doc = "<photon><phc>57</phc><coord><cel><ra>130.7</ra><dec>-46.2</dec></cel>\
+                   <det><dx>12</dx><dy>34</dy></det></coord><en>1.4</en>\
+                   <det_time>1017.5</det_time></photon>";
+        assert_eq!(Node::parse(doc).unwrap(), sample_photon());
+    }
+
+    #[test]
+    fn attributes_become_children() {
+        let n = Node::parse(r#"<photon id="9"><en>1.0</en></photon>"#).unwrap();
+        assert_eq!(n.children()[0], Node::leaf("id", "9"));
+        assert_eq!(n.children()[1].name(), "en");
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(matches!(Node::parse("<a><b></a></b>"), Err(XmlError::MismatchedTag { .. })));
+    }
+
+    #[test]
+    fn trailing_content_errors() {
+        assert!(matches!(Node::parse("<a/><b/>"), Err(XmlError::TrailingContent)));
+    }
+
+    #[test]
+    fn truncated_document_errors() {
+        assert_eq!(Node::parse("<a><b>"), Err(XmlError::UnexpectedEof));
+    }
+
+    #[test]
+    fn push_child_keeps_text() {
+        // Text renders before children (attribute-derived children and a
+        // text value can coexist).
+        let mut n = Node::leaf("x", "old");
+        n.push_child(Node::leaf("y", "1"));
+        assert_eq!(n.text(), Some("old"));
+        assert_eq!(n.children().len(), 1);
+        assert_eq!(
+            crate::writer::node_to_string(&n),
+            "<x>old<y>1</y></x>"
+        );
+    }
+
+    #[test]
+    fn attributes_coexist_with_text() {
+        // The text of an attributed element must survive attribute
+        // conversion (attributes become leading children).
+        let n = Node::parse(r#"<en unit="keV">1.4</en>"#).unwrap();
+        assert_eq!(n.text(), Some("1.4"));
+        assert_eq!(n.children()[0], Node::leaf("unit", "keV"));
+        // And the serialized form parses back identically.
+        assert_eq!(Node::parse(&crate::writer::node_to_string(&n)).unwrap(), n);
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        let mut doc = String::new();
+        for i in 0..(MAX_DEPTH + 10) {
+            doc.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..(MAX_DEPTH + 10)).rev() {
+            doc.push_str(&format!("</n{i}>"));
+        }
+        let err = Node::parse(&doc).unwrap_err();
+        assert!(matches!(err, XmlError::Syntax { .. }), "got {err:?}");
+        // A document just under the limit parses fine.
+        let mut ok_doc = String::new();
+        for i in 0..(MAX_DEPTH - 1) {
+            ok_doc.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..(MAX_DEPTH - 1)).rev() {
+            ok_doc.push_str(&format!("</n{i}>"));
+        }
+        assert!(Node::parse(&ok_doc).is_ok());
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let n = Node::elem(
+            "w",
+            vec![Node::leaf("v", "1"), Node::leaf("u", "2"), Node::leaf("v", "3")],
+        );
+        let vs: Vec<_> = n.children_named("v").filter_map(|c| c.text()).collect();
+        assert_eq!(vs, vec!["1", "3"]);
+    }
+
+    #[test]
+    fn empty_element_round_trip() {
+        assert_eq!(Node::parse("<photons/>").unwrap(), Node::empty("photons"));
+        assert!(Node::parse("<photons></photons>").unwrap().is_empty());
+    }
+}
+

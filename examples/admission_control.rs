@@ -1,0 +1,42 @@
+//! Admission control under tight resource limits (the paper's rejection
+//! experiment in Section 4).
+//!
+//! Caps every peer at 10 % of its CPU capacity and every connection at
+//! 1 Mbit/s, then registers Scenario 2's 100 queries under each strategy,
+//! counting how many must be rejected because no plan avoids overload.
+//! The paper reports 47 (data shipping), 35 (query shipping), and 2
+//! (stream sharing) rejections.
+//!
+//! Run with: `cargo run --release --example admission_control`
+
+use data_stream_sharing::core::{AdmissionControl, Strategy};
+use data_stream_sharing::rass::Scenario;
+
+fn main() {
+    let scenario = Scenario::scenario2(42);
+    println!(
+        "scenario 2 with caps: peer CPU at 10 %, connections at 1 Mbit/s; {} queries\n",
+        scenario.queries.len()
+    );
+
+    for strategy in Strategy::ALL {
+        let mut system = scenario.build_system();
+        AdmissionControl::apply_caps(&mut system, 0.10, 1_000.0);
+        let batch: Vec<(String, String, String)> = scenario
+            .queries
+            .iter()
+            .map(|q| (q.id.clone(), q.text.clone(), q.peer.clone()))
+            .collect();
+        let report = AdmissionControl::register_batch(&mut system, &batch, strategy);
+        println!(
+            "{strategy:>15}: {} accepted, {} rejected",
+            report.accepted_count(),
+            report.rejected_count()
+        );
+        for (id, err) in &report.errored {
+            eprintln!("  unexpected error for {id}: {err}");
+        }
+    }
+
+    println!("\npaper (Section 4): data shipping rejected 47, query shipping 35, stream sharing 2");
+}

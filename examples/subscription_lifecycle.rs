@@ -1,0 +1,69 @@
+//! Subscription lifecycle: continuous queries come and go.
+//!
+//! The paper notes that continuous queries "usually remain registered over
+//! long periods of time" — but they do end. This example registers the
+//! paper's queries with stream sharing, then unregisters them one by one,
+//! showing how the system retires derived streams once their last consumer
+//! leaves (while streams still feeding other subscriptions keep flowing)
+//! and releases the planner's resource charges.
+//!
+//! Run with: `cargo run --release --example subscription_lifecycle`
+
+use data_stream_sharing::core::Strategy;
+use data_stream_sharing::wxquery::queries;
+use dss_rass::scenario::example_network;
+
+fn active_flows(system: &data_stream_sharing::core::StreamGlobe) -> Vec<String> {
+    system
+        .deployment()
+        .flows()
+        .iter()
+        .filter(|f| !f.retired)
+        .map(|f| f.label.clone())
+        .collect()
+}
+
+fn main() {
+    let mut system = example_network();
+    for (name, text, peer) in [
+        ("Q1", queries::Q1, "P1"),
+        ("Q2", queries::Q2, "P2"),
+        ("Q3", queries::Q3, "P3"),
+        ("Q4", queries::Q4, "P4"),
+    ] {
+        system.register_query(name, text, peer, Strategy::StreamSharing).expect("registers");
+    }
+    println!("after registering Q1–Q4, active flows:");
+    for f in active_flows(&system) {
+        println!("  {f}");
+    }
+
+    // Q1 leaves — but Q2 still rides Q1's stream, so it must keep flowing.
+    system.unregister_query("Q1").expect("Q1 unregisters");
+    println!("\nafter unregistering Q1 (Q2 still shares its stream):");
+    for f in active_flows(&system) {
+        println!("  {f}");
+    }
+
+    // Q2 leaves — now Q1's stream has no consumers and is retired.
+    system.unregister_query("Q2").expect("Q2 unregisters");
+    println!("\nafter unregistering Q2 (Q1's stream retires transitively):");
+    for f in active_flows(&system) {
+        println!("  {f}");
+    }
+
+    system.unregister_query("Q3").expect("Q3 unregisters");
+    system.unregister_query("Q4").expect("Q4 unregisters");
+    println!("\nafter unregistering everything:");
+    for f in active_flows(&system) {
+        println!("  {f}");
+    }
+    println!("\nqueries registered: {}", system.query_count());
+
+    // A fresh subscription now plans against the original stream again.
+    let reg = system
+        .register_query("Q2-again", queries::Q2, "P2", Strategy::StreamSharing)
+        .expect("re-registers");
+    println!("\nre-registered Q2:");
+    print!("{}", reg.plan.describe(system.state()));
+}

@@ -1,0 +1,199 @@
+//! `dss` — command-line front end to the data-stream-sharing system.
+//!
+//! ```text
+//! dss demo                          run the Figures-1/2 narrative
+//! dss queries                       print the paper's example queries
+//! dss plan <file|-> [options]       plan one WXQuery subscription on the
+//!                                   example network and explain the plan
+//! dss check <file|->                parse/compile a subscription and dump
+//!                                   its properties
+//! ```
+//!
+//! Options for `plan`:
+//!   --at <peer>          registering peer (default P1)
+//!   --strategy <s>       data-shipping | query-shipping | stream-sharing
+//!   --after <q1,q3,...>  pre-register paper queries first (enables sharing)
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use data_stream_sharing::core::Strategy;
+use data_stream_sharing::wxquery::{compile_query, queries};
+use dss_rass::scenario::example_network;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("demo") => demo(),
+        Some("queries") => {
+            for (name, text) in queries::ALL {
+                println!("--- {name} ---{text}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("plan") => plan(&args[1..]),
+        Some("check") => check(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: dss <command>\n\n\
+                 commands:\n  \
+                 demo                         run the paper's Figures-1/2 narrative\n  \
+                 queries                      print the paper's example queries\n  \
+                 plan <file|-> [options]      plan a WXQuery subscription\n  \
+                 check <file|->               compile a subscription, dump properties\n\n\
+                 plan options:\n  \
+                 --at <peer>                  registering peer (default P1)\n  \
+                 --strategy <s>               data-shipping | query-shipping | stream-sharing\n  \
+                 --after <q1,q2,...>          pre-register paper queries (enables sharing)"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn read_query_arg(arg: Option<&String>) -> Result<String, String> {
+    match arg.map(String::as_str) {
+        Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            Ok(buf)
+        }
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path:?}: {e}")),
+        None => Err("missing query file argument (use '-' for stdin)".into()),
+    }
+}
+
+fn parse_strategy(s: &str) -> Result<Strategy, String> {
+    match s {
+        "data-shipping" | "ds" => Ok(Strategy::DataShipping),
+        "query-shipping" | "qs" => Ok(Strategy::QueryShipping),
+        "stream-sharing" | "ss" => Ok(Strategy::StreamSharing),
+        other => Err(format!(
+            "unknown strategy {other:?} (expected data-shipping, query-shipping, or \
+             stream-sharing)"
+        )),
+    }
+}
+
+fn demo() -> ExitCode {
+    let mut system = example_network();
+    for (name, text, peer) in [
+        ("Q1", queries::Q1, "P1"),
+        ("Q2", queries::Q2, "P2"),
+        ("Q3", queries::Q3, "P3"),
+        ("Q4", queries::Q4, "P4"),
+    ] {
+        match system.register_query(name, text, peer, Strategy::StreamSharing) {
+            Ok(reg) => {
+                println!(
+                    "{name} at {peer}{}:",
+                    if reg.reused_derived_stream { " (shares an existing stream)" } else { "" }
+                );
+                print!("{}", reg.plan.describe(system.state()));
+            }
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let sim = system.run_simulation(Default::default());
+    println!("total network traffic: {} bytes", sim.metrics.total_edge_bytes());
+    ExitCode::SUCCESS
+}
+
+fn plan(args: &[String]) -> ExitCode {
+    let mut at = "P1".to_string();
+    let mut strategy = Strategy::StreamSharing;
+    let mut after: Vec<String> = Vec::new();
+    let mut query_arg: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--at" => match it.next() {
+                Some(p) => at = p.clone(),
+                None => return usage_error("--at requires a peer name"),
+            },
+            "--strategy" => match it.next().map(|s| parse_strategy(s)) {
+                Some(Ok(s)) => strategy = s,
+                Some(Err(e)) => return usage_error(&e),
+                None => return usage_error("--strategy requires a value"),
+            },
+            "--after" => match it.next() {
+                Some(list) => after = list.split(',').map(str::to_string).collect(),
+                None => return usage_error("--after requires a comma-separated list"),
+            },
+            _ if query_arg.is_none() => query_arg = Some(a.clone()),
+            other => return usage_error(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let text = match read_query_arg(query_arg.as_ref()) {
+        Ok(t) => t,
+        Err(e) => return usage_error(&e),
+    };
+
+    let mut system = example_network();
+    for q in &after {
+        let (name, text, peer) = match q.to_ascii_lowercase().as_str() {
+            "q1" => ("q1", queries::Q1, "P1"),
+            "q2" => ("q2", queries::Q2, "P2"),
+            "q3" => ("q3", queries::Q3, "P3"),
+            "q4" => ("q4", queries::Q4, "P4"),
+            other => return usage_error(&format!("--after only knows q1..q4, got {other:?}")),
+        };
+        if let Err(e) = system.register_query(name, text, peer, Strategy::StreamSharing) {
+            eprintln!("pre-registering {name} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match system.register_query("user-query", &text, &at, strategy) {
+        Ok(reg) => {
+            println!(
+                "plan ({strategy}, registered at {at}, {:?}){}:",
+                reg.elapsed,
+                if reg.reused_derived_stream { ", shares an existing stream" } else { "" }
+            );
+            print!("{}", reg.plan.describe(system.state()));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let text = match read_query_arg(args.first()) {
+        Ok(t) => t,
+        Err(e) => return usage_error(&e),
+    };
+    match compile_query(&text) {
+        Ok(q) => {
+            println!("input stream : {}", q.input_stream);
+            println!("stream root  : {} / item {}", q.stream_root, q.item_name);
+            println!("result root  : {}", q.result_root);
+            println!("properties   : {}", q.properties);
+            if let Some(agg) = &q.aggregation {
+                println!("aggregation  : {agg}");
+            }
+            if let Some(w) = &q.window_output {
+                println!("window output: {w}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}
+

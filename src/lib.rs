@@ -1,0 +1,73 @@
+//! # Data Stream Sharing
+//!
+//! A from-scratch Rust reproduction of *"Data Stream Sharing"* (Richard
+//! Kuntschke and Alfons Kemper, EDBT 2006): answering newly registered
+//! continuous queries over XML data streams in super-peer P2P networks by
+//! reusing — *sharing* — data streams that were generated for previously
+//! registered subscriptions.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`xml`] — streaming XML substrate (tokenizer, pull parser, trees,
+//!   child-axis paths, serializer, schemas, exact decimals).
+//! * [`wxquery`] — the WXQuery subscription language of the paper's
+//!   Definition 2.1 (lexer, parser, AST, semantic analysis, compilation).
+//! * [`predicate`] — conjunctive predicate graphs with satisfiability,
+//!   minimization, and implication tests.
+//! * [`properties`] — the properties representation of subscriptions and
+//!   streams, plus `MatchProperties` / `MatchPredicates` /
+//!   `MatchAggregations`.
+//! * [`engine`] — executable stream operators (selection, projection,
+//!   window aggregation, re-aggregation, restructuring).
+//! * [`network`] — the super-peer network simulator (topology, routing,
+//!   stream registry, traffic/load metrics).
+//! * [`core`] — the cost model, plan generation, the `Subscribe` algorithm,
+//!   the three registration strategies, and admission control.
+//! * [`rass`] — a synthetic ROSAT-All-Sky-Survey photon stream generator
+//!   and the paper's two benchmark scenarios.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use data_stream_sharing::prelude::*;
+//!
+//! // The paper's example network (Figures 1 and 2) with the photons stream
+//! // registered at super-peer SP4.
+//! let mut system = dss_rass::scenario::example_network();
+//!
+//! // Register the paper's Query 1 (the Vela supernova remnant region)
+//! // at peer SP1, using the stream-sharing strategy.
+//! let q1 = r#"
+//! <photons>
+//! { for $p in stream("photons")/photons/photon
+//!   where $p/coord/cel/ra >= 120.0 and $p/coord/cel/ra <= 138.0
+//!     and $p/coord/cel/dec >= -49.0 and $p/coord/cel/dec <= -40.0
+//!   return <vela> { $p/coord/cel/ra } { $p/coord/cel/dec }
+//!          { $p/phc } { $p/en } { $p/det_time } </vela> }
+//! </photons>"#;
+//! let reg = system
+//!     .register_query("q1", q1, "SP1", Strategy::StreamSharing)
+//!     .expect("query 1 registers");
+//! assert!(reg.plan.num_routed_streams() >= 1);
+//! ```
+
+pub use dss_core as core;
+pub use dss_engine as engine;
+pub use dss_network as network;
+pub use dss_predicate as predicate;
+pub use dss_properties as properties;
+pub use dss_rass as rass;
+pub use dss_wxquery as wxquery;
+pub use dss_xml as xml;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use dss_core::admission::AdmissionControl;
+    pub use dss_core::strategy::Strategy;
+    pub use dss_core::system::StreamGlobe;
+    pub use dss_network::topology::Topology;
+    pub use dss_properties::properties::Properties;
+    pub use dss_rass;
+    pub use dss_wxquery::parse_query;
+    pub use dss_xml::{Decimal, Node, Path};
+}

@@ -1,0 +1,98 @@
+//! Integration tests for the `dss` command-line front end.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn dss() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dss"))
+}
+
+#[test]
+fn no_args_prints_usage_and_exits_2() {
+    let out = dss().output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: dss"));
+}
+
+#[test]
+fn queries_prints_all_four_paper_queries() {
+    let out = dss().arg("queries").output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["Q1", "Q2", "Q3", "Q4"] {
+        assert!(stdout.contains(&format!("--- {name} ---")), "missing {name}");
+    }
+    assert!(stdout.contains("stream(\"photons\")"));
+}
+
+#[test]
+fn demo_reproduces_figure2_sharing() {
+    let out = dss().arg("demo").output().expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Q2 at P2 (shares an existing stream)"));
+    assert!(stdout.contains("reuse flow Q1/photons at SP5"));
+    assert!(stdout.contains("total network traffic:"));
+}
+
+#[test]
+fn plan_from_stdin_with_sharing_context() {
+    let mut child = dss()
+        .args(["plan", "-", "--at", "P2", "--after", "q1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(dss_wxquery::queries::Q2.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("finishes");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("shares an existing stream"));
+    assert!(stdout.contains("reuse flow q1/photons at SP5"));
+}
+
+#[test]
+fn check_reports_compile_errors() {
+    let mut child = dss()
+        .args(["check", "-"])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child.stdin.as_mut().unwrap().write_all(b"not a query").unwrap();
+    let out = child.wait_with_output().expect("finishes");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("syntax error"));
+}
+
+#[test]
+fn plan_rejects_bad_strategy_and_peer() {
+    let out = dss()
+        .args(["plan", "/nonexistent.xq", "--strategy", "teleport"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
+
+    let mut child = dss()
+        .args(["plan", "-", "--at", "P99"])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(dss_wxquery::queries::Q1.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("finishes");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown peer"));
+}

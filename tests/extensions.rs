@@ -1,0 +1,145 @@
+//! Integration tests for the implemented paper extensions, exercised
+//! through the public API: window-contents sharing, stream widening, and
+//! subscription unregistration.
+
+use data_stream_sharing::core::{Strategy, SystemError};
+use data_stream_sharing::network::SimConfig;
+use data_stream_sharing::wxquery::queries;
+use dss_rass::scenario::example_network;
+
+const FINE_WINDOWS: &str = r#"<photons>{ for $w in stream("photons")/photons/photon
+    [coord/cel/ra >= 120.0 and coord/cel/ra <= 138.0]
+    |det_time diff 20 step 10|
+    return <wnd>{ $w }</wnd> }</photons>"#;
+
+const COARSE_WINDOWS: &str = r#"<photons>{ for $w in stream("photons")/photons/photon
+    [coord/cel/ra >= 120.0 and coord/cel/ra <= 138.0]
+    |det_time diff 100 step 20|
+    return <wnd>{ $w }</wnd> }</photons>"#;
+
+/// Window-contents subscriptions share through re-windowing and deliver
+/// wrapped photon runs identical to unshared evaluation.
+#[test]
+fn window_contents_share_end_to_end() {
+    let mut shared = example_network();
+    shared.register_query("fine", FINE_WINDOWS, "P1", Strategy::StreamSharing).unwrap();
+    let reg = shared
+        .register_query("coarse", COARSE_WINDOWS, "P2", Strategy::StreamSharing)
+        .unwrap();
+    assert!(reg.reused_derived_stream);
+    let sim = shared.run_simulation(SimConfig::default());
+    let got = &sim.flow_outputs[reg.delivery_flow];
+    assert!(!got.is_empty());
+
+    let mut solo = example_network();
+    let solo_reg =
+        solo.register_query("coarse", COARSE_WINDOWS, "P2", Strategy::DataShipping).unwrap();
+    let solo_sim = solo.run_simulation(SimConfig::default());
+    assert_eq!(got, &solo_sim.flow_outputs[solo_reg.delivery_flow]);
+
+    // Every delivered window wraps in-region photons.
+    for wnd in got {
+        assert_eq!(wnd.name(), "wnd");
+        for p in wnd.children() {
+            let ra: f64 = p
+                .child("coord")
+                .and_then(|c| c.child("cel"))
+                .and_then(|c| c.child("ra"))
+                .and_then(|n| n.text())
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!((120.0..=138.0).contains(&ra));
+        }
+    }
+}
+
+/// Widening then unregistration interact safely: after the widening query
+/// leaves, the (still widened) stream keeps serving the original consumer
+/// correctly.
+#[test]
+fn widening_survives_unregistration_of_the_widener() {
+    let mut sys = example_network();
+    sys.set_widening(true);
+    let reg2 = sys.register_query("q2", queries::Q2, "P1", Strategy::StreamSharing).unwrap();
+    let reg1 = sys.register_query("q1", queries::Q1, "P3", Strategy::StreamSharing).unwrap();
+    assert!(reg1.plan.parts[0].widen.is_some(), "q1 should widen q2's stream");
+
+    // The widener leaves; q2 must keep its exact results.
+    sys.unregister_query("q1").unwrap();
+    let sim = sys.run_simulation(SimConfig::default());
+    let q2_results = &sim.flow_outputs[reg2.delivery_flow];
+
+    let mut solo = example_network();
+    let solo2 = solo.register_query("q2", queries::Q2, "P1", Strategy::DataShipping).unwrap();
+    let solo_sim = solo.run_simulation(SimConfig::default());
+    assert!(!q2_results.is_empty());
+    assert_eq!(q2_results, &solo_sim.flow_outputs[solo2.delivery_flow]);
+}
+
+/// Unregistering in arbitrary orders never corrupts remaining consumers.
+#[test]
+fn unregistration_orders_preserve_survivors() {
+    for drop_order in [["Q1", "Q3"], ["Q3", "Q1"]] {
+        let mut sys = example_network();
+        for (name, text, peer) in [
+            ("Q1", queries::Q1, "P1"),
+            ("Q2", queries::Q2, "P2"),
+            ("Q3", queries::Q3, "P3"),
+            ("Q4", queries::Q4, "P4"),
+        ] {
+            sys.register_query(name, text, peer, Strategy::StreamSharing).unwrap();
+        }
+        for q in drop_order {
+            sys.unregister_query(q).unwrap();
+        }
+        // Q2 and Q4 survive and still deliver the reference results.
+        let sim = sys.run_simulation(SimConfig::default());
+        let by_label = |label: &str| {
+            sys.deployment()
+                .flows()
+                .iter()
+                .position(|f| f.label == label)
+                .map(|i| sim.flow_outputs[i].clone())
+                .unwrap()
+        };
+        let mut solo = example_network();
+        let s2 = solo.register_query("Q2", queries::Q2, "P2", Strategy::DataShipping).unwrap();
+        let s4 = solo.register_query("Q4", queries::Q4, "P4", Strategy::DataShipping).unwrap();
+        let solo_sim = solo.run_simulation(SimConfig::default());
+        assert_eq!(
+            by_label("Q2/result"),
+            solo_sim.flow_outputs[s2.delivery_flow],
+            "drop order {drop_order:?}"
+        );
+        assert_eq!(
+            by_label("Q4/result"),
+            solo_sim.flow_outputs[s4.delivery_flow],
+            "drop order {drop_order:?}"
+        );
+    }
+}
+
+/// Double unregistration errors cleanly.
+#[test]
+fn double_unregistration_errors() {
+    let mut sys = example_network();
+    sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing).unwrap();
+    sys.unregister_query("q1").unwrap();
+    assert!(matches!(sys.unregister_query("q1"), Err(SystemError::UnknownQuery(_))));
+}
+
+/// The extensions compose: window-contents queries can be unregistered and
+/// the retired streams stop being shared.
+#[test]
+fn window_contents_unregistration() {
+    let mut sys = example_network();
+    sys.register_query("fine", FINE_WINDOWS, "P1", Strategy::StreamSharing).unwrap();
+    sys.unregister_query("fine").unwrap();
+    let reg = sys
+        .register_query("coarse", COARSE_WINDOWS, "P2", Strategy::StreamSharing)
+        .unwrap();
+    assert!(!reg.reused_derived_stream, "retired window stream must not be reused");
+    let sim = sys.run_simulation(SimConfig::default());
+    assert!(!sim.flow_outputs[reg.delivery_flow].is_empty());
+}

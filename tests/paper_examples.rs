@@ -1,0 +1,144 @@
+//! End-to-end integration tests over the paper's running example: the four
+//! queries of Sections 1–2 on the Figure-1/2 network.
+
+use data_stream_sharing::core::{Strategy, StreamGlobe};
+use data_stream_sharing::network::{FlowOp, SimConfig};
+use data_stream_sharing::wxquery::queries;
+use dss_rass::scenario::example_network;
+
+fn register_all(system: &mut StreamGlobe, strategy: Strategy) -> Vec<dss_core::Registration> {
+    [("Q1", queries::Q1, "P1"), ("Q2", queries::Q2, "P2"), ("Q3", queries::Q3, "P3"), ("Q4", queries::Q4, "P4")]
+        .into_iter()
+        .map(|(id, text, peer)| {
+            system.register_query(id, text, peer, strategy).unwrap_or_else(|e| panic!("{id}: {e}"))
+        })
+        .collect()
+}
+
+/// The narrative of Section 1, Figure 2: Query 1 is computed at SP4 and
+/// routed to P1 via SP5 and SP1; Query 2 reuses the stream at SP5 and is
+/// routed to P2 via SP7.
+#[test]
+fn figure2_plan_shapes() {
+    let mut system = example_network();
+    let regs = register_all(&mut system, Strategy::StreamSharing);
+    let topo = system.topology();
+    let name = |id: usize| topo.peer(id).name.clone();
+
+    // Q1: operators pushed to SP4; result stream SP4 → SP0 → SP5 → SP1.
+    let q1 = &regs[0].plan.parts[0];
+    assert_eq!(name(q1.tap_node), "SP4");
+    assert_eq!(
+        q1.route.iter().map(|&n| name(n)).collect::<Vec<_>>(),
+        ["SP4", "SP0", "SP5", "SP1"]
+    );
+
+    // Q2: duplicates Q1's stream at SP5, further filters, routes to SP7.
+    let q2 = &regs[1].plan.parts[0];
+    assert!(regs[1].reused_derived_stream);
+    assert_eq!(name(q2.tap_node), "SP5");
+    assert_eq!(*q2.route.last().unwrap(), topo.expect_node("SP7"));
+
+    // Q4 reuses Q3's aggregate stream through a re-aggregation operator.
+    let q4 = &regs[3].plan.parts[0];
+    assert!(regs[3].reused_derived_stream);
+    assert!(q4.ops.iter().any(|op| matches!(op, FlowOp::ReAggregate { .. })));
+}
+
+/// Delivered results are byte-identical across strategies: sharing is an
+/// optimization, not a semantics change.
+#[test]
+fn results_identical_across_strategies() {
+    let collect = |strategy: Strategy| {
+        let mut system = example_network();
+        let regs = register_all(&mut system, strategy);
+        let sim = system.run_simulation(SimConfig::default());
+        regs.iter().map(|r| sim.flow_outputs[r.delivery_flow].clone()).collect::<Vec<_>>()
+    };
+    let baseline = collect(Strategy::DataShipping);
+    for strategy in [Strategy::QueryShipping, Strategy::StreamSharing] {
+        let got = collect(strategy);
+        for (i, (b, g)) in baseline.iter().zip(&got).enumerate() {
+            assert_eq!(b, g, "query {} differs under {strategy}", i + 1);
+        }
+    }
+    // And the queries actually produce data.
+    for (i, results) in baseline.iter().enumerate() {
+        assert!(!results.is_empty(), "query {} delivered nothing", i + 1);
+    }
+}
+
+/// Query 2's results are contained in Query 1's (the containment that makes
+/// sharing possible): every rxj photon position also appears in some vela
+/// result item.
+#[test]
+fn q2_results_contained_in_q1() {
+    let mut system = example_network();
+    let regs = register_all(&mut system, Strategy::StreamSharing);
+    let sim = system.run_simulation(SimConfig::default());
+    let q1_items = &sim.flow_outputs[regs[0].delivery_flow];
+    let q2_items = &sim.flow_outputs[regs[1].delivery_flow];
+    assert!(!q2_items.is_empty());
+    let q1_keys: std::collections::BTreeSet<(String, String)> = q1_items
+        .iter()
+        .map(|n| {
+            (
+                n.child("ra").unwrap().text().unwrap().to_string(),
+                n.child("det_time").unwrap().text().unwrap().to_string(),
+            )
+        })
+        .collect();
+    for item in q2_items {
+        let key = (
+            item.child("ra").unwrap().text().unwrap().to_string(),
+            item.child("det_time").unwrap().text().unwrap().to_string(),
+        );
+        assert!(q1_keys.contains(&key), "rxj item {key:?} not in vela results");
+    }
+}
+
+/// Every Q2 result satisfies Q2's predicate (selection correctness through
+/// the shared path).
+#[test]
+fn q2_results_satisfy_predicate() {
+    let mut system = example_network();
+    let regs = register_all(&mut system, Strategy::StreamSharing);
+    let sim = system.run_simulation(SimConfig::default());
+    for item in &sim.flow_outputs[regs[1].delivery_flow] {
+        let ra: f64 = item.child("ra").unwrap().text().unwrap().parse().unwrap();
+        let en: f64 = item.child("en").unwrap().text().unwrap().parse().unwrap();
+        assert!((130.5..=135.5).contains(&ra), "ra {ra} outside RX J0852.0-4622");
+        assert!(en >= 1.3, "en {en} below the cut");
+    }
+}
+
+/// Q4's filtered averages all satisfy `$a >= 1.3` and parse as decimals.
+#[test]
+fn q4_results_respect_filter() {
+    let mut system = example_network();
+    let regs = register_all(&mut system, Strategy::StreamSharing);
+    let sim = system.run_simulation(SimConfig::default());
+    let q4_items = &sim.flow_outputs[regs[3].delivery_flow];
+    assert!(!q4_items.is_empty(), "Q4 should deliver filtered averages");
+    for item in q4_items {
+        assert_eq!(item.name(), "avg_en");
+        let v: f64 = item.text().unwrap().parse().unwrap();
+        assert!(v >= 1.3, "avg {v} violates the filter");
+    }
+}
+
+/// Registering the same four queries under stream sharing transmits fewer
+/// bytes than both baselines (Figures 1 vs. 2).
+#[test]
+fn sharing_reduces_total_traffic() {
+    let totals: Vec<u64> = Strategy::ALL
+        .into_iter()
+        .map(|strategy| {
+            let mut system = example_network();
+            register_all(&mut system, strategy);
+            system.run_simulation(SimConfig::default()).metrics.total_edge_bytes()
+        })
+        .collect();
+    assert!(totals[0] > totals[1], "data shipping {} ≤ query shipping {}", totals[0], totals[1]);
+    assert!(totals[1] > totals[2], "query shipping {} ≤ stream sharing {}", totals[1], totals[2]);
+}

@@ -1,0 +1,160 @@
+//! Integration tests over the paper's two evaluation scenarios: the
+//! qualitative shapes of Figures 6/7, Table 1, and the rejection
+//! experiment, asserted end-to-end.
+
+use data_stream_sharing::core::{AdmissionControl, Strategy};
+use data_stream_sharing::network::SimConfig;
+use data_stream_sharing::rass::Scenario;
+
+fn sim_cfg(s: &Scenario) -> SimConfig {
+    SimConfig {
+        duration_s: s.streams[0].items.len() as f64 / s.streams[0].frequency,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn scenario1_figure6_shapes() {
+    let scenario = Scenario::scenario1(42);
+    let mut totals = Vec::new();
+    let mut peaks = Vec::new();
+    let mut cpu_totals = Vec::new();
+    let topo = scenario.topology.clone();
+    let sp4 = topo.expect_node("SP4");
+    for strategy in Strategy::ALL {
+        let out = scenario.run(strategy, false);
+        assert_eq!(out.registrations.len(), 25, "{strategy}: {:?}", out.errored);
+        let sim = out.simulate(sim_cfg(&scenario));
+        totals.push(sim.metrics.total_edge_bytes());
+        let loads: Vec<f64> =
+            topo.super_peers().iter().map(|&v| sim.metrics.node_load_pct(&topo, v)).collect();
+        peaks.push((
+            loads.iter().cloned().fold(0.0, f64::max),
+            sim.metrics.node_load_pct(&topo, sp4),
+        ));
+        cpu_totals.push(loads.iter().sum::<f64>());
+    }
+    // Traffic: data shipping ≫ query shipping > stream sharing.
+    assert!(totals[0] > totals[1] && totals[1] > totals[2], "traffic ordering: {totals:?}");
+    // Query shipping produces a massive peak at the source super-peer SP4.
+    let (qs_peak, qs_sp4) = peaks[1];
+    assert!(
+        (qs_peak - qs_sp4).abs() < 1e-9,
+        "query shipping's CPU peak must be at SP4 (peak {qs_peak}, SP4 {qs_sp4})"
+    );
+    // Stream sharing causes the least overall CPU load.
+    assert!(
+        cpu_totals[2] < cpu_totals[0] && cpu_totals[2] < cpu_totals[1],
+        "stream sharing total CPU should be lowest: {cpu_totals:?}"
+    );
+}
+
+#[test]
+fn scenario2_figure7_shapes() {
+    let scenario = Scenario::scenario2(42);
+    let topo = scenario.topology.clone();
+    let mut totals = Vec::new();
+    for strategy in Strategy::ALL {
+        let out = scenario.run(strategy, false);
+        assert_eq!(out.registrations.len(), 100, "{strategy}: {:?}", out.errored);
+        let sim = out.simulate(sim_cfg(&scenario));
+        totals.push(sim.metrics.total_edge_bytes());
+        if strategy == Strategy::QueryShipping {
+            // The CPU peaks sit at the stream sources SP0 and SP15.
+            let loads: Vec<(String, f64)> = topo
+                .super_peers()
+                .iter()
+                .map(|&v| (topo.peer(v).name.clone(), sim.metrics.node_load_pct(&topo, v)))
+                .collect();
+            let mut sorted = loads.clone();
+            sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let top2: Vec<&str> = sorted[..2].iter().map(|(n, _)| n.as_str()).collect();
+            assert!(
+                top2.contains(&"SP0") && top2.contains(&"SP15"),
+                "query shipping peaks must be the source peers, got {sorted:?}"
+            );
+        }
+    }
+    assert!(totals[0] > totals[1] && totals[1] > totals[2], "traffic ordering: {totals:?}");
+}
+
+#[test]
+fn registration_times_within_small_factor() {
+    // Table 1's qualitative claim: "The stream sharing approach stays
+    // within a factor of 3 of the other two much simpler approaches."
+    // Wall-clock measurements are noisy in CI, so allow a wide margin while
+    // still catching pathological blowups.
+    let scenario = Scenario::scenario1(42);
+    let avg = |strategy: Strategy| {
+        let out = scenario.run(strategy, false);
+        let total: std::time::Duration = out.registrations.iter().map(|r| r.elapsed).sum();
+        total.as_secs_f64() / out.registrations.len() as f64
+    };
+    let ds = avg(Strategy::DataShipping);
+    let ss = avg(Strategy::StreamSharing);
+    assert!(
+        ss < ds * 60.0,
+        "stream sharing registration ({ss:.6}s) should stay within a small factor of \
+         data shipping ({ds:.6}s)"
+    );
+}
+
+#[test]
+fn rejection_experiment_shape() {
+    let scenario = Scenario::scenario2(42);
+    let mut rejected = Vec::new();
+    for strategy in Strategy::ALL {
+        let mut system = scenario.build_system();
+        AdmissionControl::apply_caps(&mut system, 0.10, 1_000.0);
+        let batch: Vec<(String, String, String)> = scenario
+            .queries
+            .iter()
+            .map(|q| (q.id.clone(), q.text.clone(), q.peer.clone()))
+            .collect();
+        let report = AdmissionControl::register_batch(&mut system, &batch, strategy);
+        assert!(report.errored.is_empty(), "{strategy}: {:?}", report.errored);
+        assert_eq!(report.accepted_count() + report.rejected_count(), 100);
+        rejected.push(report.rejected_count());
+    }
+    // Paper: 47 / 35 / 2.
+    assert!(
+        rejected[0] > rejected[1],
+        "data shipping should reject more than query shipping: {rejected:?}"
+    );
+    assert!(
+        rejected[1] > rejected[2],
+        "query shipping should reject more than stream sharing: {rejected:?}"
+    );
+    assert!(rejected[2] <= 5, "stream sharing rejects almost nothing: {rejected:?}");
+}
+
+#[test]
+fn sharing_reuses_many_streams_in_scenario1() {
+    let scenario = Scenario::scenario1(42);
+    let out = scenario.run(Strategy::StreamSharing, false);
+    let reused = out.registrations.iter().filter(|r| r.reused_derived_stream).count();
+    // The template value sets are small; a decent share of the 25 queries
+    // must land on previously generated streams.
+    assert!(reused >= 5, "only {reused} of 25 queries reused derived streams");
+}
+
+#[test]
+fn different_seeds_preserve_shapes() {
+    for seed in [1u64, 7, 1234] {
+        let scenario = Scenario::scenario1(seed);
+        let mut totals = Vec::new();
+        for strategy in Strategy::ALL {
+            let out = scenario.run(strategy, false);
+            assert!(out.errored.is_empty(), "seed {seed}, {strategy}: {:?}", out.errored);
+            totals.push(out.simulate(sim_cfg(&scenario)).metrics.total_edge_bytes());
+        }
+        assert!(
+            totals[0] > totals[2],
+            "seed {seed}: sharing must beat data shipping ({totals:?})"
+        );
+        assert!(
+            totals[1] >= totals[2],
+            "seed {seed}: sharing must not exceed query shipping ({totals:?})"
+        );
+    }
+}
