@@ -1,0 +1,101 @@
+//! Allocation churn on the per-item hot path: a σ→Π→ρ chain driven through
+//! the sink API with one reused output buffer, plus the same chain through
+//! the allocating compatibility wrappers — the spread between the two is
+//! what buffer reuse buys.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dss_engine::{build_pipeline, Emit, Pipeline, RestructureOp, StreamOperator, Template};
+use dss_predicate::{Atom, CompOp, PredicateGraph};
+use dss_properties::{Operator, ProjectionSpec};
+use dss_rass::default_photons;
+use dss_xml::{Decimal, Node, Path};
+
+fn p(s: &str) -> Path {
+    s.parse().unwrap()
+}
+
+/// σ (Vela region) → Π (three paths) as a properties operator chain.
+fn chain() -> Vec<Operator> {
+    vec![
+        Operator::Selection(PredicateGraph::from_atoms(&[
+            Atom::var_const(p("coord/cel/ra"), CompOp::Ge, Decimal::from_int(120)),
+            Atom::var_const(p("coord/cel/ra"), CompOp::Le, Decimal::from_int(138)),
+            Atom::var_const(p("coord/cel/dec"), CompOp::Ge, Decimal::from_int(-49)),
+            Atom::var_const(p("coord/cel/dec"), CompOp::Le, Decimal::from_int(-40)),
+        ])),
+        Operator::Projection(ProjectionSpec::returning([
+            p("coord/cel/ra"),
+            p("coord/cel/dec"),
+            p("en"),
+        ])),
+    ]
+}
+
+fn restructurer() -> RestructureOp {
+    RestructureOp::new(Template::element(
+        "vela",
+        vec![
+            Template::Subtree(p("coord/cel/ra")),
+            Template::Subtree(p("coord/cel/dec")),
+            Template::Subtree(p("en")),
+        ],
+    ))
+}
+
+fn run_sink(pipe: &mut Pipeline, post: &mut RestructureOp, items: &[Node]) -> usize {
+    let mut stage = Emit::new();
+    let mut sink = Emit::new();
+    let mut n = 0usize;
+    for item in items {
+        pipe.process_into(item, &mut stage);
+        for mid in &stage {
+            post.process_into(mid, &mut sink);
+        }
+        n += sink.len();
+        stage.clear();
+        sink.clear();
+    }
+    pipe.flush_into(&mut stage);
+    for mid in &stage {
+        post.process_into(mid, &mut sink);
+    }
+    n + sink.len()
+}
+
+fn run_collect(pipe: &mut Pipeline, post: &mut RestructureOp, items: &[Node]) -> usize {
+    use dss_engine::StreamOperatorExt;
+    let mut n = 0usize;
+    for item in items {
+        for mid in pipe.process(item) {
+            n += post.process_collect(&mid).len();
+        }
+    }
+    for mid in pipe.flush() {
+        n += post.process_collect(&mid).len();
+    }
+    n
+}
+
+fn bench_node_churn(c: &mut Criterion) {
+    let items = default_photons(23, 10_000);
+    let mut g = c.benchmark_group("node-churn/select-project-restructure");
+    g.throughput(Throughput::Elements(items.len() as u64));
+    g.bench_function("sink-reused-buffers", |b| {
+        b.iter(|| {
+            let mut pipe = build_pipeline(&chain());
+            let mut post = restructurer();
+            run_sink(&mut pipe, &mut post, &items)
+        })
+    });
+    g.bench_function("collect-per-item", |b| {
+        b.iter(|| {
+            let mut pipe = build_pipeline(&chain());
+            let mut post = restructurer();
+            run_collect(&mut pipe, &mut post, &items)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_node_churn);
+criterion_main!(benches);

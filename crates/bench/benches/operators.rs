@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dss_engine::{
-    build_pipeline, ProjectOp, RestructureOp, SelectOp, StreamOperator, Template,
+    build_pipeline, Emit, ProjectOp, RestructureOp, SelectOp, StreamOperator, Template,
 };
 use dss_predicate::{Atom, CompOp, PredicateGraph};
 use dss_properties::{Operator, ProjectionSpec};
@@ -35,7 +35,14 @@ fn bench_select(c: &mut Criterion) {
     g.bench_function("vela-region", |b| {
         b.iter(|| {
             let mut op = SelectOp::new(vela_selection());
-            items.iter().map(|i| op.process(i).len()).sum::<usize>()
+            let mut out = Emit::new();
+            let mut n = 0usize;
+            for i in &items {
+                op.process_into(i, &mut out);
+                n += out.len();
+                out.clear();
+            }
+            n
         })
     });
     g.finish();
@@ -49,7 +56,14 @@ fn bench_project(c: &mut Criterion) {
     g.bench_function("three-paths", |b| {
         b.iter(|| {
             let mut op = ProjectOp::new(spec.clone());
-            items.iter().map(|i| op.process(i).len()).sum::<usize>()
+            let mut out = Emit::new();
+            let mut n = 0usize;
+            for i in &items {
+                op.process_into(i, &mut out);
+                n += out.len();
+                out.clear();
+            }
+            n
         })
     });
     g.finish();
@@ -71,7 +85,14 @@ fn bench_restructure(c: &mut Criterion) {
     g.bench_function("q1-template", |b| {
         b.iter(|| {
             let mut op = RestructureOp::new(template.clone());
-            items.iter().map(|i| op.process(i).len()).sum::<usize>()
+            let mut out = Emit::new();
+            let mut n = 0usize;
+            for i in &items {
+                op.process_into(i, &mut out);
+                n += out.len();
+                out.clear();
+            }
+            n
         })
     });
     g.finish();
@@ -87,11 +108,15 @@ fn bench_full_query_chains(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let mut pipe = build_pipeline(&chain);
+                let mut sink = Emit::new();
                 let mut out = 0usize;
                 for item in &items {
-                    out += pipe.process(item).len();
+                    pipe.process_into(item, &mut sink);
+                    out += sink.len();
+                    sink.clear();
                 }
-                out + pipe.flush().len()
+                pipe.flush_into(&mut sink);
+                out + sink.len()
             })
         });
     }

@@ -3,9 +3,7 @@
 //! paper-literal edgewise algorithm) as predicate size grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dss_predicate::{
-    match_predicates, match_predicates_edgewise, Atom, CompOp, PredicateGraph,
-};
+use dss_predicate::{match_predicates, match_predicates_edgewise, Atom, CompOp, PredicateGraph};
 use dss_xml::{Decimal, Path};
 
 fn d(v: f64) -> Decimal {
@@ -18,8 +16,16 @@ fn range_atoms(vars: usize, tightness: f64) -> Vec<Atom> {
     let mut atoms = Vec::new();
     for i in 0..vars {
         let var: Path = format!("e{i}").parse().unwrap();
-        atoms.push(Atom::var_const(var.clone(), CompOp::Ge, d(10.0 * i as f64 + tightness)));
-        atoms.push(Atom::var_const(var.clone(), CompOp::Le, d(10.0 * i as f64 + 50.0 - tightness)));
+        atoms.push(Atom::var_const(
+            var.clone(),
+            CompOp::Ge,
+            d(10.0 * i as f64 + tightness),
+        ));
+        atoms.push(Atom::var_const(
+            var.clone(),
+            CompOp::Le,
+            d(10.0 * i as f64 + 50.0 - tightness),
+        ));
         if i + 1 < vars {
             let next: Path = format!("e{}", i + 1).parse().unwrap();
             atoms.push(Atom::var_var(var, CompOp::Le, next, d(1.0)));
@@ -65,5 +71,10 @@ fn bench_matching(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_construction, bench_satisfiability, bench_matching);
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_satisfiability,
+    bench_matching
+);
 criterion_main!(benches);

@@ -18,7 +18,12 @@ fn loaded_system(n: usize) -> (StreamGlobe, String) {
             .expect("scenario query registers");
     }
     // The probe query planned (but not installed) inside the benchmark.
-    let probe = scenario.queries.last().expect("scenario has queries").text.clone();
+    let probe = scenario
+        .queries
+        .last()
+        .expect("scenario has queries")
+        .text
+        .clone();
     (system, probe)
 }
 
@@ -50,11 +55,18 @@ fn bench_vs_network_size(c: &mut Criterion) {
         for i in 0..8 {
             let peer = format!("SP{}", (i * dim * dim / 8) % (dim * dim));
             system
-                .register_query(format!("q{i}"), &tgen.next_query(), &peer, Strategy::StreamSharing)
+                .register_query(
+                    format!("q{i}"),
+                    &tgen.next_query(),
+                    &peer,
+                    Strategy::StreamSharing,
+                )
                 .expect("query registers");
         }
         let probe = compile_query(&tgen.next_query()).expect("probe compiles");
-        let v_q = system.topology().expect_node(&format!("SP{}", dim * dim - 1));
+        let v_q = system
+            .topology()
+            .expect_node(&format!("SP{}", dim * dim - 1));
         g.bench_with_input(BenchmarkId::from_parameter(dim * dim), &dim, |b, _| {
             b.iter(|| {
                 subscribe(system.state(), &probe, v_q, v_q, SearchOrder::Bfs, false)
@@ -79,5 +91,10 @@ fn bench_bfs_vs_dfs(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_vs_registered_queries, bench_vs_network_size, bench_bfs_vs_dfs);
+criterion_group!(
+    benches,
+    bench_vs_registered_queries,
+    bench_vs_network_size,
+    bench_bfs_vs_dfs
+);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! aggregate.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dss_engine::{AggregateOp, ReAggregateOp, StreamOperator};
+use dss_engine::{AggregateOp, Emit, ReAggregateOp, StreamOperator, StreamOperatorExt};
 use dss_predicate::PredicateGraph;
 use dss_properties::{AggOp, AggregationSpec, ResultFilter, WindowSpec};
 use dss_rass::{GeneratorConfig, PhotonGenerator};
@@ -25,8 +25,11 @@ fn spec(size: u32, step: u32) -> AggregationSpec {
 }
 
 fn photons(n: usize) -> Vec<Node> {
-    let cfg =
-        GeneratorConfig { seed: 99, mean_time_increment: 0.1, ..GeneratorConfig::default() };
+    let cfg = GeneratorConfig {
+        seed: 99,
+        mean_time_increment: 0.1,
+        ..GeneratorConfig::default()
+    };
     PhotonGenerator::new(cfg).generate_items(n)
 }
 
@@ -39,30 +42,38 @@ fn bench_direct_vs_shared(c: &mut Criterion) {
     let mut fine_op = AggregateOp::new(fine.clone());
     let mut partials: Vec<Node> = Vec::new();
     for item in &items {
-        partials.extend(fine_op.process(item));
+        partials.extend(fine_op.process_collect(item));
     }
-    partials.extend(fine_op.flush());
+    partials.extend(fine_op.flush_collect());
 
     let mut g = c.benchmark_group("window/coarse-aggregate");
     g.throughput(Throughput::Elements(items.len() as u64));
     g.bench_function("direct-from-raw", |b| {
         b.iter(|| {
             let mut op = AggregateOp::new(coarse.clone());
+            let mut sink = Emit::new();
             let mut out = 0usize;
             for item in &items {
-                out += op.process(item).len();
+                op.process_into(item, &mut sink);
+                out += sink.len();
+                sink.clear();
             }
-            out + op.flush().len()
+            op.flush_into(&mut sink);
+            out + sink.len()
         })
     });
     g.bench_function("shared-from-partials", |b| {
         b.iter(|| {
             let mut op = ReAggregateOp::new(fine.clone(), coarse.clone());
+            let mut sink = Emit::new();
             let mut out = 0usize;
             for partial in &partials {
-                out += op.process(partial).len();
+                op.process_into(partial, &mut sink);
+                out += sink.len();
+                sink.clear();
             }
-            out + op.flush().len()
+            op.flush_into(&mut sink);
+            out + sink.len()
         })
     });
     g.finish();
@@ -81,11 +92,15 @@ fn bench_aggregate_throughput_by_overlap(c: &mut Criterion) {
             |b, s| {
                 b.iter(|| {
                     let mut op = AggregateOp::new(s.clone());
+                    let mut sink = Emit::new();
                     let mut out = 0usize;
                     for item in &items {
-                        out += op.process(item).len();
+                        op.process_into(item, &mut sink);
+                        out += sink.len();
+                        sink.clear();
                     }
-                    out + op.flush().len()
+                    op.flush_into(&mut sink);
+                    out + sink.len()
                 })
             },
         );
@@ -93,5 +108,9 @@ fn bench_aggregate_throughput_by_overlap(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_direct_vs_shared, bench_aggregate_throughput_by_overlap);
+criterion_group!(
+    benches,
+    bench_direct_vs_shared,
+    bench_aggregate_throughput_by_overlap
+);
 criterion_main!(benches);

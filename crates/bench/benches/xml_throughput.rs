@@ -73,7 +73,13 @@ fn bench_serializer(c: &mut Criterion) {
     let mut g = c.benchmark_group("xml/serializer");
     g.throughput(Throughput::Bytes(bytes as u64));
     g.bench_function("to-string", |b| {
-        b.iter(|| items.iter().map(node_to_string).map(|s| s.len()).sum::<usize>())
+        b.iter(|| {
+            items
+                .iter()
+                .map(node_to_string)
+                .map(|s| s.len())
+                .sum::<usize>()
+        })
     });
     g.bench_function("size-only", |b| {
         b.iter(|| items.iter().map(serialized_size).sum::<usize>())
@@ -81,5 +87,10 @@ fn bench_serializer(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tokenizer, bench_stream_reader, bench_serializer);
+criterion_group!(
+    benches,
+    bench_tokenizer,
+    bench_stream_reader,
+    bench_serializer
+);
 criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! regenerated tables plus shape verdicts (who wins, where the peaks are).
 
 use dss_bench::experiments::{
-    fig6, fig7, gamma_sweep, motivating, rejections, render_table1, scalability, table1,
-    verdicts, widening_ablation, DEFAULT_SEED,
+    fig6, fig7, gamma_sweep, motivating, rejections, render_table1, scalability, table1, verdicts,
+    widening_ablation, DEFAULT_SEED,
 };
 use dss_core::Strategy;
 

@@ -4,7 +4,10 @@
 use dss_bench::experiments::{fig6, DEFAULT_SEED};
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
     let data = fig6(seed);
     println!("{}", data.cpu.render());
     println!("{}", data.traffic.render());

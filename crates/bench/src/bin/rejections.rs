@@ -5,7 +5,10 @@ use dss_bench::experiments::{rejections, DEFAULT_SEED};
 use dss_core::Strategy;
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
     let rej = rejections(seed);
     println!("rejections with 10 % CPU / 1 Mbit/s caps (scenario 2, 100 queries):");
     for (strategy, (acc, rejd)) in Strategy::ALL.into_iter().zip(rej) {

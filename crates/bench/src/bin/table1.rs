@@ -3,6 +3,9 @@
 use dss_bench::experiments::{render_table1, table1, DEFAULT_SEED};
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
     println!("{}", render_table1(&table1(seed)));
 }

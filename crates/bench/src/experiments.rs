@@ -69,7 +69,10 @@ impl SeriesTable {
 
     /// Maximum of one strategy's series.
     pub fn peak(&self, strategy_idx: usize) -> f64 {
-        self.columns[strategy_idx].iter().copied().fold(0.0, f64::max)
+        self.columns[strategy_idx]
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
     }
 }
 
@@ -108,9 +111,16 @@ pub fn fig6(seed: u64) -> FigureData {
     let mut traffic_cols: [Vec<f64>; 3] = Default::default();
     for (i, strategy) in Strategy::ALL.into_iter().enumerate() {
         let outcome = scenario.run(strategy, false);
-        assert!(outcome.errored.is_empty(), "{strategy}: {:?}", outcome.errored);
+        assert!(
+            outcome.errored.is_empty(),
+            "{strategy}: {:?}",
+            outcome.errored
+        );
         let sim = outcome.simulate(cfg);
-        cpu_cols[i] = sps.iter().map(|&v| sim.metrics.node_load_pct(&topo, v)).collect();
+        cpu_cols[i] = sps
+            .iter()
+            .map(|&v| sim.metrics.node_load_pct(&topo, v))
+            .collect();
         traffic_cols[i] = edges.iter().map(|&e| sim.metrics.edge_kbps(e)).collect();
     }
     FigureData {
@@ -141,10 +151,20 @@ pub fn fig7(seed: u64) -> FigureData {
     let mut acc_cols: [Vec<f64>; 3] = Default::default();
     for (i, strategy) in Strategy::ALL.into_iter().enumerate() {
         let outcome = scenario.run(strategy, false);
-        assert!(outcome.errored.is_empty(), "{strategy}: {:?}", outcome.errored);
+        assert!(
+            outcome.errored.is_empty(),
+            "{strategy}: {:?}",
+            outcome.errored
+        );
         let sim = outcome.simulate(cfg);
-        cpu_cols[i] = sps.iter().map(|&v| sim.metrics.node_load_pct(&topo, v)).collect();
-        acc_cols[i] = sps.iter().map(|&v| sim.metrics.node_acc_traffic_mbit(v)).collect();
+        cpu_cols[i] = sps
+            .iter()
+            .map(|&v| sim.metrics.node_load_pct(&topo, v))
+            .collect();
+        acc_cols[i] = sps
+            .iter()
+            .map(|&v| sim.metrics.node_acc_traffic_mbit(v))
+            .collect();
     }
     FigureData {
         cpu: SeriesTable {
@@ -181,9 +201,12 @@ pub fn table1(seed: u64) -> [[RegTimes; 2]; 3] {
     for (si, strategy) in Strategy::ALL.into_iter().enumerate() {
         for (ci, scenario) in scenarios.iter().enumerate() {
             let outcome = scenario.run(strategy, false);
-            assert!(outcome.errored.is_empty(), "{strategy}: {:?}", outcome.errored);
-            let times: Vec<Duration> =
-                outcome.registrations.iter().map(|r| r.elapsed).collect();
+            assert!(
+                outcome.errored.is_empty(),
+                "{strategy}: {:?}",
+                outcome.errored
+            );
+            let times: Vec<Duration> = outcome.registrations.iter().map(|r| r.elapsed).collect();
             let sum: Duration = times.iter().sum();
             out[si][ci] = RegTimes {
                 average: sum / times.len() as u32,
@@ -239,7 +262,11 @@ pub fn rejections(seed: u64) -> [(usize, usize); 3] {
             .map(|q| (q.id.clone(), q.text.clone(), q.peer.clone()))
             .collect();
         let report = AdmissionControl::register_batch(&mut system, &batch, strategy);
-        assert!(report.errored.is_empty(), "{strategy}: {:?}", report.errored);
+        assert!(
+            report.errored.is_empty(),
+            "{strategy}: {:?}",
+            report.errored
+        );
         out[i] = (report.accepted_count(), report.rejected_count());
     }
     out
@@ -248,8 +275,12 @@ pub fn rejections(seed: u64) -> [(usize, usize); 3] {
 /// E7 — the motivating example (Figures 1/2): per-strategy total traffic
 /// for the paper's Queries 1–4 on the example network.
 pub fn motivating() -> SeriesTable {
-    let placements =
-        [("Q1", queries::Q1, "P1"), ("Q2", queries::Q2, "P2"), ("Q3", queries::Q3, "P3"), ("Q4", queries::Q4, "P4")];
+    let placements = [
+        ("Q1", queries::Q1, "P1"),
+        ("Q2", queries::Q2, "P2"),
+        ("Q3", queries::Q3, "P3"),
+        ("Q4", queries::Q4, "P4"),
+    ];
     let mut columns: [Vec<f64>; 3] = Default::default();
     for (i, strategy) in Strategy::ALL.into_iter().enumerate() {
         let mut system = dss_rass::scenario::example_network();
@@ -258,7 +289,10 @@ pub fn motivating() -> SeriesTable {
                 .register_query(name, text, peer, strategy)
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
-        let sim = system.run_simulation(SimConfig { duration_s: 500.0, ..SimConfig::default() });
+        let sim = system.run_simulation(SimConfig {
+            duration_s: 500.0,
+            ..SimConfig::default()
+        });
         let topo = system.topology();
         columns[i] = topo
             .super_peers()
@@ -271,7 +305,11 @@ pub fn motivating() -> SeriesTable {
         title: "Motivating example (Figures 1/2): accumulated traffic (MBit) per super-peer, \
                 Queries 1–4"
             .into(),
-        labels: topo.super_peers().iter().map(|&v| topo.peer(v).name.clone()).collect(),
+        labels: topo
+            .super_peers()
+            .iter()
+            .map(|&v| topo.peer(v).name.clone())
+            .collect(),
         columns,
     }
 }
@@ -379,15 +417,9 @@ pub fn scalability(seed: u64) -> Vec<ScalabilityRow> {
                     let compiled = compile_query(&text).expect("template compiles");
                     let v_q = system.topology().expect_node(&peer);
                     let start = std::time::Instant::now();
-                    let (_, stats) = subscribe(
-                        system.state(),
-                        &compiled,
-                        v_q,
-                        v_q,
-                        SearchOrder::Bfs,
-                        false,
-                    )
-                    .expect("plan found");
+                    let (_, stats) =
+                        subscribe(system.state(), &compiled, v_q, v_q, SearchOrder::Bfs, false)
+                            .expect("plan found");
                     times.push(start.elapsed());
                     visited.push(stats.nodes_visited as f64);
                     candidates.push(stats.candidates_matched as f64);
@@ -412,7 +444,11 @@ pub fn verdicts(fig6: &FigureData, fig7: &FigureData, rej: &[(usize, usize); 3])
     let mut out = String::new();
     let check = |ok: bool| if ok { "PASS" } else { "FAIL" };
     // Traffic ordering: data shipping > query shipping > stream sharing.
-    let t6 = [fig6.traffic.total(0), fig6.traffic.total(1), fig6.traffic.total(2)];
+    let t6 = [
+        fig6.traffic.total(0),
+        fig6.traffic.total(1),
+        fig6.traffic.total(2),
+    ];
     out.push_str(&format!(
         "[{}] scenario 1 total traffic: data shipping ({:.1}) > query shipping ({:.1}) > \
          stream sharing ({:.1})\n",
@@ -421,7 +457,11 @@ pub fn verdicts(fig6: &FigureData, fig7: &FigureData, rej: &[(usize, usize); 3])
         t6[1],
         t6[2]
     ));
-    let t7 = [fig7.traffic.total(0), fig7.traffic.total(1), fig7.traffic.total(2)];
+    let t7 = [
+        fig7.traffic.total(0),
+        fig7.traffic.total(1),
+        fig7.traffic.total(2),
+    ];
     out.push_str(&format!(
         "[{}] scenario 2 total traffic: data shipping ({:.1}) > query shipping ({:.1}) > \
          stream sharing ({:.1})\n",
@@ -456,7 +496,9 @@ pub fn verdicts(fig6: &FigureData, fig7: &FigureData, rej: &[(usize, usize); 3])
     out.push_str(&format!(
         "[{}] rejections under caps: data shipping ({}) > query shipping ({}) > stream \
          sharing ({}); paper: 47/35/2\n",
-        check(rej[0].1 > rej[1].1 && rej[1].1 > rej[2].1 || (rej[1].1 >= rej[2].1 && rej[2].1 <= 5)),
+        check(
+            rej[0].1 > rej[1].1 && rej[1].1 > rej[2].1 || (rej[1].1 >= rej[2].1 && rej[2].1 <= 5)
+        ),
         rej[0].1,
         rej[1].1,
         rej[2].1
@@ -517,14 +559,20 @@ mod tests {
         let rej = rejections(DEFAULT_SEED);
         assert_eq!(rej[0].0 + rej[0].1, 100);
         assert!(rej[0].1 > rej[1].1, "data shipping rejects most: {rej:?}");
-        assert!(rej[1].1 > rej[2].1, "stream sharing rejects fewest: {rej:?}");
+        assert!(
+            rej[1].1 > rej[2].1,
+            "stream sharing rejects fewest: {rej:?}"
+        );
         assert!(rej[2].1 <= 5, "stream sharing rejects almost none: {rej:?}");
     }
 
     #[test]
     fn widening_never_hurts_and_increases_reuse() {
         let ((t_off, r_off), (t_on, r_on)) = widening_ablation(DEFAULT_SEED);
-        assert!(r_on >= r_off, "widening should not reduce reuse: {r_on} vs {r_off}");
+        assert!(
+            r_on >= r_off,
+            "widening should not reduce reuse: {r_on} vs {r_off}"
+        );
         // The planner only picks widening when its estimated cost is lower,
         // so measured totals should not regress materially (allow 5 % slack
         // for estimate-vs-actual mismatch).

@@ -49,8 +49,10 @@ impl SeriesTable {
             let _ = write!(out, "\"{}\"", escape(l));
         }
         out.push_str("],\"series\":{");
-        for (i, (strategy, col)) in
-            dss_core::Strategy::ALL.iter().zip(&self.columns).enumerate()
+        for (i, (strategy, col)) in dss_core::Strategy::ALL
+            .iter()
+            .zip(&self.columns)
+            .enumerate()
         {
             if i > 0 {
                 out.push(',');
@@ -72,7 +74,11 @@ impl SeriesTable {
 impl FigureData {
     /// JSON object with both series tables.
     pub fn to_json(&self) -> String {
-        format!("{{\"cpu\":{},\"traffic\":{}}}", self.cpu.to_json(), self.traffic.to_json())
+        format!(
+            "{{\"cpu\":{},\"traffic\":{}}}",
+            self.cpu.to_json(),
+            self.traffic.to_json()
+        )
     }
 }
 

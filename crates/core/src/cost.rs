@@ -82,7 +82,10 @@ pub fn base_load(op: &Operator) -> f64 {
 /// Estimates the stream produced by applying `chain` to a stream with the
 /// given original statistics (`size(p)` and `freq(p)` of Section 3.2).
 pub fn estimate_chain(stats: &StreamStats, chain: &[Operator]) -> StreamEstimate {
-    let mut est = StreamEstimate { item_size: stats.item_size, frequency: stats.frequency };
+    let mut est = StreamEstimate {
+        item_size: stats.item_size,
+        frequency: stats.frequency,
+    };
     for op in chain {
         match op {
             Operator::Selection(g) => {
@@ -113,7 +116,10 @@ pub fn estimate_chain(stats: &StreamStats, chain: &[Operator]) -> StreamEstimate
                 let items_per_window = match spec.window.kind() {
                     dss_properties::WindowKind::Count => spec.window.size().to_f64(),
                     dss_properties::WindowKind::Diff => {
-                        let r = spec.window.reference().expect("diff windows carry a reference");
+                        let r = spec
+                            .window
+                            .reference()
+                            .expect("diff windows carry a reference");
                         (spec.window.size().to_f64() / stats.avg_increment(r)).max(1.0)
                     }
                 };
@@ -301,10 +307,7 @@ mod tests {
         let s = stats();
         let g = PredicateGraph::from_atoms(&[Atom::var_const(p("en"), CompOp::Ge, d("1.45"))]);
         let proj = ProjectionSpec::returning([p("en")]);
-        let est = estimate_chain(
-            &s,
-            &[Operator::Selection(g), Operator::Projection(proj)],
-        );
+        let est = estimate_chain(&s, &[Operator::Selection(g), Operator::Projection(proj)]);
         assert!(est.frequency < s.frequency);
         assert!(est.item_size < s.item_size);
         assert!(est.bytes_per_s() < s.item_size * s.frequency);
@@ -316,8 +319,14 @@ mod tests {
         let params = CostParams { gamma: 0.5 };
         let c = plan_cost(
             &params,
-            &[EdgeUse { used: 0.2, available: 0.9 }],
-            &[NodeUse { used: 0.1, available: 0.8 }],
+            &[EdgeUse {
+                used: 0.2,
+                available: 0.9,
+            }],
+            &[NodeUse {
+                used: 0.1,
+                available: 0.8,
+            }],
         );
         assert!((c - (0.5 * 0.2 + 0.5 * 0.1)).abs() < 1e-12);
     }
@@ -325,8 +334,22 @@ mod tests {
     #[test]
     fn overload_draws_exponential_penalty() {
         let params = CostParams { gamma: 1.0 };
-        let fine = plan_cost(&params, &[EdgeUse { used: 0.5, available: 0.6 }], &[]);
-        let over = plan_cost(&params, &[EdgeUse { used: 0.9, available: 0.6 }], &[]);
+        let fine = plan_cost(
+            &params,
+            &[EdgeUse {
+                used: 0.5,
+                available: 0.6,
+            }],
+            &[],
+        );
+        let over = plan_cost(
+            &params,
+            &[EdgeUse {
+                used: 0.9,
+                available: 0.6,
+            }],
+            &[],
+        );
         assert!(over > fine);
         // Penalty term: 0.3 · e^0.3 added on top of u_b.
         assert!((over - (0.9 + 0.3 * 0.3f64.exp())).abs() < 1e-12);
@@ -334,8 +357,14 @@ mod tests {
 
     #[test]
     fn gamma_weights_components() {
-        let edges = [EdgeUse { used: 1.0, available: 1.0 }];
-        let nodes = [NodeUse { used: 0.5, available: 1.0 }];
+        let edges = [EdgeUse {
+            used: 1.0,
+            available: 1.0,
+        }];
+        let nodes = [NodeUse {
+            used: 0.5,
+            available: 1.0,
+        }];
         let traffic_only = plan_cost(&CostParams { gamma: 1.0 }, &edges, &nodes);
         let load_only = plan_cost(&CostParams { gamma: 0.0 }, &edges, &nodes);
         assert!((traffic_only - 1.0).abs() < 1e-12);
@@ -350,6 +379,9 @@ mod tests {
         item.add_value(d("2.7"));
         let actual = dss_xml::writer::serialized_size(&item.to_node()) as f64;
         let est = agg_item_size_estimate(AggOp::Avg);
-        assert!((actual - est).abs() / actual < 0.8, "est {est} vs actual {actual}");
+        assert!(
+            (actual - est).abs() / actual < 0.8,
+            "est {est} vs actual {actual}"
+        );
     }
 }

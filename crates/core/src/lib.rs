@@ -84,7 +84,8 @@ mod tests {
 
     fn system_with_photons() -> StreamGlobe {
         let mut sys = StreamGlobe::new(example_topology());
-        sys.register_stream("photons", "P0", photons(400), 100.0).unwrap();
+        sys.register_stream("photons", "P0", photons(400), 100.0)
+            .unwrap();
         sys
     }
 
@@ -104,22 +105,28 @@ mod tests {
     #[test]
     fn duplicate_stream_rejected() {
         let mut sys = system_with_photons();
-        let err = sys.register_stream("photons", "P0", photons(10), 1.0).unwrap_err();
+        let err = sys
+            .register_stream("photons", "P0", photons(10), 1.0)
+            .unwrap_err();
         assert!(matches!(err, SystemError::DuplicateStream(_)));
     }
 
     #[test]
     fn q1_stream_sharing_pushes_into_network() {
         let mut sys = system_with_photons();
-        let reg =
-            sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing).unwrap();
+        let reg = sys
+            .register_query("q1", queries::Q1, "P1", Strategy::StreamSharing)
+            .unwrap();
         // The motivating example: Q1's operators run at SP4 (the source's
         // super-peer) and the *filtered* stream travels to SP1.
         let part = &reg.plan.parts[0];
         assert_eq!(part.tap_node, sys.topology().expect_node("SP4"));
         assert!(!part.ops.is_empty());
-        let names: Vec<&str> =
-            part.route.iter().map(|&n| sys.topology().peer(n).name.as_str()).collect();
+        let names: Vec<&str> = part
+            .route
+            .iter()
+            .map(|&n| sys.topology().peer(n).name.as_str())
+            .collect();
         assert_eq!(names, vec!["SP4", "SP0", "SP5", "SP1"]);
         // Delivery continues to the thin peer.
         assert_eq!(
@@ -132,12 +139,17 @@ mod tests {
     #[test]
     fn q2_reuses_q1_result_stream() {
         let mut sys = system_with_photons();
-        sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing).unwrap();
-        let reg2 =
-            sys.register_query("q2", queries::Q2, "P2", Strategy::StreamSharing).unwrap();
+        sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing)
+            .unwrap();
+        let reg2 = sys
+            .register_query("q2", queries::Q2, "P2", Strategy::StreamSharing)
+            .unwrap();
         // Q2 must tap q1's stream (cheaper than pulling the full photons
         // stream from SP4) — the paper duplicates it at SP5.
-        assert!(reg2.reused_derived_stream, "q2 should reuse q1's derived stream");
+        assert!(
+            reg2.reused_derived_stream,
+            "q2 should reuse q1's derived stream"
+        );
         let part = &reg2.plan.parts[0];
         let tapped = sys.deployment().flow(part.tap_flow).label.clone();
         assert_eq!(tapped, "q1/photons");
@@ -151,10 +163,15 @@ mod tests {
     #[test]
     fn q4_reuses_q3_aggregates_via_reaggregation() {
         let mut sys = system_with_photons();
-        sys.register_query("q3", queries::Q3, "P3", Strategy::StreamSharing).unwrap();
-        let reg4 =
-            sys.register_query("q4", queries::Q4, "P4", Strategy::StreamSharing).unwrap();
-        assert!(reg4.reused_derived_stream, "q4 should reuse q3's aggregate stream");
+        sys.register_query("q3", queries::Q3, "P3", Strategy::StreamSharing)
+            .unwrap();
+        let reg4 = sys
+            .register_query("q4", queries::Q4, "P4", Strategy::StreamSharing)
+            .unwrap();
+        assert!(
+            reg4.reused_derived_stream,
+            "q4 should reuse q3's aggregate stream"
+        );
         let part = &reg4.plan.parts[0];
         assert!(
             part.ops
@@ -176,9 +193,15 @@ mod tests {
             |det_time diff 60 step 40|
             return <wnd>{ $w }</wnd> }</photons>"#;
         let mut sys = system_with_photons();
-        sys.register_query("wfine", fine, "P3", Strategy::StreamSharing).unwrap();
-        let reg = sys.register_query("wcoarse", coarse, "P4", Strategy::StreamSharing).unwrap();
-        assert!(reg.reused_derived_stream, "coarse windows should reuse the fine stream");
+        sys.register_query("wfine", fine, "P3", Strategy::StreamSharing)
+            .unwrap();
+        let reg = sys
+            .register_query("wcoarse", coarse, "P4", Strategy::StreamSharing)
+            .unwrap();
+        assert!(
+            reg.reused_derived_stream,
+            "coarse windows should reuse the fine stream"
+        );
         assert!(
             reg.plan.parts[0]
                 .ops
@@ -191,7 +214,9 @@ mod tests {
         let sim = sys.run_simulation(dss_network::SimConfig::default());
         let shared = sim.flow_outputs[reg.delivery_flow].clone();
         let mut solo = system_with_photons();
-        let solo_reg = solo.register_query("wcoarse", coarse, "P4", Strategy::DataShipping).unwrap();
+        let solo_reg = solo
+            .register_query("wcoarse", coarse, "P4", Strategy::DataShipping)
+            .unwrap();
         let solo_sim = solo.run_simulation(dss_network::SimConfig::default());
         assert!(!shared.is_empty());
         assert_eq!(shared, solo_sim.flow_outputs[solo_reg.delivery_flow]);
@@ -202,7 +227,9 @@ mod tests {
         let q = r#"<photons>{ for $w in stream("photons")/photons/photon
             [en >= 1.3] |det_time diff 50| return <wnd>{ $w }</wnd> }</photons>"#;
         let mut sys = system_with_photons();
-        let reg = sys.register_query("w", q, "P1", Strategy::StreamSharing).unwrap();
+        let reg = sys
+            .register_query("w", q, "P1", Strategy::StreamSharing)
+            .unwrap();
         let sim = sys.run_simulation(dss_network::SimConfig::default());
         let results = &sim.flow_outputs[reg.delivery_flow];
         assert!(!results.is_empty());
@@ -220,11 +247,16 @@ mod tests {
     #[test]
     fn identical_query_reuses_stream_without_new_operators() {
         let mut sys = system_with_photons();
-        sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing).unwrap();
-        let again =
-            sys.register_query("q1b", queries::Q1, "P1", Strategy::StreamSharing).unwrap();
+        sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing)
+            .unwrap();
+        let again = sys
+            .register_query("q1b", queries::Q1, "P1", Strategy::StreamSharing)
+            .unwrap();
         let part = &again.plan.parts[0];
-        assert!(part.ops.is_empty(), "identical query needs no new operators");
+        assert!(
+            part.ops.is_empty(),
+            "identical query needs no new operators"
+        );
         assert_eq!(part.route.len(), 1, "stream already arrives at SP1");
     }
 
@@ -237,14 +269,23 @@ mod tests {
         // the widened stream.
         let mut sys = system_with_photons();
         sys.set_widening(true);
-        sys.register_query("q2", queries::Q2, "P2", Strategy::StreamSharing).unwrap();
-        let reg1 = sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing).unwrap();
-        assert!(reg1.reused_derived_stream, "q1 should reuse q2's widened stream");
+        sys.register_query("q2", queries::Q2, "P2", Strategy::StreamSharing)
+            .unwrap();
+        let reg1 = sys
+            .register_query("q1", queries::Q1, "P1", Strategy::StreamSharing)
+            .unwrap();
+        assert!(
+            reg1.reused_derived_stream,
+            "q1 should reuse q2's widened stream"
+        );
         let part = &reg1.plan.parts[0];
         assert!(part.widen.is_some(), "expected a widening plan part");
         let widened_flow = part.widen.as_ref().unwrap().flow;
         assert!(
-            sys.deployment().flow(widened_flow).label.contains("+widened"),
+            sys.deployment()
+                .flow(widened_flow)
+                .label
+                .contains("+widened"),
             "flow should be marked widened: {}",
             sys.deployment().flow(widened_flow).label
         );
@@ -253,8 +294,12 @@ mod tests {
         // queries — q2's consumers were patched with restore-operators.
         let sim = sys.run_simulation(dss_network::SimConfig::default());
         let mut solo = system_with_photons();
-        let s2 = solo.register_query("q2", queries::Q2, "P2", Strategy::DataShipping).unwrap();
-        let s1 = solo.register_query("q1", queries::Q1, "P1", Strategy::DataShipping).unwrap();
+        let s2 = solo
+            .register_query("q2", queries::Q2, "P2", Strategy::DataShipping)
+            .unwrap();
+        let s1 = solo
+            .register_query("q1", queries::Q1, "P1", Strategy::DataShipping)
+            .unwrap();
         let solo_sim = solo.run_simulation(dss_network::SimConfig::default());
         // q2 delivery flow in the widened system is flow index from its reg;
         // we saved only reg1 — find q2's delivery by label.
@@ -278,8 +323,11 @@ mod tests {
     #[test]
     fn widening_disabled_by_default() {
         let mut sys = system_with_photons();
-        sys.register_query("q2", queries::Q2, "P2", Strategy::StreamSharing).unwrap();
-        let reg1 = sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing).unwrap();
+        sys.register_query("q2", queries::Q2, "P2", Strategy::StreamSharing)
+            .unwrap();
+        let reg1 = sys
+            .register_query("q1", queries::Q1, "P1", Strategy::StreamSharing)
+            .unwrap();
         assert!(reg1.plan.parts[0].widen.is_none());
     }
 
@@ -292,17 +340,24 @@ mod tests {
         let run = |widening: bool| {
             let mut sys = system_with_photons();
             sys.set_widening(widening);
-            sys.register_query("q2", queries::Q2, "P1", Strategy::StreamSharing).unwrap();
-            let reg1 =
-                sys.register_query("q1", queries::Q1, "P3", Strategy::StreamSharing).unwrap();
-            let total =
-                sys.run_simulation(dss_network::SimConfig::default()).metrics.total_edge_bytes();
+            sys.register_query("q2", queries::Q2, "P1", Strategy::StreamSharing)
+                .unwrap();
+            let reg1 = sys
+                .register_query("q1", queries::Q1, "P3", Strategy::StreamSharing)
+                .unwrap();
+            let total = sys
+                .run_simulation(dss_network::SimConfig::default())
+                .metrics
+                .total_edge_bytes();
             (total, reg1.plan.parts[0].widen.is_some())
         };
         let (without, widened_off) = run(false);
         let (with, widened_on) = run(true);
         assert!(!widened_off);
-        assert!(widened_on, "the planner should choose the widening plan here");
+        assert!(
+            widened_on,
+            "the planner should choose the widening plan here"
+        );
         assert!(
             with < without,
             "widening should cut traffic: {with} (widened) vs {without} (plain)"
@@ -312,16 +367,23 @@ mod tests {
     #[test]
     fn strategies_produce_different_plans() {
         let mut ds = system_with_photons();
-        let ds_reg = ds.register_query("q2", queries::Q2, "P2", Strategy::DataShipping).unwrap();
+        let ds_reg = ds
+            .register_query("q2", queries::Q2, "P2", Strategy::DataShipping)
+            .unwrap();
         // Data shipping ships the raw stream and evaluates at the target.
         assert!(ds_reg.plan.parts[0].ops.is_empty());
         assert!(ds_reg.plan.post_ops.len() > 1);
 
         let mut qs = system_with_photons();
-        let qs_reg = qs.register_query("q2", queries::Q2, "P2", Strategy::QueryShipping).unwrap();
+        let qs_reg = qs
+            .register_query("q2", queries::Q2, "P2", Strategy::QueryShipping)
+            .unwrap();
         // Query shipping evaluates at the source's super-peer.
         assert!(!qs_reg.plan.parts[0].ops.is_empty());
-        assert_eq!(qs_reg.plan.parts[0].tap_node, qs.topology().expect_node("SP4"));
+        assert_eq!(
+            qs_reg.plan.parts[0].tap_node,
+            qs.topology().expect_node("SP4")
+        );
         // The shipped stream is smaller than the raw stream.
         assert!(
             qs_reg.plan.parts[0].estimate.bytes_per_s()
@@ -336,14 +398,22 @@ mod tests {
         let mut totals = Vec::new();
         for strategy in Strategy::ALL {
             let mut sys = system_with_photons();
-            sys.register_query("q1", queries::Q1, "P1", strategy).unwrap();
-            sys.register_query("q2", queries::Q2, "P2", strategy).unwrap();
+            sys.register_query("q1", queries::Q1, "P1", strategy)
+                .unwrap();
+            sys.register_query("q2", queries::Q2, "P2", strategy)
+                .unwrap();
             let out = sys.run_simulation(dss_network::SimConfig::default());
             totals.push(out.metrics.total_edge_bytes());
         }
         let (ds, qs, ss) = (totals[0], totals[1], totals[2]);
-        assert!(ds > qs, "data shipping {ds} should exceed query shipping {qs}");
-        assert!(qs > ss, "query shipping {qs} should exceed stream sharing {ss}");
+        assert!(
+            ds > qs,
+            "data shipping {ds} should exceed query shipping {qs}"
+        );
+        assert!(
+            qs > ss,
+            "query shipping {qs} should exceed stream sharing {ss}"
+        );
     }
 
     #[test]
@@ -352,10 +422,18 @@ mod tests {
         // sharing is used.
         let run = |strategy: Strategy| {
             let mut sys = system_with_photons();
-            let r1 = sys.register_query("q1", queries::Q1, "P1", strategy).unwrap();
-            let r2 = sys.register_query("q2", queries::Q2, "P2", strategy).unwrap();
-            let r3 = sys.register_query("q3", queries::Q3, "P3", strategy).unwrap();
-            let r4 = sys.register_query("q4", queries::Q4, "P4", strategy).unwrap();
+            let r1 = sys
+                .register_query("q1", queries::Q1, "P1", strategy)
+                .unwrap();
+            let r2 = sys
+                .register_query("q2", queries::Q2, "P2", strategy)
+                .unwrap();
+            let r3 = sys
+                .register_query("q3", queries::Q3, "P3", strategy)
+                .unwrap();
+            let r4 = sys
+                .register_query("q4", queries::Q4, "P4", strategy)
+                .unwrap();
             let out = sys.run_simulation(dss_network::SimConfig::default());
             [r1, r2, r3, r4].map(|r| out.flow_outputs[r.delivery_flow].clone())
         };
@@ -382,8 +460,9 @@ mod tests {
             err,
             SystemError::Subscribe(SubscribeError::UnknownStream(_))
         ));
-        let err =
-            sys.register_query("qy", queries::Q1, "P99", Strategy::StreamSharing).unwrap_err();
+        let err = sys
+            .register_query("qy", queries::Q1, "P99", Strategy::StreamSharing)
+            .unwrap_err();
         assert!(matches!(err, SystemError::UnknownPeer(_)));
     }
 
@@ -396,7 +475,10 @@ mod tests {
         let err = sys
             .register_query_opts("q1", queries::Q1, "P1", Strategy::DataShipping, true)
             .unwrap_err();
-        assert!(matches!(err, SystemError::Subscribe(SubscribeError::Overload)));
+        assert!(matches!(
+            err,
+            SystemError::Subscribe(SubscribeError::Overload)
+        ));
     }
 
     #[test]
@@ -416,7 +498,9 @@ mod tests {
     #[test]
     fn registration_reports_elapsed_time() {
         let mut sys = system_with_photons();
-        let reg = sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing).unwrap();
+        let reg = sys
+            .register_query("q1", queries::Q1, "P1", Strategy::StreamSharing)
+            .unwrap();
         // Sanity only: the measurement exists and is small.
         assert!(reg.elapsed.as_secs() < 5);
         assert_eq!(sys.query_count(), 1);
@@ -425,7 +509,8 @@ mod tests {
     #[test]
     fn subscribe_search_stats() {
         let mut sys = system_with_photons();
-        sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing).unwrap();
+        sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing)
+            .unwrap();
         let compiled = dss_wxquery::compile_query(queries::Q2).unwrap();
         let v_q = sys.topology().expect_node("SP7");
         let (plan, stats) = subscribe(
@@ -459,7 +544,8 @@ mod tests {
         let mut sys = system_with_photons();
         let baseline_edge: Vec<f64> = sys.state().edge_used_kbps.clone();
         let baseline_node: Vec<f64> = sys.state().node_used_work.clone();
-        sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing).unwrap();
+        sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing)
+            .unwrap();
         sys.unregister_query("q1").unwrap();
         assert_eq!(sys.query_count(), 0);
         // All derived flows retired; only the source flow remains active.
@@ -484,7 +570,10 @@ mod tests {
             sim.metrics.total_edge_bytes(),
             {
                 let fresh = system_with_photons();
-                fresh.run_simulation(dss_network::SimConfig::default()).metrics.total_edge_bytes()
+                fresh
+                    .run_simulation(dss_network::SimConfig::default())
+                    .metrics
+                    .total_edge_bytes()
             },
             "a fully unregistered system must match a fresh one"
         );
@@ -493,8 +582,11 @@ mod tests {
     #[test]
     fn unregister_keeps_streams_with_remaining_consumers() {
         let mut sys = system_with_photons();
-        sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing).unwrap();
-        let reg2 = sys.register_query("q2", queries::Q2, "P2", Strategy::StreamSharing).unwrap();
+        sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing)
+            .unwrap();
+        let reg2 = sys
+            .register_query("q2", queries::Q2, "P2", Strategy::StreamSharing)
+            .unwrap();
         assert!(reg2.reused_derived_stream);
         // Dropping q1 must keep q1's transport stream alive: q2 taps it.
         sys.unregister_query("q1").unwrap();
@@ -532,11 +624,17 @@ mod tests {
     #[test]
     fn reregistration_after_unregister_plans_fresh() {
         let mut sys = system_with_photons();
-        sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing).unwrap();
+        sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing)
+            .unwrap();
         sys.unregister_query("q1").unwrap();
         // A new Q2 cannot reuse the retired q1 stream.
-        let reg2 = sys.register_query("q2", queries::Q2, "P2", Strategy::StreamSharing).unwrap();
-        assert!(!reg2.reused_derived_stream, "retired streams must not be shared");
+        let reg2 = sys
+            .register_query("q2", queries::Q2, "P2", Strategy::StreamSharing)
+            .unwrap();
+        assert!(
+            !reg2.reused_derived_stream,
+            "retired streams must not be shared"
+        );
         let sim = sys.run_simulation(dss_network::SimConfig::default());
         assert!(!sim.flow_outputs[reg2.delivery_flow].is_empty());
     }
@@ -547,12 +645,18 @@ mod tests {
         // stream in subnet 0 serves queries in subnets 1 and 2; the second
         // query rides the first one's stream through the gateway ring.
         let mut sys = StreamGlobe::new(dss_network::hierarchical_topology(3, 2));
-        sys.register_stream("photons", "N0_SP3", photons(300), 50.0).unwrap();
-        let r1 =
-            sys.register_query("q1", queries::Q1, "N1_SP3", Strategy::StreamSharing).unwrap();
-        let r2 =
-            sys.register_query("q2", queries::Q2, "N1_SP2", Strategy::StreamSharing).unwrap();
-        assert!(r2.reused_derived_stream, "q2 should reuse q1's stream in the same subnet");
+        sys.register_stream("photons", "N0_SP3", photons(300), 50.0)
+            .unwrap();
+        let r1 = sys
+            .register_query("q1", queries::Q1, "N1_SP3", Strategy::StreamSharing)
+            .unwrap();
+        let r2 = sys
+            .register_query("q2", queries::Q2, "N1_SP2", Strategy::StreamSharing)
+            .unwrap();
+        assert!(
+            r2.reused_derived_stream,
+            "q2 should reuse q1's stream in the same subnet"
+        );
         let sim = sys.run_simulation(dss_network::SimConfig::default());
         assert!(!sim.flow_outputs[r1.delivery_flow].is_empty());
         assert!(!sim.flow_outputs[r2.delivery_flow].is_empty());
@@ -560,7 +664,10 @@ mod tests {
         let g0 = sys.topology().expect_node("N0_SP0");
         let g1 = sys.topology().expect_node("N1_SP0");
         let route = &r1.plan.parts[0].route;
-        assert!(route.contains(&g0) && route.contains(&g1), "route {route:?}");
+        assert!(
+            route.contains(&g0) && route.contains(&g1),
+            "route {route:?}"
+        );
     }
 
     #[test]
@@ -573,7 +680,10 @@ mod tests {
         let specs: Vec<dss_properties::Operator> = vec![
             Operator::Selection(PredicateGraph::new()),
             Operator::Projection(ProjectionSpec::default()),
-            Operator::Udf { name: "u".into(), params: vec![] },
+            Operator::Udf {
+                name: "u".into(),
+                params: vec![],
+            },
         ];
         for op in &specs {
             assert_eq!(
@@ -604,15 +714,16 @@ mod tests {
                 agg: None,
                 window: false,
             }),
-            dss_engine::RestructureOp::new(dss_engine::Template::element("x", vec![]))
-                .base_load()
+            dss_engine::RestructureOp::new(dss_engine::Template::element("x", vec![])).base_load()
         );
     }
 
     #[test]
     fn plan_describe_is_readable() {
         let mut sys = system_with_photons();
-        let reg = sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing).unwrap();
+        let reg = sys
+            .register_query("q1", queries::Q1, "P1", Strategy::StreamSharing)
+            .unwrap();
         let desc = reg.plan.describe(sys.state());
         assert!(desc.contains("photons"));
         assert!(desc.contains("SP4"));

@@ -11,9 +11,7 @@ use dss_network::{shortest_path, FlowId, FlowOp, NodeId};
 use dss_properties::{AggregationSpec, InputProperties, Operator};
 use dss_wxquery::CompiledQuery;
 
-use crate::cost::{
-    base_load, plan_cost, EdgeUse, NodeUse, StreamEstimate,
-};
+use crate::cost::{base_load, plan_cost, EdgeUse, NodeUse, StreamEstimate};
 use crate::state::NetworkState;
 
 /// Accumulates a candidate plan's resource uses (`u_b` per affected
@@ -30,7 +28,11 @@ pub struct UseAccumulator {
 impl UseAccumulator {
     /// Empty, feasible accumulator.
     pub fn new() -> UseAccumulator {
-        UseAccumulator { edges: Vec::new(), nodes: Vec::new(), feasible: true }
+        UseAccumulator {
+            edges: Vec::new(),
+            nodes: Vec::new(),
+            feasible: true,
+        }
     }
 
     /// Charges a stream of `rate_kbps` over every connection of `route`.
@@ -171,8 +173,11 @@ impl Plan {
         use std::fmt::Write;
         let mut s = String::new();
         for part in &self.parts {
-            let names: Vec<&str> =
-                part.route.iter().map(|&n| state.topo.peer(n).name.as_str()).collect();
+            let names: Vec<&str> = part
+                .route
+                .iter()
+                .map(|&n| state.topo.peer(n).name.as_str())
+                .collect();
             let _ = writeln!(
                 s,
                 "  input {}: reuse flow {} at {}, install {} op(s), route {}",
@@ -198,10 +203,7 @@ impl Plan {
 /// into the subscription's stream. Aggregations already present upstream
 /// become re-aggregations (Figure 5) instead of recomputation from raw
 /// items.
-pub fn residual_flow_ops(
-    reused: &InputProperties,
-    wanted: &InputProperties,
-) -> Vec<FlowOp> {
+pub fn residual_flow_ops(reused: &InputProperties, wanted: &InputProperties) -> Vec<FlowOp> {
     let reused_agg: Option<&AggregationSpec> = reused.aggregation();
     let reused_window: Option<&dss_properties::WindowOutputSpec> =
         reused.operators().iter().find_map(|o| match o {
@@ -273,7 +275,12 @@ pub fn generate_plan_part_cached(
     let mut uses = UseAccumulator::new();
     uses.add_route(state, &route, estimate.kbps());
     let bload: f64 = ops.iter().map(flow_op_base_load).sum();
-    uses.add_node_ops(state, tap_node, bload, state.flow_estimate(tap_flow).frequency);
+    uses.add_node_ops(
+        state,
+        tap_node,
+        bload,
+        state.flow_estimate(tap_flow).frequency,
+    );
     let cost = uses.cost(state);
     let feasible = uses.feasible();
     Some(PlanPart {
@@ -311,7 +318,11 @@ pub fn generate_widening_part(
 ) -> Option<PlanPart> {
     let stats = state.stats(wanted.stream())?;
     let flow = state.deployment.flow(tap_flow);
-    let current = flow.properties.as_ref()?.input_for(wanted.stream())?.clone();
+    let current = flow
+        .properties
+        .as_ref()?
+        .input_for(wanted.stream())?
+        .clone();
     let widened = dss_properties::widen_input(&current, wanted)?;
     // The parent must be able to feed the widened stream.
     let parent_props: InputProperties = match &flow.input {
@@ -332,8 +343,7 @@ pub fn generate_widening_part(
     let current_estimate = state.flow_estimate(tap_flow);
     let delta_estimate = StreamEstimate {
         item_size: widened_estimate.item_size,
-        frequency: (widened_estimate.bytes_per_s() - current_estimate.bytes_per_s())
-            .max(0.0)
+        frequency: (widened_estimate.bytes_per_s() - current_estimate.bytes_per_s()).max(0.0)
             / widened_estimate.item_size.max(1.0),
     };
     // Restore-ops for every existing consumer of the flow.
@@ -418,7 +428,10 @@ pub fn assemble_plan(
                 freq += est.frequency;
             }
         }
-        StreamEstimate { item_size: size, frequency: freq }
+        StreamEstimate {
+            item_size: size,
+            frequency: freq,
+        }
     };
 
     let mut feasible = parts.iter().all(|p| p.feasible);
@@ -445,8 +458,14 @@ pub fn assemble_plan(
         }
         edges.push(EdgeUse { used, available });
     }
-    let post_cost =
-        plan_cost(&state.params, &edges, &[NodeUse { used: used_post, available: avail_post }]);
+    let post_cost = plan_cost(
+        &state.params,
+        &edges,
+        &[NodeUse {
+            used: used_post,
+            available: avail_post,
+        }],
+    );
     let total_cost = parts.iter().map(|p| p.cost).sum::<f64>() + post_cost;
     Plan {
         parts,
@@ -462,7 +481,12 @@ pub fn assemble_plan(
 /// Builds the full-chain flow ops of a compiled query (used by the data- and
 /// query-shipping strategies, which install everything at one peer).
 pub fn full_chain_ops(query: &CompiledQuery) -> Vec<FlowOp> {
-    query.operator_chain().iter().cloned().map(FlowOp::Standard).collect()
+    query
+        .operator_chain()
+        .iter()
+        .cloned()
+        .map(FlowOp::Standard)
+        .collect()
 }
 
 /// Convenience: the restructure op spec of a query as a `FlowOp`.
@@ -473,4 +497,3 @@ pub fn restructure_flow_op(query: &CompiledQuery) -> FlowOp {
         window: query.window_output.is_some(),
     }
 }
-

@@ -98,7 +98,13 @@ impl NetworkState {
 
     /// Charges operator work (`Σ bload · pindex(v) · input-freq`) to a
     /// peer, attributing it to `flow`.
-    pub fn charge_node_for(&mut self, flow: usize, v: NodeId, base_load_sum: f64, input_frequency: f64) {
+    pub fn charge_node_for(
+        &mut self,
+        flow: usize,
+        v: NodeId,
+        base_load_sum: f64,
+        input_frequency: f64,
+    ) {
         let work = base_load_sum * self.topo.peer(v).pindex * input_frequency;
         self.node_used_work[v] += work;
         self.flow_charges[flow].node_work.push((v, work));
@@ -128,7 +134,10 @@ mod tests {
         let e = 0;
         assert!((st.available_bandwidth_frac(e) - 1.0).abs() < 1e-12);
         let (a, b) = (st.topo.edge(e).a, st.topo.edge(e).b);
-        let est = StreamEstimate { item_size: 12_500.0, frequency: 1.0 }; // 100 kbps
+        let est = StreamEstimate {
+            item_size: 12_500.0,
+            frequency: 1.0,
+        }; // 100 kbps
         st.flow_charges.push(FlowCharge::default());
         st.charge_route_for(0, &[a, b], est);
         // Default bandwidth is 100 Mbit/s ⇒ 0.1 % used.

@@ -62,7 +62,10 @@ impl StreamStats {
     /// # Panics
     /// Panics if the sample is empty or the frequency is not positive.
     pub fn from_sample(sample: &[Node], frequency: f64) -> StreamStats {
-        assert!(!sample.is_empty(), "stream statistics need a non-empty sample");
+        assert!(
+            !sample.is_empty(),
+            "stream statistics need a non-empty sample"
+        );
         assert!(frequency > 0.0, "stream frequency must be positive");
         let n = sample.len() as f64;
         let mut counts: BTreeMap<Path, (u64, u64, usize)> = BTreeMap::new(); // occurrences, bytes, name len
@@ -116,7 +119,11 @@ impl StreamStats {
     /// consecutive items. Falls back to 1.0 when unobserved (count-like
     /// references).
     pub fn avg_increment(&self, path: &Path) -> f64 {
-        self.increments.get(path).copied().filter(|v| *v > 0.0).unwrap_or(1.0)
+        self.increments
+            .get(path)
+            .copied()
+            .filter(|v| *v > 0.0)
+            .unwrap_or(1.0)
     }
 
     /// Estimates the selectivity `sel(σ)` of a conjunctive predicate using
@@ -142,8 +149,12 @@ impl StreamStats {
             let node = NodeRef::Var(var.clone());
             // Derived bounds: v ≤ hi (edge v→0), v ≥ lo (edge 0→v with
             // weight −lo).
-            let hi = closure.direct_bound(&node, &NodeRef::Zero).map(|b| b.weight);
-            let lo = closure.direct_bound(&NodeRef::Zero, &node).map(|b| -b.weight);
+            let hi = closure
+                .direct_bound(&node, &NodeRef::Zero)
+                .map(|b| b.weight);
+            let lo = closure
+                .direct_bound(&NodeRef::Zero, &node)
+                .map(|b| -b.weight);
             let Some((obs_min, obs_max)) = self.ranges.get(&var) else {
                 sel *= DEFAULT_SELECTIVITY;
                 continue;
@@ -203,7 +214,11 @@ impl StreamStats {
         // Kept subtrees (dropping entries covered by a kept ancestor).
         let kept: Vec<&Path> = output
             .iter()
-            .filter(|o| !output.iter().any(|other| *other != **o && other.is_prefix_of(o)))
+            .filter(|o| {
+                !output
+                    .iter()
+                    .any(|other| *other != **o && other.is_prefix_of(o))
+            })
             .collect();
         for o in &kept {
             if let Some(st) = self.paths.get(*o) {
@@ -215,7 +230,7 @@ impl StreamStats {
         for o in &kept {
             let mut prefix = Path::this();
             for step in &o.steps()[..o.len().saturating_sub(1)] {
-                prefix = prefix.child(step).expect("validated step");
+                prefix = prefix.child(step.as_str()).expect("validated step");
                 ancestors.insert(prefix.clone());
             }
         }
@@ -236,7 +251,9 @@ fn collect(
 ) {
     for child in node.children() {
         let child_path = path.child(child.name()).expect("parsed names are valid");
-        let entry = counts.entry(child_path.clone()).or_insert((0, 0, child.name().len()));
+        let entry = counts
+            .entry(child_path.clone())
+            .or_insert((0, 0, child.name().len()));
         entry.0 += 1;
         entry.1 += serialized_size(child) as u64;
         if let Ok(v) = child.decimal_value() {
@@ -309,7 +326,11 @@ mod tests {
     fn selectivity_uniform_range() {
         let s = StreamStats::from_sample(&sample(), 50.0);
         // ra uniform over [100, 199]; ra >= 149.5 keeps ~half.
-        let g = PredicateGraph::from_atoms(&[Atom::var_const(p("coord/cel/ra"), CompOp::Ge, d("149.5"))]);
+        let g = PredicateGraph::from_atoms(&[Atom::var_const(
+            p("coord/cel/ra"),
+            CompOp::Ge,
+            d("149.5"),
+        )]);
         let sel = s.selectivity(&g);
         assert!((sel - 0.5).abs() < 0.02, "got {sel}");
         // A range predicate.
@@ -406,8 +427,7 @@ mod tests {
     #[test]
     fn projected_size_shrinks_with_fewer_paths() {
         let s = StreamStats::from_sample(&sample(), 50.0);
-        let all: BTreeSet<Path> =
-            [p("coord"), p("en"), p("det_time")].into_iter().collect();
+        let all: BTreeSet<Path> = [p("coord"), p("en"), p("det_time")].into_iter().collect();
         let some: BTreeSet<Path> = [p("en")].into_iter().collect();
         let full = s.projected_size(&all);
         let partial = s.projected_size(&some);

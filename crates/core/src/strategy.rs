@@ -32,8 +32,11 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies in the paper's presentation order.
-    pub const ALL: [Strategy; 3] =
-        [Strategy::DataShipping, Strategy::QueryShipping, Strategy::StreamSharing];
+    pub const ALL: [Strategy; 3] = [
+        Strategy::DataShipping,
+        Strategy::QueryShipping,
+        Strategy::StreamSharing,
+    ];
 }
 
 impl fmt::Display for Strategy {
@@ -57,7 +60,15 @@ pub fn plan_query(
     strategy: Strategy,
     require_feasible: bool,
 ) -> Result<Plan, SubscribeError> {
-    plan_query_with(state, query, v_q, subscriber, strategy, require_feasible, false)
+    plan_query_with(
+        state,
+        query,
+        v_q,
+        subscriber,
+        strategy,
+        require_feasible,
+        false,
+    )
 }
 
 /// [`plan_query`] with stream widening enabled for the sharing strategy.
@@ -72,18 +83,32 @@ pub fn plan_query_with(
     widening: bool,
 ) -> Result<Plan, SubscribeError> {
     match strategy {
-        Strategy::StreamSharing => {
-            subscribe_with(
-                state, query, v_q, subscriber, SearchOrder::Bfs, require_feasible, widening,
-            )
-            .map(|(plan, _)| plan)
-        }
-        Strategy::DataShipping => {
-            fixed_plan(state, query, v_q, subscriber, Placement::AtSubscriber, require_feasible)
-        }
-        Strategy::QueryShipping => {
-            fixed_plan(state, query, v_q, subscriber, Placement::AtSource, require_feasible)
-        }
+        Strategy::StreamSharing => subscribe_with(
+            state,
+            query,
+            v_q,
+            subscriber,
+            SearchOrder::Bfs,
+            require_feasible,
+            widening,
+        )
+        .map(|(plan, _)| plan),
+        Strategy::DataShipping => fixed_plan(
+            state,
+            query,
+            v_q,
+            subscriber,
+            Placement::AtSubscriber,
+            require_feasible,
+        ),
+        Strategy::QueryShipping => fixed_plan(
+            state,
+            query,
+            v_q,
+            subscriber,
+            Placement::AtSource,
+            require_feasible,
+        ),
     }
 }
 
@@ -122,18 +147,27 @@ fn fixed_plan(
                 extra_post_ops.extend(full_chain_ops(query));
                 (
                     Vec::new(),
-                    StreamEstimate { item_size: stats.item_size, frequency: stats.frequency },
+                    StreamEstimate {
+                        item_size: stats.item_size,
+                        frequency: stats.frequency,
+                    },
                 )
             }
-            Placement::AtSource => {
-                (full_chain_ops(query), crate::cost::estimate_chain(stats, wanted.operators()))
-            }
+            Placement::AtSource => (
+                full_chain_ops(query),
+                crate::cost::estimate_chain(stats, wanted.operators()),
+            ),
         };
         // Cost the part exactly like generate_plan_part does.
         let mut uses = UseAccumulator::new();
         uses.add_route(state, &route, estimate.kbps());
         let bload: f64 = ops.iter().map(flow_op_base_load).sum();
-        uses.add_node_ops(state, v_b, bload, state.flow_estimate(source_flow).frequency);
+        uses.add_node_ops(
+            state,
+            v_b,
+            bload,
+            state.flow_estimate(source_flow).frequency,
+        );
         let cost = uses.cost(state);
         let feasible = uses.feasible();
         parts.push(PlanPart {

@@ -88,7 +88,15 @@ pub fn subscribe(
     order: SearchOrder,
     require_feasible: bool,
 ) -> Result<(Plan, SearchStats), SubscribeError> {
-    subscribe_with(state, query, v_q, subscriber, order, require_feasible, false)
+    subscribe_with(
+        state,
+        query,
+        v_q,
+        subscriber,
+        order,
+        require_feasible,
+        false,
+    )
 }
 
 /// [`subscribe`] with stream *widening* enabled: when a candidate stream
@@ -147,10 +155,7 @@ pub fn subscribe_with(
             // input stream.
             for flow_id in state.deployment.shareable_at(v) {
                 let flow = state.deployment.flow(flow_id);
-                let Some(candidate) = flow
-                    .properties
-                    .as_ref()
-                    .and_then(|p| p.input_for(stream))
+                let Some(candidate) = flow.properties.as_ref().and_then(|p| p.input_for(stream))
                 else {
                     continue;
                 };
@@ -160,9 +165,7 @@ pub fn subscribe_with(
                     // Widening extension: a non-matching stream may still be
                     // usable after loosening its operators in place.
                     if widening {
-                        if let Some(plan) =
-                            generate_widening_part(state, wanted, flow_id, v, v_q)
-                        {
+                        if let Some(plan) = generate_widening_part(state, wanted, flow_id, v, v_q) {
                             // A widenable stream can be tapped anywhere on
                             // its route, so the route's peers join the
                             // frontier just like a matched stream's.

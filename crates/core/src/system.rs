@@ -164,11 +164,20 @@ impl StreamGlobe {
         let peer = self.node_by_name(source_peer)?;
         let sp = self.super_peer_of(peer)?;
         let stats = StreamStats::from_sample(&items, frequency);
-        let estimate = StreamEstimate { item_size: stats.item_size, frequency };
-        let route = if peer == sp { vec![peer] } else { vec![peer, sp] };
+        let estimate = StreamEstimate {
+            item_size: stats.item_size,
+            frequency,
+        };
+        let route = if peer == sp {
+            vec![peer]
+        } else {
+            vec![peer, sp]
+        };
         let flow = self.state.deployment.add_flow(StreamFlow {
             label: format!("{name}@{}", self.state.topo.peer(sp).name),
-            input: FlowInput::Source { stream: name.clone() },
+            input: FlowInput::Source {
+                stream: name.clone(),
+            },
             processing_node: peer,
             ops: Vec::new(),
             route: route.clone(),
@@ -176,7 +185,9 @@ impl StreamGlobe {
             retired: false,
         });
         self.state.flow_estimates.push(estimate);
-        self.state.flow_charges.push(crate::state::FlowCharge::default());
+        self.state
+            .flow_charges
+            .push(crate::state::FlowCharge::default());
         self.state.charge_route_for(flow, &route, estimate);
         self.state.stream_stats.insert(name.clone(), stats);
         self.state.source_flows.insert(name.clone(), flow);
@@ -250,7 +261,8 @@ impl StreamGlobe {
                     let bload: f64 = patch.iter().map(flow_op_base_load).sum();
                     let flow = self.state.deployment.flow_mut(*child);
                     flow.ops.splice(0..0, patch.iter().cloned());
-                    self.state.charge_node_for(*child, node, bload, widened_freq);
+                    self.state
+                        .charge_node_for(*child, node, bload, widened_freq);
                 }
                 let route = self.state.deployment.flow(widen.flow).route.clone();
                 {
@@ -260,7 +272,8 @@ impl StreamGlobe {
                     flow.label.push_str("+widened");
                 }
                 self.state.flow_estimates[widen.flow] = widen.widened_estimate;
-                self.state.charge_route_for(widen.flow, &route, widen.delta_estimate);
+                self.state
+                    .charge_route_for(widen.flow, &route, widen.delta_estimate);
             }
             let parent = part.tap_flow;
             if !self
@@ -305,12 +318,16 @@ impl StreamGlobe {
                 retired: false,
             });
             self.state.flow_estimates.push(part.estimate);
-            self.state.flow_charges.push(crate::state::FlowCharge::default());
-            self.state.charge_route_for(flow, &part.route, part.estimate);
+            self.state
+                .flow_charges
+                .push(crate::state::FlowCharge::default());
+            self.state
+                .charge_route_for(flow, &part.route, part.estimate);
             if !part.ops.is_empty() {
                 let bload: f64 = part.ops.iter().map(flow_op_base_load).sum();
                 let input_freq = self.state.flow_estimate(parent).frequency;
-                self.state.charge_node_for(flow, part.tap_node, bload, input_freq);
+                self.state
+                    .charge_node_for(flow, part.tap_node, bload, input_freq);
             }
             upstream.push(flow);
         }
@@ -327,13 +344,20 @@ impl StreamGlobe {
             retired: false,
         });
         self.state.flow_estimates.push(plan.result_estimate);
-        self.state.flow_charges.push(crate::state::FlowCharge::default());
-        self.state.charge_route_for(delivery_flow, &plan.deliver_route, plan.result_estimate);
+        self.state
+            .flow_charges
+            .push(crate::state::FlowCharge::default());
+        self.state
+            .charge_route_for(delivery_flow, &plan.deliver_route, plan.result_estimate);
         let post_bload: f64 = plan.post_ops.iter().map(flow_op_base_load).sum();
         let input_freq = self.state.flow_estimate(parent).frequency;
-        self.state.charge_node_for(delivery_flow, plan.post_node, post_bload, input_freq);
+        self.state
+            .charge_node_for(delivery_flow, plan.post_node, post_bload, input_freq);
 
-        self.registrations.push(Installed { query_id: query_id.clone(), delivery_flow });
+        self.registrations.push(Installed {
+            query_id: query_id.clone(),
+            delivery_flow,
+        });
         Registration {
             query_id,
             plan,
@@ -345,8 +369,11 @@ impl StreamGlobe {
 
     /// Runs the simulator over all registered streams and flows.
     pub fn run_simulation(&self, cfg: SimConfig) -> SimOutcome {
-        let sources: BTreeMap<String, Vec<Node>> =
-            self.sources.iter().map(|(k, v)| (k.clone(), v.items.clone())).collect();
+        let sources: BTreeMap<String, Vec<Node>> = self
+            .sources
+            .iter()
+            .map(|(k, v)| (k.clone(), v.items.clone()))
+            .collect();
         sim::run(&self.state.topo, &self.state.deployment, &sources, cfg)
     }
 

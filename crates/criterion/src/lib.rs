@@ -1,0 +1,340 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates-io registry, so this workspace
+//! vendors a minimal benchmarking harness with the criterion API subset the
+//! `crates/bench` benches use. It performs *real* measurements: each
+//! `Bencher::iter` call warms up, then times batches of iterations and
+//! reports mean/min ns-per-iteration plus derived throughput.
+//!
+//! Mode selection mirrors cargo's behaviour: `cargo bench` invokes bench
+//! binaries with a `--bench` argument, which enables full measurement;
+//! without it (e.g. `cargo test`, which also runs `harness = false` bench
+//! targets) every benchmark body is executed once as a smoke test so the
+//! test suite stays fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1000);
+
+/// Top-level harness state: output mode and an optional name filter
+/// (`cargo bench -- <substring>`).
+pub struct Criterion {
+    measure: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut measure = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => measure = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { measure, filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.into_benchmark_id().label, None, f);
+        self
+    }
+
+    fn run<F>(&mut self, label: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            measure: self.measure,
+            sample: None,
+        };
+        f(&mut b);
+        let Some(sample) = b.sample else {
+            return; // smoke mode, or the body never called iter()
+        };
+        let mut line = format!(
+            "{label:<52} time: [{} .. {}]",
+            Ns(sample.min),
+            Ns(sample.mean)
+        );
+        if let Some(tp) = throughput {
+            let (amount, unit) = match tp {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            let per_sec = amount / (sample.mean * 1e-9);
+            line.push_str(&format!("  thrpt: {}", Rate(per_sec, unit)));
+        }
+        println!("{line}");
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        let throughput = self.throughput;
+        self.criterion.run(&label, throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Work declared per benchmark iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark label: either a bare name or `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+struct Sample {
+    /// Mean ns/iter over the whole measurement phase.
+    mean: f64,
+    /// Best (minimum) batch mean observed, ns/iter.
+    min: f64,
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    measure: bool,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+
+        // Warmup, counting iterations to size the measurement batches.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (WARMUP.as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Aim for ~20 batches over the measurement window.
+        let batch = ((MEASURE.as_nanos() as f64 / est_ns / 20.0).ceil() as u64).max(1);
+        let mut total_iters: u64 = 0;
+        let mut total_ns: f64 = 0.0;
+        let mut min_batch_ns = f64::INFINITY;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            total_iters += batch;
+            total_ns += ns;
+            min_batch_ns = min_batch_ns.min(ns / batch as f64);
+        }
+        self.sample = Some(Sample {
+            mean: total_ns / total_iters as f64,
+            min: min_batch_ns,
+        });
+    }
+}
+
+/// Nanoseconds pretty-printer (ns/µs/ms/s).
+struct Ns(f64);
+
+impl fmt::Display for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0;
+        if v < 1e3 {
+            write!(f, "{v:.1} ns")
+        } else if v < 1e6 {
+            write!(f, "{:.2} µs", v / 1e3)
+        } else if v < 1e9 {
+            write!(f, "{:.2} ms", v / 1e6)
+        } else {
+            write!(f, "{:.3} s", v / 1e9)
+        }
+    }
+}
+
+/// Per-second rate pretty-printer with K/M/G scaling.
+struct Rate(f64, &'static str);
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (v, unit) = (self.0, self.1);
+        if v < 1e3 {
+            write!(f, "{v:.1} {unit}")
+        } else if v < 1e6 {
+            write!(f, "{:.2} K{unit}", v / 1e3)
+        } else if v < 1e9 {
+            write!(f, "{:.2} M{unit}", v / 1e6)
+        } else {
+            write!(f, "{:.2} G{unit}", v / 1e9)
+        }
+    }
+}
+
+/// Bundles benchmark functions into a single runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion {
+            measure: false,
+            filter: None,
+        };
+        let mut runs = 0;
+        c.bench_function("smoke", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            measure: false,
+            filter: Some("wanted".into()),
+        };
+        let mut runs = 0;
+        let mut g = c.benchmark_group("group");
+        g.bench_function("other", |b| b.iter(|| runs += 1));
+        g.bench_function("wanted", |b| b.iter(|| runs += 10));
+        g.finish();
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("complete", 7).label, "complete/7");
+        assert_eq!(BenchmarkId::from_parameter("40/10").label, "40/10");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(Ns(12.34).to_string(), "12.3 ns");
+        assert_eq!(Ns(12_340.0).to_string(), "12.34 µs");
+        assert_eq!(Rate(2.5e6, "elem/s").to_string(), "2.50 Melem/s");
+    }
+}

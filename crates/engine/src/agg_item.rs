@@ -39,7 +39,14 @@ impl Default for AggItem {
 impl AggItem {
     /// An empty partial for a window `[start, start + size)`.
     pub fn empty(start: Decimal, size: Decimal) -> AggItem {
-        AggItem { start, size, count: 0, sum: None, min: None, max: None }
+        AggItem {
+            start,
+            size,
+            count: 0,
+            sum: None,
+            min: None,
+            max: None,
+        }
     }
 
     /// Folds one value into the partial.
@@ -104,7 +111,9 @@ impl AggItem {
         // numerator = sum at `target+…` precision; divide by count with
         // rounding. Work at one extra digit for the rounding step.
         let extra = (target + 1).min(dss_xml::decimal::MAX_SCALE);
-        let numerator = sum.units().checked_mul(10i128.checked_pow(extra - sum.scale())?)?;
+        let numerator = sum
+            .units()
+            .checked_mul(10i128.checked_pow(extra - sum.scale())?)?;
         let q = numerator / self.count as i128;
         // Round the last digit away from zero.
         let rounded = if q >= 0 { (q + 5) / 10 } else { (q - 5) / 10 };
@@ -117,7 +126,11 @@ impl AggItem {
             let u = value.units();
             let div = 10i128.pow(value.scale() - scale);
             let half = div / 2;
-            let r = if u >= 0 { (u + half) / div } else { (u - half) / div };
+            let r = if u >= 0 {
+                (u + half) / div
+            } else {
+                (u - half) / div
+            };
             Some(Decimal::new(r, scale))
         }
     }
@@ -173,10 +186,13 @@ impl AggItem {
         };
         let count_dec = get("count")?;
         let count: u64 = if count_dec.is_integer() {
-            count_dec.units().try_into().map_err(|_| XmlError::ValueParse {
-                value: count_dec.to_string(),
-                wanted: "count within u64 range",
-            })?
+            count_dec
+                .units()
+                .try_into()
+                .map_err(|_| XmlError::ValueParse {
+                    value: count_dec.to_string(),
+                    wanted: "count within u64 range",
+                })?
         } else {
             return Err(XmlError::ValueParse {
                 value: count_dec.to_string(),
@@ -288,7 +304,10 @@ mod tests {
         assert_eq!(mk("-2", 3).avg_value(6), Some(d("-0.666667")));
         assert_eq!(mk("10.5", 2).avg_value(2), Some(d("5.25")));
         // Exact at count = 1 regardless of magnitude.
-        assert_eq!(mk("123456789.123", 1).avg_value(6), Some(d("123456789.123")));
+        assert_eq!(
+            mk("123456789.123", 1).avg_value(6),
+            Some(d("123456789.123"))
+        );
         // Coarse display scale re-rounds.
         assert_eq!(mk("1", 3).avg_value(1), Some(d("0.3")));
         assert_eq!(mk("2", 3).avg_value(1), Some(d("0.7")));

@@ -22,7 +22,7 @@ use dss_properties::{AggOp, AggregationSpec, ResultFilter};
 use dss_xml::{Decimal, Node};
 
 use crate::agg_item::AggItem;
-use crate::op::StreamOperator;
+use crate::op::{Emit, StreamOperator};
 use crate::window_track::WindowTracker;
 
 pub use crate::window_track::grid_floor;
@@ -35,7 +35,10 @@ pub fn filter_accepts(op: AggOp, item: &AggItem, filter: &ResultFilter) -> bool 
         return true;
     }
     match op {
-        AggOp::Avg => filter.conditions.iter().all(|(cmp, c)| item.avg_compare(*cmp, *c)),
+        AggOp::Avg => filter
+            .conditions
+            .iter()
+            .all(|(cmp, c)| item.avg_compare(*cmp, *c)),
         _ => match item.final_value(op) {
             Some(v) => filter.accepts(v),
             None => false,
@@ -48,6 +51,8 @@ pub fn filter_accepts(op: AggOp, item: &AggItem, filter: &ResultFilter) -> bool 
 pub struct AggregateOp {
     spec: AggregationSpec,
     tracker: WindowTracker<AggItem>,
+    /// Reusable scratch for the matched element values of one item.
+    values: Vec<Decimal>,
 }
 
 impl AggregateOp {
@@ -56,25 +61,31 @@ impl AggregateOp {
     /// does that, mirroring the operator chains recorded in properties.
     pub fn new(spec: AggregationSpec) -> AggregateOp {
         let tracker = WindowTracker::new(spec.window.clone());
-        AggregateOp { spec, tracker }
+        AggregateOp {
+            spec,
+            tracker,
+            values: Vec::new(),
+        }
     }
 
     /// The aggregation spec.
     pub fn spec(&self) -> &AggregationSpec {
         &self.spec
     }
+}
 
-    /// Finalizes a closed window: patches its coordinates, drops empty
-    /// windows, applies the result filter, serializes.
-    fn emit(&self, start: Decimal, mut window: AggItem, out: &mut Vec<Node>) {
-        if window.count == 0 {
-            return; // empty windows are never emitted
-        }
-        window.start = start;
-        window.size = self.spec.window.size();
-        if filter_accepts(self.spec.op, &window, &self.spec.result_filter) {
-            out.push(window.to_node());
-        }
+/// Finalizes a closed window: patches its coordinates, drops empty windows,
+/// applies the result filter, serializes. A free function (not a method) so
+/// the tracker callbacks can borrow `spec` while the tracker is borrowed
+/// mutably.
+fn emit_window(spec: &AggregationSpec, start: Decimal, mut window: AggItem, out: &mut Emit) {
+    if window.count == 0 {
+        return; // empty windows are never emitted
+    }
+    window.start = start;
+    window.size = spec.window.size();
+    if filter_accepts(spec.op, &window, &spec.result_filter) {
+        out.push(window.to_node());
     }
 }
 
@@ -83,34 +94,34 @@ impl StreamOperator for AggregateOp {
         "Φ"
     }
 
-    fn process(&mut self, item: &Node) -> Vec<Node> {
-        // Fold every matched element value into the windows containing the
-        // item's reference value.
-        let values: Vec<Decimal> = self
-            .spec
-            .element
-            .evaluate(item)
-            .into_iter()
-            .filter_map(|n| n.decimal_value().ok())
-            .collect();
-        let closed = self.tracker.observe(item, |acc, _| {
-            for v in &values {
-                acc.add_value(*v);
+    fn process_into(&mut self, item: &Node, out: &mut Emit) {
+        let AggregateOp {
+            spec,
+            tracker,
+            values,
+        } = self;
+        // Gather every matched element value into the reused scratch, then
+        // fold them into the windows containing the item's reference value.
+        values.clear();
+        spec.element.visit(item, &mut |n| {
+            if let Ok(v) = n.decimal_value() {
+                values.push(v);
             }
         });
-        let mut out = Vec::new();
-        for (start, window) in closed {
-            self.emit(start, window, &mut out);
-        }
-        out
+        tracker.observe(
+            item,
+            |acc, _| {
+                for v in values.iter() {
+                    acc.add_value(*v);
+                }
+            },
+            |start, window| emit_window(spec, start, window, out),
+        );
     }
 
-    fn flush(&mut self) -> Vec<Node> {
-        let mut out = Vec::new();
-        for (start, window) in self.tracker.flush() {
-            self.emit(start, window, &mut out);
-        }
-        out
+    fn flush_into(&mut self, out: &mut Emit) {
+        let AggregateOp { spec, tracker, .. } = self;
+        tracker.flush(|start, window| emit_window(spec, start, window, out));
     }
 
     fn base_load(&self) -> f64 {
@@ -121,6 +132,7 @@ impl StreamOperator for AggregateOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::op::StreamOperatorExt;
     use dss_predicate::{CompOp, PredicateGraph};
     use dss_properties::WindowSpec;
     use dss_xml::Path;
@@ -134,10 +146,18 @@ mod tests {
     }
 
     fn photon(t: &str, en: &str) -> Node {
-        Node::elem("photon", vec![Node::leaf("det_time", t), Node::leaf("en", en)])
+        Node::elem(
+            "photon",
+            vec![Node::leaf("det_time", t), Node::leaf("en", en)],
+        )
     }
 
-    fn diff_spec(op: AggOp, size: &str, step: Option<&str>, filter: ResultFilter) -> AggregationSpec {
+    fn diff_spec(
+        op: AggOp,
+        size: &str,
+        step: Option<&str>,
+        filter: ResultFilter,
+    ) -> AggregationSpec {
         AggregationSpec {
             op,
             element: p("en"),
@@ -160,9 +180,9 @@ mod tests {
     fn run(op: &mut AggregateOp, items: &[(&str, &str)]) -> Vec<AggItem> {
         let mut out = Vec::new();
         for (t, en) in items {
-            out.extend(op.process(&photon(t, en)));
+            out.extend(op.process_collect(&photon(t, en)));
         }
-        out.extend(op.flush());
+        out.extend(op.flush_collect());
         out.iter().map(|n| AggItem::from_node(n).unwrap()).collect()
     }
 
@@ -182,7 +202,13 @@ mod tests {
         let mut op = AggregateOp::new(diff_spec(AggOp::Sum, "10", None, ResultFilter::none()));
         let out = run(
             &mut op,
-            &[("1", "1.0"), ("5", "2.0"), ("12", "4.0"), ("15", "8.0"), ("23", "16.0")],
+            &[
+                ("1", "1.0"),
+                ("5", "2.0"),
+                ("12", "4.0"),
+                ("15", "8.0"),
+                ("23", "16.0"),
+            ],
         );
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].start, d("0"));
@@ -196,8 +222,16 @@ mod tests {
     #[test]
     fn sliding_diff_window_overlaps() {
         // |diff 20 step 10| (Query 3's window): starts 0, 10, 20, …
-        let mut op = AggregateOp::new(diff_spec(AggOp::Count, "20", Some("10"), ResultFilter::none()));
-        let out = run(&mut op, &[("5", "1"), ("15", "1"), ("25", "1"), ("35", "1")]);
+        let mut op = AggregateOp::new(diff_spec(
+            AggOp::Count,
+            "20",
+            Some("10"),
+            ResultFilter::none(),
+        ));
+        let out = run(
+            &mut op,
+            &[("5", "1"), ("15", "1"), ("25", "1"), ("35", "1")],
+        );
         // Windows: [0,20)→2, [10,30)→2, [20,40)→2, [30,50)→1.
         let starts: Vec<Decimal> = out.iter().map(|a| a.start).collect();
         assert_eq!(starts, vec![d("0"), d("10"), d("20"), d("30")]);
@@ -210,7 +244,12 @@ mod tests {
         // First item at t = 35 with |diff 20 step 10|: the first windows
         // containing it are [20,40) and [30,50) — grid-aligned, not
         // data-aligned.
-        let mut op = AggregateOp::new(diff_spec(AggOp::Count, "20", Some("10"), ResultFilter::none()));
+        let mut op = AggregateOp::new(diff_spec(
+            AggOp::Count,
+            "20",
+            Some("10"),
+            ResultFilter::none(),
+        ));
         let out = run(&mut op, &[("35", "1"), ("36", "1")]);
         let starts: Vec<Decimal> = out.iter().map(|a| a.start).collect();
         assert_eq!(starts, vec![d("20"), d("30")]);
@@ -231,8 +270,10 @@ mod tests {
         let mut op = AggregateOp::new(count_spec(AggOp::Sum, "3", None));
         let items: Vec<(String, String)> =
             (0..7).map(|i| (i.to_string(), "1.0".to_string())).collect();
-        let refs: Vec<(&str, &str)> =
-            items.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let refs: Vec<(&str, &str)> = items
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
         let out = run(&mut op, &refs);
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].count, 3);
@@ -245,10 +286,13 @@ mod tests {
         // |count 20 step 10| from the paper's window example: the window
         // always contains 20 items, updated every 10.
         let mut op = AggregateOp::new(count_spec(AggOp::Count, "20", Some("10")));
-        let items: Vec<(String, String)> =
-            (0..40).map(|i| (i.to_string(), "1.0".to_string())).collect();
-        let refs: Vec<(&str, &str)> =
-            items.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let items: Vec<(String, String)> = (0..40)
+            .map(|i| (i.to_string(), "1.0".to_string()))
+            .collect();
+        let refs: Vec<(&str, &str)> = items
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
         let out = run(&mut op, &refs);
         // Complete windows at starts 0 and 10 and 20 (closed by items 20–39)
         // plus flush of [30,50) partial.
@@ -276,7 +320,13 @@ mod tests {
         let mut op = AggregateOp::new(diff_spec(AggOp::Avg, "10", None, filter));
         let out = run(
             &mut op,
-            &[("1", "1.0"), ("2", "1.2"), ("11", "1.4"), ("12", "1.6"), ("21", "1.3")],
+            &[
+                ("1", "1.0"),
+                ("2", "1.2"),
+                ("11", "1.4"),
+                ("12", "1.6"),
+                ("21", "1.3"),
+            ],
         );
         // [0,10): avg 1.1 dropped; [10,20): avg 1.5 kept; [20,30): 1.3 kept.
         assert_eq!(out.len(), 2);
@@ -296,9 +346,9 @@ mod tests {
     fn items_without_reference_value_are_skipped() {
         let mut op = AggregateOp::new(diff_spec(AggOp::Sum, "10", None, ResultFilter::none()));
         let mut out = Vec::new();
-        out.extend(op.process(&Node::elem("photon", vec![Node::leaf("en", "1.0")])));
-        out.extend(op.process(&photon("5", "2.0")));
-        out.extend(op.flush());
+        out.extend(op.process_collect(&Node::elem("photon", vec![Node::leaf("en", "1.0")])));
+        out.extend(op.process_collect(&photon("5", "2.0")));
+        out.extend(op.flush_collect());
         let items: Vec<AggItem> = out.iter().map(|n| AggItem::from_node(n).unwrap()).collect();
         assert_eq!(items.len(), 1);
         assert_eq!(items[0].sum, Some(d("2")));
@@ -308,9 +358,9 @@ mod tests {
     fn items_without_aggregated_element_do_not_count() {
         let mut op = AggregateOp::new(diff_spec(AggOp::Count, "10", None, ResultFilter::none()));
         let mut out = Vec::new();
-        out.extend(op.process(&Node::elem("photon", vec![Node::leaf("det_time", "1")])));
-        out.extend(op.process(&photon("2", "1.0")));
-        out.extend(op.flush());
+        out.extend(op.process_collect(&Node::elem("photon", vec![Node::leaf("det_time", "1")])));
+        out.extend(op.process_collect(&photon("2", "1.0")));
+        out.extend(op.flush_collect());
         let items: Vec<AggItem> = out.iter().map(|n| AggItem::from_node(n).unwrap()).collect();
         assert_eq!(items.len(), 1);
         assert_eq!(items[0].count, 1);

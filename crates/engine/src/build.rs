@@ -5,7 +5,7 @@ use dss_properties::Operator;
 use dss_xml::Node;
 
 use crate::aggregate::AggregateOp;
-use crate::op::{Pipeline, StreamOperator};
+use crate::op::{Emit, Pipeline, StreamOperator};
 use crate::project::ProjectOp;
 use crate::select::SelectOp;
 
@@ -21,7 +21,10 @@ pub struct UdfOp {
 impl UdfOp {
     /// Creates the UDF operator.
     pub fn new(name: impl Into<String>, params: Vec<String>) -> UdfOp {
-        UdfOp { name: name.into(), params }
+        UdfOp {
+            name: name.into(),
+            params,
+        }
     }
 
     /// The UDF's name.
@@ -40,8 +43,10 @@ impl StreamOperator for UdfOp {
         "udf"
     }
 
-    fn process(&mut self, item: &Node) -> Vec<Node> {
-        vec![item.clone()]
+    fn process_into(&mut self, item: &Node, out: &mut Emit) {
+        // Identity transform: the sink owns its items, so the passed-through
+        // item is cloned out of the caller's borrow.
+        out.push(item.clone());
     }
 
     fn base_load(&self) -> f64 {
@@ -104,7 +109,10 @@ mod tests {
         );
         let out = pipe.process(&hot);
         assert_eq!(out.len(), 1);
-        assert_eq!(dss_xml::writer::node_to_string(&out[0]), "<photon><en>1.5</en></photon>");
+        assert_eq!(
+            dss_xml::writer::node_to_string(&out[0]),
+            "<photon><en>1.5</en></photon>"
+        );
         let cold = Node::elem("photon", vec![Node::leaf("en", "1.0")]);
         assert!(pipe.process(&cold).is_empty());
     }
@@ -122,7 +130,10 @@ mod tests {
         for t in 0..25 {
             let item = Node::elem(
                 "photon",
-                vec![Node::leaf("det_time", t.to_string()), Node::leaf("en", "1.0")],
+                vec![
+                    Node::leaf("det_time", t.to_string()),
+                    Node::leaf("en", "1.0"),
+                ],
             );
             pipe.process(&item);
         }

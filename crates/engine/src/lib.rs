@@ -24,7 +24,7 @@ pub mod window_track;
 pub use agg_item::AggItem;
 pub use aggregate::AggregateOp;
 pub use build::{build_operator, build_pipeline, UdfOp};
-pub use op::{OpStats, Pipeline, StreamOperator};
+pub use op::{Emit, OpStats, Pipeline, StreamOperator, StreamOperatorExt};
 pub use project::ProjectOp;
 pub use reaggregate::ReAggregateOp;
 pub use restructure::{RestructureOp, Template};

@@ -1,9 +1,9 @@
 //! The projection operator Π.
 
 use dss_properties::ProjectionSpec;
-use dss_xml::{Node, Path};
+use dss_xml::{Node, Symbol};
 
-use crate::op::StreamOperator;
+use crate::op::{Emit, StreamOperator};
 
 /// Projection: prunes each item's tree to the subtrees listed in the
 /// projection's *output* set. An output path keeps its complete subtree;
@@ -11,12 +11,18 @@ use crate::op::StreamOperator;
 #[derive(Debug)]
 pub struct ProjectOp {
     spec: ProjectionSpec,
+    /// Reusable stack of the symbols on the path from the item root to the
+    /// node currently being pruned — avoids allocating a `Path` per child.
+    stack: Vec<Symbol>,
 }
 
 impl ProjectOp {
     /// Creates a projection operator.
     pub fn new(spec: ProjectionSpec) -> ProjectOp {
-        ProjectOp { spec }
+        ProjectOp {
+            spec,
+            stack: Vec::new(),
+        }
     }
 
     /// The projection spec.
@@ -27,27 +33,37 @@ impl ProjectOp {
     /// Projects a single node tree (standalone helper, also used by the
     /// restructurer).
     pub fn project(spec: &ProjectionSpec, item: &Node) -> Node {
-        fn prune(spec: &ProjectionSpec, node: &Node, path: &Path) -> Option<Node> {
-            // A node is kept entirely if some output path covers it.
-            if spec.output.iter().any(|out| out.is_prefix_of(path)) {
-                return Some(node.clone());
-            }
-            // A node is kept as bare structure if it lies on the way to
-            // some output path.
-            if !spec.output.iter().any(|out| path.is_prefix_of(out)) {
-                return None;
-            }
-            let mut kept = Node::empty(node.name());
-            for child in node.children() {
-                let child_path = path.child(child.name()).expect("parsed names are valid");
-                if let Some(c) = prune(spec, child, &child_path) {
-                    kept.push_child(c);
-                }
-            }
-            Some(kept)
-        }
-        prune(spec, item, &Path::this()).unwrap_or_else(|| Node::empty(item.name()))
+        project_with_stack(spec, item, &mut Vec::new())
     }
+}
+
+/// Projects `item`, tracking the current position as a symbol stack in
+/// `stack` (empty on entry and exit) instead of allocating `Path`s.
+fn project_with_stack(spec: &ProjectionSpec, item: &Node, stack: &mut Vec<Symbol>) -> Node {
+    fn prune(spec: &ProjectionSpec, node: &Node, stack: &mut Vec<Symbol>) -> Option<Node> {
+        // A node is kept entirely if some output path covers it
+        // (the output path is a prefix of the node's path).
+        if spec.output.iter().any(|out| stack.starts_with(out.steps())) {
+            return Some(node.clone());
+        }
+        // A node is kept as bare structure if it lies on the way to
+        // some output path (the node's path is a prefix of an output path).
+        if !spec.output.iter().any(|out| out.steps().starts_with(stack)) {
+            return None;
+        }
+        let mut kept = Node::empty(node.symbol());
+        for child in node.children() {
+            stack.push(child.symbol());
+            let pruned = prune(spec, child, stack);
+            stack.pop();
+            if let Some(c) = pruned {
+                kept.push_child(c);
+            }
+        }
+        Some(kept)
+    }
+    debug_assert!(stack.is_empty());
+    prune(spec, item, stack).unwrap_or_else(|| Node::empty(item.symbol()))
 }
 
 impl StreamOperator for ProjectOp {
@@ -55,8 +71,8 @@ impl StreamOperator for ProjectOp {
         "Π"
     }
 
-    fn process(&mut self, item: &Node) -> Vec<Node> {
-        vec![ProjectOp::project(&self.spec, item)]
+    fn process_into(&mut self, item: &Node, out: &mut Emit) {
+        out.push(project_with_stack(&self.spec, item, &mut self.stack));
     }
 
     fn base_load(&self) -> f64 {
@@ -67,7 +83,8 @@ impl StreamOperator for ProjectOp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dss_xml::writer::node_to_string;
+    use crate::op::StreamOperatorExt;
+    use dss_xml::{writer::node_to_string, Path};
 
     fn p(s: &str) -> Path {
         s.parse().unwrap()
@@ -86,7 +103,7 @@ mod tests {
     fn keeps_only_output_paths() {
         let spec = ProjectionSpec::returning([p("coord/cel/ra"), p("en")]);
         let mut op = ProjectOp::new(spec);
-        let out = op.process(&photon());
+        let out = op.process_collect(&photon());
         assert_eq!(out.len(), 1);
         assert_eq!(
             node_to_string(&out[0]),

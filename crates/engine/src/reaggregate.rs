@@ -20,8 +20,8 @@ use dss_xml::{Decimal, Node};
 
 use crate::agg_item::AggItem;
 use crate::aggregate::filter_accepts;
+use crate::op::{Emit, StreamOperator};
 use crate::window_track::grid_floor;
-use crate::op::StreamOperator;
 
 /// Re-aggregation from shared fine partials to a coarser window spec.
 #[derive(Debug)]
@@ -52,7 +52,13 @@ impl ReAggregateOp {
             new.window,
             reused.window,
         );
-        ReAggregateOp { reused, new, tiles: BTreeMap::new(), next_window: None, max_seen: None }
+        ReAggregateOp {
+            reused,
+            new,
+            tiles: BTreeMap::new(),
+            next_window: None,
+            max_seen: None,
+        }
     }
 
     /// The produced aggregation spec.
@@ -82,7 +88,7 @@ impl ReAggregateOp {
 
     /// Finalizes every pending window whose last tile is certainly
     /// available or empty: all tiles with start < `horizon` are final.
-    fn finalize_ready(&mut self, horizon: Decimal, out: &mut Vec<Node>) {
+    fn finalize_ready(&mut self, horizon: Decimal, out: &mut Emit) {
         let Some(mut w) = self.next_window else {
             return;
         };
@@ -98,7 +104,7 @@ impl ReAggregateOp {
         self.tiles.retain(|start, _| *start >= keep_from);
     }
 
-    fn finalize_window(&mut self, w: Decimal, out: &mut Vec<Node>) {
+    fn finalize_window(&mut self, w: Decimal, out: &mut Emit) {
         let mut merged = AggItem::empty(w, self.delta_new());
         let mut tile = w;
         while tile < w + self.delta_new() {
@@ -121,11 +127,10 @@ impl StreamOperator for ReAggregateOp {
         "Φ↺"
     }
 
-    fn process(&mut self, item: &Node) -> Vec<Node> {
+    fn process_into(&mut self, item: &Node, out: &mut Emit) {
         let Ok(partial) = AggItem::from_node(item) else {
-            return Vec::new();
+            return;
         };
-        let mut out = Vec::new();
         let s = partial.start;
         self.max_seen = Some(match self.max_seen {
             Some(m) if m > s => m,
@@ -148,7 +153,7 @@ impl StreamOperator for ReAggregateOp {
             self.next_window = Some(w);
         }
         // Everything strictly below s is now final.
-        self.finalize_ready(s, &mut out);
+        self.finalize_ready(s, out);
         // Keep the partial if it tiles some pending (or future) window.
         if let Some(w0) = self.next_window {
             let mut w = w0;
@@ -164,18 +169,15 @@ impl StreamOperator for ReAggregateOp {
                 self.tiles.insert(s, partial);
             }
         }
-        out
     }
 
-    fn flush(&mut self) -> Vec<Node> {
-        let mut out = Vec::new();
+    fn flush_into(&mut self, out: &mut Emit) {
         if let Some(max) = self.max_seen {
             // All tiles are final now; finalize every window that could be
             // non-empty (w ≤ max_seen). The horizon overshoots by design —
             // empty windows are filtered at emission.
-            self.finalize_ready(max + self.delta_new() + self.delta(), &mut out);
+            self.finalize_ready(max + self.delta_new() + self.delta(), out);
         }
-        out
     }
 
     fn base_load(&self) -> f64 {
@@ -187,7 +189,7 @@ impl StreamOperator for ReAggregateOp {
 mod tests {
     use super::*;
     use crate::aggregate::AggregateOp;
-    use crate::op::StreamOperator;
+    use crate::op::StreamOperatorExt;
     use dss_predicate::{CompOp, PredicateGraph};
     use dss_properties::{AggOp, ResultFilter};
     use dss_xml::Path;
@@ -201,7 +203,10 @@ mod tests {
     }
 
     fn photon(t: &str, en: &str) -> Node {
-        Node::elem("photon", vec![Node::leaf("det_time", t), Node::leaf("en", en)])
+        Node::elem(
+            "photon",
+            vec![Node::leaf("det_time", t), Node::leaf("en", en)],
+        )
     }
 
     fn diff_spec(
@@ -235,16 +240,16 @@ mod tests {
         let mut direct = Vec::new();
         for (t, en) in items {
             let item = photon(&format!("{t}"), &format!("{en}"));
-            for partial in fine_op.process(&item) {
-                shared.extend(re_op.process(&partial));
+            for partial in fine_op.process_collect(&item) {
+                shared.extend(re_op.process_collect(&partial));
             }
-            direct.extend(direct_op.process(&item));
+            direct.extend(direct_op.process_collect(&item));
         }
-        for partial in fine_op.flush() {
-            shared.extend(re_op.process(&partial));
+        for partial in fine_op.flush_collect() {
+            shared.extend(re_op.process_collect(&partial));
         }
-        shared.extend(re_op.flush());
-        direct.extend(direct_op.flush());
+        shared.extend(re_op.flush_collect());
+        direct.extend(direct_op.flush_collect());
 
         let parse = |v: Vec<Node>| v.iter().map(|n| AggItem::from_node(n).unwrap()).collect();
         (parse(shared), parse(direct))
@@ -256,8 +261,9 @@ mod tests {
     fn figure5_shared_equals_direct() {
         let q3 = diff_spec(AggOp::Avg, "20", Some("10"), ResultFilter::none());
         let q4 = diff_spec(AggOp::Avg, "60", Some("40"), ResultFilter::none());
-        let items: Vec<(f64, f64)> =
-            (0..200).map(|i| (i as f64 * 1.7 + 3.0, 1.0 + (i % 7) as f64 * 0.2)).collect();
+        let items: Vec<(f64, f64)> = (0..200)
+            .map(|i| (i as f64 * 1.7 + 3.0, 1.0 + (i % 7) as f64 * 0.2))
+            .collect();
         let (shared, direct) = shared_vs_direct(q3, q4, &items);
         assert!(!direct.is_empty());
         assert_eq!(shared, direct);
@@ -272,8 +278,9 @@ mod tests {
             Some("40"),
             ResultFilter::single(CompOp::Ge, d("1.3")),
         );
-        let items: Vec<(f64, f64)> =
-            (0..300).map(|i| (i as f64 * 0.9, 1.0 + (i % 10) as f64 * 0.1)).collect();
+        let items: Vec<(f64, f64)> = (0..300)
+            .map(|i| (i as f64 * 0.9, 1.0 + (i % 10) as f64 * 0.1))
+            .collect();
         let (shared, direct) = shared_vs_direct(q3, q4, &items);
         assert!(!direct.is_empty());
         assert_eq!(shared, direct);
@@ -294,8 +301,9 @@ mod tests {
         for op in [AggOp::Min, AggOp::Max, AggOp::Count, AggOp::Sum] {
             let fine = diff_spec(op, "5", None, ResultFilter::none());
             let coarse = diff_spec(op, "20", Some("10"), ResultFilter::none());
-            let items: Vec<(f64, f64)> =
-                (0..150).map(|i| (i as f64 * 0.8, (i % 13) as f64 * 0.5)).collect();
+            let items: Vec<(f64, f64)> = (0..150)
+                .map(|i| (i as f64 * 0.8, (i % 13) as f64 * 0.5))
+                .collect();
             let (shared, direct) = shared_vs_direct(fine, coarse, &items);
             assert!(!direct.is_empty(), "{op}");
             assert_eq!(shared, direct, "{op}");
@@ -308,8 +316,9 @@ mod tests {
         let coarse = diff_spec(AggOp::Avg, "60", Some("40"), ResultFilter::none());
         // Data begins at t = 1234.5 — grid anchoring must keep shared and
         // direct aligned.
-        let items: Vec<(f64, f64)> =
-            (0..200).map(|i| (1234.5 + i as f64 * 1.1, 1.0 + (i % 5) as f64 * 0.3)).collect();
+        let items: Vec<(f64, f64)> = (0..200)
+            .map(|i| (1234.5 + i as f64 * 1.1, 1.0 + (i % 5) as f64 * 0.3))
+            .collect();
         let (shared, direct) = shared_vs_direct(fine, coarse, &items);
         assert!(!direct.is_empty());
         assert_eq!(shared, direct);
@@ -352,7 +361,7 @@ mod tests {
         let fine = diff_spec(AggOp::Sum, "10", None, ResultFilter::none());
         let coarse = diff_spec(AggOp::Sum, "20", None, ResultFilter::none());
         let mut op = ReAggregateOp::new(fine, coarse);
-        assert!(op.process(&photon("1", "1.0")).is_empty());
-        assert!(op.flush().is_empty());
+        assert!(op.process_collect(&photon("1", "1.0")).is_empty());
+        assert!(op.flush_collect().is_empty());
     }
 }

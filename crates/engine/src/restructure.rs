@@ -7,16 +7,21 @@
 //! `return`-clause template for every incoming item.
 
 use dss_properties::AggOp;
-use dss_xml::{Node, Path};
+use dss_xml::{Node, Path, Symbol};
 
 use crate::agg_item::AggItem;
-use crate::op::StreamOperator;
+use crate::op::{Emit, StreamOperator};
 
 /// A `return`-clause construction template.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Template {
-    /// `<t> children </t>` — a direct element constructor.
-    Element { tag: String, children: Vec<Template> },
+    /// `<t> children </t>` — a direct element constructor. The tag is
+    /// interned at query-compile time so per-item instantiation never
+    /// touches the name table.
+    Element {
+        tag: Symbol,
+        children: Vec<Template>,
+    },
     /// `{ $p/π }` — copies the subtree(s) reachable through π from the
     /// current item.
     Subtree(Path),
@@ -31,8 +36,11 @@ pub enum Template {
 
 impl Template {
     /// Element constructor helper.
-    pub fn element(tag: impl Into<String>, children: Vec<Template>) -> Template {
-        Template::Element { tag: tag.into(), children }
+    pub fn element(tag: impl Into<Symbol>, children: Vec<Template>) -> Template {
+        Template::Element {
+            tag: tag.into(),
+            children,
+        }
     }
 }
 
@@ -58,13 +66,19 @@ pub struct RestructureOp {
 impl RestructureOp {
     /// Restructurer over plain stream items.
     pub fn new(template: Template) -> RestructureOp {
-        RestructureOp { template, input: InputKind::Items }
+        RestructureOp {
+            template,
+            input: InputKind::Items,
+        }
     }
 
     /// Restructurer over window-contents items: `{ $w }` splices each
     /// window's contained items into the constructed element.
     pub fn for_window(template: Template) -> RestructureOp {
-        RestructureOp { template, input: InputKind::Window }
+        RestructureOp {
+            template,
+            input: InputKind::Window,
+        }
     }
 
     /// Restructurer over aggregate partials: `{ $a }` renders the final
@@ -72,7 +86,10 @@ impl RestructureOp {
     /// "the final aggregate value is computed at the super-peer at which
     /// the subscription is registered").
     pub fn for_aggregate(template: Template, op: AggOp) -> RestructureOp {
-        RestructureOp { template, input: InputKind::Aggregate(op) }
+        RestructureOp {
+            template,
+            input: InputKind::Aggregate(op),
+        }
     }
 
     /// Instantiates `template` against an item, an optional aggregate
@@ -86,14 +103,14 @@ impl RestructureOp {
     ) -> Option<Node> {
         match template {
             Template::Element { tag, children } => {
-                let mut node = Node::empty(tag.clone());
+                let mut node = Node::empty(*tag);
                 let mut text = String::new();
                 for child in children {
                     match child {
                         Template::Subtree(path) => {
-                            for n in path.evaluate(item) {
-                                node.push_child(n.clone());
-                            }
+                            // The constructed node owns its children, so the
+                            // matched subtrees are copied out of the item.
+                            path.visit(item, &mut |n| node.push_child(n.clone()));
                         }
                         Template::AggValue => {
                             text.push_str(agg_value?);
@@ -106,7 +123,10 @@ impl RestructureOp {
                         Template::Text(t) => text.push_str(t),
                         elem @ Template::Element { .. } => {
                             node.push_child(Self::instantiate(
-                                elem, item, agg_value, window_items,
+                                elem,
+                                item,
+                                agg_value,
+                                window_items,
                             )?);
                         }
                     }
@@ -133,35 +153,35 @@ impl StreamOperator for RestructureOp {
         "ρ"
     }
 
-    fn process(&mut self, item: &Node) -> Vec<Node> {
+    fn process_into(&mut self, item: &Node, out: &mut Emit) {
         let mut agg_value = None;
         let mut window_items = None;
         match self.input {
             InputKind::Aggregate(op) => {
                 let Ok(partial) = AggItem::from_node(item) else {
-                    return Vec::new();
+                    return;
                 };
                 match partial.final_value(op) {
                     Some(v) => agg_value = Some(v.to_string()),
-                    None => return Vec::new(),
+                    None => return,
                 }
             }
             InputKind::Window => {
                 let Ok(w) = crate::window_contents::WindowItem::from_node(item) else {
-                    return Vec::new();
+                    return;
                 };
                 window_items = Some(w.items);
             }
             InputKind::Items => {}
         }
-        Self::instantiate(
+        if let Some(n) = Self::instantiate(
             &self.template,
             item,
             agg_value.as_deref(),
             window_items.as_deref(),
-        )
-        .map(|n| vec![n])
-        .unwrap_or_default()
+        ) {
+            out.push(n);
+        }
     }
 
     fn base_load(&self) -> f64 {
@@ -172,6 +192,7 @@ impl StreamOperator for RestructureOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::op::StreamOperatorExt;
     use dss_xml::writer::node_to_string;
     use dss_xml::Decimal;
 
@@ -202,7 +223,7 @@ mod tests {
             ],
         );
         let mut op = RestructureOp::new(template);
-        let out = op.process(&photon());
+        let out = op.process_collect(&photon());
         assert_eq!(out.len(), 1);
         assert_eq!(
             node_to_string(&out[0]),
@@ -220,7 +241,7 @@ mod tests {
         let mut partial = AggItem::empty(Decimal::ZERO, Decimal::from_int(20));
         partial.add_value("1.2".parse().unwrap());
         partial.add_value("1.8".parse().unwrap());
-        let out = op.process(&partial.to_node());
+        let out = op.process_collect(&partial.to_node());
         assert_eq!(out.len(), 1);
         assert_eq!(node_to_string(&out[0]), "<avg_en>1.5</avg_en>");
     }
@@ -229,7 +250,7 @@ mod tests {
     fn aggregate_restructure_skips_non_agg_items() {
         let template = Template::element("avg_en", vec![Template::AggValue]);
         let mut op = RestructureOp::for_aggregate(template, AggOp::Avg);
-        assert!(op.process(&photon()).is_empty());
+        assert!(op.process_collect(&photon()).is_empty());
     }
 
     #[test]
@@ -242,7 +263,7 @@ mod tests {
             ],
         );
         let mut op = RestructureOp::new(template);
-        let out = op.process(&photon());
+        let out = op.process_collect(&photon());
         assert_eq!(
             node_to_string(&out[0]),
             "<report><position><ra>130.7</ra></position><energy><en>1.4</en></energy></report>"
@@ -251,10 +272,12 @@ mod tests {
 
     #[test]
     fn missing_subtrees_yield_empty_spots() {
-        let template =
-            Template::element("r", vec![Template::Subtree(p("nope")), Template::Subtree(p("en"))]);
+        let template = Template::element(
+            "r",
+            vec![Template::Subtree(p("nope")), Template::Subtree(p("en"))],
+        );
         let mut op = RestructureOp::new(template);
-        let out = op.process(&photon());
+        let out = op.process_collect(&photon());
         assert_eq!(node_to_string(&out[0]), "<r><en>1.4</en></r>");
     }
 
@@ -262,13 +285,19 @@ mod tests {
     fn literal_text_content() {
         let template = Template::element("label", vec![Template::Text("vela region".into())]);
         let mut op = RestructureOp::new(template);
-        assert_eq!(node_to_string(&op.process(&photon())[0]), "<label>vela region</label>");
+        assert_eq!(
+            node_to_string(&op.process_collect(&photon())[0]),
+            "<label>vela region</label>"
+        );
     }
 
     #[test]
     fn empty_element_constructor() {
         let template = Template::element("marker", vec![]);
         let mut op = RestructureOp::new(template);
-        assert_eq!(node_to_string(&op.process(&photon())[0]), "<marker/>");
+        assert_eq!(
+            node_to_string(&op.process_collect(&photon())[0]),
+            "<marker/>"
+        );
     }
 }

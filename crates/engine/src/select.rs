@@ -3,7 +3,7 @@
 use dss_predicate::PredicateGraph;
 use dss_xml::Node;
 
-use crate::op::StreamOperator;
+use crate::op::{Emit, StreamOperator};
 
 /// Selection: passes items satisfying a conjunctive predicate.
 #[derive(Debug)]
@@ -28,11 +28,11 @@ impl StreamOperator for SelectOp {
         "σ"
     }
 
-    fn process(&mut self, item: &Node) -> Vec<Node> {
+    fn process_into(&mut self, item: &Node, out: &mut Emit) {
         if self.predicate.evaluate(item) {
-            vec![item.clone()]
-        } else {
-            Vec::new()
+            // The sink owns what it receives, so a passing item is cloned
+            // out of the caller's borrow; dropped items cost nothing.
+            out.push(item.clone());
         }
     }
 
@@ -44,6 +44,7 @@ impl StreamOperator for SelectOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::op::StreamOperatorExt;
     use dss_predicate::{Atom, CompOp};
     use dss_xml::{Decimal, Path};
 
@@ -63,16 +64,16 @@ mod tests {
     fn filters_items() {
         let g = PredicateGraph::from_atoms(&[Atom::var_const(p("en"), CompOp::Ge, d("1.3"))]);
         let mut op = SelectOp::new(g);
-        assert_eq!(op.process(&item("1.5")).len(), 1);
-        assert_eq!(op.process(&item("1.3")).len(), 1);
-        assert!(op.process(&item("1.2")).is_empty());
-        assert!(op.process(&Node::empty("photon")).is_empty());
-        assert!(op.flush().is_empty());
+        assert_eq!(op.process_collect(&item("1.5")).len(), 1);
+        assert_eq!(op.process_collect(&item("1.3")).len(), 1);
+        assert!(op.process_collect(&item("1.2")).is_empty());
+        assert!(op.process_collect(&Node::empty("photon")).is_empty());
+        assert!(op.flush_collect().is_empty());
     }
 
     #[test]
     fn trivial_predicate_passes_all() {
         let mut op = SelectOp::new(PredicateGraph::new());
-        assert_eq!(op.process(&item("0")).len(), 1);
+        assert_eq!(op.process_collect(&item("0")).len(), 1);
     }
 }

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use dss_properties::{WindowOutputSpec, WindowSpec};
 use dss_xml::{Decimal, Node, XmlError};
 
-use crate::op::StreamOperator;
+use crate::op::{Emit, StreamOperator};
 use crate::window_track::{grid_floor, WindowTracker};
 
 /// One window's contents, as shipped between peers:
@@ -38,22 +38,39 @@ pub struct WindowItem {
 impl WindowItem {
     /// An empty window `[start, start + size)`.
     pub fn empty(start: Decimal, size: Decimal) -> WindowItem {
-        WindowItem { start, size, items: Vec::new() }
+        WindowItem {
+            start,
+            size,
+            items: Vec::new(),
+        }
     }
 
     /// Appends an adjacent tile's contents (ascending-order composition).
+    /// Clones are required: the tile stays buffered for the other windows
+    /// it still tiles.
     pub fn merge(&mut self, other: &WindowItem) {
         self.items.extend(other.items.iter().cloned());
     }
 
     /// Serializes the window as a stream item.
     pub fn to_node(&self) -> Node {
+        WindowItem {
+            start: self.start,
+            size: self.size,
+            items: self.items.clone(),
+        }
+        .into_node()
+    }
+
+    /// Serializes the window, consuming it — the contained items move into
+    /// the produced node instead of being cloned.
+    pub fn into_node(self) -> Node {
         Node::elem(
             "window",
             vec![
                 Node::decimal_leaf("start", self.start),
                 Node::decimal_leaf("size", self.size),
-                Node::elem("items", self.items.clone()),
+                Node::elem("items", self.items),
             ],
         )
     }
@@ -76,7 +93,11 @@ impl WindowItem {
             })?
             .children()
             .to_vec();
-        Ok(WindowItem { start: field("start")?, size: field("size")?, items })
+        Ok(WindowItem {
+            start: field("start")?,
+            size: field("size")?,
+            items,
+        })
     }
 
     /// `true` if `node` looks like a window item.
@@ -104,13 +125,22 @@ impl WindowContentsOp {
     pub fn spec(&self) -> &WindowOutputSpec {
         &self.spec
     }
+}
 
-    fn emit(&self, start: Decimal, items: Vec<Node>, out: &mut Vec<Node>) {
-        if items.is_empty() {
-            return; // empty windows are never emitted (as with aggregates)
-        }
-        out.push(WindowItem { start, size: self.spec.window.size(), items }.to_node());
+/// Finalizes a closed window. A free function so the tracker callbacks can
+/// borrow `spec` while the tracker is borrowed mutably.
+fn emit_contents(spec: &WindowOutputSpec, start: Decimal, items: Vec<Node>, out: &mut Emit) {
+    if items.is_empty() {
+        return; // empty windows are never emitted (as with aggregates)
     }
+    out.push(
+        WindowItem {
+            start,
+            size: spec.window.size(),
+            items,
+        }
+        .into_node(),
+    );
 }
 
 impl StreamOperator for WindowContentsOp {
@@ -118,21 +148,20 @@ impl StreamOperator for WindowContentsOp {
         "ω"
     }
 
-    fn process(&mut self, item: &Node) -> Vec<Node> {
-        let closed = self.tracker.observe(item, |acc, _| acc.push(item.clone()));
-        let mut out = Vec::new();
-        for (start, items) in closed {
-            self.emit(start, items, &mut out);
-        }
-        out
+    fn process_into(&mut self, item: &Node, out: &mut Emit) {
+        let WindowContentsOp { spec, tracker } = self;
+        tracker.observe(
+            item,
+            // The window accumulator owns its contents, so each covered
+            // window stores its own clone of the item.
+            |acc, _| acc.push(item.clone()),
+            |start, items| emit_contents(spec, start, items, out),
+        );
     }
 
-    fn flush(&mut self) -> Vec<Node> {
-        let mut out = Vec::new();
-        for (start, items) in self.tracker.flush() {
-            self.emit(start, items, &mut out);
-        }
-        out
+    fn flush_into(&mut self, out: &mut Emit) {
+        let WindowContentsOp { spec, tracker } = self;
+        tracker.flush(|start, items| emit_contents(spec, start, items, out));
     }
 
     fn base_load(&self) -> f64 {
@@ -166,7 +195,13 @@ impl ReWindowOp {
             new.window,
             reused.window,
         );
-        ReWindowOp { reused, new, tiles: BTreeMap::new(), next_window: None, max_seen: None }
+        ReWindowOp {
+            reused,
+            new,
+            tiles: BTreeMap::new(),
+            next_window: None,
+            max_seen: None,
+        }
     }
 
     fn delta(&self) -> Decimal {
@@ -188,7 +223,7 @@ impl ReWindowOp {
         WindowSpec::is_multiple_of(start - w, self.delta())
     }
 
-    fn finalize_ready(&mut self, horizon: Decimal, out: &mut Vec<Node>) {
+    fn finalize_ready(&mut self, horizon: Decimal, out: &mut Emit) {
         let Some(mut w) = self.next_window else {
             return;
         };
@@ -201,7 +236,7 @@ impl ReWindowOp {
         self.tiles.retain(|start, _| *start >= keep_from);
     }
 
-    fn finalize_window(&mut self, w: Decimal, out: &mut Vec<Node>) {
+    fn finalize_window(&mut self, w: Decimal, out: &mut Emit) {
         let mut merged = WindowItem::empty(w, self.delta_new());
         let mut tile = w;
         while tile < w + self.delta_new() {
@@ -211,7 +246,7 @@ impl ReWindowOp {
             tile = tile + self.delta();
         }
         if !merged.items.is_empty() {
-            out.push(merged.to_node());
+            out.push(merged.into_node());
         }
     }
 }
@@ -221,11 +256,10 @@ impl StreamOperator for ReWindowOp {
         "ω↺"
     }
 
-    fn process(&mut self, item: &Node) -> Vec<Node> {
+    fn process_into(&mut self, item: &Node, out: &mut Emit) {
         let Ok(tile) = WindowItem::from_node(item) else {
-            return Vec::new();
+            return;
         };
-        let mut out = Vec::new();
         let s = tile.start;
         self.max_seen = Some(match self.max_seen {
             Some(m) if m > s => m,
@@ -242,7 +276,7 @@ impl StreamOperator for ReWindowOp {
             }
             self.next_window = Some(w);
         }
-        self.finalize_ready(s, &mut out);
+        self.finalize_ready(s, out);
         if let Some(w0) = self.next_window {
             let mut w = w0;
             while w <= s {
@@ -253,15 +287,12 @@ impl StreamOperator for ReWindowOp {
                 w = w + self.mu_new();
             }
         }
-        out
     }
 
-    fn flush(&mut self) -> Vec<Node> {
-        let mut out = Vec::new();
+    fn flush_into(&mut self, out: &mut Emit) {
         if let Some(max) = self.max_seen {
-            self.finalize_ready(max + self.delta_new() + self.delta(), &mut out);
+            self.finalize_ready(max + self.delta_new() + self.delta(), out);
         }
-        out
     }
 
     fn base_load(&self) -> f64 {
@@ -272,6 +303,7 @@ impl StreamOperator for ReWindowOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::op::StreamOperatorExt;
     use dss_predicate::PredicateGraph;
     use dss_xml::Path;
 
@@ -287,17 +319,25 @@ mod tests {
     }
 
     fn item(t: u32, v: u32) -> Node {
-        Node::elem("i", vec![Node::leaf("t", t.to_string()), Node::leaf("v", v.to_string())])
+        Node::elem(
+            "i",
+            vec![
+                Node::leaf("t", t.to_string()),
+                Node::leaf("v", v.to_string()),
+            ],
+        )
     }
 
     fn run_contents(spec: WindowOutputSpec, items: &[Node]) -> Vec<WindowItem> {
         let mut op = WindowContentsOp::new(spec);
         let mut out = Vec::new();
         for i in items {
-            out.extend(op.process(i));
+            out.extend(op.process_collect(i));
         }
-        out.extend(op.flush());
-        out.iter().map(|n| WindowItem::from_node(n).unwrap()).collect()
+        out.extend(op.flush_collect());
+        out.iter()
+            .map(|n| WindowItem::from_node(n).unwrap())
+            .collect()
     }
 
     #[test]
@@ -352,21 +392,28 @@ mod tests {
         let mut re_op = ReWindowOp::new(fine, coarse);
         let mut shared = Vec::new();
         for i in items {
-            for tile in fine_op.process(i) {
-                shared.extend(re_op.process(&tile));
+            for tile in fine_op.process_collect(i) {
+                shared.extend(re_op.process_collect(&tile));
             }
         }
-        for tile in fine_op.flush() {
-            shared.extend(re_op.process(&tile));
+        for tile in fine_op.flush_collect() {
+            shared.extend(re_op.process_collect(&tile));
         }
-        shared.extend(re_op.flush());
-        (shared.iter().map(|n| WindowItem::from_node(n).unwrap()).collect(), direct)
+        shared.extend(re_op.flush_collect());
+        (
+            shared
+                .iter()
+                .map(|n| WindowItem::from_node(n).unwrap())
+                .collect(),
+            direct,
+        )
     }
 
     #[test]
     fn rewindow_equals_direct() {
         let items: Vec<Node> = (0..120).map(|i| item(i * 3 + 1, i)).collect();
-        let (shared, direct) = shared_vs_direct(spec("20", Some("10")), spec("60", Some("40")), &items);
+        let (shared, direct) =
+            shared_vs_direct(spec("20", Some("10")), spec("60", Some("40")), &items);
         assert!(!direct.is_empty());
         assert_eq!(shared, direct);
     }
@@ -389,7 +436,7 @@ mod tests {
     #[test]
     fn rewindow_ignores_non_window_items() {
         let mut op = ReWindowOp::new(spec("10", None), spec("20", None));
-        assert!(op.process(&item(1, 1)).is_empty());
-        assert!(op.flush().is_empty());
+        assert!(op.process_collect(&item(1, 1)).is_empty());
+        assert!(op.flush_collect().is_empty());
     }
 }

@@ -38,7 +38,12 @@ pub struct WindowTracker<T> {
 impl<T: Default> WindowTracker<T> {
     /// Creates a tracker for the given window specification.
     pub fn new(window: WindowSpec) -> WindowTracker<T> {
-        WindowTracker { window, active: VecDeque::new(), youngest_start: None, items_seen: 0 }
+        WindowTracker {
+            window,
+            active: VecDeque::new(),
+            youngest_start: None,
+            items_seen: 0,
+        }
     }
 
     /// The window specification.
@@ -53,32 +58,39 @@ impl<T: Default> WindowTracker<T> {
         match self.window.kind() {
             WindowKind::Count => Some(Decimal::from_int(self.items_seen as i64)),
             WindowKind::Diff => {
-                let r = self.window.reference().expect("diff windows carry a reference");
+                let r = self
+                    .window
+                    .reference()
+                    .expect("diff windows carry a reference");
                 r.decimal_value(item).ok()
             }
         }
     }
 
     /// Observes one item: closes every window whose range ended before the
-    /// item's reference value (returned in ascending start order), opens
-    /// the grid windows newly overlapping it, and folds the item into every
-    /// open window containing it via `fold(accumulator, window_start)`.
+    /// item's reference value (handing each to `on_closed` in ascending
+    /// start order), opens the grid windows newly overlapping it, and folds
+    /// the item into every open window containing it via
+    /// `fold(accumulator, window_start)`.
     ///
-    /// Items without a reference value, or with a negative one
+    /// Closed windows are delivered through the callback instead of a
+    /// returned `Vec`, so the common no-window-closed case allocates
+    /// nothing. Items without a reference value, or with a negative one
     /// (out-of-domain), are skipped and close nothing.
     pub fn observe(
         &mut self,
         item: &Node,
         mut fold: impl FnMut(&mut T, Decimal),
-    ) -> Vec<(Decimal, T)> {
+        on_closed: impl FnMut(Decimal, T),
+    ) {
         let Some(v) = self.reference_value(item) else {
-            return Vec::new();
+            return;
         };
         if v < Decimal::ZERO {
-            return Vec::new();
+            return;
         }
         self.items_seen += 1;
-        let closed = self.close_before(v);
+        self.close_before(v, on_closed);
         self.open_overlapping(v);
         let size = self.window.size();
         for (start, acc) in &mut self.active {
@@ -86,26 +98,28 @@ impl<T: Default> WindowTracker<T> {
                 fold(acc, *start);
             }
         }
-        closed
     }
 
-    /// Drains all still-open windows at end-of-stream.
-    pub fn flush(&mut self) -> Vec<(Decimal, T)> {
-        self.active.drain(..).collect()
+    /// Drains all still-open windows at end-of-stream, in ascending start
+    /// order.
+    pub fn flush(&mut self, mut on_closed: impl FnMut(Decimal, T)) {
+        for (start, acc) in self.active.drain(..) {
+            on_closed(start, acc);
+        }
     }
 
-    /// Closes (removes and returns) every open window with `end ≤ v`.
-    fn close_before(&mut self, v: Decimal) -> Vec<(Decimal, T)> {
+    /// Closes (removes and hands to `on_closed`) every open window with
+    /// `end ≤ v`.
+    fn close_before(&mut self, v: Decimal, mut on_closed: impl FnMut(Decimal, T)) {
         let size = self.window.size();
-        let mut out = Vec::new();
         while let Some((start, _)) = self.active.front() {
             if *start + size <= v {
-                out.push(self.active.pop_front().expect("front exists"));
+                let (start, acc) = self.active.pop_front().expect("front exists");
+                on_closed(start, acc);
             } else {
                 break;
             }
         }
-        out
     }
 
     /// Opens every grid window overlapping reference value `v` that is not
@@ -159,11 +173,10 @@ mod tests {
         let mut tr: WindowTracker<u32> = WindowTracker::new(diff_window("20", Some("10")));
         let mut closed = Vec::new();
         for t in ["5", "15", "25", "35"] {
-            closed.extend(tr.observe(&item(t), |acc, _| *acc += 1));
+            tr.observe(&item(t), |acc, _| *acc += 1, |s, c| closed.push((s, c)));
         }
-        closed.extend(tr.flush());
-        let view: Vec<(String, u32)> =
-            closed.iter().map(|(s, c)| (s.to_string(), *c)).collect();
+        tr.flush(|s, c| closed.push((s, c)));
+        let view: Vec<(String, u32)> = closed.iter().map(|(s, c)| (s.to_string(), *c)).collect();
         assert_eq!(
             view,
             vec![
@@ -177,22 +190,32 @@ mod tests {
 
     #[test]
     fn fold_sees_window_start() {
-        let mut tr: WindowTracker<Vec<String>> =
-            WindowTracker::new(diff_window("20", Some("10")));
-        tr.observe(&item("15"), |acc, start| acc.push(start.to_string()));
-        let open: Vec<Vec<String>> = tr.flush().into_iter().map(|(_, v)| v).collect();
+        let mut tr: WindowTracker<Vec<String>> = WindowTracker::new(diff_window("20", Some("10")));
+        tr.observe(
+            &item("15"),
+            |acc, start| acc.push(start.to_string()),
+            |_, _| {},
+        );
+        let mut open: Vec<Vec<String>> = Vec::new();
+        tr.flush(|_, v| open.push(v));
         assert_eq!(open, vec![vec!["0".to_string()], vec!["10".to_string()]]);
     }
 
     #[test]
     fn skips_unreadable_and_negative_references() {
         let mut tr: WindowTracker<u32> = WindowTracker::new(diff_window("10", None));
-        assert!(tr.observe(&Node::empty("i"), |a, _| *a += 1).is_empty());
-        assert!(tr.observe(&item("-5"), |a, _| *a += 1).is_empty());
-        tr.observe(&item("1"), |a, _| *a += 1);
-        let flushed = tr.flush();
-        assert_eq!(flushed.len(), 1);
-        assert_eq!(flushed[0].1, 1);
+        let mut closed = Vec::new();
+        tr.observe(
+            &Node::empty("i"),
+            |a, _| *a += 1,
+            |s, c| closed.push((s, c)),
+        );
+        tr.observe(&item("-5"), |a, _| *a += 1, |s, c| closed.push((s, c)));
+        assert!(closed.is_empty());
+        tr.observe(&item("1"), |a, _| *a += 1, |s, c| closed.push((s, c)));
+        tr.flush(|s, c| closed.push((s, c)));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].1, 1);
     }
 
     #[test]
@@ -201,9 +224,13 @@ mod tests {
         let mut tr: WindowTracker<u32> = WindowTracker::new(spec);
         let mut closed = Vec::new();
         for _ in 0..7 {
-            closed.extend(tr.observe(&Node::empty("i"), |a, _| *a += 1));
+            tr.observe(
+                &Node::empty("i"),
+                |a, _| *a += 1,
+                |s, c| closed.push((s, c)),
+            );
         }
-        closed.extend(tr.flush());
+        tr.flush(|s, c| closed.push((s, c)));
         let counts: Vec<u32> = closed.iter().map(|(_, c)| *c).collect();
         assert_eq!(counts, vec![3, 3, 1]);
     }

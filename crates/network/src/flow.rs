@@ -35,13 +35,23 @@ pub enum FlowOp {
     /// Selection / projection / aggregation / UDF, as in properties.
     Standard(Operator),
     /// Re-aggregation of shared partials into coarser windows (Figure 5).
-    ReAggregate { reused: AggregationSpec, new: AggregationSpec },
+    ReAggregate {
+        reused: AggregationSpec,
+        new: AggregationSpec,
+    },
     /// Re-windowing of shared window-contents items into coarser windows.
-    ReWindow { reused: WindowOutputSpec, new: WindowOutputSpec },
+    ReWindow {
+        reused: WindowOutputSpec,
+        new: WindowOutputSpec,
+    },
     /// Post-processing: materialize the query's `return` clause. `agg`
     /// names the aggregate op whose value `{ $a }` renders; `window` marks
     /// window-contents input.
-    Restructure { template: Template, agg: Option<AggOp>, window: bool },
+    Restructure {
+        template: Template,
+        agg: Option<AggOp>,
+        window: bool,
+    },
 }
 
 /// Builds the executable pipeline for a flow's operator list.
@@ -56,7 +66,11 @@ pub fn build_flow_pipeline(ops: &[FlowOp]) -> Pipeline {
             FlowOp::ReWindow { reused, new } => {
                 p.push(Box::new(ReWindowOp::new(reused.clone(), new.clone())));
             }
-            FlowOp::Restructure { template, agg, window } => {
+            FlowOp::Restructure {
+                template,
+                agg,
+                window,
+            } => {
                 let op = match (agg, window) {
                     (Some(a), _) => RestructureOp::for_aggregate(template.clone(), *a),
                     (None, true) => RestructureOp::for_window(template.clone()),
@@ -124,14 +138,22 @@ impl Deployment {
     /// node, if a tap parent does not exist or is later in the graph, or if
     /// the tap point is not on the parent's route.
     pub fn add_flow(&mut self, flow: StreamFlow) -> FlowId {
-        assert!(!flow.route.is_empty(), "flow {} has an empty route", flow.label);
+        assert!(
+            !flow.route.is_empty(),
+            "flow {} has an empty route",
+            flow.label
+        );
         assert_eq!(
             flow.route[0], flow.processing_node,
             "flow {} route must start at its processing node",
             flow.label
         );
         if let FlowInput::Tap { parent } = flow.input {
-            assert!(parent < self.flows.len(), "flow {} taps unknown parent", flow.label);
+            assert!(
+                parent < self.flows.len(),
+                "flow {} taps unknown parent",
+                flow.label
+            );
             assert!(
                 self.flows[parent].available_at(flow.processing_node),
                 "flow {} taps parent {} at node {}, which is not on the parent's route",
@@ -232,7 +254,9 @@ mod tests {
     fn source_flow(route: Vec<NodeId>) -> StreamFlow {
         StreamFlow {
             label: "photons".into(),
-            input: FlowInput::Source { stream: "photons".into() },
+            input: FlowInput::Source {
+                stream: "photons".into(),
+            },
             processing_node: route[0],
             ops: Vec::new(),
             route,
@@ -262,7 +286,10 @@ mod tests {
     fn tap_must_be_on_parent_route() {
         let t = grid_topology(2, 2);
         let mut d = Deployment::new();
-        let f0 = d.add_flow(source_flow(vec![t.expect_node("SP0"), t.expect_node("SP1")]));
+        let f0 = d.add_flow(source_flow(vec![
+            t.expect_node("SP0"),
+            t.expect_node("SP1"),
+        ]));
         let ok = StreamFlow {
             label: "child".into(),
             input: FlowInput::Tap { parent: f0 },
@@ -281,7 +308,10 @@ mod tests {
     fn bad_tap_rejected() {
         let t = grid_topology(2, 2);
         let mut d = Deployment::new();
-        let f0 = d.add_flow(source_flow(vec![t.expect_node("SP0"), t.expect_node("SP1")]));
+        let f0 = d.add_flow(source_flow(vec![
+            t.expect_node("SP0"),
+            t.expect_node("SP1"),
+        ]));
         d.add_flow(StreamFlow {
             label: "child".into(),
             input: FlowInput::Tap { parent: f0 },
@@ -313,7 +343,10 @@ mod tests {
     fn children_and_mutation() {
         let t = grid_topology(2, 2);
         let mut d = Deployment::new();
-        let f0 = d.add_flow(source_flow(vec![t.expect_node("SP0"), t.expect_node("SP1")]));
+        let f0 = d.add_flow(source_flow(vec![
+            t.expect_node("SP0"),
+            t.expect_node("SP1"),
+        ]));
         let c1 = d.add_flow(StreamFlow {
             label: "c1".into(),
             input: FlowInput::Tap { parent: f0 },
@@ -372,7 +405,10 @@ mod tests {
         let t = grid_topology(2, 2);
         let mut d = Deployment::new();
         // SP0–SP3 is a diagonal: not a connection in the 2×2 grid.
-        d.add_flow(source_flow(vec![t.expect_node("SP0"), t.expect_node("SP3")]));
+        d.add_flow(source_flow(vec![
+            t.expect_node("SP0"),
+            t.expect_node("SP3"),
+        ]));
         d.validate(&t);
     }
 }

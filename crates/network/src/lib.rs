@@ -20,6 +20,6 @@ pub use metrics::NetworkMetrics;
 pub use routing::{distance, path_edges, shortest_path};
 pub use sim::{run, SimConfig, SimOutcome};
 pub use topology::{
-    example_topology, grid_topology, hierarchical_topology, Edge, EdgeId, NodeId, Peer,
-    PeerKind, Topology,
+    example_topology, grid_topology, hierarchical_topology, Edge, EdgeId, NodeId, Peer, PeerKind,
+    Topology,
 };

@@ -70,13 +70,7 @@ impl NetworkMetrics {
 
     /// Records the transmission of `bytes` over the edge `e` from `sender`
     /// to `receiver`.
-    pub fn record_transmission(
-        &mut self,
-        e: EdgeId,
-        sender: NodeId,
-        receiver: NodeId,
-        bytes: u64,
-    ) {
+    pub fn record_transmission(&mut self, e: EdgeId, sender: NodeId, receiver: NodeId, bytes: u64) {
         self.edge_bytes[e] += bytes;
         self.node_bytes_out[sender] += bytes;
         self.node_bytes_in[receiver] += bytes;
@@ -115,7 +109,9 @@ mod tests {
     fn rates_and_percentages() {
         let t = grid_topology(2, 2);
         let mut m = NetworkMetrics::new(&t, 10.0);
-        let e = t.edge_between(t.expect_node("SP0"), t.expect_node("SP1")).unwrap();
+        let e = t
+            .edge_between(t.expect_node("SP0"), t.expect_node("SP1"))
+            .unwrap();
         m.record_transmission(e, 0, 1, 125_000); // 1 Mbit over 10 s = 100 kbps
         assert!((m.edge_kbps(e) - 100.0).abs() < 1e-9);
         assert!((m.edge_utilization(&t, e) - 0.001).abs() < 1e-9);

@@ -81,8 +81,14 @@ mod tests {
     #[test]
     fn grid_distances() {
         let t = grid_topology(4, 4);
-        assert_eq!(distance(&t, t.expect_node("SP0"), t.expect_node("SP15")), Some(6));
-        assert_eq!(distance(&t, t.expect_node("SP0"), t.expect_node("SP5")), Some(2));
+        assert_eq!(
+            distance(&t, t.expect_node("SP0"), t.expect_node("SP15")),
+            Some(6)
+        );
+        assert_eq!(
+            distance(&t, t.expect_node("SP0"), t.expect_node("SP5")),
+            Some(2)
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use std::collections::BTreeMap;
 
+use dss_engine::Emit;
 use dss_xml::writer::serialized_size;
 use dss_xml::Node;
 
@@ -34,7 +35,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> SimConfig {
-        SimConfig { duration_s: 60.0, forward_work_per_kb: 1.0 }
+        SimConfig {
+            duration_s: 60.0,
+            forward_work_per_kb: 1.0,
+        }
     }
 }
 
@@ -78,13 +82,16 @@ pub fn run(
             FlowInput::Tap { parent } => flow_outputs[*parent].as_slice(),
         };
 
-        // Execute the pipeline at the processing node.
+        // Execute the pipeline at the processing node, accumulating into a
+        // single sink buffer (the pipeline reuses its internal scratch
+        // buffers across items).
         let mut pipeline = build_flow_pipeline(&flow.ops);
-        let mut outputs: Vec<Node> = Vec::new();
+        let mut sink = Emit::new();
         for item in inputs {
-            outputs.extend(pipeline.process(item));
+            pipeline.process_into(item, &mut sink);
         }
-        outputs.extend(pipeline.flush());
+        pipeline.flush_into(&mut sink);
+        let outputs: Vec<Node> = sink.into_vec();
 
         let pindex = topo.peer(flow.processing_node).pindex;
         metrics.record_work(flow.processing_node, pipeline.total_work() * pindex);
@@ -98,8 +105,10 @@ pub fn run(
                 let (sender, receiver) = (flow.route[hop], flow.route[hop + 1]);
                 metrics.record_transmission(e, sender, receiver, total_bytes);
                 let kb = total_bytes as f64 / 1024.0;
-                metrics
-                    .record_work(sender, kb * cfg.forward_work_per_kb * topo.peer(sender).pindex);
+                metrics.record_work(
+                    sender,
+                    kb * cfg.forward_work_per_kb * topo.peer(sender).pindex,
+                );
                 metrics.record_work(
                     receiver,
                     kb * cfg.forward_work_per_kb * topo.peer(receiver).pindex,
@@ -110,7 +119,10 @@ pub fn run(
         flow_outputs.push(outputs);
     }
 
-    SimOutcome { metrics, flow_outputs }
+    SimOutcome {
+        metrics,
+        flow_outputs,
+    }
 }
 
 #[cfg(test)]
@@ -137,21 +149,29 @@ mod tests {
     }
 
     fn selection_ge(en: &str) -> FlowOp {
-        FlowOp::Standard(Operator::Selection(PredicateGraph::from_atoms(&[Atom::var_const(
-            "en".parse::<Path>().unwrap(),
-            CompOp::Ge,
-            en.parse::<Decimal>().unwrap(),
-        )])))
+        FlowOp::Standard(Operator::Selection(PredicateGraph::from_atoms(&[
+            Atom::var_const(
+                "en".parse::<Path>().unwrap(),
+                CompOp::Ge,
+                en.parse::<Decimal>().unwrap(),
+            ),
+        ])))
     }
 
     #[test]
     fn source_flow_charges_route_edges() {
         let t = grid_topology(2, 2);
-        let (sp0, sp1, sp3) = (t.expect_node("SP0"), t.expect_node("SP1"), t.expect_node("SP3"));
+        let (sp0, sp1, sp3) = (
+            t.expect_node("SP0"),
+            t.expect_node("SP1"),
+            t.expect_node("SP3"),
+        );
         let mut d = Deployment::new();
         d.add_flow(StreamFlow {
             label: "photons".into(),
-            input: FlowInput::Source { stream: "photons".into() },
+            input: FlowInput::Source {
+                stream: "photons".into(),
+            },
             processing_node: sp0,
             ops: Vec::new(),
             route: vec![sp0, sp1, sp3],
@@ -171,17 +191,26 @@ mod tests {
         assert!(out.metrics.node_work[sp1] > 0.0);
         assert!(out.metrics.node_work[sp3] > 0.0);
         // The middle node both receives and sends.
-        assert_eq!(out.metrics.node_bytes_in[sp1], out.metrics.node_bytes_out[sp1]);
+        assert_eq!(
+            out.metrics.node_bytes_in[sp1],
+            out.metrics.node_bytes_out[sp1]
+        );
     }
 
     #[test]
     fn selection_reduces_downstream_traffic() {
         let t = grid_topology(2, 2);
-        let (sp0, sp1, sp3) = (t.expect_node("SP0"), t.expect_node("SP1"), t.expect_node("SP3"));
+        let (sp0, sp1, sp3) = (
+            t.expect_node("SP0"),
+            t.expect_node("SP1"),
+            t.expect_node("SP3"),
+        );
         let mut d = Deployment::new();
         let src = d.add_flow(StreamFlow {
             label: "photons".into(),
-            input: FlowInput::Source { stream: "photons".into() },
+            input: FlowInput::Source {
+                stream: "photons".into(),
+            },
             processing_node: sp0,
             ops: Vec::new(),
             route: vec![sp0, sp1],
@@ -214,7 +243,9 @@ mod tests {
         let mut d = Deployment::new();
         let src = d.add_flow(StreamFlow {
             label: "photons".into(),
-            input: FlowInput::Source { stream: "photons".into() },
+            input: FlowInput::Source {
+                stream: "photons".into(),
+            },
             processing_node: sp0,
             ops: Vec::new(),
             route: vec![sp0, sp1],
@@ -239,14 +270,18 @@ mod tests {
             let mut d2 = Deployment::new();
             d2.add_flow(StreamFlow {
                 label: "photons".into(),
-                input: FlowInput::Source { stream: "photons".into() },
+                input: FlowInput::Source {
+                    stream: "photons".into(),
+                },
                 processing_node: sp0,
                 ops: Vec::new(),
                 route: vec![sp0, sp1],
                 properties: Some(Properties::single(InputProperties::original("photons"))),
                 retired: false,
             });
-            run(&t, &d2, &sources, SimConfig::default()).metrics.total_edge_bytes()
+            run(&t, &d2, &sources, SimConfig::default())
+                .metrics
+                .total_edge_bytes()
         };
         assert_eq!(out.metrics.total_edge_bytes(), without_tap);
     }
@@ -259,7 +294,9 @@ mod tests {
         let sp0 = t.expect_node("SP0");
         d.add_flow(StreamFlow {
             label: "ghost".into(),
-            input: FlowInput::Source { stream: "nope".into() },
+            input: FlowInput::Source {
+                stream: "nope".into(),
+            },
             processing_node: sp0,
             ops: Vec::new(),
             route: vec![sp0],
@@ -277,7 +314,9 @@ mod tests {
         let mut d = Deployment::new();
         d.add_flow(StreamFlow {
             label: "photons".into(),
-            input: FlowInput::Source { stream: "photons".into() },
+            input: FlowInput::Source {
+                stream: "photons".into(),
+            },
             processing_node: sp0,
             ops: vec![selection_ge("0.0")],
             route: vec![sp0],
@@ -289,9 +328,13 @@ mod tests {
         let fast = {
             let mut t2 = grid_topology(2, 2);
             t2.peer_mut(sp0).pindex = 1.0;
-            run(&t2, &d, &sources, SimConfig::default()).metrics.node_work[sp0]
+            run(&t2, &d, &sources, SimConfig::default())
+                .metrics
+                .node_work[sp0]
         };
-        let slow = run(&t, &d, &sources, SimConfig::default()).metrics.node_work[sp0];
+        let slow = run(&t, &d, &sources, SimConfig::default())
+            .metrics
+            .node_work[sp0];
         assert!((slow - 4.0 * fast).abs() < 1e-9);
     }
 }

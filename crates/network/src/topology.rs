@@ -93,7 +93,12 @@ impl Topology {
         );
         let id = self.peers.len();
         self.by_name.insert(name.clone(), id);
-        self.peers.push(Peer { name, kind, capacity, pindex });
+        self.peers.push(Peer {
+            name,
+            kind,
+            capacity,
+            pindex,
+        });
         self.adj.push(Vec::new());
         id
     }
@@ -118,7 +123,11 @@ impl Topology {
             self.peers[b].name
         );
         let id = self.edges.len();
-        self.edges.push(Edge { a, b, bandwidth_kbps });
+        self.edges.push(Edge {
+            a,
+            b,
+            bandwidth_kbps,
+        });
         self.adj[a].push(id);
         self.adj[b].push(id);
         id
@@ -210,7 +219,12 @@ impl Topology {
 
 impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "topology: {} peers, {} connections", self.peers.len(), self.edges.len())?;
+        writeln!(
+            f,
+            "topology: {} peers, {} connections",
+            self.peers.len(),
+            self.edges.len()
+        )?;
         for e in &self.edges {
             writeln!(
                 f,
@@ -263,8 +277,9 @@ pub fn example_topology() -> Topology {
 /// order (the paper's second scenario uses 4×4).
 pub fn grid_topology(rows: usize, cols: usize) -> Topology {
     let mut t = Topology::new();
-    let ids: Vec<NodeId> =
-        (0..rows * cols).map(|i| t.add_super_peer(format!("SP{i}"))).collect();
+    let ids: Vec<NodeId> = (0..rows * cols)
+        .map(|i| t.add_super_peer(format!("SP{i}")))
+        .collect();
     for r in 0..rows {
         for c in 0..cols {
             let i = r * cols + c;
@@ -355,7 +370,7 @@ mod tests {
         assert_eq!(t.peer_count(), 13); // 8 super + 5 thin
         assert_eq!(t.super_peers().len(), 8);
         assert_eq!(t.edge_count(), 15); // 10 backbone + 5 access links
-        // The motivating routes exist: SP4–SP0–SP5–SP1 and SP5–SP7.
+                                        // The motivating routes exist: SP4–SP0–SP5–SP1 and SP5–SP7.
         let sp4 = t.expect_node("SP4");
         let sp0 = t.expect_node("SP0");
         let sp5 = t.expect_node("SP5");
@@ -371,7 +386,7 @@ mod tests {
         let t = grid_topology(4, 4);
         assert_eq!(t.peer_count(), 16);
         assert_eq!(t.edge_count(), 24); // 2·4·3 internal connections
-        // Corner SP0 has two neighbors; interior SP5 has four.
+                                        // Corner SP0 has two neighbors; interior SP5 has four.
         assert_eq!(t.neighbors(t.expect_node("SP0")).count(), 2);
         assert_eq!(t.neighbors(t.expect_node("SP5")).count(), 4);
     }
@@ -393,12 +408,9 @@ mod tests {
             .edge_between(t.expect_node("N0_SP3"), t.expect_node("N1_SP3"))
             .is_none());
         // Cross-subnet routing goes through the gateways.
-        let path = crate::routing::shortest_path(
-            &t,
-            t.expect_node("N0_SP3"),
-            t.expect_node("N1_SP3"),
-        )
-        .unwrap();
+        let path =
+            crate::routing::shortest_path(&t, t.expect_node("N0_SP3"), t.expect_node("N1_SP3"))
+                .unwrap();
         assert!(path.contains(&g0) && path.contains(&g1));
     }
 

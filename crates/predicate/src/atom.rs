@@ -84,12 +84,20 @@ pub struct Atom {
 impl Atom {
     /// `$v θ c`.
     pub fn var_const(var: Path, op: CompOp, c: Decimal) -> Atom {
-        Atom { var, op, rhs: Term::Const(c) }
+        Atom {
+            var,
+            op,
+            rhs: Term::Const(c),
+        }
     }
 
     /// `$v θ $w + c`.
     pub fn var_var(var: Path, op: CompOp, w: Path, c: Decimal) -> Atom {
-        Atom { var, op, rhs: Term::VarPlus(w, c) }
+        Atom {
+            var,
+            op,
+            rhs: Term::VarPlus(w, c),
+        }
     }
 
     /// Variables referenced by the atom.
@@ -153,10 +161,7 @@ mod tests {
         Node::elem(
             "photon",
             vec![
-                Node::elem(
-                    "coord",
-                    vec![Node::elem("cel", vec![Node::leaf("ra", ra)])],
-                ),
+                Node::elem("coord", vec![Node::elem("cel", vec![Node::leaf("ra", ra)])]),
                 Node::leaf("en", en),
             ],
         )

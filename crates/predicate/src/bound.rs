@@ -21,18 +21,27 @@ pub struct Bound {
 impl Bound {
     /// Non-strict bound `… ≤ weight`.
     pub fn le(weight: Decimal) -> Bound {
-        Bound { weight, strict: false }
+        Bound {
+            weight,
+            strict: false,
+        }
     }
 
     /// Strict bound `… < weight`.
     pub fn lt(weight: Decimal) -> Bound {
-        Bound { weight, strict: true }
+        Bound {
+            weight,
+            strict: true,
+        }
     }
 
     /// Bound composition along a path: `v−w ≤ c₁` and `w−x ≤ c₂` give
     /// `v−x ≤ c₁+c₂`, strict if either part is strict.
     pub fn compose(self, other: Bound) -> Bound {
-        Bound { weight: self.weight + other.weight, strict: self.strict || other.strict }
+        Bound {
+            weight: self.weight + other.weight,
+            strict: self.strict || other.strict,
+        }
     }
 
     /// `true` if `self` is at least as tight as `other`: every assignment

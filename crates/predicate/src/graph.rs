@@ -204,11 +204,17 @@ impl PredicateGraph {
     pub fn implies_atom(&self, atom: &Atom) -> bool {
         let single = PredicateGraph::from_atoms([atom]);
         let closure = self.closure();
-        if !closure.edges.iter().all(|((u, v), b)| u != v || !b.cycle_is_infeasible()) {
+        if !closure
+            .edges
+            .iter()
+            .all(|((u, v), b)| u != v || !b.cycle_is_infeasible())
+        {
             return true; // self is unsatisfiable
         }
         single.edges.iter().all(|((u, v), want)| {
-            closure.direct_bound(u, v).is_some_and(|have| have.implies(*want))
+            closure
+                .direct_bound(u, v)
+                .is_some_and(|have| have.implies(*want))
         })
     }
 
@@ -224,7 +230,9 @@ impl PredicateGraph {
         for key in keys {
             // Tentatively remove the edge; keep it removed only when the
             // remaining edges still derive a bound at least as tight.
-            let Some(bound) = g.edges.remove(&key) else { continue };
+            let Some(bound) = g.edges.remove(&key) else {
+                continue;
+            };
             let redundant = g
                 .closure()
                 .direct_bound(&key.0, &key.1)
@@ -268,8 +276,7 @@ impl PredicateGraph {
             // near-redundant, but noise for downstream matching and
             // selectivity estimation. Dropping them only loosens the hull,
             // which stays implied by both inputs.
-            let both_vars =
-                matches!(u, NodeRef::Var(_)) && matches!(v, NodeRef::Var(_));
+            let both_vars = matches!(u, NodeRef::Var(_)) && matches!(v, NodeRef::Var(_));
             if both_vars
                 && !(self.direct_bound(u, v).is_some() && other.direct_bound(u, v).is_some())
             {
@@ -392,10 +399,22 @@ mod tests {
         // ra ≤ 138 ⇒ ra→0 weight 138; ra ≥ 120 ⇒ 0→ra weight −120; etc.
         let ra = NodeRef::Var(p("coord/cel/ra"));
         let dec = NodeRef::Var(p("coord/cel/dec"));
-        assert_eq!(g.direct_bound(&ra, &NodeRef::Zero), Some(Bound::le(d("138.0"))));
-        assert_eq!(g.direct_bound(&NodeRef::Zero, &ra), Some(Bound::le(d("-120.0"))));
-        assert_eq!(g.direct_bound(&dec, &NodeRef::Zero), Some(Bound::le(d("-40.0"))));
-        assert_eq!(g.direct_bound(&NodeRef::Zero, &dec), Some(Bound::le(d("49.0"))));
+        assert_eq!(
+            g.direct_bound(&ra, &NodeRef::Zero),
+            Some(Bound::le(d("138.0")))
+        );
+        assert_eq!(
+            g.direct_bound(&NodeRef::Zero, &ra),
+            Some(Bound::le(d("-120.0")))
+        );
+        assert_eq!(
+            g.direct_bound(&dec, &NodeRef::Zero),
+            Some(Bound::le(d("-40.0")))
+        );
+        assert_eq!(
+            g.direct_bound(&NodeRef::Zero, &dec),
+            Some(Bound::le(d("49.0")))
+        );
     }
 
     #[test]
@@ -522,7 +541,10 @@ mod tests {
         let g = PredicateGraph::from_atoms(&q2_atoms());
         let m = g.minimize();
         for atom in q2_atoms() {
-            assert!(m.implies_atom(&atom), "minimized graph must still imply {atom}");
+            assert!(
+                m.implies_atom(&atom),
+                "minimized graph must still imply {atom}"
+            );
         }
         assert!(m.edge_count() <= g.edge_count());
     }
@@ -621,9 +643,8 @@ mod tests {
             Atom::var_const(p("ra"), CompOp::Ge, d("120")),
             Atom::var_const(p("en"), CompOp::Ge, d("1.3")),
         ]);
-        let without_en = PredicateGraph::from_atoms(&[
-            Atom::var_const(p("ra"), CompOp::Ge, d("100")),
-        ]);
+        let without_en =
+            PredicateGraph::from_atoms(&[Atom::var_const(p("ra"), CompOp::Ge, d("100"))]);
         let h = with_en.hull(&without_en);
         assert!(h.implies_atom(&Atom::var_const(p("ra"), CompOp::Ge, d("100"))));
         // en is unconstrained in one input, so the hull drops it entirely.
@@ -661,6 +682,9 @@ mod tests {
     #[test]
     fn variables_listed() {
         let g = PredicateGraph::from_atoms(&q2_atoms());
-        assert_eq!(g.variables(), vec![p("coord/cel/dec"), p("coord/cel/ra"), p("en")]);
+        assert_eq!(
+            g.variables(),
+            vec![p("coord/cel/dec"), p("coord/cel/ra"), p("en")]
+        );
     }
 }

@@ -41,12 +41,16 @@ pub fn match_predicates(g_stream: &PredicateGraph, g_new: &PredicateGraph) -> bo
     let closure = g_new.closure();
     // An unsatisfiable subscription implies anything; such subscriptions are
     // rejected earlier, but stay correct here regardless.
-    let unsat = closure.edges().any(|(u, v, b)| u == v && b.cycle_is_infeasible());
+    let unsat = closure
+        .edges()
+        .any(|(u, v, b)| u == v && b.cycle_is_infeasible());
     if unsat {
         return true;
     }
     g_stream.edges().all(|(u, v, want)| {
-        closure.direct_bound(u, v).is_some_and(|have| have.implies(want))
+        closure
+            .direct_bound(u, v)
+            .is_some_and(|have| have.implies(want))
     })
 }
 
@@ -151,8 +155,7 @@ mod tests {
         let stream = PredicateGraph::from_atoms(&[Atom::var_const(p("en"), CompOp::Ge, d("1.3"))]);
         let looser = PredicateGraph::from_atoms(&[Atom::var_const(p("en"), CompOp::Ge, d("1.0"))]);
         assert!(!match_predicates(&stream, &looser));
-        let tighter =
-            PredicateGraph::from_atoms(&[Atom::var_const(p("en"), CompOp::Ge, d("1.5"))]);
+        let tighter = PredicateGraph::from_atoms(&[Atom::var_const(p("en"), CompOp::Ge, d("1.5"))]);
         assert!(match_predicates(&stream, &tighter));
     }
 

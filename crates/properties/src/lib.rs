@@ -18,7 +18,12 @@ pub mod operator;
 pub mod properties;
 pub mod window;
 
-pub use matching::{match_aggregations, match_input_properties, match_window_output, residual_operators, widen_input};
-pub use operator::{AggOp, AggregationSpec, Operator, ProjectionSpec, ResultFilter, WindowOutputSpec};
+pub use matching::{
+    match_aggregations, match_input_properties, match_window_output, residual_operators,
+    widen_input,
+};
+pub use operator::{
+    AggOp, AggregationSpec, Operator, ProjectionSpec, ResultFilter, WindowOutputSpec,
+};
 pub use properties::{InputProperties, Properties, PropertiesError};
 pub use window::{WindowError, WindowKind, WindowSpec};

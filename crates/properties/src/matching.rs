@@ -69,7 +69,10 @@ pub fn match_aggregations(reused: &AggregationSpec, new: &AggregationSpec) -> bo
         if reused.op != new.op {
             return false;
         }
-        if !new.result_filter.at_least_as_restrictive_as(&reused.result_filter) {
+        if !new
+            .result_filter
+            .at_least_as_restrictive_as(&reused.result_filter)
+        {
             return false;
         }
         return true;
@@ -106,9 +109,7 @@ pub fn match_input_properties(stream_props: &InputProperties, new_props: &InputP
                 continue;
             }
             let ok = match (o, o_new) {
-                (Operator::Selection(g), Operator::Selection(g_new)) => {
-                    match_predicates(g, g_new)
-                }
+                (Operator::Selection(g), Operator::Selection(g_new)) => match_predicates(g, g_new),
                 (Operator::Projection(r), Operator::Projection(r_new)) => r.covers(r_new),
                 (Operator::Aggregation(c), Operator::Aggregation(c_new)) => {
                     match_aggregations(c, c_new)
@@ -118,7 +119,9 @@ pub fn match_input_properties(stream_props: &InputProperties, new_props: &InputP
                 }
                 (
                     Operator::Udf { params, .. },
-                    Operator::Udf { params: new_params, .. },
+                    Operator::Udf {
+                        params: new_params, ..
+                    },
                 ) => params == new_params,
                 _ => unreachable!("kind equality guarantees identical variants"),
             };
@@ -152,9 +155,9 @@ pub fn widen_input(a: &InputProperties, b: &InputProperties) -> Option<InputProp
         return None; // plain sharing already applies
     }
     let simple = |p: &InputProperties| {
-        p.operators().iter().all(|o| {
-            matches!(o, Operator::Selection(_) | Operator::Projection(_))
-        })
+        p.operators()
+            .iter()
+            .all(|o| matches!(o, Operator::Selection(_) | Operator::Projection(_)))
     };
     if !simple(a) || !simple(b) {
         return None;
@@ -226,9 +229,13 @@ pub fn residual_operators(
                     // compatible window still needs a re-windowing operator.
                     w == w_new
                 }
-                (Operator::Udf { name, params }, Operator::Udf { name: n2, params: p2 }) => {
-                    name == n2 && params == p2
-                }
+                (
+                    Operator::Udf { name, params },
+                    Operator::Udf {
+                        name: n2,
+                        params: p2,
+                    },
+                ) => name == n2 && params == p2,
                 _ => false,
             })
         })
@@ -324,7 +331,10 @@ mod tests {
         let original = InputProperties::original("photons");
         assert!(match_input_properties(&original, &q1_props()));
         assert!(match_input_properties(&original, &q2_props()));
-        assert!(match_input_properties(&original, &InputProperties::original("photons")));
+        assert!(match_input_properties(
+            &original,
+            &InputProperties::original("photons")
+        ));
     }
 
     #[test]
@@ -337,20 +347,29 @@ mod tests {
     fn udf_matching_requires_identical_params() {
         let stream = InputProperties::new(
             "photons",
-            vec![Operator::Udf { name: "deskew".into(), params: vec!["7".into()] }],
+            vec![Operator::Udf {
+                name: "deskew".into(),
+                params: vec!["7".into()],
+            }],
         )
         .unwrap();
         let same = stream.clone();
         assert!(match_input_properties(&stream, &same));
         let diff_params = InputProperties::new(
             "photons",
-            vec![Operator::Udf { name: "deskew".into(), params: vec!["8".into()] }],
+            vec![Operator::Udf {
+                name: "deskew".into(),
+                params: vec!["8".into()],
+            }],
         )
         .unwrap();
         assert!(!match_input_properties(&stream, &diff_params));
         let diff_name = InputProperties::new(
             "photons",
-            vec![Operator::Udf { name: "other".into(), params: vec!["7".into()] }],
+            vec![Operator::Udf {
+                name: "other".into(),
+                params: vec!["7".into()],
+            }],
         )
         .unwrap();
         assert!(!match_input_properties(&stream, &diff_name));
@@ -394,7 +413,10 @@ mod tests {
         let unfiltered = agg(q4_agg().window.clone(), ResultFilter::none());
         assert!(!match_aggregations(&q4_agg(), &unfiltered));
         // …but one with an equal or tighter filter can.
-        let tighter = agg(q4_agg().window.clone(), ResultFilter::single(CompOp::Ge, d("1.5")));
+        let tighter = agg(
+            q4_agg().window.clone(),
+            ResultFilter::single(CompOp::Ge, d("1.5")),
+        );
         assert!(match_aggregations(&q4_agg(), &tighter));
         assert!(match_aggregations(&q4_agg(), &q4_agg()));
     }
@@ -415,7 +437,10 @@ mod tests {
     fn filtered_avg_never_serves_sum_or_count() {
         // An avg filter thresholds a different quantity than a sum filter;
         // cross-operator reuse of a filtered stream is unsound.
-        let mut sum_new = agg(q4_agg().window.clone(), ResultFilter::single(CompOp::Ge, d("99")));
+        let mut sum_new = agg(
+            q4_agg().window.clone(),
+            ResultFilter::single(CompOp::Ge, d("99")),
+        );
         sum_new.op = AggOp::Sum;
         assert!(!match_aggregations(&q4_agg(), &sum_new));
     }
@@ -461,13 +486,18 @@ mod tests {
 
     #[test]
     fn aggregate_streams_match_via_properties() {
-        let stream = InputProperties::new("photons", vec![Operator::Aggregation(q3_agg())]).unwrap();
+        let stream =
+            InputProperties::new("photons", vec![Operator::Aggregation(q3_agg())]).unwrap();
         let newq = InputProperties::new("photons", vec![Operator::Aggregation(q4_agg())]).unwrap();
         assert!(match_input_properties(&stream, &newq));
         assert!(!match_input_properties(&newq, &stream));
     }
 
-    fn window_output(size: &str, step: Option<&str>, sel: PredicateGraph) -> crate::operator::WindowOutputSpec {
+    fn window_output(
+        size: &str,
+        step: Option<&str>,
+        sel: PredicateGraph,
+    ) -> crate::operator::WindowOutputSpec {
         crate::operator::WindowOutputSpec {
             window: WindowSpec::diff(p("det_time"), d(size), step.map(d)).unwrap(),
             pre_selection: sel,
@@ -492,12 +522,20 @@ mod tests {
     fn window_output_streams_match_via_properties() {
         let fine = InputProperties::new(
             "photons",
-            vec![Operator::WindowOutput(window_output("20", Some("10"), PredicateGraph::new()))],
+            vec![Operator::WindowOutput(window_output(
+                "20",
+                Some("10"),
+                PredicateGraph::new(),
+            ))],
         )
         .unwrap();
         let coarse = InputProperties::new(
             "photons",
-            vec![Operator::WindowOutput(window_output("60", Some("40"), PredicateGraph::new()))],
+            vec![Operator::WindowOutput(window_output(
+                "60",
+                Some("40"),
+                PredicateGraph::new(),
+            ))],
         )
         .unwrap();
         assert!(match_input_properties(&fine, &coarse));
@@ -574,7 +612,10 @@ mod tests {
     #[test]
     fn residual_ops_from_equal_stream_is_empty() {
         let res = residual_operators(&q1_props(), &q1_props());
-        assert!(res.is_empty(), "identical stream needs no extra operators, got {res:?}");
+        assert!(
+            res.is_empty(),
+            "identical stream needs no extra operators, got {res:?}"
+        );
     }
 
     #[test]
@@ -587,7 +628,8 @@ mod tests {
 
     #[test]
     fn residual_ops_identical_aggregation_dropped() {
-        let stream = InputProperties::new("photons", vec![Operator::Aggregation(q3_agg())]).unwrap();
+        let stream =
+            InputProperties::new("photons", vec![Operator::Aggregation(q3_agg())]).unwrap();
         assert!(residual_operators(&stream, &stream).is_empty());
         let newq = InputProperties::new("photons", vec![Operator::Aggregation(q4_agg())]).unwrap();
         // Q4 over Q3's stream needs a re-aggregation operator.

@@ -69,7 +69,10 @@ impl ProjectionSpec {
     /// Builds a projection whose referenced set defaults to the output set.
     pub fn returning<I: IntoIterator<Item = Path>>(output: I) -> ProjectionSpec {
         let output: BTreeSet<Path> = output.into_iter().collect();
-        ProjectionSpec { referenced: output.clone(), output }
+        ProjectionSpec {
+            referenced: output.clone(),
+            output,
+        }
     }
 
     /// Extends the referenced set (e.g. with predicate variables that are
@@ -127,7 +130,9 @@ impl ResultFilter {
 
     /// A single-condition filter.
     pub fn single(op: CompOp, c: Decimal) -> ResultFilter {
-        ResultFilter { conditions: vec![(op, c)] }
+        ResultFilter {
+            conditions: vec![(op, c)],
+        }
     }
 
     /// `true` if no condition is present.
@@ -341,7 +346,10 @@ mod tests {
         // A query returning only `en` but *filtering* on ra references both.
         let q = ProjectionSpec::returning([p("en")]).with_referenced([p("coord/cel/ra")]);
         let narrow_stream = ProjectionSpec::returning([p("en")]);
-        assert!(!narrow_stream.covers(&q), "stream lacks ra, which q's predicate reads");
+        assert!(
+            !narrow_stream.covers(&q),
+            "stream lacks ra, which q's predicate reads"
+        );
         let wide_stream = ProjectionSpec::returning([p("en"), p("coord/cel/ra")]);
         assert!(wide_stream.covers(&q));
     }
@@ -372,8 +380,14 @@ mod tests {
         let proj = Operator::Projection(ProjectionSpec::default());
         assert_eq!(sel.kind(), OperatorKind::Selection);
         assert_ne!(sel.kind(), proj.kind());
-        let u1 = Operator::Udf { name: "deskew".into(), params: vec!["a".into()] };
-        let u2 = Operator::Udf { name: "other".into(), params: vec!["a".into()] };
+        let u1 = Operator::Udf {
+            name: "deskew".into(),
+            params: vec!["a".into()],
+        };
+        let u2 = Operator::Udf {
+            name: "other".into(),
+            params: vec!["a".into()],
+        };
         assert_ne!(u1.kind(), u2.kind());
     }
 

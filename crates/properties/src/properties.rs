@@ -30,7 +30,10 @@ impl fmt::Display for PropertiesError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PropertiesError::UnsatisfiablePredicate { stream } => {
-                write!(f, "unsatisfiable selection predicate on input stream {stream:?}")
+                write!(
+                    f,
+                    "unsatisfiable selection predicate on input stream {stream:?}"
+                )
             }
             PropertiesError::NoInputs => write!(f, "subscription references no input streams"),
         }
@@ -83,12 +86,18 @@ impl InputProperties {
                 other => other,
             });
         }
-        Ok(InputProperties { stream, operators: normalized })
+        Ok(InputProperties {
+            stream,
+            operators: normalized,
+        })
     }
 
     /// Properties of an original, untransformed input stream.
     pub fn original(stream: impl Into<String>) -> InputProperties {
-        InputProperties { stream: stream.into(), operators: Vec::new() }
+        InputProperties {
+            stream: stream.into(),
+            operators: Vec::new(),
+        }
     }
 
     /// Name of the original input data stream (`getDS`).
@@ -167,7 +176,9 @@ impl Properties {
     /// reuse are single-input — stream combinations happen in
     /// post-processing and are not shared).
     pub fn single(input: InputProperties) -> Properties {
-        Properties { inputs: vec![input] }
+        Properties {
+            inputs: vec![input],
+        }
     }
 
     /// Properties of an original registered stream.
@@ -248,7 +259,12 @@ mod tests {
             Atom::var_const(p("en"), CompOp::Le, d("1")),
         ]);
         let err = InputProperties::new("photons", vec![Operator::Selection(g)]).unwrap_err();
-        assert_eq!(err, PropertiesError::UnsatisfiablePredicate { stream: "photons".into() });
+        assert_eq!(
+            err,
+            PropertiesError::UnsatisfiablePredicate {
+                stream: "photons".into()
+            }
+        );
     }
 
     #[test]
@@ -257,7 +273,10 @@ mod tests {
         let proj = ProjectionSpec::returning([p("en")]);
         let ip = InputProperties::new(
             "photons",
-            vec![Operator::Selection(sel.clone()), Operator::Projection(proj.clone())],
+            vec![
+                Operator::Selection(sel.clone()),
+                Operator::Projection(proj.clone()),
+            ],
         )
         .unwrap();
         assert_eq!(ip.stream(), "photons");

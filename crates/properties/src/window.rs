@@ -71,12 +71,23 @@ impl WindowSpec {
         let step = step.unwrap_or(size);
         Self::check_positive(size, step)?;
         if !size.is_integer() {
-            return Err(WindowError::NonIntegerCount { what: "size Δ", value: size });
+            return Err(WindowError::NonIntegerCount {
+                what: "size Δ",
+                value: size,
+            });
         }
         if !step.is_integer() {
-            return Err(WindowError::NonIntegerCount { what: "step µ", value: step });
+            return Err(WindowError::NonIntegerCount {
+                what: "step µ",
+                value: step,
+            });
         }
-        Ok(WindowSpec { kind: WindowKind::Count, reference: None, size, step })
+        Ok(WindowSpec {
+            kind: WindowKind::Count,
+            reference: None,
+            size,
+            step,
+        })
     }
 
     /// `|reference diff Δ step µ|`. Pass `step = None` for the default
@@ -88,15 +99,26 @@ impl WindowSpec {
     ) -> Result<WindowSpec, WindowError> {
         let step = step.unwrap_or(size);
         Self::check_positive(size, step)?;
-        Ok(WindowSpec { kind: WindowKind::Diff, reference: Some(reference), size, step })
+        Ok(WindowSpec {
+            kind: WindowKind::Diff,
+            reference: Some(reference),
+            size,
+            step,
+        })
     }
 
     fn check_positive(size: Decimal, step: Decimal) -> Result<(), WindowError> {
         if size.signum() <= 0 {
-            return Err(WindowError::NonPositive { what: "size Δ", value: size });
+            return Err(WindowError::NonPositive {
+                what: "size Δ",
+                value: size,
+            });
         }
         if step.signum() <= 0 {
-            return Err(WindowError::NonPositive { what: "step µ", value: step });
+            return Err(WindowError::NonPositive {
+                what: "step µ",
+                value: step,
+            });
         }
         Ok(())
     }
@@ -286,6 +308,9 @@ mod tests {
     fn display() {
         assert_eq!(count("20", Some("10")).to_string(), "|count 20 step 10|");
         assert_eq!(count("20", None).to_string(), "|count 20|");
-        assert_eq!(diff("60", Some("40")).to_string(), "|det_time diff 60 step 40|");
+        assert_eq!(
+            diff("60", Some("40")).to_string(),
+            "|det_time diff 60 step 40|"
+        );
     }
 }

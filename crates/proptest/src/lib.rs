@@ -1,0 +1,161 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates-io registry, so this workspace vendors
+//! a minimal, API-compatible subset of proptest sufficient for
+//! `tests/property_based.rs`: deterministic *sampling-based* property testing
+//! (no shrinking — a failing case reports the sampled inputs as-is).
+//! Strategies are composable via `prop_map` / `prop_filter_map` /
+//! `prop_flat_map` / `prop_recursive`, tuples, ranges, a small regex subset
+//! for `String` generation, and the `proptest!` / `prop_assert*` macros.
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespace mirror of `proptest::prelude::prop`.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::collection::{vec, SizeRange};
+    }
+    pub mod option {
+        pub use crate::strategy::option::of;
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategy arms, all producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fail the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discard the current test case (it is resampled, not counted) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares `#[test]` functions whose arguments are sampled from strategies.
+///
+/// Unlike real proptest there is no shrinking: the first failing sample is
+/// reported directly. Sampling is deterministic per test function.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                let reject_cap = config.cases.saturating_mul(20).max(1000);
+                while passed < config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                            rejected += 1;
+                            if rejected > reject_cap {
+                                panic!(
+                                    "proptest {}: too many rejected samples ({rejected})",
+                                    stringify!($name)
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                            msg,
+                        )) => {
+                            panic!(
+                                "proptest {} failed after {passed} passing cases: {msg}",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,380 @@
+//! Strategies: composable value generators.
+//!
+//! Everything is sampling-based: a `Strategy` produces one value per call
+//! from a deterministic RNG. Combinators return [`BoxedStrategy`] (an `Rc`'d
+//! sampling closure) rather than bespoke adapter types — cheap to clone and
+//! sufficient for test-data generation without shrinking.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+pub trait Strategy: 'static {
+    type Value: 'static;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase into a cloneable strategy handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        let s = self;
+        BoxedStrategy {
+            sampler: Rc::new(move |rng| s.sample(rng)),
+        }
+    }
+
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        U: 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let s = self;
+        BoxedStrategy {
+            sampler: Rc::new(move |rng| f(s.sample(rng))),
+        }
+    }
+
+    /// Map-and-filter: resamples until the closure returns `Some`.
+    fn prop_filter_map<U, F>(self, whence: &'static str, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        U: 'static,
+        F: Fn(Self::Value) -> Option<U> + 'static,
+    {
+        let s = self;
+        BoxedStrategy {
+            sampler: Rc::new(move |rng| {
+                for _ in 0..1000 {
+                    if let Some(v) = f(s.sample(rng)) {
+                        return v;
+                    }
+                }
+                panic!("prop_filter_map: filter {whence:?} rejected 1000 consecutive samples");
+            }),
+        }
+    }
+
+    fn prop_flat_map<R, F>(self, f: F) -> BoxedStrategy<R::Value>
+    where
+        Self: Sized,
+        R: Strategy,
+        F: Fn(Self::Value) -> R + 'static,
+    {
+        let s = self;
+        BoxedStrategy {
+            sampler: Rc::new(move |rng| f(s.sample(rng)).sample(rng)),
+        }
+    }
+
+    /// Recursive structures: `self` is the leaf case, `branch` builds one
+    /// level on top of an inner strategy. Nesting is bounded by `depth`.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let b = branch(cur).boxed();
+            let l = leaf.clone();
+            // Two-thirds branch keeps trees interesting while the iteration
+            // count bounds worst-case depth.
+            cur = BoxedStrategy {
+                sampler: Rc::new(move |rng: &mut TestRng| {
+                    if rng.usize_below(3) == 0 {
+                        l.sample(rng)
+                    } else {
+                        b.sample(rng)
+                    }
+                }),
+            };
+        }
+        cur
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    pub(crate) sampler: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sampler: Rc::clone(&self.sampler),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sampler)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T> {
+        self
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among arms (used by `prop_oneof!`).
+pub fn one_of<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy {
+        sampler: Rc::new(move |rng| {
+            let i = rng.usize_below(arms.len());
+            arms[i].sample(rng)
+        }),
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.i128_in(self.start as i128, self.end as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.i128_in(*self.start() as i128, *self.end() as i128 + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Regex-subset string strategy: see [`crate::string::sample_regex`].
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        crate::string::sample_regex(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11);
+
+/// Types with a canonical strategy, reachable through [`any`].
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        BoxedStrategy {
+            sampler: Rc::new(|rng| rng.bool()),
+        }
+    }
+}
+
+pub fn any<A: Arbitrary>() -> BoxedStrategy<A> {
+    A::arbitrary()
+}
+
+pub mod collection {
+    use super::{BoxedStrategy, Strategy};
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// Inclusive element-count bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    pub fn vec<S: Strategy>(
+        element: S,
+        size: impl Into<SizeRange>,
+    ) -> BoxedStrategy<Vec<S::Value>> {
+        let size = size.into();
+        BoxedStrategy {
+            sampler: Rc::new(move |rng| {
+                let n = size.min + rng.usize_below(size.max - size.min + 1);
+                (0..n).map(|_| element.sample(rng)).collect()
+            }),
+        }
+    }
+}
+
+pub mod option {
+    use super::{BoxedStrategy, Strategy};
+    use std::rc::Rc;
+
+    /// `None` a quarter of the time, `Some(sampled)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> BoxedStrategy<Option<S::Value>> {
+        BoxedStrategy {
+            sampler: Rc::new(move |rng| {
+                if rng.usize_below(4) == 0 {
+                    None
+                } else {
+                    Some(inner.sample(rng))
+                }
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic()
+    }
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (-20i64..20).sample(&mut r);
+            assert!((-20..20).contains(&v));
+            let u = (0usize..=3).sample(&mut r);
+            assert!(u <= 3);
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = rng();
+        let s = (1i64..5)
+            .prop_map(|v| v * 10)
+            .prop_flat_map(|v| (v..v + 3).prop_map(Some));
+        for _ in 0..100 {
+            let v = s.sample(&mut r).unwrap();
+            assert!((10..43).contains(&v));
+        }
+    }
+
+    #[test]
+    fn filter_map_respects_filter() {
+        let mut r = rng();
+        let s = (0i64..10).prop_filter_map("even", |v| (v % 2 == 0).then_some(v));
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn collection_vec_respects_size() {
+        let mut r = rng();
+        let s = collection::vec(0i64..5, 1..=4);
+        for _ in 0..100 {
+            let v = s.sample(&mut r);
+            assert!((1..=4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        let s = leaf.prop_recursive(3, 24, 4, |inner| {
+            collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut r = rng();
+        for _ in 0..200 {
+            assert!(depth(&s.sample(&mut r)) <= 5);
+        }
+    }
+
+    #[test]
+    fn one_of_picks_every_arm() {
+        let arms = vec![Just(1i64).boxed(), Just(2i64).boxed(), Just(3i64).boxed()];
+        let s = one_of(arms);
+        let mut seen = [false; 3];
+        let mut r = rng();
+        for _ in 0..200 {
+            seen[(s.sample(&mut r) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

@@ -1,0 +1,166 @@
+//! String generation from a small regex subset.
+//!
+//! Supported syntax — exactly what the workspace's strategies use:
+//! a sequence of elements, each a literal character or a `[...]` class
+//! (literal chars and `a-z` ranges), optionally followed by a `{n}` or
+//! `{m,n}` repetition. Anything else panics loudly rather than generating
+//! surprising data.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Element {
+    /// Inclusive character ranges; a literal is a degenerate range.
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Element> {
+    let mut chars = pattern.chars().peekable();
+    let mut elements = Vec::new();
+    while let Some(c) = chars.next() {
+        let ranges = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in regex {pattern:?}")
+                    });
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars.next().unwrap_or_else(|| {
+                            panic!("dangling '-' in character class in regex {pattern:?}")
+                        });
+                        assert!(lo <= hi, "inverted range {lo}-{hi} in regex {pattern:?}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(
+                    !ranges.is_empty(),
+                    "empty character class in regex {pattern:?}"
+                );
+                ranges
+            }
+            '\\' => {
+                let lit = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                vec![(lit, lit)]
+            }
+            '{' | '}' | ']' | '*' | '+' | '?' | '(' | ')' | '|' | '.' => {
+                panic!("unsupported regex syntax {c:?} in {pattern:?}")
+            }
+            lit => vec![(lit, lit)],
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut bounds = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                bounds.push(d);
+            }
+            match bounds.split_once(',') {
+                Some((m, n)) => {
+                    let m = m.trim().parse().expect("repetition lower bound");
+                    let n = n.trim().parse().expect("repetition upper bound");
+                    assert!(
+                        m <= n,
+                        "inverted repetition {{{bounds}}} in regex {pattern:?}"
+                    );
+                    (m, n)
+                }
+                None => {
+                    let n = bounds.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        elements.push(Element { ranges, min, max });
+    }
+    elements
+}
+
+fn sample_char(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+        .sum();
+    let mut pick = rng.usize_below(total as usize) as u32;
+    for &(lo, hi) in ranges {
+        let span = hi as u32 - lo as u32 + 1;
+        if pick < span {
+            return char::from_u32(lo as u32 + pick).expect("sampled valid scalar");
+        }
+        pick -= span;
+    }
+    unreachable!("pick exhausted ranges")
+}
+
+/// Samples a string matching `pattern` (see module docs for the subset).
+pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for el in parse(pattern) {
+        let n = el.min + rng.usize_below(el.max - el.min + 1);
+        for _ in 0..n {
+            out.push(sample_char(&el.ranges, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic()
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[a-z][a-z0-9_]{0,6}", &mut r);
+            assert!((1..=7).contains(&s.len()), "bad length: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[ -~]{0,12}", &mut r);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literal_prefix_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_regex("n[a-z0-9_]{0,5}", &mut r);
+            assert!(s.starts_with('n'));
+            assert!(s.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let mut r = rng();
+        assert_eq!(sample_regex("x{3}", &mut r), "xxx");
+    }
+}

@@ -1,0 +1,95 @@
+//! Test-runner configuration, errors, and the deterministic RNG driving
+//! sampling.
+
+/// Per-block configuration, set via `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of *passing* cases each test must accumulate.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of a single sampled case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` (resampled, not counted).
+    Reject,
+    /// The case failed a `prop_assert*!`.
+    Fail(String),
+}
+
+/// Deterministic splitmix64 generator. Every `proptest!` test starts from the
+/// same seed, so runs are reproducible without persisted failure files.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn deterministic() -> TestRng {
+        TestRng {
+            state: 0x0123_4567_89AB_CDEF,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn usize_below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "usize_below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform in the half-open interval `[lo, hi)`.
+    pub fn i128_in(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "empty sample range {lo}..{hi}");
+        let span = (hi - lo) as u128;
+        let v = (self.next_u64() as u128) % span;
+        lo + v as i128
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::deterministic();
+        let mut b = TestRng::deterministic();
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..1000 {
+            let v = rng.i128_in(-25, 25);
+            assert!((-25..25).contains(&v));
+            assert!(rng.usize_below(7) < 7);
+        }
+    }
+}

@@ -33,17 +33,29 @@ impl SkyRegion {
 }
 
 /// The Vela supernova remnant region (Query 1).
-pub const VELA: SkyRegion =
-    SkyRegion { ra_min: 120.0, ra_max: 138.0, dec_min: -49.0, dec_max: -40.0 };
+pub const VELA: SkyRegion = SkyRegion {
+    ra_min: 120.0,
+    ra_max: 138.0,
+    dec_min: -49.0,
+    dec_max: -40.0,
+};
 
 /// The RX J0852.0-4622 supernova remnant region (Query 2), contained in
 /// Vela.
-pub const RXJ0852: SkyRegion =
-    SkyRegion { ra_min: 130.5, ra_max: 135.5, dec_min: -48.0, dec_max: -45.0 };
+pub const RXJ0852: SkyRegion = SkyRegion {
+    ra_min: 130.5,
+    ra_max: 135.5,
+    dec_min: -48.0,
+    dec_max: -45.0,
+};
 
 /// The simulated survey field: the patch of sky the telescope scans.
-pub const SURVEY_FIELD: SkyRegion =
-    SkyRegion { ra_min: 90.0, ra_max: 180.0, dec_min: -60.0, dec_max: -20.0 };
+pub const SURVEY_FIELD: SkyRegion = SkyRegion {
+    ra_min: 90.0,
+    ra_max: 180.0,
+    dec_min: -60.0,
+    dec_max: -20.0,
+};
 
 /// An X-ray source: photons cluster in its region with a characteristic
 /// energy band.
@@ -82,8 +94,18 @@ impl Default for GeneratorConfig {
             seed: 0x5eed_0001,
             field: SURVEY_FIELD,
             sources: vec![
-                XraySource { region: VELA, weight: 0.3, en_min: 0.4, en_max: 2.4 },
-                XraySource { region: RXJ0852, weight: 0.1, en_min: 1.0, en_max: 3.0 },
+                XraySource {
+                    region: VELA,
+                    weight: 0.3,
+                    en_min: 0.4,
+                    en_max: 2.4,
+                },
+                XraySource {
+                    region: RXJ0852,
+                    weight: 0.1,
+                    en_min: 1.0,
+                    en_max: 3.0,
+                },
             ],
             background_en: (0.1, 2.0),
             mean_time_increment: 0.01, // 100 photons/s
@@ -111,7 +133,12 @@ impl PhotonGenerator {
     /// Creates a generator.
     pub fn new(cfg: GeneratorConfig) -> PhotonGenerator {
         let rng = StdRng::seed_from_u64(cfg.seed);
-        PhotonGenerator { cfg, rng, time: 0.0, phc: 0 }
+        PhotonGenerator {
+            cfg,
+            rng,
+            time: 0.0,
+            phc: 0,
+        }
     }
 
     /// Generates the next photon. `det_time` is strictly monotone.
@@ -132,7 +159,11 @@ impl PhotonGenerator {
         }
         let (region, en_lo, en_hi) = match chosen {
             Some(s) => (s.region, s.en_min, s.en_max),
-            None => (self.cfg.field, self.cfg.background_en.0, self.cfg.background_en.1),
+            None => (
+                self.cfg.field,
+                self.cfg.background_en.0,
+                self.cfg.background_en.1,
+            ),
         };
         let ra = self.rng.gen_range(region.ra_min..=region.ra_max);
         let dec = self.rng.gen_range(region.dec_min..=region.dec_max);
@@ -157,7 +188,10 @@ impl PhotonGenerator {
 /// Convenience: `n` photon items with the default configuration and the
 /// given seed.
 pub fn default_photons(seed: u64, n: usize) -> Vec<Node> {
-    let cfg = GeneratorConfig { seed, ..GeneratorConfig::default() };
+    let cfg = GeneratorConfig {
+        seed,
+        ..GeneratorConfig::default()
+    };
     PhotonGenerator::new(cfg).generate_items(n)
 }
 
@@ -188,7 +222,10 @@ mod tests {
     fn det_time_is_strictly_monotone() {
         let items = default_photons(2, 500);
         let path: Path = "det_time".parse().unwrap();
-        let times: Vec<_> = items.iter().map(|i| path.decimal_value(i).unwrap()).collect();
+        let times: Vec<_> = items
+            .iter()
+            .map(|i| path.decimal_value(i).unwrap())
+            .collect();
         for w in times.windows(2) {
             assert!(w[0] < w[1], "det_time must be strictly increasing");
         }
@@ -230,7 +267,10 @@ mod tests {
                 ) && en.decimal_value(i).unwrap().to_f64() >= 1.3
             })
             .count();
-        assert!(matching > 50, "got only {matching} RX J0852 photons above 1.3 keV");
+        assert!(
+            matching > 50,
+            "got only {matching} RX J0852 photons above 1.3 keV"
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl Photon {
             if v.is_integer() {
                 Ok(v.units())
             } else {
-                Err(XmlError::ValueParse { value: v.to_string(), wanted: "integer" })
+                Err(XmlError::ValueParse {
+                    value: v.to_string(),
+                    wanted: "integer",
+                })
             }
         };
         Ok(Photon {
@@ -107,7 +110,9 @@ mod tests {
 
     #[test]
     fn conforms_to_paper_schema() {
-        photon_schema().validate_complete(&sample().to_node()).unwrap();
+        photon_schema()
+            .validate_complete(&sample().to_node())
+            .unwrap();
     }
 
     #[test]

@@ -60,8 +60,11 @@ impl Scenario {
         calibrate_capacities(&mut topology);
         // Stretch det_time so the template windows (Δ up to 120) produce a
         // healthy number of aggregate values over the 2 000-item sample.
-        let cfg =
-            GeneratorConfig { seed, mean_time_increment: 0.2, ..GeneratorConfig::default() };
+        let cfg = GeneratorConfig {
+            seed,
+            mean_time_increment: 0.2,
+            ..GeneratorConfig::default()
+        };
         let streams = vec![StreamDef {
             name: "photons".into(),
             peer: "P0".into(),
@@ -79,7 +82,12 @@ impl Scenario {
                 peer: peers[i % peers.len()].to_string(),
             })
             .collect();
-        Scenario { name: "scenario1".into(), topology, streams, queries }
+        Scenario {
+            name: "scenario1".into(),
+            topology,
+            streams,
+            queries,
+        }
     }
 
     /// Scenario 2: "a 4 × 4 grid topology with 16 super-peers, 2 data
@@ -123,7 +131,12 @@ impl Scenario {
                 }
             })
             .collect();
-        Scenario { name: "scenario2".into(), topology, streams, queries }
+        Scenario {
+            name: "scenario2".into(),
+            topology,
+            streams,
+            queries,
+        }
     }
 
     /// Builds a fresh system with the scenario's streams registered (no
@@ -145,8 +158,7 @@ impl Scenario {
         let mut rejected = Vec::new();
         let mut errored = Vec::new();
         for q in &self.queries {
-            match system.register_query_opts(q.id.clone(), &q.text, &q.peer, strategy, admission)
-            {
+            match system.register_query_opts(q.id.clone(), &q.text, &q.peer, strategy, admission) {
                 Ok(reg) => registrations.push(reg),
                 Err(SystemError::Subscribe(dss_core::SubscribeError::Overload)) => {
                     rejected.push(q.id.clone());
@@ -154,7 +166,12 @@ impl Scenario {
                 Err(other) => errored.push((q.id.clone(), other.to_string())),
             }
         }
-        ScenarioOutcome { system, registrations, rejected, errored }
+        ScenarioOutcome {
+            system,
+            registrations,
+            rejected,
+            errored,
+        }
     }
 }
 
@@ -237,8 +254,15 @@ mod tests {
     fn scenario1_stream_sharing_reuses_streams() {
         let s = Scenario::scenario1(42);
         let out = s.run(Strategy::StreamSharing, false);
-        let reused = out.registrations.iter().filter(|r| r.reused_derived_stream).count();
-        assert!(reused > 0, "template queries should produce shareable streams");
+        let reused = out
+            .registrations
+            .iter()
+            .filter(|r| r.reused_derived_stream)
+            .count();
+        assert!(
+            reused > 0,
+            "template queries should produce shareable streams"
+        );
     }
 
     #[test]
@@ -259,8 +283,10 @@ mod tests {
     fn scenarios_are_reproducible() {
         let a = Scenario::scenario1(9);
         let b = Scenario::scenario1(9);
-        assert_eq!(a.queries.iter().map(|q| &q.text).collect::<Vec<_>>(),
-                   b.queries.iter().map(|q| &q.text).collect::<Vec<_>>());
+        assert_eq!(
+            a.queries.iter().map(|q| &q.text).collect::<Vec<_>>(),
+            b.queries.iter().map(|q| &q.text).collect::<Vec<_>>()
+        );
         assert_eq!(a.streams[0].items, b.streams[0].items);
     }
 

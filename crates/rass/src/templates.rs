@@ -149,8 +149,7 @@ impl QueryTemplateGenerator {
 
     fn projection_query(&mut self) -> String {
         let paths = Self::pick(&mut self.rng, &self.sets.projections).clone();
-        let body: String =
-            paths.iter().map(|p| format!("{{ $p/{p} }} ")).collect();
+        let body: String = paths.iter().map(|p| format!("{{ $p/{p} }} ")).collect();
         let stream = &self.stream;
         format!(
             "<{stream}>\n{{ for $p in stream(\"{stream}\")/{stream}/photon\n  \
@@ -220,7 +219,10 @@ mod tests {
         let mut g = QueryTemplateGenerator::new(1, "photons");
         let queries: Vec<String> = (0..50).map(|_| g.next_query()).collect();
         let unique: std::collections::BTreeSet<&String> = queries.iter().collect();
-        assert!(unique.len() < queries.len(), "expected repeated queries for shareability");
+        assert!(
+            unique.len() < queries.len(),
+            "expected repeated queries for shareability"
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ pub struct VarPath {
 impl VarPath {
     /// Builds a variable-rooted path.
     pub fn new(var: impl Into<String>, path: Path) -> VarPath {
-        VarPath { var: var.into(), path }
+        VarPath {
+            var: var.into(),
+            path,
+        }
     }
 }
 
@@ -43,8 +46,15 @@ pub type Condition = Vec<PredAtom>;
 /// A data window written `|count Δ [step µ]|` or `|π diff Δ [step µ]|`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WindowAst {
-    Count { size: Decimal, step: Option<Decimal> },
-    Diff { reference: Path, size: Decimal, step: Option<Decimal> },
+    Count {
+        size: Decimal,
+        step: Option<Decimal>,
+    },
+    Diff {
+        reference: Path,
+        size: Decimal,
+        step: Option<Decimal>,
+    },
 }
 
 /// Source of a `for` binding.
@@ -74,7 +84,11 @@ pub enum Clause {
         window: Option<WindowAst>,
     },
     /// `let $a := Φ($y/π)`
-    Let { var: String, op: AggOp, source: VarPath },
+    Let {
+        var: String,
+        op: AggOp,
+        source: VarPath,
+    },
 }
 
 /// A FLWR expression.
@@ -111,7 +125,11 @@ pub enum Expr {
     /// Expression 3: FLWR.
     Flwr(Flwr),
     /// Expression 4: `if χ then α else β`.
-    If { cond: Condition, then: Box<Expr>, els: Box<Expr> },
+    If {
+        cond: Condition,
+        then: Box<Expr>,
+        els: Box<Expr>,
+    },
     /// Expressions 5–6: `$z/π` output (empty path for bare `$z`).
     PathOutput(VarPath),
     /// Expression 7: sequence `( α, β, … )`.
@@ -185,7 +203,11 @@ mod tests {
         };
         let seq = Expr::Sequence(vec![mk(), mk()]);
         assert_eq!(seq.flwrs().len(), 2);
-        let iff = Expr::If { cond: vec![], then: Box::new(mk()), els: Box::new(mk()) };
+        let iff = Expr::If {
+            cond: vec![],
+            then: Box::new(mk()),
+            els: Box::new(mk()),
+        };
         assert_eq!(iff.flwrs().len(), 2);
     }
 }

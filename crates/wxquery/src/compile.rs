@@ -142,8 +142,17 @@ fn compile_flwr(result_root: String, flwr: &Flwr) -> Result<CompiledQuery, Query
             }
         }
     }
-    let Some(Clause::For { var: for_var, source, path, conditions, window }) = for_clause else {
-        return Err(QueryError::Analysis("subscription has no for clause".into()));
+    let Some(Clause::For {
+        var: for_var,
+        source,
+        path,
+        conditions,
+        window,
+    }) = for_clause
+    else {
+        return Err(QueryError::Analysis(
+            "subscription has no for clause".into(),
+        ));
     };
     let ForSource::Stream(stream_name) = source else {
         return Err(QueryError::Unsupported(
@@ -155,8 +164,8 @@ fn compile_flwr(result_root: String, flwr: &Flwr) -> Result<CompiledQuery, Query
             "the for-clause path must have exactly two steps (stream root / item), got {path:?}"
         )));
     }
-    let stream_root = path.steps()[0].clone();
-    let item_name = path.steps()[1].clone();
+    let stream_root = path.steps()[0].as_str().to_string();
+    let item_name = path.steps()[1].as_str().to_string();
 
     // ---- predicates ------------------------------------------------------
     let mut selection_atoms: Vec<Atom> = Vec::new();
@@ -165,54 +174,56 @@ fn compile_flwr(result_root: String, flwr: &Flwr) -> Result<CompiledQuery, Query
         Some(Clause::Let { var, .. }) => Some(var.as_str()),
         _ => None,
     };
-    let add_condition =
-        |cond: &Condition, selection_atoms: &mut Vec<Atom>, filter: &mut ResultFilter| -> Result<(), QueryError> {
-            for atom in cond {
-                if atom.lhs.var == *for_var {
-                    if atom.lhs.path.is_empty() {
-                        return Err(QueryError::Analysis(format!(
-                            "predicate compares the whole item ${for_var}; compare an element \
-                             path instead"
-                        )));
-                    }
-                    let converted = match &atom.rhs {
-                        PredTerm::Const(c) => Atom::var_const(atom.lhs.path.clone(), atom.op, *c),
-                        PredTerm::VarPlus(w, c) => {
-                            if w.var != *for_var {
-                                return Err(QueryError::Analysis(format!(
-                                    "predicate mixes variables ${} and ${}",
-                                    atom.lhs.var, w.var
-                                )));
-                            }
-                            Atom::var_var(atom.lhs.path.clone(), atom.op, w.path.clone(), *c)
-                        }
-                    };
-                    selection_atoms.push(converted);
-                } else if Some(atom.lhs.var.as_str()) == let_var {
-                    if !atom.lhs.path.is_empty() {
-                        return Err(QueryError::Analysis(
-                            "aggregation results are scalar; a path below the aggregate \
-                             variable is meaningless"
-                                .into(),
-                        ));
-                    }
-                    match &atom.rhs {
-                        PredTerm::Const(c) => filter.conditions.push((atom.op, *c)),
-                        PredTerm::VarPlus(..) => {
-                            return Err(QueryError::Unsupported(
-                                "aggregate filters must compare against constants".into(),
-                            ))
-                        }
-                    }
-                } else {
+    let add_condition = |cond: &Condition,
+                         selection_atoms: &mut Vec<Atom>,
+                         filter: &mut ResultFilter|
+     -> Result<(), QueryError> {
+        for atom in cond {
+            if atom.lhs.var == *for_var {
+                if atom.lhs.path.is_empty() {
                     return Err(QueryError::Analysis(format!(
-                        "unbound variable ${} in predicate",
-                        atom.lhs.var
+                        "predicate compares the whole item ${for_var}; compare an element \
+                             path instead"
                     )));
                 }
+                let converted = match &atom.rhs {
+                    PredTerm::Const(c) => Atom::var_const(atom.lhs.path.clone(), atom.op, *c),
+                    PredTerm::VarPlus(w, c) => {
+                        if w.var != *for_var {
+                            return Err(QueryError::Analysis(format!(
+                                "predicate mixes variables ${} and ${}",
+                                atom.lhs.var, w.var
+                            )));
+                        }
+                        Atom::var_var(atom.lhs.path.clone(), atom.op, w.path.clone(), *c)
+                    }
+                };
+                selection_atoms.push(converted);
+            } else if Some(atom.lhs.var.as_str()) == let_var {
+                if !atom.lhs.path.is_empty() {
+                    return Err(QueryError::Analysis(
+                        "aggregation results are scalar; a path below the aggregate \
+                             variable is meaningless"
+                            .into(),
+                    ));
+                }
+                match &atom.rhs {
+                    PredTerm::Const(c) => filter.conditions.push((atom.op, *c)),
+                    PredTerm::VarPlus(..) => {
+                        return Err(QueryError::Unsupported(
+                            "aggregate filters must compare against constants".into(),
+                        ))
+                    }
+                }
+            } else {
+                return Err(QueryError::Analysis(format!(
+                    "unbound variable ${} in predicate",
+                    atom.lhs.var
+                )));
             }
-            Ok(())
-        };
+        }
+        Ok(())
+    };
     add_condition(conditions, &mut selection_atoms, &mut filter)?;
     add_condition(&flwr.where_, &mut selection_atoms, &mut filter)?;
 
@@ -308,9 +319,11 @@ fn compile_flwr(result_root: String, flwr: &Flwr) -> Result<CompiledQuery, Query
 fn build_window(ast: &WindowAst) -> Result<WindowSpec, QueryError> {
     Ok(match ast {
         WindowAst::Count { size, step } => WindowSpec::count(*size, *step)?,
-        WindowAst::Diff { reference, size, step } => {
-            WindowSpec::diff(reference.clone(), *size, *step)?
-        }
+        WindowAst::Diff {
+            reference,
+            size,
+            step,
+        } => WindowSpec::diff(reference.clone(), *size, *step)?,
     })
 }
 
@@ -341,13 +354,21 @@ fn build_template(
                     }
                     Content::Enclosed(inner) => {
                         children.push(build_template(
-                            inner, for_var, let_var, has_agg, has_window, output_paths,
+                            inner,
+                            for_var,
+                            let_var,
+                            has_agg,
+                            has_window,
+                            output_paths,
                         )?);
                     }
                     Content::Text(t) => children.push(Template::Text(t.clone())),
                 }
             }
-            Ok(Template::Element { tag: el.tag.clone(), children })
+            Ok(Template::Element {
+                tag: (&el.tag).into(),
+                children,
+            })
         }
         Expr::PathOutput(vp) => {
             if vp.var == for_var {
@@ -392,10 +413,18 @@ fn build_template(
             let mut children = Vec::new();
             for i in items {
                 children.push(build_template(
-                    i, for_var, let_var, has_agg, has_window, output_paths,
+                    i,
+                    for_var,
+                    let_var,
+                    has_agg,
+                    has_window,
+                    output_paths,
                 )?);
             }
-            Ok(Template::Element { tag: "sequence".into(), children })
+            Ok(Template::Element {
+                tag: "sequence".into(),
+                children,
+            })
         }
         Expr::Flwr(_) => Err(QueryError::Unsupported(
             "nested FLWR expressions (the paper's future work) are not supported".into(),

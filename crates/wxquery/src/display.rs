@@ -65,7 +65,11 @@ impl fmt::Display for WindowAst {
                 }
                 write!(f, "|")
             }
-            WindowAst::Diff { reference, size, step } => {
+            WindowAst::Diff {
+                reference,
+                size,
+                step,
+            } => {
                 write!(f, "|{reference} diff {size}")?;
                 if let Some(s) = step {
                     write!(f, " step {s}")?;
@@ -89,7 +93,13 @@ impl fmt::Display for ForSource {
 impl fmt::Display for Clause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Clause::For { var, source, path, conditions, window } => {
+            Clause::For {
+                var,
+                source,
+                path,
+                conditions,
+                window,
+            } => {
                 write!(f, "for ${var} in {source}")?;
                 if !path.is_empty() {
                     write!(f, "/{path}")?;
@@ -178,7 +188,10 @@ mod tests {
             let printed = ast.to_string();
             let reparsed = parse_query(&printed)
                 .unwrap_or_else(|e| panic!("{name} printed form does not parse: {e}\n{printed}"));
-            assert_eq!(ast, reparsed, "{name} round trip changed the AST:\n{printed}");
+            assert_eq!(
+                ast, reparsed,
+                "{name} round trip changed the AST:\n{printed}"
+            );
         }
     }
 

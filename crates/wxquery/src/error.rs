@@ -68,10 +68,20 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = QueryError::Parse { message: "expected 'in'".into(), offset: 12 };
-        assert_eq!(e.to_string(), "WXQuery syntax error at byte 12: expected 'in'");
-        assert!(QueryError::Analysis("unbound $x".into()).to_string().contains("unbound $x"));
-        assert!(QueryError::Unsupported("nesting".into()).to_string().contains("nesting"));
+        let e = QueryError::Parse {
+            message: "expected 'in'".into(),
+            offset: 12,
+        };
+        assert_eq!(
+            e.to_string(),
+            "WXQuery syntax error at byte 12: expected 'in'"
+        );
+        assert!(QueryError::Analysis("unbound $x".into())
+            .to_string()
+            .contains("unbound $x"));
+        assert!(QueryError::Unsupported("nesting".into())
+            .to_string()
+            .contains("nesting"));
     }
 
     #[test]

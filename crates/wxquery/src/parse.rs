@@ -34,7 +34,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> QueryError {
-        QueryError::Parse { message: message.into(), offset: self.pos }
+        QueryError::Parse {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -97,7 +100,10 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         let rest = self.rest();
         rest.starts_with(kw)
-            && !rest[kw.len()..].chars().next().is_some_and(text::is_name_char)
+            && !rest[kw.len()..]
+                .chars()
+                .next()
+                .is_some_and(text::is_name_char)
     }
 
     fn eat_keyword(&mut self, kw: &str) -> bool {
@@ -249,7 +255,11 @@ impl<'a> Parser<'a> {
         let then = self.parse_expr(ctx_var)?;
         self.expect_keyword("else")?;
         let els = self.parse_expr(ctx_var)?;
-        Ok(Expr::If { cond, then: Box::new(then), els: Box::new(els) })
+        Ok(Expr::If {
+            cond,
+            then: Box::new(then),
+            els: Box::new(els),
+        })
     }
 
     fn flwr(&mut self, ctx_var: Option<&str>) -> Result<Flwr, QueryError> {
@@ -280,7 +290,11 @@ impl<'a> Parser<'a> {
         };
         self.expect_keyword("return")?;
         let ret = self.parse_expr(for_var.as_deref().or(ctx_var))?;
-        Ok(Flwr { clauses, where_, ret: Box::new(ret) })
+        Ok(Flwr {
+            clauses,
+            where_,
+            ret: Box::new(ret),
+        })
     }
 
     fn for_clause(&mut self) -> Result<Clause, QueryError> {
@@ -348,7 +362,13 @@ impl<'a> Parser<'a> {
         } else {
             None
         };
-        Ok(Clause::For { var, source, path, conditions, window })
+        Ok(Clause::For {
+            var,
+            source,
+            path,
+            conditions,
+            window,
+        })
     }
 
     fn window(&mut self) -> Result<WindowAst, QueryError> {
@@ -356,14 +376,26 @@ impl<'a> Parser<'a> {
         let w = if self.peek_keyword("count") {
             self.pos += "count".len();
             let size = self.number()?;
-            let step = if self.eat_keyword("step") { Some(self.number()?) } else { None };
+            let step = if self.eat_keyword("step") {
+                Some(self.number()?)
+            } else {
+                None
+            };
             WindowAst::Count { size, step }
         } else {
             let reference = self.rel_path()?;
             self.expect_keyword("diff")?;
             let size = self.number()?;
-            let step = if self.eat_keyword("step") { Some(self.number()?) } else { None };
-            WindowAst::Diff { reference, size, step }
+            let step = if self.eat_keyword("step") {
+                Some(self.number()?)
+            } else {
+                None
+            };
+            WindowAst::Diff {
+                reference,
+                size,
+                step,
+            }
         };
         self.expect("|")?;
         Ok(w)
@@ -442,8 +474,7 @@ impl<'a> Parser<'a> {
                 let offset = if self.peek() == Some('+') {
                     self.bump();
                     self.number()?
-                } else if self.rest().starts_with('-')
-                    && !self.rest()[1..].trim_start().is_empty()
+                } else if self.rest().starts_with('-') && !self.rest()[1..].trim_start().is_empty()
                 {
                     // Only a numeric offset; '-' not followed by digits is
                     // left alone (would be a syntax error downstream).
@@ -465,19 +496,29 @@ impl<'a> Parser<'a> {
         };
         // Normalize so the left side is a variable.
         match (lhs, rhs) {
-            (Operand::Var(v), Operand::Const(c)) => {
-                Ok(PredAtom { lhs: v, op, rhs: PredTerm::Const(c) })
-            }
-            (Operand::Var(v), Operand::VarPlus(w, c)) => {
-                Ok(PredAtom { lhs: v, op, rhs: PredTerm::VarPlus(w, c) })
-            }
-            (Operand::Var(v), Operand::Var(w)) => {
-                Ok(PredAtom { lhs: v, op, rhs: PredTerm::VarPlus(w, Decimal::ZERO) })
-            }
+            (Operand::Var(v), Operand::Const(c)) => Ok(PredAtom {
+                lhs: v,
+                op,
+                rhs: PredTerm::Const(c),
+            }),
+            (Operand::Var(v), Operand::VarPlus(w, c)) => Ok(PredAtom {
+                lhs: v,
+                op,
+                rhs: PredTerm::VarPlus(w, c),
+            }),
+            (Operand::Var(v), Operand::Var(w)) => Ok(PredAtom {
+                lhs: v,
+                op,
+                rhs: PredTerm::VarPlus(w, Decimal::ZERO),
+            }),
             (Operand::Const(c), Operand::Var(v)) | (Operand::Const(c), Operand::VarPlus(v, _)) => {
                 // c θ $v  ⇔  $v θ.flip() c (offsets on a left constant are
                 // not part of the grammar).
-                Ok(PredAtom { lhs: v, op: op.flip(), rhs: PredTerm::Const(c) })
+                Ok(PredAtom {
+                    lhs: v,
+                    op: op.flip(),
+                    rhs: PredTerm::Const(c),
+                })
             }
             (Operand::Const(_), Operand::Const(_)) => {
                 Err(self.err("a predicate must reference at least one element path"))
@@ -493,7 +534,10 @@ impl<'a> Parser<'a> {
         let tag = self.ident()?;
         self.skip_ws();
         if self.eat("/>") {
-            return Ok(ElementCtor { tag, content: Vec::new() });
+            return Ok(ElementCtor {
+                tag,
+                content: Vec::new(),
+            });
         }
         self.expect(">")?;
         let mut content = Vec::new();

@@ -72,7 +72,10 @@ impl Decimal {
     /// # Panics
     /// Panics if `scale > MAX_SCALE`.
     pub fn new(units: i128, scale: u32) -> Decimal {
-        assert!(scale <= MAX_SCALE, "decimal scale {scale} exceeds MAX_SCALE");
+        assert!(
+            scale <= MAX_SCALE,
+            "decimal scale {scale} exceeds MAX_SCALE"
+        );
         let mut d = Decimal { units, scale };
         d.canonicalize();
         d
@@ -80,7 +83,10 @@ impl Decimal {
 
     /// An integer value.
     pub fn from_int(v: i64) -> Decimal {
-        Decimal { units: v as i128, scale: 0 }
+        Decimal {
+            units: v as i128,
+            scale: 0,
+        }
     }
 
     fn canonicalize(&mut self) {
@@ -144,7 +150,9 @@ impl Decimal {
     /// Checked addition; `None` on overflow.
     pub fn checked_add(self, rhs: Decimal) -> Option<Decimal> {
         let scale = self.scale.max(rhs.scale);
-        let a = self.units.checked_mul(POW10[(scale - self.scale) as usize])?;
+        let a = self
+            .units
+            .checked_mul(POW10[(scale - self.scale) as usize])?;
         let b = rhs.units.checked_mul(POW10[(scale - rhs.scale) as usize])?;
         Some(Decimal::new(a.checked_add(b)?, scale))
     }
@@ -186,7 +194,10 @@ impl Sub for Decimal {
 impl Neg for Decimal {
     type Output = Decimal;
     fn neg(self) -> Decimal {
-        Decimal { units: -self.units, scale: self.scale }
+        Decimal {
+            units: -self.units,
+            scale: self.scale,
+        }
     }
 }
 
@@ -194,7 +205,9 @@ impl Mul<i64> for Decimal {
     type Output = Decimal;
     fn mul(self, rhs: i64) -> Decimal {
         Decimal::new(
-            self.units.checked_mul(rhs as i128).expect("decimal multiplication overflow"),
+            self.units
+                .checked_mul(rhs as i128)
+                .expect("decimal multiplication overflow"),
             self.scale,
         )
     }
@@ -212,7 +225,9 @@ impl Ord for Decimal {
         // At most one side actually rescales (the other multiplies by 1),
         // so an overflowing side is decided by its sign alone.
         let a = self.units.checked_mul(POW10[(scale - self.scale) as usize]);
-        let b = other.units.checked_mul(POW10[(scale - other.scale) as usize]);
+        let b = other
+            .units
+            .checked_mul(POW10[(scale - other.scale) as usize]);
         match (a, b) {
             (Some(a), Some(b)) => a.cmp(&b),
             (None, _) => {
@@ -251,7 +266,10 @@ impl FromStr for Decimal {
     type Err = XmlError;
 
     fn from_str(s: &str) -> Result<Decimal, XmlError> {
-        let err = || XmlError::ValueParse { value: s.to_string(), wanted: "decimal" };
+        let err = || XmlError::ValueParse {
+            value: s.to_string(),
+            wanted: "decimal",
+        };
         let t = s.trim();
         if t.is_empty() {
             return Err(err());
@@ -278,7 +296,9 @@ impl FromStr for Decimal {
         let mut units: i128 = 0;
         for c in int_part.chars().chain(frac_part.chars()) {
             units = units.checked_mul(10).ok_or_else(err)?;
-            units = units.checked_add((c as u8 - b'0') as i128).ok_or_else(err)?;
+            units = units
+                .checked_add((c as u8 - b'0') as i128)
+                .ok_or_else(err)?;
         }
         if units > MAX_INPUT_UNITS {
             return Err(err());
@@ -300,7 +320,9 @@ mod tests {
 
     #[test]
     fn parse_and_display_round_trip() {
-        for s in ["0", "1", "-1", "1.3", "-49.0", "120.0", "0.001", "-0.5", "138"] {
+        for s in [
+            "0", "1", "-1", "1.3", "-49.0", "120.0", "0.001", "-0.5", "138",
+        ] {
             let v = d(s);
             let back: Decimal = v.to_string().parse().unwrap();
             assert_eq!(v, back, "round trip through {s:?} -> {v}");
@@ -382,7 +404,9 @@ mod tests {
     fn parse_rejects_oversized_magnitudes() {
         // Values beyond MAX_INPUT_UNITS are rejected at the untrusted
         // boundary so downstream rescaling cannot overflow.
-        assert!("99999999999999999999999999999999999999".parse::<Decimal>().is_err());
+        assert!("99999999999999999999999999999999999999"
+            .parse::<Decimal>()
+            .is_err());
         assert!("10000000000000000001".parse::<Decimal>().is_err()); // > 10^19 units
         assert!("10000000000000000000".parse::<Decimal>().is_ok()); // exactly 10^19
         assert!("-10000000000000000001".parse::<Decimal>().is_err());

@@ -36,7 +36,10 @@ impl fmt::Display for XmlError {
                 write!(f, "XML syntax error at byte {offset}: {message}")
             }
             XmlError::MismatchedTag { expected, found } => {
-                write!(f, "mismatched end tag: expected </{expected}>, found </{found}>")
+                write!(
+                    f,
+                    "mismatched end tag: expected </{expected}>, found </{found}>"
+                )
             }
             XmlError::UnexpectedEndTag { name } => {
                 write!(f, "end tag </{name}> with no open element")
@@ -66,17 +69,31 @@ mod tests {
     fn display_formats_are_informative() {
         let cases: Vec<(XmlError, &str)> = vec![
             (
-                XmlError::Syntax { message: "bad".into(), offset: 7 },
+                XmlError::Syntax {
+                    message: "bad".into(),
+                    offset: 7,
+                },
                 "XML syntax error at byte 7: bad",
             ),
             (
-                XmlError::MismatchedTag { expected: "a".into(), found: "b".into() },
+                XmlError::MismatchedTag {
+                    expected: "a".into(),
+                    found: "b".into(),
+                },
                 "mismatched end tag: expected </a>, found </b>",
             ),
-            (XmlError::UnexpectedEndTag { name: "x".into() }, "end tag </x> with no open element"),
+            (
+                XmlError::UnexpectedEndTag { name: "x".into() },
+                "end tag </x> with no open element",
+            ),
             (XmlError::UnexpectedEof, "unexpected end of input"),
             (XmlError::TrailingContent, "content after document root"),
-            (XmlError::UnknownEntity { entity: "nbsp".into() }, "unknown entity: &nbsp;"),
+            (
+                XmlError::UnknownEntity {
+                    entity: "nbsp".into(),
+                },
+                "unknown entity: &nbsp;",
+            ),
         ];
         for (err, want) in cases {
             assert_eq!(err.to_string(), want);
@@ -88,7 +105,10 @@ mod tests {
         assert_eq!(XmlError::UnexpectedEof, XmlError::UnexpectedEof);
         assert_ne!(
             XmlError::UnexpectedEof,
-            XmlError::Syntax { message: String::new(), offset: 0 }
+            XmlError::Syntax {
+                message: String::new(),
+                offset: 0
+            }
         );
     }
 }

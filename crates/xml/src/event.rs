@@ -1,7 +1,11 @@
 //! Parse events produced by the tokenizer / pull parser.
 
+use crate::name::Symbol;
+
 /// A single low-level XML event.
 ///
+/// Element and attribute names are interned [`Symbol`]s — the tokenizer
+/// interns once per tag and every later comparison is an integer compare.
 /// Attributes are carried on `StartElement` events as name/value pairs; the
 /// tree layer converts them into child elements, following the paper's
 /// element-only data model.
@@ -9,9 +13,12 @@
 pub enum XmlEvent {
     /// `<name attr="v" …>` — also emitted for self-closing tags, immediately
     /// followed by a matching `EndElement`.
-    StartElement { name: String, attributes: Vec<(String, String)> },
+    StartElement {
+        name: Symbol,
+        attributes: Vec<(Symbol, String)>,
+    },
     /// `</name>`.
-    EndElement { name: String },
+    EndElement { name: Symbol },
     /// Character data between tags, entity-resolved. Whitespace-only text is
     /// *not* emitted (the paper's data model has no mixed content).
     Text(String),
@@ -20,12 +27,17 @@ pub enum XmlEvent {
 impl XmlEvent {
     /// Convenience constructor for an attribute-less start tag.
     pub fn start(name: &str) -> XmlEvent {
-        XmlEvent::StartElement { name: name.to_string(), attributes: Vec::new() }
+        XmlEvent::StartElement {
+            name: Symbol::intern(name),
+            attributes: Vec::new(),
+        }
     }
 
     /// Convenience constructor for an end tag.
     pub fn end(name: &str) -> XmlEvent {
-        XmlEvent::EndElement { name: name.to_string() }
+        XmlEvent::EndElement {
+            name: Symbol::intern(name),
+        }
     }
 
     /// Convenience constructor for a text event.
@@ -35,8 +47,13 @@ impl XmlEvent {
 
     /// The element name, if this is a start or end event.
     pub fn name(&self) -> Option<&str> {
+        self.symbol().map(Symbol::as_str)
+    }
+
+    /// The interned element name, if this is a start or end event.
+    pub fn symbol(&self) -> Option<Symbol> {
         match self {
-            XmlEvent::StartElement { name, .. } | XmlEvent::EndElement { name } => Some(name),
+            XmlEvent::StartElement { name, .. } | XmlEvent::EndElement { name } => Some(*name),
             XmlEvent::Text(_) => None,
         }
     }

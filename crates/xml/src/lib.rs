@@ -26,6 +26,7 @@
 pub mod decimal;
 pub mod error;
 pub mod event;
+pub mod name;
 pub mod path;
 pub mod reader;
 pub mod schema;
@@ -37,6 +38,7 @@ pub mod writer;
 pub use decimal::Decimal;
 pub use error::XmlError;
 pub use event::XmlEvent;
+pub use name::{NameTable, Symbol};
 pub use path::Path;
 pub use reader::XmlReader;
 pub use schema::Schema;

@@ -10,14 +10,34 @@ use std::str::FromStr;
 
 use crate::decimal::Decimal;
 use crate::error::XmlError;
+use crate::name::Symbol;
 use crate::text;
 use crate::tree::Node;
 
 /// A relative child-axis path, e.g. `coord/cel/ra`. The empty path refers to
 /// the context node itself.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+///
+/// Steps are interned [`Symbol`]s, so evaluating a path against a tree
+/// compares integers, not strings. Ordering remains lexicographic over the
+/// step *names* (see the manual `Ord` impl below) so `BTreeMap<Path, _>`
+/// keys sort as they did when steps were `String`s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Path {
-    steps: Vec<String>,
+    steps: Vec<Symbol>,
+}
+
+impl PartialOrd for Path {
+    fn partial_cmp(&self, other: &Path) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Path {
+    fn cmp(&self, other: &Path) -> std::cmp::Ordering {
+        // Symbol's Ord is lexicographic over the resolved names, so slice
+        // comparison gives the same order the Vec<String> representation had.
+        self.steps.cmp(&other.steps)
+    }
 }
 
 impl Path {
@@ -30,13 +50,14 @@ impl Path {
     pub fn from_steps<I, S>(steps: I) -> Result<Path, XmlError>
     where
         I: IntoIterator<Item = S>,
-        S: Into<String>,
+        S: AsRef<str>,
     {
-        let steps: Vec<String> = steps.into_iter().map(Into::into).collect();
-        for s in &steps {
-            text::validate_name(s)?;
+        let mut out = Vec::new();
+        for s in steps {
+            text::validate_name(s.as_ref())?;
+            out.push(Symbol::intern(s.as_ref()));
         }
-        Ok(Path { steps })
+        Ok(Path { steps: out })
     }
 
     /// Number of steps.
@@ -50,13 +71,13 @@ impl Path {
     }
 
     /// The steps.
-    pub fn steps(&self) -> &[String] {
+    pub fn steps(&self) -> &[Symbol] {
         &self.steps
     }
 
     /// Last step (the referenced element's name), if any.
     pub fn leaf(&self) -> Option<&str> {
-        self.steps.last().map(String::as_str)
+        self.steps.last().map(|s| s.as_str())
     }
 
     /// Concatenation `self/other`.
@@ -70,7 +91,7 @@ impl Path {
     pub fn child(&self, step: &str) -> Result<Path, XmlError> {
         text::validate_name(step)?;
         let mut steps = self.steps.clone();
-        steps.push(step.to_string());
+        steps.push(Symbol::intern(step));
         Ok(Path { steps })
     }
 
@@ -82,7 +103,9 @@ impl Path {
     /// Strips `prefix` from the front, if it is a prefix.
     pub fn strip_prefix(&self, prefix: &Path) -> Option<Path> {
         if prefix.is_prefix_of(self) {
-            Some(Path { steps: self.steps[prefix.steps.len()..].to_vec() })
+            Some(Path {
+                steps: self.steps[prefix.steps.len()..].to_vec(),
+            })
         } else {
             None
         }
@@ -92,10 +115,10 @@ impl Path {
     /// fan out over several same-named children.
     pub fn evaluate<'a>(&self, node: &'a Node) -> Vec<&'a Node> {
         let mut frontier = vec![node];
-        for step in &self.steps {
+        for &step in &self.steps {
             let mut next = Vec::with_capacity(frontier.len());
             for n in frontier {
-                next.extend(n.children().iter().filter(|c| c.name() == step));
+                next.extend(n.children().iter().filter(|c| c.symbol() == step));
             }
             if next.is_empty() {
                 return Vec::new();
@@ -105,18 +128,46 @@ impl Path {
         frontier
     }
 
+    /// Appends all nodes reachable through this path to `out` without
+    /// allocating a fresh result vector (the fast path for operators that
+    /// evaluate the same path once per stream item).
+    pub fn evaluate_into<'a>(&self, node: &'a Node, out: &mut Vec<&'a Node>) {
+        self.visit(node, &mut |n| out.push(n));
+    }
+
+    /// Calls `f` on every node reachable through this path, depth-first,
+    /// without allocating at all — the zero-allocation dual of
+    /// [`evaluate`](Path::evaluate) for per-item operator hot paths.
+    pub fn visit<'a, F: FnMut(&'a Node)>(&self, node: &'a Node, f: &mut F) {
+        // Depth-first walk; paths are short (schema depth), so recursion
+        // depth is bounded.
+        fn rec<'a, F: FnMut(&'a Node)>(steps: &[Symbol], node: &'a Node, f: &mut F) {
+            match steps.split_first() {
+                None => f(node),
+                Some((&step, rest)) => {
+                    for c in node.children() {
+                        if c.symbol() == step {
+                            rec(rest, c, f);
+                        }
+                    }
+                }
+            }
+        }
+        rec(&self.steps, node, f);
+    }
+
     /// First node reachable through this path (document order). Unlike a
     /// greedy walk through the first matching child per step, this
     /// backtracks across repeated siblings, so it agrees with
     /// `evaluate(...).first()`.
     pub fn first<'a>(&self, node: &'a Node) -> Option<&'a Node> {
-        fn rec<'a>(steps: &[String], node: &'a Node) -> Option<&'a Node> {
+        fn rec<'a>(steps: &[Symbol], node: &'a Node) -> Option<&'a Node> {
             match steps.split_first() {
                 None => Some(node),
-                Some((step, rest)) => node
+                Some((&step, rest)) => node
                     .children()
                     .iter()
-                    .filter(|c| c.name() == step.as_str())
+                    .filter(|c| c.symbol() == step)
                     .find_map(|c| rec(rest, c)),
             }
         }
@@ -127,14 +178,23 @@ impl Path {
     pub fn decimal_value(&self, node: &Node) -> Result<Decimal, XmlError> {
         match self.first(node) {
             Some(n) => n.decimal_value(),
-            None => Err(XmlError::ValueParse { value: self.to_string(), wanted: "decimal" }),
+            None => Err(XmlError::ValueParse {
+                value: self.to_string(),
+                wanted: "decimal",
+            }),
         }
     }
 }
 
 impl fmt::Display for Path {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.steps.join("/"))
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                f.write_str("/")?;
+            }
+            f.write_str(step.as_str())?;
+        }
+        Ok(())
     }
 }
 
@@ -163,9 +223,10 @@ impl FromStr for Path {
         if s.contains('[') || s.contains(']') {
             return Err(invalid("conditions '[p]' are not allowed inside π"));
         }
-        let steps: Vec<String> = s.split('/').map(str::to_string).collect();
-        for step in &steps {
+        let mut steps = Vec::new();
+        for step in s.split('/') {
             text::validate_name(step)?;
+            steps.push(Symbol::intern(step));
         }
         Ok(Path { steps })
     }
@@ -229,7 +290,11 @@ mod tests {
                 Node::elem("i", vec![Node::leaf("v", "2")]),
             ],
         );
-        let vs: Vec<_> = p("i/v").evaluate(&w).iter().filter_map(|n| n.text()).collect();
+        let vs: Vec<_> = p("i/v")
+            .evaluate(&w)
+            .iter()
+            .filter_map(|n| n.text())
+            .collect();
         assert_eq!(vs, vec!["1", "2"]);
     }
 
@@ -239,7 +304,10 @@ mod tests {
         let ph = Node::elem(
             "photon",
             vec![
-                Node::elem("coord", vec![Node::elem("det", vec![Node::leaf("dx", "1")])]),
+                Node::elem(
+                    "coord",
+                    vec![Node::elem("det", vec![Node::leaf("dx", "1")])],
+                ),
                 Node::elem(
                     "coord",
                     vec![Node::elem("cel", vec![Node::leaf("ra", "120.5")])],
@@ -267,7 +335,10 @@ mod tests {
         assert!(p("coord").is_prefix_of(&p("coord/cel/ra")));
         assert!(p("coord/cel").is_prefix_of(&p("coord/cel")));
         assert!(!p("cel").is_prefix_of(&p("coord/cel")));
-        assert_eq!(p("coord/cel/ra").strip_prefix(&p("coord")).unwrap(), p("cel/ra"));
+        assert_eq!(
+            p("coord/cel/ra").strip_prefix(&p("coord")).unwrap(),
+            p("cel/ra")
+        );
         assert!(p("coord/cel").strip_prefix(&p("en")).is_none());
         assert!(Path::this().is_prefix_of(&p("en")));
     }

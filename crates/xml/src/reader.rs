@@ -9,6 +9,7 @@
 
 use crate::error::XmlError;
 use crate::event::XmlEvent;
+use crate::name::Symbol;
 use crate::tokenizer::Tokenizer;
 use crate::tree::Node;
 
@@ -16,14 +17,18 @@ use crate::tree::Node;
 #[derive(Debug)]
 pub struct XmlReader {
     tok: Tokenizer,
-    stack: Vec<String>,
+    stack: Vec<Symbol>,
     seen_root: bool,
 }
 
 impl XmlReader {
     /// Wraps a tokenizer.
     pub fn new(tok: Tokenizer) -> XmlReader {
-        XmlReader { tok, stack: Vec::new(), seen_root: false }
+        XmlReader {
+            tok,
+            stack: Vec::new(),
+            seen_root: false,
+        }
     }
 
     /// Reader over a complete in-memory document.
@@ -65,14 +70,21 @@ impl XmlReader {
                     }
                     self.seen_root = true;
                 }
-                self.stack.push(name.clone());
+                self.stack.push(*name);
             }
             XmlEvent::EndElement { name } => match self.stack.pop() {
-                Some(open) if &open == name => {}
+                Some(open) if open == *name => {}
                 Some(open) => {
-                    return Err(XmlError::MismatchedTag { expected: open, found: name.clone() })
+                    return Err(XmlError::MismatchedTag {
+                        expected: open.as_str().to_string(),
+                        found: name.as_str().to_string(),
+                    })
                 }
-                None => return Err(XmlError::UnexpectedEndTag { name: name.clone() }),
+                None => {
+                    return Err(XmlError::UnexpectedEndTag {
+                        name: name.as_str().to_string(),
+                    })
+                }
             },
             XmlEvent::Text(_) => {
                 if self.stack.is_empty() {
@@ -109,7 +121,7 @@ impl XmlReader {
 #[derive(Debug)]
 pub struct StreamReader {
     tok: Tokenizer,
-    root: Option<String>,
+    root: Option<Symbol>,
     /// Item parse state carried across calls when the tokenizer ran dry
     /// mid-item.
     partial: Option<Partial>,
@@ -161,7 +173,7 @@ impl StreamReader {
                 Err(e) => self.deferred = Some(e),
             }
         }
-        self.root.as_deref()
+        self.root.map(Symbol::as_str)
     }
 
     /// Number of complete items returned so far.
@@ -228,12 +240,13 @@ impl StreamReader {
                     }
                 }
                 XmlEvent::EndElement { name } => {
-                    let root = self.root.as_deref().unwrap_or_default();
-                    if name == root {
+                    if Some(name) == self.root {
                         self.closed = true;
                         return Ok(None);
                     }
-                    return Err(XmlError::UnexpectedEndTag { name });
+                    return Err(XmlError::UnexpectedEndTag {
+                        name: name.as_str().to_string(),
+                    });
                 }
                 XmlEvent::Text(_) => {
                     // Loose text between items: tolerated and skipped.
@@ -249,11 +262,14 @@ impl StreamReader {
     /// resumed by the next `next_item` call.
     fn read_item_rest(
         &mut self,
-        name: String,
-        attributes: Vec<(String, String)>,
+        name: Symbol,
+        attributes: Vec<(Symbol, String)>,
     ) -> Result<Option<Node>, XmlError> {
         let current = Node::empty(name);
-        let attrs = attributes.into_iter().map(|(k, v)| Node::leaf(k, v)).collect();
+        let attrs = attributes
+            .into_iter()
+            .map(|(k, v)| Node::leaf(k, v))
+            .collect();
         self.resume_item(Vec::new(), current, attrs)
     }
 
@@ -271,7 +287,11 @@ impl StreamReader {
             match self.tok.next_event()? {
                 None => {
                     // Ran dry mid-item: remember progress for the next call.
-                    self.partial = Some(Partial { stack, current, current_attrs });
+                    self.partial = Some(Partial {
+                        stack,
+                        current,
+                        current_attrs,
+                    });
                     return Ok(None);
                 }
                 Some(XmlEvent::StartElement { name, attributes }) => {
@@ -284,17 +304,20 @@ impl StreamReader {
                             offset: 0,
                         });
                     }
-                    let attrs = attributes.into_iter().map(|(k, v)| Node::leaf(k, v)).collect();
+                    let attrs = attributes
+                        .into_iter()
+                        .map(|(k, v)| Node::leaf(k, v))
+                        .collect();
                     stack.push((
                         std::mem::replace(&mut current, Node::empty(name)),
                         std::mem::replace(&mut current_attrs, attrs),
                     ));
                 }
                 Some(XmlEvent::EndElement { name }) => {
-                    if name != current.name() {
+                    if name != current.symbol() {
                         return Err(XmlError::MismatchedTag {
                             expected: current.name().to_string(),
-                            found: name,
+                            found: name.as_str().to_string(),
                         });
                     }
                     if !current_attrs.is_empty() {
@@ -311,10 +334,11 @@ impl StreamReader {
                     }
                 }
                 Some(XmlEvent::Text(t)) => {
+                    // Mixed content after child elements is dropped by the
+                    // element-only model; split text runs are concatenated
+                    // in place.
                     if current.children().is_empty() {
-                        let existing = current.text().unwrap_or_default().to_string();
-                        let name = current.name().to_string();
-                        current = Node::leaf(name, existing + &t);
+                        current.append_text(&t);
                     }
                 }
             }
@@ -355,7 +379,10 @@ mod tests {
     fn reader_rejects_mismatch() {
         let mut r = XmlReader::from_str("<a></b>");
         r.next_event().unwrap();
-        assert!(matches!(r.next_event(), Err(XmlError::MismatchedTag { .. })));
+        assert!(matches!(
+            r.next_event(),
+            Err(XmlError::MismatchedTag { .. })
+        ));
     }
 
     #[test]
@@ -369,7 +396,10 @@ mod tests {
     #[test]
     fn reader_rejects_stray_end() {
         let mut r = XmlReader::from_str("</a>");
-        assert!(matches!(r.next_event(), Err(XmlError::UnexpectedEndTag { .. })));
+        assert!(matches!(
+            r.next_event(),
+            Err(XmlError::UnexpectedEndTag { .. })
+        ));
     }
 
     #[test]
@@ -382,7 +412,9 @@ mod tests {
 
     #[test]
     fn read_document_builds_tree() {
-        let n = XmlReader::from_str("<a><b>1</b><c/></a>").read_document().unwrap();
+        let n = XmlReader::from_str("<a><b>1</b><c/></a>")
+            .read_document()
+            .unwrap();
         assert_eq!(n.name(), "a");
         assert_eq!(n.children().len(), 2);
     }
@@ -411,7 +443,13 @@ mod tests {
         r.feed(b"</coord></photon>");
         let item = r.next_item().unwrap().unwrap();
         assert_eq!(
-            item.child("coord").unwrap().child("cel").unwrap().child("ra").unwrap().text(),
+            item.child("coord")
+                .unwrap()
+                .child("cel")
+                .unwrap()
+                .child("ra")
+                .unwrap()
+                .text(),
             Some("120.5")
         );
     }
@@ -429,8 +467,10 @@ mod tests {
         }
         assert_eq!(items.len(), 3);
         assert!(r.is_closed());
-        let vals: Vec<_> =
-            items.iter().map(|i| i.child("v").unwrap().text().unwrap().to_string()).collect();
+        let vals: Vec<_> = items
+            .iter()
+            .map(|i| i.child("v").unwrap().text().unwrap().to_string())
+            .collect();
         assert_eq!(vals, vec!["1", "2", "3"]);
     }
 
@@ -469,7 +509,10 @@ mod tests {
         let mut r = StreamReader::new();
         r.feed(b"junk</x><photons><photon><v>1</v></photon></photons>");
         assert_eq!(r.root_name(), None);
-        assert!(r.next_item().is_err(), "the malformed prefix must surface as an error");
+        assert!(
+            r.next_item().is_err(),
+            "the malformed prefix must surface as an error"
+        );
 
         // A hard tokenizer error likewise surfaces instead of spinning.
         let mut r = StreamReader::new();

@@ -24,12 +24,18 @@ pub struct SchemaNode {
 impl SchemaNode {
     /// A leaf schema element.
     pub fn leaf(name: impl Into<String>) -> SchemaNode {
-        SchemaNode { name: name.into(), children: Vec::new() }
+        SchemaNode {
+            name: name.into(),
+            children: Vec::new(),
+        }
     }
 
     /// An inner schema element.
     pub fn elem(name: impl Into<String>, children: Vec<SchemaNode>) -> SchemaNode {
-        SchemaNode { name: name.into(), children }
+        SchemaNode {
+            name: name.into(),
+            children,
+        }
     }
 
     /// Element name.
@@ -81,7 +87,7 @@ impl Schema {
     pub fn node_at(&self, path: &Path) -> Option<&SchemaNode> {
         let mut cur = &self.item;
         for step in path.steps() {
-            cur = cur.child(step)?;
+            cur = cur.child(step.as_str())?;
         }
         Some(cur)
     }
@@ -132,7 +138,11 @@ impl Schema {
         fn check(schema: &SchemaNode, node: &Node) -> Result<(), XmlError> {
             if schema.name != node.name() {
                 return Err(XmlError::SchemaViolation {
-                    message: format!("expected element <{}>, found <{}>", schema.name, node.name()),
+                    message: format!(
+                        "expected element <{}>, found <{}>",
+                        schema.name,
+                        node.name()
+                    ),
                 });
             }
             for child in node.children() {
@@ -262,10 +272,9 @@ mod tests {
     #[test]
     fn projection_allows_missing_elements() {
         let s = photon_schema();
-        let projected = Node::parse(
-            "<photon><coord><cel><ra>1</ra></cel></coord><en>1.3</en></photon>",
-        )
-        .unwrap();
+        let projected =
+            Node::parse("<photon><coord><cel><ra>1</ra></cel></coord><en>1.3</en></photon>")
+                .unwrap();
         s.validate_projection(&projected).unwrap();
         assert!(s.validate_complete(&projected).is_err());
     }
@@ -274,7 +283,10 @@ mod tests {
     fn rejects_foreign_elements() {
         let s = photon_schema();
         let bad = Node::parse("<photon><energy>1</energy></photon>").unwrap();
-        assert!(matches!(s.validate_projection(&bad), Err(XmlError::SchemaViolation { .. })));
+        assert!(matches!(
+            s.validate_projection(&bad),
+            Err(XmlError::SchemaViolation { .. })
+        ));
     }
 
     #[test]

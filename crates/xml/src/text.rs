@@ -21,12 +21,18 @@ pub fn validate_name(name: &str) -> Result<(), XmlError> {
     let mut chars = name.chars();
     match chars.next() {
         Some(c) if is_name_start(c) => {}
-        _ => return Err(XmlError::InvalidName { name: name.to_string() }),
+        _ => {
+            return Err(XmlError::InvalidName {
+                name: name.to_string(),
+            })
+        }
     }
     if chars.all(is_name_char) {
         Ok(())
     } else {
-        Err(XmlError::InvalidName { name: name.to_string() })
+        Err(XmlError::InvalidName {
+            name: name.to_string(),
+        })
     }
 }
 
@@ -75,18 +81,27 @@ pub fn resolve_entity(entity: &str) -> Result<char, XmlError> {
         "quot" => Ok('"'),
         "apos" => Ok('\''),
         _ => {
-            if let Some(rest) = entity.strip_prefix("#x").or_else(|| entity.strip_prefix("#X")) {
+            if let Some(rest) = entity
+                .strip_prefix("#x")
+                .or_else(|| entity.strip_prefix("#X"))
+            {
                 u32::from_str_radix(rest, 16)
                     .ok()
                     .and_then(char::from_u32)
-                    .ok_or_else(|| XmlError::UnknownEntity { entity: entity.to_string() })
+                    .ok_or_else(|| XmlError::UnknownEntity {
+                        entity: entity.to_string(),
+                    })
             } else if let Some(rest) = entity.strip_prefix('#') {
                 rest.parse::<u32>()
                     .ok()
                     .and_then(char::from_u32)
-                    .ok_or_else(|| XmlError::UnknownEntity { entity: entity.to_string() })
+                    .ok_or_else(|| XmlError::UnknownEntity {
+                        entity: entity.to_string(),
+                    })
             } else {
-                Err(XmlError::UnknownEntity { entity: entity.to_string() })
+                Err(XmlError::UnknownEntity {
+                    entity: entity.to_string(),
+                })
             }
         }
     }
@@ -116,7 +131,9 @@ mod tests {
 
     #[test]
     fn name_validation_accepts_paper_names() {
-        for name in ["photon", "det_time", "coord", "cel", "ra", "dec", "phc", "en", "avg_en"] {
+        for name in [
+            "photon", "det_time", "coord", "cel", "ra", "dec", "phc", "en", "avg_en",
+        ] {
             assert!(validate_name(name).is_ok(), "{name} should be valid");
         }
     }
@@ -158,8 +175,14 @@ mod tests {
 
     #[test]
     fn unknown_entities_error() {
-        assert!(matches!(resolve_entity("nbsp"), Err(XmlError::UnknownEntity { .. })));
-        assert!(matches!(resolve_entity("#xzz"), Err(XmlError::UnknownEntity { .. })));
+        assert!(matches!(
+            resolve_entity("nbsp"),
+            Err(XmlError::UnknownEntity { .. })
+        ));
+        assert!(matches!(
+            resolve_entity("#xzz"),
+            Err(XmlError::UnknownEntity { .. })
+        ));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::error::XmlError;
 use crate::event::XmlEvent;
+use crate::name::Symbol;
 use crate::text;
 
 /// Incremental XML tokenizer. See the module docs.
@@ -65,7 +66,15 @@ impl Tokenizer {
     /// Panics if called after [`finish`](Tokenizer::finish).
     pub fn feed(&mut self, bytes: &[u8]) {
         assert!(!self.eof, "feed after finish");
-        self.compact();
+        if self.pos == self.buf.len() {
+            // Steady-state fast path: the previous chunk was fully consumed,
+            // so the buffer's capacity is reused with no memmove at all.
+            self.base += self.pos;
+            self.buf.clear();
+            self.pos = 0;
+        } else {
+            self.compact();
+        }
         self.buf.extend_from_slice(bytes);
     }
 
@@ -102,7 +111,10 @@ impl Tokenizer {
     }
 
     fn syntax(&self, rel: usize, message: impl Into<String>) -> XmlError {
-        XmlError::Syntax { message: message.into(), offset: self.abs(rel) }
+        XmlError::Syntax {
+            message: message.into(),
+            offset: self.abs(rel),
+        }
     }
 
     /// Returns the next event; `Ok(None)` means "need more input" before
@@ -181,7 +193,10 @@ impl Tokenizer {
         if trimmed.is_empty() {
             Ok(Scan::Skip(end))
         } else {
-            Ok(Scan::Event(XmlEvent::Text(text::unescape_text(trimmed)?), end))
+            Ok(Scan::Event(
+                XmlEvent::Text(text::unescape_text(trimmed)?),
+                end,
+            ))
         }
     }
 
@@ -242,7 +257,12 @@ impl Tokenizer {
             .map_err(|_| self.syntax(2, "invalid UTF-8 in end tag"))?;
         let name = inner.trim();
         text::validate_name(name)?;
-        Ok(Scan::Event(XmlEvent::EndElement { name: name.to_string() }, gt + 1))
+        Ok(Scan::Event(
+            XmlEvent::EndElement {
+                name: Symbol::intern(name),
+            },
+            gt + 1,
+        ))
     }
 
     fn scan_start_tag(&self, rem: &[u8]) -> Result<Scan, XmlError> {
@@ -269,7 +289,7 @@ impl Tokenizer {
         let body = std::str::from_utf8(&rem[1..body_end])
             .map_err(|_| self.syntax(1, "invalid UTF-8 in start tag"))?;
         let (name, attributes) = self.parse_tag_body(body)?;
-        let start = XmlEvent::StartElement { name: name.clone(), attributes };
+        let start = XmlEvent::StartElement { name, attributes };
         if self_closing {
             Ok(Scan::Pair(start, XmlEvent::EndElement { name }, gt + 1))
         } else {
@@ -278,14 +298,16 @@ impl Tokenizer {
     }
 
     /// Parses `name attr="v" …` (the inside of a start tag).
-    fn parse_tag_body(&self, body: &str) -> Result<(String, Vec<(String, String)>), XmlError> {
+    fn parse_tag_body(&self, body: &str) -> Result<(Symbol, Vec<(Symbol, String)>), XmlError> {
         let name_end = body.find(char::is_whitespace).unwrap_or(body.len());
         let name = &body[..name_end];
         text::validate_name(name)?;
         let mut attributes = Vec::new();
         let mut s = body[name_end..].trim_start();
         while !s.is_empty() {
-            let eq = s.find('=').ok_or_else(|| self.syntax(0, "attribute without value"))?;
+            let eq = s
+                .find('=')
+                .ok_or_else(|| self.syntax(0, "attribute without value"))?;
             let attr_name = s[..eq].trim();
             text::validate_name(attr_name)?;
             let after = s[eq + 1..].trim_start();
@@ -298,10 +320,13 @@ impl Tokenizer {
             let close = after
                 .find(quote)
                 .ok_or_else(|| self.syntax(0, "unterminated attribute value"))?;
-            attributes.push((attr_name.to_string(), text::unescape_text(&after[..close])?));
+            attributes.push((
+                Symbol::intern(attr_name),
+                text::unescape_text(&after[..close])?,
+            ));
             s = after[close + 1..].trim_start();
         }
-        Ok((name.to_string(), attributes))
+        Ok((Symbol::intern(name), attributes))
     }
 }
 
@@ -330,7 +355,11 @@ mod tests {
     fn simple_element() {
         assert_eq!(
             all_events("<ra>120.5</ra>"),
-            vec![XmlEvent::start("ra"), XmlEvent::text("120.5"), XmlEvent::end("ra")]
+            vec![
+                XmlEvent::start("ra"),
+                XmlEvent::text("120.5"),
+                XmlEvent::end("ra")
+            ]
         );
     }
 
@@ -362,7 +391,10 @@ mod tests {
 
     #[test]
     fn self_closing_expands_to_pair() {
-        assert_eq!(all_events("<t/>"), vec![XmlEvent::start("t"), XmlEvent::end("t")]);
+        assert_eq!(
+            all_events("<t/>"),
+            vec![XmlEvent::start("t"), XmlEvent::end("t")]
+        );
         assert_eq!(
             all_events("<a><b/><c/></a>"),
             vec![
@@ -402,7 +434,10 @@ mod tests {
 
     #[test]
     fn entities_in_text() {
-        assert_eq!(all_events("<t>a &lt; b &amp; c</t>")[1], XmlEvent::text("a < b & c"));
+        assert_eq!(
+            all_events("<t>a &lt; b &amp; c</t>")[1],
+            XmlEvent::text("a < b & c")
+        );
     }
 
     #[test]
@@ -411,12 +446,22 @@ mod tests {
             "<?xml version=\"1.0\"?><!DOCTYPE photons [<!ELEMENT x (y)>]>\
              <!-- survey --><t>1</t><!-- end -->",
         );
-        assert_eq!(events, vec![XmlEvent::start("t"), XmlEvent::text("1"), XmlEvent::end("t")]);
+        assert_eq!(
+            events,
+            vec![
+                XmlEvent::start("t"),
+                XmlEvent::text("1"),
+                XmlEvent::end("t")
+            ]
+        );
     }
 
     #[test]
     fn cdata_becomes_text() {
-        assert_eq!(all_events("<t><![CDATA[a <raw> & b]]></t>")[1], XmlEvent::text("a <raw> & b"));
+        assert_eq!(
+            all_events("<t><![CDATA[a <raw> & b]]></t>")[1],
+            XmlEvent::text("a <raw> & b")
+        );
     }
 
     #[test]
@@ -470,7 +515,10 @@ mod tests {
     fn unknown_entity_is_an_error() {
         let mut t = Tokenizer::from_str("<t>&nope;</t>");
         t.next_event().unwrap(); // <t>
-        assert!(matches!(t.next_event(), Err(XmlError::UnknownEntity { .. })));
+        assert!(matches!(
+            t.next_event(),
+            Err(XmlError::UnknownEntity { .. })
+        ));
     }
 
     #[test]
@@ -486,7 +534,11 @@ mod tests {
         }
         assert_eq!(n, 2000 * 5);
         // The buffer must not have grown to hold the whole stream.
-        assert!(t.buf.len() < 8 * item.len() + 8192, "buffer grew to {}", t.buf.len());
+        assert!(
+            t.buf.len() < 8 * item.len() + 8192,
+            "buffer grew to {}",
+            t.buf.len()
+        );
     }
 
     #[test]
@@ -543,5 +595,100 @@ mod tests {
         let mut t = Tokenizer::from_str("   \n ");
         assert_eq!(t.next_event().unwrap(), None);
         assert!(t.is_done());
+    }
+
+    /// A document exercising every construct the tokenizer knows: prolog,
+    /// DOCTYPE with internal subset, comments (including `--` inside),
+    /// attributes with both quote styles and `>` in values, self-closing
+    /// tags, entities, CDATA, and multibyte UTF-8 — so that any split
+    /// position lands inside something interesting.
+    fn adversarial_doc() -> String {
+        let mut doc = String::from(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\
+             <!DOCTYPE stream [<!ELEMENT photon (en)>]>\
+             <stream source='rosat &amp; chandra'>",
+        );
+        for i in 0..40 {
+            doc.push_str(&format!(
+                "<!-- item {i} --><photon id=\"p{i}\" expr=\"a > b\">\
+                 <tag/><en>1.{i}</en><note>&lt;α☃β&gt; &amp; more</note>\
+                 <raw><![CDATA[<not> & a tag]]></raw></photon>",
+            ));
+        }
+        doc.push_str("</stream>");
+        doc
+    }
+
+    fn collect_all(t: &mut Tokenizer) -> Vec<XmlEvent> {
+        let mut out = Vec::new();
+        while let Some(ev) = t.next_event().unwrap() {
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn adversarial_one_byte_chunks() {
+        let doc = adversarial_doc();
+        let whole = all_events(&doc);
+        let mut t = Tokenizer::new();
+        let mut out = Vec::new();
+        for b in doc.bytes() {
+            t.feed(&[b]);
+            out.extend(collect_all(&mut t));
+        }
+        t.finish();
+        out.extend(collect_all(&mut t));
+        assert_eq!(out, whole);
+        assert!(t.is_done());
+    }
+
+    #[test]
+    fn adversarial_random_chunks() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let doc = adversarial_doc();
+        let whole = all_events(&doc);
+        assert!(!whole.is_empty());
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = Tokenizer::new();
+            let mut out = Vec::new();
+            let bytes = doc.as_bytes();
+            let mut pos = 0;
+            while pos < bytes.len() {
+                // Heavily favor tiny chunks so splits land mid-construct.
+                let n = if rng.gen_bool(0.7) {
+                    rng.gen_range(1usize..4)
+                } else {
+                    rng.gen_range(4usize..64)
+                };
+                let end = (pos + n).min(bytes.len());
+                t.feed(&bytes[pos..end]);
+                pos = end;
+                out.extend(collect_all(&mut t));
+            }
+            t.finish();
+            out.extend(collect_all(&mut t));
+            assert_eq!(out, whole, "seed {seed}");
+            assert!(t.is_done(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn entities_and_self_closing_straddle_chunks() {
+        // Split exactly inside `&amp;`, inside `<t/>`, and inside `&lt;`.
+        let doc = "<s><t/>a &amp; b<u>&lt;x&gt;</u></s>";
+        let whole = all_events(doc);
+        for split in 1..doc.len() {
+            let (a, b) = doc.as_bytes().split_at(split);
+            let mut t = Tokenizer::new();
+            let mut out = Vec::new();
+            t.feed(a);
+            out.extend(collect_all(&mut t));
+            t.feed(b);
+            t.finish();
+            out.extend(collect_all(&mut t));
+            assert_eq!(out, whole, "split at byte {split}");
+        }
     }
 }

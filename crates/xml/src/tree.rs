@@ -9,6 +9,7 @@
 use crate::decimal::Decimal;
 use crate::error::XmlError;
 use crate::event::XmlEvent;
+use crate::name::Symbol;
 
 /// Maximum element nesting depth accepted by the parsers. Bounds both the
 /// build recursion and the eventual `Drop` recursion, so untrusted deeply
@@ -22,35 +23,53 @@ pub const MAX_DEPTH: usize = 512;
 /// a label with copied subtrees. Text always renders before the children.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Node {
-    name: String,
+    name: Symbol,
     text: Option<String>,
     children: Vec<Node>,
 }
 
 impl Node {
     /// An empty element `<name/>`.
-    pub fn empty(name: impl Into<String>) -> Node {
-        Node { name: name.into(), text: None, children: Vec::new() }
+    pub fn empty(name: impl Into<Symbol>) -> Node {
+        Node {
+            name: name.into(),
+            text: None,
+            children: Vec::new(),
+        }
     }
 
     /// A leaf element with text content.
-    pub fn leaf(name: impl Into<String>, text: impl Into<String>) -> Node {
-        Node { name: name.into(), text: Some(text.into()), children: Vec::new() }
+    pub fn leaf(name: impl Into<Symbol>, text: impl Into<String>) -> Node {
+        Node {
+            name: name.into(),
+            text: Some(text.into()),
+            children: Vec::new(),
+        }
     }
 
     /// A leaf element holding a decimal value.
-    pub fn decimal_leaf(name: impl Into<String>, value: Decimal) -> Node {
+    pub fn decimal_leaf(name: impl Into<Symbol>, value: Decimal) -> Node {
         Node::leaf(name, value.to_string())
     }
 
     /// An inner element with children.
-    pub fn elem(name: impl Into<String>, children: Vec<Node>) -> Node {
-        Node { name: name.into(), text: None, children }
+    pub fn elem(name: impl Into<Symbol>, children: Vec<Node>) -> Node {
+        Node {
+            name: name.into(),
+            text: None,
+            children,
+        }
     }
 
     /// Element name.
     pub fn name(&self) -> &str {
-        &self.name
+        self.name.as_str()
+    }
+
+    /// Interned element name. Comparing symbols is an integer compare —
+    /// prefer this over [`Node::name`] anywhere hot.
+    pub fn symbol(&self) -> Symbol {
+        self.name
     }
 
     /// Text content, if this is a non-empty leaf.
@@ -80,14 +99,31 @@ impl Node {
         self.text = Some(text.into());
     }
 
-    /// First child with the given name.
+    /// Appends to the text content in place (concatenating split text runs
+    /// without rebuilding the node).
+    pub fn append_text(&mut self, more: &str) {
+        match &mut self.text {
+            Some(t) => t.push_str(more),
+            None => self.text = Some(more.to_string()),
+        }
+    }
+
+    /// First child with the given name. Uses a non-interning lookup, so
+    /// probing for names that exist nowhere does not grow the name table.
     pub fn child(&self, name: &str) -> Option<&Node> {
+        let sym = Symbol::get(name)?;
+        self.children.iter().find(|c| c.name == sym)
+    }
+
+    /// First child with the given interned name.
+    pub fn child_sym(&self, name: Symbol) -> Option<&Node> {
         self.children.iter().find(|c| c.name == name)
     }
 
     /// All children with the given name.
     pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Node> + 'a {
-        self.children.iter().filter(move |c| c.name == name)
+        let sym = Symbol::get(name);
+        self.children.iter().filter(move |c| Some(c.name) == sym)
     }
 
     /// `true` if the node has neither text nor children.
@@ -99,9 +135,10 @@ impl Node {
     pub fn decimal_value(&self) -> Result<Decimal, XmlError> {
         match &self.text {
             Some(t) => t.parse(),
-            None => {
-                Err(XmlError::ValueParse { value: format!("<{}>", self.name), wanted: "decimal" })
-            }
+            None => Err(XmlError::ValueParse {
+                value: format!("<{}>", self.name),
+                wanted: "decimal",
+            }),
         }
     }
 
@@ -142,8 +179,8 @@ impl Node {
     /// with a [`MAX_DEPTH`] cap, so untrusted nesting cannot overflow the
     /// call stack.
     pub fn from_events_after_start<F>(
-        name: String,
-        attributes: Vec<(String, String)>,
+        name: Symbol,
+        attributes: Vec<(Symbol, String)>,
         next: &mut F,
     ) -> Result<Node, XmlError>
     where
@@ -153,8 +190,9 @@ impl Node {
         // attribute-derived children (prepended at completion so a text
         // value arriving first is not mistaken for mixed content).
         let mut stack: Vec<(Node, Vec<Node>)> = Vec::new();
-        let attr_children =
-            |attrs: Vec<(String, String)>| attrs.into_iter().map(|(k, v)| Node::leaf(k, v)).collect();
+        let attr_children = |attrs: Vec<(Symbol, String)>| {
+            attrs.into_iter().map(|(k, v)| Node::leaf(k, v)).collect()
+        };
         let mut current = Node::empty(name);
         let mut current_attrs: Vec<Node> = attr_children(attributes);
         loop {
@@ -173,8 +211,8 @@ impl Node {
                 XmlEvent::EndElement { name } => {
                     if name != current.name {
                         return Err(XmlError::MismatchedTag {
-                            expected: current.name,
-                            found: name,
+                            expected: current.name.as_str().to_string(),
+                            found: name.as_str().to_string(),
                         });
                     }
                     // Attach attribute-derived children in front.
@@ -250,7 +288,13 @@ mod tests {
         assert_eq!(p.children().len(), 4);
         assert_eq!(p.child("en").unwrap().text(), Some("1.4"));
         assert_eq!(
-            p.child("coord").unwrap().child("cel").unwrap().child("ra").unwrap().text(),
+            p.child("coord")
+                .unwrap()
+                .child("cel")
+                .unwrap()
+                .child("ra")
+                .unwrap()
+                .text(),
             Some("130.7")
         );
         assert!(p.child("missing").is_none());
@@ -292,12 +336,18 @@ mod tests {
 
     #[test]
     fn mismatched_tags_error() {
-        assert!(matches!(Node::parse("<a><b></a></b>"), Err(XmlError::MismatchedTag { .. })));
+        assert!(matches!(
+            Node::parse("<a><b></a></b>"),
+            Err(XmlError::MismatchedTag { .. })
+        ));
     }
 
     #[test]
     fn trailing_content_errors() {
-        assert!(matches!(Node::parse("<a/><b/>"), Err(XmlError::TrailingContent)));
+        assert!(matches!(
+            Node::parse("<a/><b/>"),
+            Err(XmlError::TrailingContent)
+        ));
     }
 
     #[test]
@@ -313,10 +363,7 @@ mod tests {
         n.push_child(Node::leaf("y", "1"));
         assert_eq!(n.text(), Some("old"));
         assert_eq!(n.children().len(), 1);
-        assert_eq!(
-            crate::writer::node_to_string(&n),
-            "<x>old<y>1</y></x>"
-        );
+        assert_eq!(crate::writer::node_to_string(&n), "<x>old<y>1</y></x>");
     }
 
     #[test]
@@ -356,7 +403,11 @@ mod tests {
     fn children_named_filters() {
         let n = Node::elem(
             "w",
-            vec![Node::leaf("v", "1"), Node::leaf("u", "2"), Node::leaf("v", "3")],
+            vec![
+                Node::leaf("v", "1"),
+                Node::leaf("u", "2"),
+                Node::leaf("v", "3"),
+            ],
         );
         let vs: Vec<_> = n.children_named("v").filter_map(|c| c.text()).collect();
         assert_eq!(vs, vec!["1", "3"]);
@@ -368,4 +419,3 @@ mod tests {
         assert!(Node::parse("<photons></photons>").unwrap().is_empty());
     }
 }
-

@@ -12,14 +12,15 @@ use crate::tree::Node;
 /// Serializes a node compactly (no insignificant whitespace), appending to
 /// `out`.
 pub fn write_node_into(node: &Node, out: &mut String) {
+    let name = node.name();
     if node.is_empty() {
         out.push('<');
-        out.push_str(node.name());
+        out.push_str(name);
         out.push_str("/>");
         return;
     }
     out.push('<');
-    out.push_str(node.name());
+    out.push_str(name);
     out.push('>');
     if let Some(t) = node.text() {
         text::escape_text_into(t, out);
@@ -28,7 +29,7 @@ pub fn write_node_into(node: &Node, out: &mut String) {
         write_node_into(child, out);
     }
     out.push_str("</");
-    out.push_str(node.name());
+    out.push_str(name);
     out.push('>');
 }
 
@@ -67,19 +68,20 @@ fn pretty_into(node: &Node, depth: usize, out: &mut String) {
     for _ in 0..depth {
         out.push_str("  ");
     }
+    let name = node.name();
     if node.is_empty() {
         out.push('<');
-        out.push_str(node.name());
+        out.push_str(name);
         out.push_str("/>\n");
         return;
     }
     out.push('<');
-    out.push_str(node.name());
+    out.push_str(name);
     out.push('>');
     if let Some(t) = node.text() {
         text::escape_text_into(t, out);
         out.push_str("</");
-        out.push_str(node.name());
+        out.push_str(name);
         out.push_str(">\n");
         return;
     }
@@ -91,7 +93,7 @@ fn pretty_into(node: &Node, depth: usize, out: &mut String) {
         out.push_str("  ");
     }
     out.push_str("</");
-    out.push_str(node.name());
+    out.push_str(name);
     out.push_str(">\n");
 }
 
@@ -116,7 +118,10 @@ mod tests {
             "photon",
             vec![
                 Node::leaf("phc", "57"),
-                Node::elem("cel", vec![Node::leaf("ra", "130.7"), Node::leaf("dec", "-46.2")]),
+                Node::elem(
+                    "cel",
+                    vec![Node::leaf("ra", "130.7"), Node::leaf("dec", "-46.2")],
+                ),
                 Node::leaf("en", "1.4"),
             ],
         )
@@ -138,7 +143,11 @@ mod tests {
             Node::leaf("t", "a < b & c"),
             Node::elem("w", vec![Node::empty("a"), Node::leaf("b", "")]),
         ] {
-            assert_eq!(serialized_size(&node), node_to_string(&node).len(), "for {node:?}");
+            assert_eq!(
+                serialized_size(&node),
+                node_to_string(&node).len(),
+                "for {node:?}"
+            );
         }
     }
 
@@ -151,7 +160,10 @@ mod tests {
 
     #[test]
     fn escaping_applied() {
-        assert_eq!(node_to_string(&Node::leaf("t", "1<2&3>2")), "<t>1&lt;2&amp;3&gt;2</t>");
+        assert_eq!(
+            node_to_string(&Node::leaf("t", "1<2&3>2")),
+            "<t>1&lt;2&amp;3&gt;2</t>"
+        );
     }
 
     #[test]

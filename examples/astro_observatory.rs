@@ -37,7 +37,10 @@ fn main() {
             outcome.registrations.len(),
             shared
         );
-        println!("  total traffic: {:.2} MBit", sim.metrics.total_edge_bytes() as f64 * 8e-6);
+        println!(
+            "  total traffic: {:.2} MBit",
+            sim.metrics.total_edge_bytes() as f64 * 8e-6
+        );
         println!("  per-super-peer average CPU load (%):");
         let topo = outcome.system.topology();
         for sp in topo.super_peers() {

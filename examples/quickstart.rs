@@ -30,15 +30,27 @@ fn main() {
         println!(
             "registered {name} at {peer} in {:?}{}:",
             reg.elapsed,
-            if reg.reused_derived_stream { " (reusing a shared stream)" } else { "" }
+            if reg.reused_derived_stream {
+                " (reusing a shared stream)"
+            } else {
+                ""
+            }
         );
         print!("{}", reg.plan.describe(system.state()));
     }
 
     // Execute the deployment over the photon stream and show what arrives.
     let outcome = system.run_simulation(SimConfig::default());
-    println!("\nsimulation: {} bytes total network traffic", outcome.metrics.total_edge_bytes());
-    for (flow, outputs) in system.deployment().flows().iter().zip(&outcome.flow_outputs) {
+    println!(
+        "\nsimulation: {} bytes total network traffic",
+        outcome.metrics.total_edge_bytes()
+    );
+    for (flow, outputs) in system
+        .deployment()
+        .flows()
+        .iter()
+        .zip(&outcome.flow_outputs)
+    {
         if flow.label.ends_with("/result") {
             println!("  {} delivered {} items", flow.label, outputs.len());
             if let Some(first) = outputs.first() {

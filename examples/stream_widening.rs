@@ -44,7 +44,10 @@ fn main() {
             );
         }
         let sim = system.run_simulation(SimConfig::default());
-        println!("total network traffic: {} bytes", sim.metrics.total_edge_bytes());
+        println!(
+            "total network traffic: {} bytes",
+            sim.metrics.total_edge_bytes()
+        );
         // Show the delivered result counts stay correct.
         for (flow, outputs) in system.deployment().flows().iter().zip(&sim.flow_outputs) {
             if flow.label.ends_with("/result") {

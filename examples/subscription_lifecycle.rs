@@ -31,7 +31,9 @@ fn main() {
         ("Q3", queries::Q3, "P3"),
         ("Q4", queries::Q4, "P4"),
     ] {
-        system.register_query(name, text, peer, Strategy::StreamSharing).expect("registers");
+        system
+            .register_query(name, text, peer, Strategy::StreamSharing)
+            .expect("registers");
     }
     println!("after registering Q1–Q4, active flows:");
     for f in active_flows(&system) {

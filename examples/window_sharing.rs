@@ -12,7 +12,7 @@
 //!
 //! Run with: `cargo run --example window_sharing`
 
-use data_stream_sharing::engine::{AggItem, AggregateOp, ReAggregateOp, StreamOperator};
+use data_stream_sharing::engine::{AggItem, AggregateOp, ReAggregateOp, StreamOperatorExt};
 use data_stream_sharing::wxquery::{compile_query, queries};
 use data_stream_sharing::xml::writer::serialized_size;
 use dss_rass::{GeneratorConfig, PhotonGenerator};
@@ -23,12 +23,21 @@ fn main() {
     let q3_agg = q3.aggregation.clone().expect("Q3 aggregates");
     let q4_agg = q4.aggregation.clone().expect("Q4 aggregates");
     println!("Q3 window: {}", q3_agg.window);
-    println!("Q4 window: {} (filter: {})", q4_agg.window, q4_agg.result_filter);
-    assert!(q4_agg.window.shareable_from(&q3_agg.window), "Figure 5's conditions hold");
+    println!(
+        "Q4 window: {} (filter: {})",
+        q4_agg.window, q4_agg.result_filter
+    );
+    assert!(
+        q4_agg.window.shareable_from(&q3_agg.window),
+        "Figure 5's conditions hold"
+    );
 
     // ~1 000 time units over 5 000 photons.
-    let cfg =
-        GeneratorConfig { seed: 7, mean_time_increment: 0.2, ..GeneratorConfig::default() };
+    let cfg = GeneratorConfig {
+        seed: 7,
+        mean_time_increment: 0.2,
+        ..GeneratorConfig::default()
+    };
     let photons = PhotonGenerator::new(cfg).generate_items(5_000);
     let raw_bytes: usize = photons.iter().map(serialized_size).sum();
 
@@ -39,9 +48,9 @@ fn main() {
     let mut direct_op = AggregateOp::new(q4_agg.clone());
     let mut direct = Vec::new();
     for item in photons.iter().filter(|i| select(i)) {
-        direct.extend(direct_op.process(item));
+        direct.extend(direct_op.process_collect(item));
     }
-    direct.extend(direct_op.flush());
+    direct.extend(direct_op.flush_collect());
 
     // Path 2: Q3's aggregate, then re-aggregation to Q4's windows.
     let mut q3_op = AggregateOp::new(q3_agg.clone());
@@ -49,23 +58,37 @@ fn main() {
     let mut q3_partials = Vec::new();
     let mut shared = Vec::new();
     for item in photons.iter().filter(|i| select(i)) {
-        for partial in q3_op.process(item) {
+        for partial in q3_op.process_collect(item) {
             q3_partials.push(partial.clone());
-            shared.extend(re_op.process(&partial));
+            shared.extend(re_op.process_collect(&partial));
         }
     }
-    for partial in q3_op.flush() {
+    for partial in q3_op.flush_collect() {
         q3_partials.push(partial.clone());
-        shared.extend(re_op.process(&partial));
+        shared.extend(re_op.process_collect(&partial));
     }
-    shared.extend(re_op.flush());
+    shared.extend(re_op.flush_collect());
 
-    assert_eq!(direct, shared, "shared re-aggregation must equal direct aggregation");
+    assert_eq!(
+        direct, shared,
+        "shared re-aggregation must equal direct aggregation"
+    );
 
     let partial_bytes: usize = q3_partials.iter().map(serialized_size).sum();
-    println!("\nraw photon stream:      {} items, {} bytes", photons.len(), raw_bytes);
-    println!("Q3 partial aggregates:  {} items, {} bytes", q3_partials.len(), partial_bytes);
-    println!("Q4 result windows:      {} values (identical on both paths)", direct.len());
+    println!(
+        "\nraw photon stream:      {} items, {} bytes",
+        photons.len(),
+        raw_bytes
+    );
+    println!(
+        "Q3 partial aggregates:  {} items, {} bytes",
+        q3_partials.len(),
+        partial_bytes
+    );
+    println!(
+        "Q4 result windows:      {} values (identical on both paths)",
+        direct.len()
+    );
     println!(
         "\nsharing Q3's stream lets Q4 read {:.1}x fewer bytes than the raw stream",
         raw_bytes as f64 / partial_bytes.max(1) as f64
@@ -79,7 +102,9 @@ fn main() {
             a.start,
             a.start + a.size,
             a.count,
-            a.avg_value(4).map(|v| v.to_string()).unwrap_or_else(|| "-".into())
+            a.avg_value(4)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into())
         );
     }
 }

@@ -60,8 +60,9 @@ fn read_query_arg(arg: Option<&String>) -> Result<String, String> {
                 .map_err(|e| format!("cannot read stdin: {e}"))?;
             Ok(buf)
         }
-        Some(path) => std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path:?}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))
+        }
         None => Err("missing query file argument (use '-' for stdin)".into()),
     }
 }
@@ -90,7 +91,11 @@ fn demo() -> ExitCode {
             Ok(reg) => {
                 println!(
                     "{name} at {peer}{}:",
-                    if reg.reused_derived_stream { " (shares an existing stream)" } else { "" }
+                    if reg.reused_derived_stream {
+                        " (shares an existing stream)"
+                    } else {
+                        ""
+                    }
                 );
                 print!("{}", reg.plan.describe(system.state()));
             }
@@ -101,7 +106,10 @@ fn demo() -> ExitCode {
         }
     }
     let sim = system.run_simulation(Default::default());
-    println!("total network traffic: {} bytes", sim.metrics.total_edge_bytes());
+    println!(
+        "total network traffic: {} bytes",
+        sim.metrics.total_edge_bytes()
+    );
     ExitCode::SUCCESS
 }
 
@@ -154,7 +162,11 @@ fn plan(args: &[String]) -> ExitCode {
             println!(
                 "plan ({strategy}, registered at {at}, {:?}){}:",
                 reg.elapsed,
-                if reg.reused_derived_stream { ", shares an existing stream" } else { "" }
+                if reg.reused_derived_stream {
+                    ", shares an existing stream"
+                } else {
+                    ""
+                }
             );
             print!("{}", reg.plan.describe(system.state()));
             ExitCode::SUCCESS
@@ -196,4 +208,3 @@ fn usage_error(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     ExitCode::from(2)
 }
-

@@ -20,7 +20,10 @@ fn queries_prints_all_four_paper_queries() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     for name in ["Q1", "Q2", "Q3", "Q4"] {
-        assert!(stdout.contains(&format!("--- {name} ---")), "missing {name}");
+        assert!(
+            stdout.contains(&format!("--- {name} ---")),
+            "missing {name}"
+        );
     }
     assert!(stdout.contains("stream(\"photons\")"));
 }
@@ -28,7 +31,11 @@ fn queries_prints_all_four_paper_queries() {
 #[test]
 fn demo_reproduces_figure2_sharing() {
     let out = dss().arg("demo").output().expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Q2 at P2 (shares an existing stream)"));
     assert!(stdout.contains("reuse flow Q1/photons at SP5"));
@@ -51,7 +58,11 @@ fn plan_from_stdin_with_sharing_context() {
         .write_all(dss_wxquery::queries::Q2.as_bytes())
         .unwrap();
     let out = child.wait_with_output().expect("finishes");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("shares an existing stream"));
     assert!(stdout.contains("reuse flow q1/photons at SP5"));
@@ -65,7 +76,12 @@ fn check_reports_compile_errors() {
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawns");
-    child.stdin.as_mut().unwrap().write_all(b"not a query").unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"not a query")
+        .unwrap();
     let out = child.wait_with_output().expect("finishes");
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("syntax error"));

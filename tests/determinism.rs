@@ -65,7 +65,10 @@ fn estimates_track_measured_sizes() {
     ];
     for paths in cases {
         let spec = ProjectionSpec::returning(
-            paths.iter().map(|p| p.parse::<Path>().unwrap()).collect::<Vec<_>>(),
+            paths
+                .iter()
+                .map(|p| p.parse::<Path>().unwrap())
+                .collect::<Vec<_>>(),
         );
         let estimated = stats.projected_size(&spec.output);
         let measured: f64 = items
@@ -102,8 +105,7 @@ fn selectivity_estimates_track_measured_rates() {
         Atom::var_const(p("coord/cel/dec"), CompOp::Le, d("-40.0")),
     ]);
     let estimated = stats.selectivity(&vela);
-    let measured =
-        items.iter().filter(|i| vela.evaluate(i)).count() as f64 / items.len() as f64;
+    let measured = items.iter().filter(|i| vela.evaluate(i)).count() as f64 / items.len() as f64;
     assert!(
         estimated > measured / 20.0 && estimated < measured * 20.0,
         "vela: estimated {estimated:.4} vs measured {measured:.4}"
@@ -113,8 +115,7 @@ fn selectivity_estimates_track_measured_rates() {
     // still land in the right ballpark.
     let encut = PredicateGraph::from_atoms(&[Atom::var_const(p("en"), CompOp::Ge, d("1.5"))]);
     let estimated = stats.selectivity(&encut);
-    let measured =
-        items.iter().filter(|i| encut.evaluate(i)).count() as f64 / items.len() as f64;
+    let measured = items.iter().filter(|i| encut.evaluate(i)).count() as f64 / items.len() as f64;
     assert!(
         (estimated - measured).abs() < 0.25,
         "en cut: estimated {estimated:.4} vs measured {measured:.4}"

@@ -22,7 +22,9 @@ const COARSE_WINDOWS: &str = r#"<photons>{ for $w in stream("photons")/photons/p
 #[test]
 fn window_contents_share_end_to_end() {
     let mut shared = example_network();
-    shared.register_query("fine", FINE_WINDOWS, "P1", Strategy::StreamSharing).unwrap();
+    shared
+        .register_query("fine", FINE_WINDOWS, "P1", Strategy::StreamSharing)
+        .unwrap();
     let reg = shared
         .register_query("coarse", COARSE_WINDOWS, "P2", Strategy::StreamSharing)
         .unwrap();
@@ -32,8 +34,9 @@ fn window_contents_share_end_to_end() {
     assert!(!got.is_empty());
 
     let mut solo = example_network();
-    let solo_reg =
-        solo.register_query("coarse", COARSE_WINDOWS, "P2", Strategy::DataShipping).unwrap();
+    let solo_reg = solo
+        .register_query("coarse", COARSE_WINDOWS, "P2", Strategy::DataShipping)
+        .unwrap();
     let solo_sim = solo.run_simulation(SimConfig::default());
     assert_eq!(got, &solo_sim.flow_outputs[solo_reg.delivery_flow]);
 
@@ -61,9 +64,16 @@ fn window_contents_share_end_to_end() {
 fn widening_survives_unregistration_of_the_widener() {
     let mut sys = example_network();
     sys.set_widening(true);
-    let reg2 = sys.register_query("q2", queries::Q2, "P1", Strategy::StreamSharing).unwrap();
-    let reg1 = sys.register_query("q1", queries::Q1, "P3", Strategy::StreamSharing).unwrap();
-    assert!(reg1.plan.parts[0].widen.is_some(), "q1 should widen q2's stream");
+    let reg2 = sys
+        .register_query("q2", queries::Q2, "P1", Strategy::StreamSharing)
+        .unwrap();
+    let reg1 = sys
+        .register_query("q1", queries::Q1, "P3", Strategy::StreamSharing)
+        .unwrap();
+    assert!(
+        reg1.plan.parts[0].widen.is_some(),
+        "q1 should widen q2's stream"
+    );
 
     // The widener leaves; q2 must keep its exact results.
     sys.unregister_query("q1").unwrap();
@@ -71,7 +81,9 @@ fn widening_survives_unregistration_of_the_widener() {
     let q2_results = &sim.flow_outputs[reg2.delivery_flow];
 
     let mut solo = example_network();
-    let solo2 = solo.register_query("q2", queries::Q2, "P1", Strategy::DataShipping).unwrap();
+    let solo2 = solo
+        .register_query("q2", queries::Q2, "P1", Strategy::DataShipping)
+        .unwrap();
     let solo_sim = solo.run_simulation(SimConfig::default());
     assert!(!q2_results.is_empty());
     assert_eq!(q2_results, &solo_sim.flow_outputs[solo2.delivery_flow]);
@@ -88,7 +100,8 @@ fn unregistration_orders_preserve_survivors() {
             ("Q3", queries::Q3, "P3"),
             ("Q4", queries::Q4, "P4"),
         ] {
-            sys.register_query(name, text, peer, Strategy::StreamSharing).unwrap();
+            sys.register_query(name, text, peer, Strategy::StreamSharing)
+                .unwrap();
         }
         for q in drop_order {
             sys.unregister_query(q).unwrap();
@@ -104,8 +117,12 @@ fn unregistration_orders_preserve_survivors() {
                 .unwrap()
         };
         let mut solo = example_network();
-        let s2 = solo.register_query("Q2", queries::Q2, "P2", Strategy::DataShipping).unwrap();
-        let s4 = solo.register_query("Q4", queries::Q4, "P4", Strategy::DataShipping).unwrap();
+        let s2 = solo
+            .register_query("Q2", queries::Q2, "P2", Strategy::DataShipping)
+            .unwrap();
+        let s4 = solo
+            .register_query("Q4", queries::Q4, "P4", Strategy::DataShipping)
+            .unwrap();
         let solo_sim = solo.run_simulation(SimConfig::default());
         assert_eq!(
             by_label("Q2/result"),
@@ -124,9 +141,13 @@ fn unregistration_orders_preserve_survivors() {
 #[test]
 fn double_unregistration_errors() {
     let mut sys = example_network();
-    sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing).unwrap();
+    sys.register_query("q1", queries::Q1, "P1", Strategy::StreamSharing)
+        .unwrap();
     sys.unregister_query("q1").unwrap();
-    assert!(matches!(sys.unregister_query("q1"), Err(SystemError::UnknownQuery(_))));
+    assert!(matches!(
+        sys.unregister_query("q1"),
+        Err(SystemError::UnknownQuery(_))
+    ));
 }
 
 /// The extensions compose: window-contents queries can be unregistered and
@@ -134,12 +155,16 @@ fn double_unregistration_errors() {
 #[test]
 fn window_contents_unregistration() {
     let mut sys = example_network();
-    sys.register_query("fine", FINE_WINDOWS, "P1", Strategy::StreamSharing).unwrap();
+    sys.register_query("fine", FINE_WINDOWS, "P1", Strategy::StreamSharing)
+        .unwrap();
     sys.unregister_query("fine").unwrap();
     let reg = sys
         .register_query("coarse", COARSE_WINDOWS, "P2", Strategy::StreamSharing)
         .unwrap();
-    assert!(!reg.reused_derived_stream, "retired window stream must not be reused");
+    assert!(
+        !reg.reused_derived_stream,
+        "retired window stream must not be reused"
+    );
     let sim = sys.run_simulation(SimConfig::default());
     assert!(!sim.flow_outputs[reg.delivery_flow].is_empty());
 }

@@ -7,12 +7,19 @@ use data_stream_sharing::wxquery::queries;
 use dss_rass::scenario::example_network;
 
 fn register_all(system: &mut StreamGlobe, strategy: Strategy) -> Vec<dss_core::Registration> {
-    [("Q1", queries::Q1, "P1"), ("Q2", queries::Q2, "P2"), ("Q3", queries::Q3, "P3"), ("Q4", queries::Q4, "P4")]
-        .into_iter()
-        .map(|(id, text, peer)| {
-            system.register_query(id, text, peer, strategy).unwrap_or_else(|e| panic!("{id}: {e}"))
-        })
-        .collect()
+    [
+        ("Q1", queries::Q1, "P1"),
+        ("Q2", queries::Q2, "P2"),
+        ("Q3", queries::Q3, "P3"),
+        ("Q4", queries::Q4, "P4"),
+    ]
+    .into_iter()
+    .map(|(id, text, peer)| {
+        system
+            .register_query(id, text, peer, strategy)
+            .unwrap_or_else(|e| panic!("{id}: {e}"))
+    })
+    .collect()
 }
 
 /// The narrative of Section 1, Figure 2: Query 1 is computed at SP4 and
@@ -42,7 +49,10 @@ fn figure2_plan_shapes() {
     // Q4 reuses Q3's aggregate stream through a re-aggregation operator.
     let q4 = &regs[3].plan.parts[0];
     assert!(regs[3].reused_derived_stream);
-    assert!(q4.ops.iter().any(|op| matches!(op, FlowOp::ReAggregate { .. })));
+    assert!(q4
+        .ops
+        .iter()
+        .any(|op| matches!(op, FlowOp::ReAggregate { .. })));
 }
 
 /// Delivered results are byte-identical across strategies: sharing is an
@@ -53,7 +63,9 @@ fn results_identical_across_strategies() {
         let mut system = example_network();
         let regs = register_all(&mut system, strategy);
         let sim = system.run_simulation(SimConfig::default());
-        regs.iter().map(|r| sim.flow_outputs[r.delivery_flow].clone()).collect::<Vec<_>>()
+        regs.iter()
+            .map(|r| sim.flow_outputs[r.delivery_flow].clone())
+            .collect::<Vec<_>>()
     };
     let baseline = collect(Strategy::DataShipping);
     for strategy in [Strategy::QueryShipping, Strategy::StreamSharing] {
@@ -93,7 +105,10 @@ fn q2_results_contained_in_q1() {
             item.child("ra").unwrap().text().unwrap().to_string(),
             item.child("det_time").unwrap().text().unwrap().to_string(),
         );
-        assert!(q1_keys.contains(&key), "rxj item {key:?} not in vela results");
+        assert!(
+            q1_keys.contains(&key),
+            "rxj item {key:?} not in vela results"
+        );
     }
 }
 
@@ -107,7 +122,10 @@ fn q2_results_satisfy_predicate() {
     for item in &sim.flow_outputs[regs[1].delivery_flow] {
         let ra: f64 = item.child("ra").unwrap().text().unwrap().parse().unwrap();
         let en: f64 = item.child("en").unwrap().text().unwrap().parse().unwrap();
-        assert!((130.5..=135.5).contains(&ra), "ra {ra} outside RX J0852.0-4622");
+        assert!(
+            (130.5..=135.5).contains(&ra),
+            "ra {ra} outside RX J0852.0-4622"
+        );
         assert!(en >= 1.3, "en {en} below the cut");
     }
 }
@@ -136,9 +154,22 @@ fn sharing_reduces_total_traffic() {
         .map(|strategy| {
             let mut system = example_network();
             register_all(&mut system, strategy);
-            system.run_simulation(SimConfig::default()).metrics.total_edge_bytes()
+            system
+                .run_simulation(SimConfig::default())
+                .metrics
+                .total_edge_bytes()
         })
         .collect();
-    assert!(totals[0] > totals[1], "data shipping {} ≤ query shipping {}", totals[0], totals[1]);
-    assert!(totals[1] > totals[2], "query shipping {} ≤ stream sharing {}", totals[1], totals[2]);
+    assert!(
+        totals[0] > totals[1],
+        "data shipping {} ≤ query shipping {}",
+        totals[0],
+        totals[1]
+    );
+    assert!(
+        totals[1] > totals[2],
+        "query shipping {} ≤ stream sharing {}",
+        totals[1],
+        totals[2]
+    );
 }

@@ -3,10 +3,8 @@
 
 use proptest::prelude::*;
 
-use data_stream_sharing::engine::{AggItem, AggregateOp, ReAggregateOp, StreamOperator};
-use data_stream_sharing::predicate::{
-    match_predicates, Atom, Bound, CompOp, PredicateGraph,
-};
+use data_stream_sharing::engine::{AggItem, AggregateOp, ReAggregateOp, StreamOperatorExt};
+use data_stream_sharing::predicate::{match_predicates, Atom, Bound, CompOp, PredicateGraph};
 use data_stream_sharing::properties::{AggOp, AggregationSpec, ResultFilter, WindowSpec};
 use data_stream_sharing::xml::writer::{node_to_string, pretty, serialized_size};
 use data_stream_sharing::xml::{Decimal, Node, Path};
@@ -14,7 +12,8 @@ use data_stream_sharing::xml::{Decimal, Node, Path};
 // ---------- decimals ---------------------------------------------------
 
 fn arb_decimal() -> impl Strategy<Value = Decimal> {
-    (-1_000_000i64..1_000_000i64, 0u32..4).prop_map(|(units, scale)| Decimal::new(units as i128, scale))
+    (-1_000_000i64..1_000_000i64, 0u32..4)
+        .prop_map(|(units, scale)| Decimal::new(units as i128, scale))
 }
 
 proptest! {
@@ -82,13 +81,14 @@ fn arb_atom() -> impl Strategy<Value = Atom> {
     ];
     let small = -20i64..20i64;
     prop_oneof![
-        (0usize..3, op.clone(), small.clone())
-            .prop_map(|(v, op, c)| Atom::var_const(var(v), op, Decimal::from_int(c))),
-        (0usize..3, op, 0usize..3, small).prop_filter_map(
-            "distinct vars",
-            |(v, op, w, c)| (v != w)
-                .then(|| Atom::var_var(var(v), op, var(w), Decimal::from_int(c)))
-        ),
+        (0usize..3, op.clone(), small.clone()).prop_map(|(v, op, c)| Atom::var_const(
+            var(v),
+            op,
+            Decimal::from_int(c)
+        )),
+        (0usize..3, op, 0usize..3, small)
+            .prop_filter_map("distinct vars", |(v, op, w, c)| (v != w)
+                .then(|| Atom::var_var(var(v), op, var(w), Decimal::from_int(c)))),
     ]
 }
 
@@ -101,7 +101,9 @@ fn arb_conjunction(max: usize) -> impl Strategy<Value = Vec<Atom>> {
 fn satisfies(atoms: &[Atom], vals: &[i64; 3]) -> bool {
     let item = Node::elem(
         "item",
-        (0..3).map(|i| Node::leaf(format!("v{i}"), vals[i].to_string())).collect(),
+        (0..3)
+            .map(|i| Node::leaf(format!("v{i}"), vals[i].to_string()))
+            .collect(),
     );
     atoms.iter().all(|a| a.evaluate(&item))
 }
@@ -212,8 +214,13 @@ fn arb_node() -> impl Strategy<Value = Node> {
         }
     });
     leaf.prop_recursive(3, 24, 4, |inner| {
-        (arb_name(), prop::collection::vec(inner, 0..4))
-            .prop_map(|(n, children)| if children.is_empty() { Node::empty(n) } else { Node::elem(n, children) })
+        (arb_name(), prop::collection::vec(inner, 0..4)).prop_map(|(n, children)| {
+            if children.is_empty() {
+                Node::empty(n)
+            } else {
+                Node::elem(n, children)
+            }
+        })
     })
 }
 
@@ -257,12 +264,12 @@ proptest! {
 
 mod wxquery_roundtrip {
     use super::*;
+    use data_stream_sharing::properties::AggOp;
     use data_stream_sharing::wxquery::ast::{
         Clause, Condition, Content, ElementCtor, Expr, Flwr, ForSource, PredAtom, PredTerm,
         VarPath, WindowAst,
     };
     use data_stream_sharing::wxquery::parse_query;
-    use data_stream_sharing::properties::AggOp;
 
     fn arb_ident() -> impl Strategy<Value = String> {
         // Avoid WXQuery keywords by construction (always 'n'-prefixed).
@@ -270,8 +277,7 @@ mod wxquery_roundtrip {
     }
 
     fn arb_path() -> impl Strategy<Value = Path> {
-        prop::collection::vec(arb_ident(), 1..3)
-            .prop_map(|steps| Path::from_steps(steps).unwrap())
+        prop::collection::vec(arb_ident(), 1..3).prop_map(|steps| Path::from_steps(steps).unwrap())
     }
 
     fn arb_small_decimal() -> impl Strategy<Value = Decimal> {
@@ -321,7 +327,11 @@ mod wxquery_roundtrip {
             ((1i64..100).prop_map(Decimal::from_int), step.clone())
                 .prop_map(|(size, step)| WindowAst::Count { size, step }),
             (arb_path(), (1i64..100).prop_map(Decimal::from_int), step).prop_map(
-                |(reference, size, step)| WindowAst::Diff { reference, size, step }
+                |(reference, size, step)| WindowAst::Diff {
+                    reference,
+                    size,
+                    step
+                }
             ),
         ]
     }
@@ -330,32 +340,38 @@ mod wxquery_roundtrip {
         let mk_subtree = move || {
             let var = var.clone();
             arb_path()
-                .prop_map(move |p| Content::Enclosed(Expr::PathOutput(VarPath::new(var.clone(), p))))
+                .prop_map(move |p| {
+                    Content::Enclosed(Expr::PathOutput(VarPath::new(var.clone(), p)))
+                })
                 .boxed()
         };
         let agg_out = match agg {
-            Some(a) => {
-                Just(Content::Enclosed(Expr::PathOutput(VarPath::new(a, Path::this())))).boxed()
-            }
+            Some(a) => Just(Content::Enclosed(Expr::PathOutput(VarPath::new(
+                a,
+                Path::this(),
+            ))))
+            .boxed(),
             None => mk_subtree(),
         };
-        (arb_ident(), prop::collection::vec(prop_oneof![mk_subtree(), agg_out], 0..4)).prop_map(
-            |(tag, content)| Expr::Element(ElementCtor { tag, content }),
+        (
+            arb_ident(),
+            prop::collection::vec(prop_oneof![mk_subtree(), agg_out], 0..4),
         )
+            .prop_map(|(tag, content)| Expr::Element(ElementCtor { tag, content }))
     }
 
     /// A flat, compilable-shaped WXQuery AST (not necessarily semantically
     /// valid; round-tripping only needs syntax).
     fn arb_query() -> impl Strategy<Value = Expr> {
         (
-            arb_ident(),                       // result root
-            arb_ident(),                       // for var
-            arb_ident(),                       // stream name
-            arb_path(),                        // stream path (>=1 step)
-            prop::option::of(Just(())),        // has window?
-            prop::option::of(Just(())),        // has let?
-            any::<bool>(),                     // has where?
-            0usize..5,                         // agg op index
+            arb_ident(),                // result root
+            arb_ident(),                // for var
+            arb_ident(),                // stream name
+            arb_path(),                 // stream path (>=1 step)
+            prop::option::of(Just(())), // has window?
+            prop::option::of(Just(())), // has let?
+            any::<bool>(),              // has where?
+            0usize..5,                  // agg op index
         )
             .prop_flat_map(
                 |(root, var, stream, path, has_window, has_let, has_where, op_idx)| {
@@ -400,8 +416,11 @@ mod wxquery_roundtrip {
                             source: VarPath::new(var, "nv".parse().unwrap()),
                         });
                     }
-                    let flwr =
-                        Flwr { clauses, where_: cond.unwrap_or_default(), ret: Box::new(ret) };
+                    let flwr = Flwr {
+                        clauses,
+                        where_: cond.unwrap_or_default(),
+                        ret: Box::new(ret),
+                    };
                     Expr::Element(ElementCtor {
                         tag: root,
                         content: vec![Content::Enclosed(Expr::Flwr(flwr))],
@@ -476,16 +495,16 @@ proptest! {
         let mut direct = Vec::new();
         let mut shared = Vec::new();
         for item in &items {
-            direct.extend(direct_op.process(item));
-            for partial in fine_op.process(item) {
-                shared.extend(re_op.process(&partial));
+            direct.extend(direct_op.process_collect(item));
+            for partial in fine_op.process_collect(item) {
+                shared.extend(re_op.process_collect(&partial));
             }
         }
-        direct.extend(direct_op.flush());
-        for partial in fine_op.flush() {
-            shared.extend(re_op.process(&partial));
+        direct.extend(direct_op.flush_collect());
+        for partial in fine_op.flush_collect() {
+            shared.extend(re_op.process_collect(&partial));
         }
-        shared.extend(re_op.flush());
+        shared.extend(re_op.flush_collect());
         prop_assert_eq!(direct, shared);
     }
 
@@ -527,16 +546,16 @@ proptest! {
         let mut direct = Vec::new();
         let mut shared = Vec::new();
         for item in &items {
-            direct.extend(direct_op.process(item));
-            for tile in fine_op.process(item) {
-                shared.extend(re_op.process(&tile));
+            direct.extend(direct_op.process_collect(item));
+            for tile in fine_op.process_collect(item) {
+                shared.extend(re_op.process_collect(&tile));
             }
         }
-        direct.extend(direct_op.flush());
-        for tile in fine_op.flush() {
-            shared.extend(re_op.process(&tile));
+        direct.extend(direct_op.flush_collect());
+        for tile in fine_op.flush_collect() {
+            shared.extend(re_op.process_collect(&tile));
         }
-        shared.extend(re_op.flush());
+        shared.extend(re_op.flush_collect());
         prop_assert_eq!(direct, shared);
     }
 

@@ -26,8 +26,11 @@ fn scenario1_figure6_shapes() {
         assert_eq!(out.registrations.len(), 25, "{strategy}: {:?}", out.errored);
         let sim = out.simulate(sim_cfg(&scenario));
         totals.push(sim.metrics.total_edge_bytes());
-        let loads: Vec<f64> =
-            topo.super_peers().iter().map(|&v| sim.metrics.node_load_pct(&topo, v)).collect();
+        let loads: Vec<f64> = topo
+            .super_peers()
+            .iter()
+            .map(|&v| sim.metrics.node_load_pct(&topo, v))
+            .collect();
         peaks.push((
             loads.iter().cloned().fold(0.0, f64::max),
             sim.metrics.node_load_pct(&topo, sp4),
@@ -35,7 +38,10 @@ fn scenario1_figure6_shapes() {
         cpu_totals.push(loads.iter().sum::<f64>());
     }
     // Traffic: data shipping ≫ query shipping > stream sharing.
-    assert!(totals[0] > totals[1] && totals[1] > totals[2], "traffic ordering: {totals:?}");
+    assert!(
+        totals[0] > totals[1] && totals[1] > totals[2],
+        "traffic ordering: {totals:?}"
+    );
     // Query shipping produces a massive peak at the source super-peer SP4.
     let (qs_peak, qs_sp4) = peaks[1];
     assert!(
@@ -56,7 +62,12 @@ fn scenario2_figure7_shapes() {
     let mut totals = Vec::new();
     for strategy in Strategy::ALL {
         let out = scenario.run(strategy, false);
-        assert_eq!(out.registrations.len(), 100, "{strategy}: {:?}", out.errored);
+        assert_eq!(
+            out.registrations.len(),
+            100,
+            "{strategy}: {:?}",
+            out.errored
+        );
         let sim = out.simulate(sim_cfg(&scenario));
         totals.push(sim.metrics.total_edge_bytes());
         if strategy == Strategy::QueryShipping {
@@ -64,7 +75,12 @@ fn scenario2_figure7_shapes() {
             let loads: Vec<(String, f64)> = topo
                 .super_peers()
                 .iter()
-                .map(|&v| (topo.peer(v).name.clone(), sim.metrics.node_load_pct(&topo, v)))
+                .map(|&v| {
+                    (
+                        topo.peer(v).name.clone(),
+                        sim.metrics.node_load_pct(&topo, v),
+                    )
+                })
                 .collect();
             let mut sorted = loads.clone();
             sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -75,7 +91,10 @@ fn scenario2_figure7_shapes() {
             );
         }
     }
-    assert!(totals[0] > totals[1] && totals[1] > totals[2], "traffic ordering: {totals:?}");
+    assert!(
+        totals[0] > totals[1] && totals[1] > totals[2],
+        "traffic ordering: {totals:?}"
+    );
 }
 
 #[test]
@@ -112,7 +131,11 @@ fn rejection_experiment_shape() {
             .map(|q| (q.id.clone(), q.text.clone(), q.peer.clone()))
             .collect();
         let report = AdmissionControl::register_batch(&mut system, &batch, strategy);
-        assert!(report.errored.is_empty(), "{strategy}: {:?}", report.errored);
+        assert!(
+            report.errored.is_empty(),
+            "{strategy}: {:?}",
+            report.errored
+        );
         assert_eq!(report.accepted_count() + report.rejected_count(), 100);
         rejected.push(report.rejected_count());
     }
@@ -125,17 +148,27 @@ fn rejection_experiment_shape() {
         rejected[1] > rejected[2],
         "query shipping should reject more than stream sharing: {rejected:?}"
     );
-    assert!(rejected[2] <= 5, "stream sharing rejects almost nothing: {rejected:?}");
+    assert!(
+        rejected[2] <= 5,
+        "stream sharing rejects almost nothing: {rejected:?}"
+    );
 }
 
 #[test]
 fn sharing_reuses_many_streams_in_scenario1() {
     let scenario = Scenario::scenario1(42);
     let out = scenario.run(Strategy::StreamSharing, false);
-    let reused = out.registrations.iter().filter(|r| r.reused_derived_stream).count();
+    let reused = out
+        .registrations
+        .iter()
+        .filter(|r| r.reused_derived_stream)
+        .count();
     // The template value sets are small; a decent share of the 25 queries
     // must land on previously generated streams.
-    assert!(reused >= 5, "only {reused} of 25 queries reused derived streams");
+    assert!(
+        reused >= 5,
+        "only {reused} of 25 queries reused derived streams"
+    );
 }
 
 #[test]
@@ -145,7 +178,11 @@ fn different_seeds_preserve_shapes() {
         let mut totals = Vec::new();
         for strategy in Strategy::ALL {
             let out = scenario.run(strategy, false);
-            assert!(out.errored.is_empty(), "seed {seed}, {strategy}: {:?}", out.errored);
+            assert!(
+                out.errored.is_empty(),
+                "seed {seed}, {strategy}: {:?}",
+                out.errored
+            );
             totals.push(out.simulate(sim_cfg(&scenario)).metrics.total_edge_bytes());
         }
         assert!(

@@ -5,7 +5,7 @@
 //! peers would.
 
 use data_stream_sharing::engine::build_pipeline;
-use data_stream_sharing::engine::StreamOperator;
+use data_stream_sharing::engine::StreamOperatorExt;
 use data_stream_sharing::wxquery::{compile_query, queries};
 use data_stream_sharing::xml::reader::StreamReader;
 use data_stream_sharing::xml::writer::{node_to_string, stream_close, stream_open};
@@ -13,8 +13,11 @@ use data_stream_sharing::xml::Node;
 use dss_rass::{GeneratorConfig, PhotonGenerator};
 
 fn photon_items(n: usize) -> Vec<Node> {
-    let cfg =
-        GeneratorConfig { seed: 1717, mean_time_increment: 0.3, ..GeneratorConfig::default() };
+    let cfg = GeneratorConfig {
+        seed: 1717,
+        mean_time_increment: 0.3,
+        ..GeneratorConfig::default()
+    };
     PhotonGenerator::new(cfg).generate_items(n)
 }
 
@@ -39,7 +42,7 @@ fn run_over_wire(query_text: &str, wire: &[u8], chunk: usize) -> Vec<String> {
         let pipeline: &mut dss_engine::Pipeline = pipeline;
         let restructure: &mut dss_engine::RestructureOp = restructure;
         for transformed in pipeline.process(item) {
-            for out in restructure.process(&transformed) {
+            for out in restructure.process_collect(&transformed) {
                 results.push(node_to_string(&out));
             }
         }
@@ -51,7 +54,7 @@ fn run_over_wire(query_text: &str, wire: &[u8], chunk: usize) -> Vec<String> {
         }
     }
     for leftover in pipeline.flush() {
-        for out in restructure.process(&leftover) {
+        for out in restructure.process_collect(&leftover) {
             results.push(node_to_string(&out));
         }
     }
@@ -70,7 +73,7 @@ fn q1_over_the_wire_matches_in_memory() {
     let mut expected = Vec::new();
     for item in &items {
         for t in pipeline.process(item) {
-            for out in restructure.process(&t) {
+            for out in restructure.process_collect(&t) {
                 expected.push(node_to_string(&out));
             }
         }
