@@ -1,0 +1,51 @@
+//! Discrete-event scheduler throughput: the live runtime replaying the
+//! example deployment, with and without a mid-run super-peer crash (the
+//! crash adds the failover re-plan plus the runtime's deployment re-sync
+//! to the measured cost).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dss_core::{Strategy, StreamGlobe};
+use dss_network::runtime::{FaultScript, LiveConfig};
+use dss_rass::scenario::example_network;
+use dss_wxquery::queries;
+
+fn shared_system() -> StreamGlobe {
+    let mut sys = example_network();
+    for (name, text, peer) in [
+        ("q_east", queries::Q1, "P4"),
+        ("q1", queries::Q1, "P1"),
+        ("q2", queries::Q2, "P2"),
+    ] {
+        sys.register_query(name, text, peer, Strategy::StreamSharing)
+            .expect("query registers");
+    }
+    sys
+}
+
+fn bench_live_runtime(c: &mut Criterion) {
+    let cfg = LiveConfig {
+        duration_s: 30.0,
+        ..Default::default()
+    };
+    // ~2 items/s replayed to three queries over 30 simulated seconds.
+    let mut g = c.benchmark_group("live-runtime/example-network");
+    g.throughput(Throughput::Elements(60));
+    g.bench_function("no-faults", |b| {
+        b.iter(|| {
+            let mut sys = shared_system();
+            sys.run_live(cfg, &FaultScript::new()).unwrap()
+        })
+    });
+    g.bench_function("sp5-crash-and-failover", |b| {
+        b.iter(|| {
+            let mut sys = shared_system();
+            let sp5 = sys.topology().expect_node("SP5");
+            let faults = FaultScript::new().crash_peer(10.0, sp5);
+            sys.run_live(cfg, &faults).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_live_runtime);
+criterion_main!(benches);

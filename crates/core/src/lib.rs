@@ -13,12 +13,15 @@
 //!   shareable streams,
 //! * [`strategy`] — data shipping, query shipping, and stream sharing,
 //! * [`admission`] — capacity-capped registration (the paper's rejection
-//!   experiment), and
+//!   experiment),
 //! * [`system`] — the `StreamGlobe` façade tying registration, planning,
-//!   installation, and simulation together.
+//!   installation, and simulation together, and
+//! * [`live`] — live execution under the discrete-event runtime with
+//!   fault injection and automatic re-subscription after peer failures.
 
 pub mod admission;
 pub mod cost;
+pub mod live;
 pub mod plan;
 pub mod state;
 pub mod stats;
@@ -28,6 +31,7 @@ pub mod system;
 
 pub use admission::{AdmissionControl, AdmissionReport};
 pub use cost::{CostParams, StreamEstimate};
+pub use live::{FailoverReport, LiveOutcome};
 pub use plan::{Plan, PlanPart};
 pub use state::NetworkState;
 pub use stats::StreamStats;

@@ -1,0 +1,194 @@
+//! Live execution with fault injection and automatic re-subscription.
+//!
+//! [`StreamGlobe::run_live`] drives the discrete-event runtime
+//! (`dss_network::runtime`) over the system's current deployment while
+//! replaying a scripted [`FaultScript`]. When a peer carrying flows
+//! crashes, every query whose dataflow touched it is *re-subscribed*: its
+//! flows are retired, and the query is re-planned from its stored WXQuery
+//! text through the normal `Subscribe` machinery — which, because routing
+//! skips down peers, automatically prefers surviving shared streams and
+//! routes around the failure. The runtime keeps running throughout and
+//! measures what the failure cost: items lost, duplicate deliveries, and
+//! the time from the fault to each re-planned query's first delivery.
+//!
+//! Re-subscription preserves the query (text, subscriber, strategy) — not
+//! the operator state: windowed aggregates of re-planned flows restart
+//! empty, and widened streams a dead query had widened stay widened (their
+//! extra width remains shareable slack; only a clean
+//! [`StreamGlobe::unregister_query`] narrows back).
+
+use std::collections::BTreeMap;
+
+use dss_network::runtime::{FaultKind, FaultScript, LiveConfig, LiveRuntime, RuntimeMetrics};
+use dss_network::{FlowId, FlowInput, NodeId, SourceModel};
+
+use crate::system::{Installed, Registration, StreamGlobe, SystemError};
+
+/// What one peer failure did to the registered queries.
+#[derive(Debug)]
+pub struct FailoverReport {
+    /// The crashed peer.
+    pub peer: NodeId,
+    /// Fault time (µs on the runtime clock).
+    pub at_us: u64,
+    /// Flows retired because the dead peer processed or carried them
+    /// (including transitive consumers), in id order.
+    pub retired_flows: Vec<FlowId>,
+    /// Queries re-planned successfully, in original registration order.
+    pub replanned: Vec<Registration>,
+    /// Queries that could not be re-planned: `(query id, error)`. They are
+    /// no longer registered.
+    pub failed: Vec<(String, String)>,
+}
+
+/// Result of a [`StreamGlobe::run_live`] run.
+#[derive(Debug)]
+pub struct LiveOutcome {
+    /// Time-aware measurements (queues, latencies, losses, traffic).
+    pub metrics: RuntimeMetrics,
+    /// Event trace, empty unless [`LiveConfig::trace`] was set.
+    pub trace: Vec<String>,
+    /// One report per scripted peer crash.
+    pub failovers: Vec<FailoverReport>,
+}
+
+impl StreamGlobe {
+    /// Delivery flow → query id for every current registration.
+    fn delivery_map(&self) -> BTreeMap<FlowId, String> {
+        self.registrations
+            .iter()
+            .map(|r| (r.delivery_flow, r.query_id.clone()))
+            .collect()
+    }
+
+    /// Timed source models: each registered stream replays its items at
+    /// its measured frequency.
+    fn live_sources(&self) -> BTreeMap<String, SourceModel> {
+        self.sources
+            .iter()
+            .map(|(name, info)| {
+                let freq = self
+                    .state
+                    .stream_stats
+                    .get(name)
+                    .map(|s| s.frequency)
+                    .unwrap_or(1.0);
+                (
+                    name.clone(),
+                    SourceModel::from_frequency(info.items.clone(), freq),
+                )
+            })
+            .collect()
+    }
+
+    /// Handles a peer crash at planning level: marks the peer down, retires
+    /// every active flow it processed or carried (plus their transitive
+    /// consumers), reverses their charges, and re-registers each affected
+    /// query from its stored text. Because routing now skips the dead
+    /// peer, the re-plans land on surviving streams and routes.
+    pub fn replan_after_peer_failure(&mut self, peer: NodeId, at_us: u64) -> FailoverReport {
+        self.state.topo.set_peer_up(peer, false);
+        let n = self.state.deployment.len();
+        // One ascending pass computes the affected closure: tap parents
+        // always have smaller ids than their children.
+        let mut affected = vec![false; n];
+        for id in 0..n {
+            let flow = self.state.deployment.flow(id);
+            if flow.retired {
+                continue;
+            }
+            affected[id] = flow.processing_node == peer
+                || flow.route.contains(&peer)
+                || matches!(flow.input, FlowInput::Tap { parent } if affected[parent]);
+        }
+        // Retire children before parents (descending ids).
+        let mut retired_flows: Vec<FlowId> = Vec::new();
+        for id in (0..n).rev() {
+            if affected[id] {
+                self.state.deployment.retire(id);
+                self.state.uncharge_flow(id);
+                retired_flows.push(id);
+            }
+        }
+        retired_flows.reverse();
+        // Pull the hit registrations out, keeping relative order.
+        let mut keep = Vec::new();
+        let mut hit: Vec<Installed> = Vec::new();
+        for r in std::mem::take(&mut self.registrations) {
+            if affected[r.delivery_flow] {
+                hit.push(r);
+            } else {
+                keep.push(r);
+            }
+        }
+        self.registrations = keep;
+        let mut replanned = Vec::new();
+        let mut failed = Vec::new();
+        for r in hit {
+            match self.register_query_opts(
+                r.query_id.clone(),
+                &r.text,
+                &r.at_peer,
+                r.strategy,
+                false,
+            ) {
+                Ok(reg) => replanned.push(reg),
+                Err(e) => failed.push((r.query_id, e.to_string())),
+            }
+        }
+        FailoverReport {
+            peer,
+            at_us,
+            retired_flows,
+            replanned,
+            failed,
+        }
+    }
+
+    /// Runs the system under the discrete-event live runtime for
+    /// `cfg.duration_s` simulated seconds, replaying `faults`. Peer
+    /// crashes trigger automatic re-subscription of the affected queries
+    /// (see [`Self::replan_after_peer_failure`]); recoveries and link
+    /// events only flip reachability — already-replanned queries are not
+    /// moved back.
+    pub fn run_live(
+        &mut self,
+        cfg: LiveConfig,
+        faults: &FaultScript,
+    ) -> Result<LiveOutcome, SystemError> {
+        let mut runtime = LiveRuntime::new(
+            self.state.topo.clone(),
+            &self.state.deployment,
+            self.live_sources(),
+            self.delivery_map(),
+            cfg,
+        )?;
+        let mut failovers = Vec::new();
+        for fault in faults.events() {
+            if fault.at_us >= runtime.horizon_us() {
+                break;
+            }
+            runtime.run_until(fault.at_us);
+            runtime.apply_fault(fault);
+            match fault.kind {
+                FaultKind::PeerCrash(peer) => {
+                    let report = self.replan_after_peer_failure(peer, fault.at_us);
+                    runtime.sync_deployment(&self.state.deployment, self.delivery_map());
+                    for reg in &report.replanned {
+                        runtime.mark_query_recovering(&reg.query_id, fault.at_us);
+                    }
+                    failovers.push(report);
+                }
+                FaultKind::PeerRecover(peer) => self.state.topo.set_peer_up(peer, true),
+                FaultKind::LinkDown(edge) => self.state.topo.set_edge_up(edge, false),
+                FaultKind::LinkUp(edge) => self.state.topo.set_edge_up(edge, true),
+            }
+        }
+        let (metrics, trace) = runtime.finish();
+        Ok(LiveOutcome {
+            metrics,
+            trace,
+            failovers,
+        })
+    }
+}

@@ -110,6 +110,45 @@ impl NetworkState {
         self.flow_charges[flow].node_work.push((v, work));
     }
 
+    /// Reverses one earlier [`charge_route_for`](Self::charge_route_for)
+    /// with the same arguments (stream narrowing): subtracts the rate from
+    /// every connection on the route and removes the matching recorded
+    /// charge entries. Exact float equality is valid here because the
+    /// reversal recomputes the identical expression that was stored.
+    pub fn discharge_route_for(&mut self, flow: usize, route: &[NodeId], est: StreamEstimate) {
+        for w in route.windows(2) {
+            let e = self
+                .topo
+                .edge_between(w[0], w[1])
+                .expect("installed routes use existing connections");
+            self.edge_used_kbps[e] -= est.kbps();
+            let charges = &mut self.flow_charges[flow].edge_kbps;
+            if let Some(pos) = charges
+                .iter()
+                .position(|&(ce, ck)| ce == e && ck == est.kbps())
+            {
+                charges.remove(pos);
+            }
+        }
+    }
+
+    /// Reverses one earlier [`charge_node_for`](Self::charge_node_for)
+    /// with the same arguments.
+    pub fn discharge_node_for(
+        &mut self,
+        flow: usize,
+        v: NodeId,
+        base_load_sum: f64,
+        input_frequency: f64,
+    ) {
+        let work = base_load_sum * self.topo.peer(v).pindex * input_frequency;
+        self.node_used_work[v] -= work;
+        let charges = &mut self.flow_charges[flow].node_work;
+        if let Some(pos) = charges.iter().position(|&(cv, cw)| cv == v && cw == work) {
+            charges.remove(pos);
+        }
+    }
+
     /// Reverses every charge attributed to `flow` (flow retirement).
     pub fn uncharge_flow(&mut self, flow: usize) {
         let charge = std::mem::take(&mut self.flow_charges[flow]);

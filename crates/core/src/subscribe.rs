@@ -42,6 +42,9 @@ pub enum SubscribeError {
     /// Admission control: every candidate plan would overload a peer or a
     /// connection.
     Overload,
+    /// The stream exists but cannot currently be planned: its source flow
+    /// is retired, or no route survives the current peer/link failures.
+    Unreachable(String),
 }
 
 impl fmt::Display for SubscribeError {
@@ -52,6 +55,9 @@ impl fmt::Display for SubscribeError {
             }
             SubscribeError::Overload => {
                 write!(f, "no evaluation plan avoids overloading the network")
+            }
+            SubscribeError::Unreachable(s) => {
+                write!(f, "stream {s:?} is unreachable in the current network")
             }
         }
     }
@@ -126,9 +132,12 @@ pub fn subscribe_with(
             .source_flows
             .get(stream)
             .ok_or_else(|| SubscribeError::UnknownStream(stream.to_string()))?;
+        if state.deployment.flow(source_flow).retired {
+            return Err(SubscribeError::Unreachable(stream.to_string()));
+        }
         let v_b = state.deployment.flow(source_flow).target_node();
         let mut best = generate_plan_part(state, wanted, source_flow, v_b, v_q)
-            .ok_or_else(|| SubscribeError::UnknownStream(stream.to_string()))?;
+            .ok_or_else(|| SubscribeError::Unreachable(stream.to_string()))?;
         stats.plans_generated += 1;
         // Fixed per search: the subscription's own chain estimate.
         let wanted_estimate = best.estimate;

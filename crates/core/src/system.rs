@@ -5,7 +5,8 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use dss_network::{
-    sim, Deployment, FlowInput, NodeId, PeerKind, SimConfig, SimOutcome, StreamFlow, Topology,
+    sim, ConfigError, Deployment, FlowId, FlowInput, FlowOp, NodeId, PeerKind, SimConfig,
+    SimOutcome, StreamFlow, Topology,
 };
 use dss_properties::Properties;
 use dss_wxquery::{compile_query, CompiledQuery, QueryError};
@@ -31,6 +32,8 @@ pub enum SystemError {
     DuplicateStream(String),
     /// No query with this id is registered.
     UnknownQuery(String),
+    /// An invalid simulation/runtime configuration.
+    Config(ConfigError),
 }
 
 impl std::fmt::Display for SystemError {
@@ -41,6 +44,7 @@ impl std::fmt::Display for SystemError {
             SystemError::UnknownPeer(p) => write!(f, "unknown peer {p:?}"),
             SystemError::DuplicateStream(s) => write!(f, "stream {s:?} already registered"),
             SystemError::UnknownQuery(q) => write!(f, "no registered query with id {q:?}"),
+            SystemError::Config(e) => write!(f, "{e}"),
         }
     }
 }
@@ -56,6 +60,12 @@ impl From<QueryError> for SystemError {
 impl From<SubscribeError> for SystemError {
     fn from(e: SubscribeError) -> SystemError {
         SystemError::Subscribe(e)
+    }
+}
+
+impl From<ConfigError> for SystemError {
+    fn from(e: ConfigError) -> SystemError {
+        SystemError::Config(e)
     }
 }
 
@@ -77,25 +87,58 @@ pub struct Registration {
 
 /// One registered source stream.
 #[derive(Debug, Clone)]
-struct SourceInfo {
-    items: Vec<Node>,
+pub(crate) struct SourceInfo {
+    pub(crate) items: Vec<Node>,
 }
 
-/// Book-keeping for one installed query (enables unregistration).
+/// What it takes to narrow one widened flow back when the query that
+/// widened it unregisters: the flow's pre-widening shape, the restore
+/// patches spliced into its consumers, and the exact charges to reverse.
 #[derive(Debug, Clone)]
-struct Installed {
-    query_id: String,
+pub(crate) struct WidenUndo {
+    /// The widened flow.
+    flow: FlowId,
+    /// Properties this widening installed — narrowing only applies while
+    /// the flow still carries exactly these (a later, stacked widening
+    /// supersedes this undo).
+    widened: Properties,
+    prev_ops: Vec<FlowOp>,
+    prev_properties: Option<Properties>,
+    prev_label: String,
+    prev_estimate: StreamEstimate,
+    /// Input frequency the consumer patches were charged with.
+    widened_frequency: f64,
+    /// Extra rate charged over the flow's route at widening time.
+    delta_estimate: StreamEstimate,
+    route: Vec<NodeId>,
+    /// Consumers that got a (non-empty) restore patch spliced in front of
+    /// their operators.
+    patched_children: Vec<(FlowId, Vec<FlowOp>)>,
+}
+
+/// Book-keeping for one installed query (enables unregistration and
+/// failover re-registration).
+#[derive(Debug, Clone)]
+pub(crate) struct Installed {
+    pub(crate) query_id: String,
+    /// The original WXQuery text and registration site, kept so the query
+    /// can be re-planned from scratch after a peer failure.
+    pub(crate) text: String,
+    pub(crate) at_peer: String,
+    pub(crate) strategy: Strategy,
     /// The post-processing/delivery flow; transport flows are found by
     /// walking parents during retirement.
-    delivery_flow: dss_network::FlowId,
+    pub(crate) delivery_flow: FlowId,
+    /// Widenings this query performed, most recent last.
+    widens: Vec<WidenUndo>,
 }
 
 /// The data-stream-sharing system over one super-peer network.
 #[derive(Debug)]
 pub struct StreamGlobe {
-    state: NetworkState,
-    sources: BTreeMap<String, SourceInfo>,
-    registrations: Vec<Installed>,
+    pub(crate) state: NetworkState,
+    pub(crate) sources: BTreeMap<String, SourceInfo>,
+    pub(crate) registrations: Vec<Installed>,
     /// Stream widening (the paper's ongoing-work extension) enabled?
     widening: bool,
 }
@@ -232,27 +275,54 @@ impl StreamGlobe {
             require_feasible,
             self.widening,
         )?;
-        let registration = self.install(query_id, &compiled, plan, start);
+        let registration = self.install(query_id, text, at_peer, strategy, &compiled, plan, start);
         Ok(registration)
     }
 
     /// Installs a planned query: creates the transport flow(s) and the
     /// post-processing/delivery flow, and charges the estimated usage.
+    #[allow(clippy::too_many_arguments)]
     fn install(
         &mut self,
         query_id: String,
+        text: &str,
+        at_peer: &str,
+        strategy: Strategy,
         compiled: &CompiledQuery,
         plan: Plan,
         start: Instant,
     ) -> Registration {
         let mut reused_derived = false;
         let mut upstream = Vec::new();
+        let mut widens = Vec::new();
         for part in &plan.parts {
             // Widening: loosen the tapped flow in place and patch its
             // existing consumers before the new subscription taps it.
             if let Some(widen) = &part.widen {
                 reused_derived = true;
                 let widened_freq = widen.widened_estimate.frequency;
+                {
+                    // Snapshot the pre-widening shape so unregistering this
+                    // query can narrow the stream back.
+                    let flow = self.state.deployment.flow(widen.flow);
+                    widens.push(WidenUndo {
+                        flow: widen.flow,
+                        widened: Properties::single(widen.widened.clone()),
+                        prev_ops: flow.ops.clone(),
+                        prev_properties: flow.properties.clone(),
+                        prev_label: flow.label.clone(),
+                        prev_estimate: self.state.flow_estimates[widen.flow],
+                        widened_frequency: widened_freq,
+                        delta_estimate: widen.delta_estimate,
+                        route: flow.route.clone(),
+                        patched_children: widen
+                            .child_patches
+                            .iter()
+                            .filter(|(_, patch)| !patch.is_empty())
+                            .cloned()
+                            .collect(),
+                    });
+                }
                 for (child, patch) in &widen.child_patches {
                     if patch.is_empty() {
                         continue;
@@ -356,7 +426,11 @@ impl StreamGlobe {
 
         self.registrations.push(Installed {
             query_id: query_id.clone(),
+            text: text.to_string(),
+            at_peer: at_peer.to_string(),
+            strategy,
             delivery_flow,
+            widens,
         });
         Registration {
             query_id,
@@ -385,8 +459,11 @@ impl StreamGlobe {
     /// Unregisters a continuous query: its delivery flow is retired, its
     /// resource charges reversed, and any transport flow left without
     /// consumers is retired transitively (a stream kept alive by *other*
-    /// subscribers keeps flowing). Widened streams are not narrowed back —
-    /// their extra width simply becomes shareable slack.
+    /// subscribers keeps flowing). Streams this query widened are narrowed
+    /// back to their pre-widening shape when it was their last widening
+    /// consumer: the surviving consumers' restore patches come out, and the
+    /// widening's extra bandwidth/work charges are reversed. A stream a
+    /// *later* subscription relies on in its widened form stays widened.
     pub fn unregister_query(&mut self, query_id: &str) -> Result<(), SystemError> {
         let idx = self
             .registrations
@@ -419,7 +496,55 @@ impl StreamGlobe {
                 }
             }
         }
+        // Narrow widened streams back, most recent widening first.
+        for undo in installed.widens.iter().rev() {
+            self.narrow_back(undo);
+        }
         Ok(())
+    }
+
+    /// Reverses one widening if it is still the flow's current shape and
+    /// every surviving consumer is one of the patched originals. Skips
+    /// silently otherwise — the widened width then remains as shareable
+    /// slack (e.g. a later query subscribed to the widened stream itself,
+    /// or a stacked widening superseded this one).
+    fn narrow_back(&mut self, undo: &WidenUndo) {
+        let flow = self.state.deployment.flow(undo.flow);
+        if flow.retired || flow.properties.as_ref() != Some(&undo.widened) {
+            return;
+        }
+        let active_children = self.state.deployment.children_of(undo.flow);
+        let patched = |c: FlowId| undo.patched_children.iter().find(|(pc, _)| *pc == c);
+        // Every surviving consumer must be a patched original whose restore
+        // patch still sits in front of its operators.
+        for &child in &active_children {
+            let Some((_, patch)) = patched(child) else {
+                return;
+            };
+            let ops = &self.state.deployment.flow(child).ops;
+            if ops.len() < patch.len() || &ops[..patch.len()] != patch.as_slice() {
+                return;
+            }
+        }
+        for &child in &active_children {
+            let (_, patch) = patched(child).expect("checked above");
+            let node = self.state.deployment.flow(child).processing_node;
+            let bload: f64 = patch.iter().map(flow_op_base_load).sum();
+            self.state
+                .deployment
+                .flow_mut(child)
+                .ops
+                .drain(..patch.len());
+            self.state
+                .discharge_node_for(child, node, bload, undo.widened_frequency);
+        }
+        let flow = self.state.deployment.flow_mut(undo.flow);
+        flow.ops = undo.prev_ops.clone();
+        flow.properties = undo.prev_properties.clone();
+        flow.label = undo.prev_label.clone();
+        self.state.flow_estimates[undo.flow] = undo.prev_estimate;
+        self.state
+            .discharge_route_for(undo.flow, &undo.route, undo.delta_estimate);
     }
 
     fn node_by_name(&self, name: &str) -> Result<NodeId, SystemError> {
@@ -430,15 +555,17 @@ impl StreamGlobe {
     }
 
     /// The super-peer a peer is attached to: the peer itself for
-    /// super-peers, the unique super-peer neighbor for thin-peers.
-    fn super_peer_of(&self, peer: NodeId) -> Result<NodeId, SystemError> {
+    /// super-peers, the first *live* super-peer neighbor for thin-peers.
+    pub(crate) fn super_peer_of(&self, peer: NodeId) -> Result<NodeId, SystemError> {
         if self.state.topo.peer(peer).kind == PeerKind::SuperPeer {
             return Ok(peer);
         }
         self.state
             .topo
             .neighbors(peer)
-            .find(|&n| self.state.topo.peer(n).kind == PeerKind::SuperPeer)
+            .find(|&n| {
+                self.state.topo.peer(n).kind == PeerKind::SuperPeer && self.state.topo.peer(n).up
+            })
             .ok_or_else(|| SystemError::UnknownPeer(self.state.topo.peer(peer).name.clone()))
     }
 }

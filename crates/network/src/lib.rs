@@ -9,16 +9,25 @@
 //! pipelines over the very same XML items, charging connections by exact
 //! serialized bytes and peers by operator plus forwarding work.
 
+//! The live counterpart lives in [`runtime`]: a deterministic
+//! discrete-event scheduler with timestamped items, bounded per-peer
+//! mailboxes, link latencies, and scripted fault injection.
+
 pub mod flow;
 pub mod metrics;
 pub mod routing;
+pub mod runtime;
 pub mod sim;
 pub mod topology;
 
 pub use flow::{build_flow_pipeline, Deployment, FlowId, FlowInput, FlowOp, StreamFlow};
 pub use metrics::NetworkMetrics;
 pub use routing::{distance, path_edges, shortest_path};
-pub use sim::{run, SimConfig, SimOutcome};
+pub use runtime::{
+    FaultEvent, FaultKind, FaultScript, LiveConfig, LiveRuntime, QueryMetrics, RuntimeMetrics,
+    SourceModel,
+};
+pub use sim::{run, try_run, ConfigError, SimConfig, SimOutcome};
 pub use topology::{
     example_topology, grid_topology, hierarchical_topology, Edge, EdgeId, NodeId, Peer, PeerKind,
     Topology,

@@ -7,6 +7,10 @@ use crate::topology::{NodeId, Topology};
 /// Breadth-first shortest path (hop count) from `from` to `to`, inclusive
 /// of both endpoints. Ties break deterministically toward lower-numbered
 /// edges (insertion order), so repeated runs of the planner are stable.
+///
+/// Crashed peers and down links (fault injection, see
+/// [`crate::runtime`]) are skipped, so re-planning after a failure
+/// automatically routes around the dead parts of the network.
 pub fn shortest_path(topo: &Topology, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
     if from == to {
         return Some(vec![from]);
@@ -17,8 +21,13 @@ pub fn shortest_path(topo: &Topology, from: NodeId, to: NodeId) -> Option<Vec<No
     seen[from] = true;
     let mut q = VecDeque::from([from]);
     while let Some(u) = q.pop_front() {
-        for v in topo.neighbors(u) {
-            if !seen[v] {
+        for &e in topo.incident(u) {
+            let edge = topo.edge(e);
+            if !edge.up {
+                continue;
+            }
+            let v = edge.other(u);
+            if !seen[v] && topo.peer(v).up {
                 seen[v] = true;
                 prev[v] = Some(u);
                 if v == to {
@@ -97,6 +106,37 @@ mod tests {
         let lonely = t.add_super_peer("SPX");
         assert_eq!(shortest_path(&t, t.expect_node("SP0"), lonely), None);
         assert_eq!(distance(&t, lonely, t.expect_node("SP3")), None);
+    }
+
+    #[test]
+    fn routing_avoids_down_peers_and_links() {
+        let mut t = example_topology();
+        let (sp4, sp5, p1) = (
+            t.expect_node("SP4"),
+            t.expect_node("SP5"),
+            t.expect_node("P1"),
+        );
+        // Baseline goes through SP5 (see `paper_route_sp4_to_sp1`).
+        t.set_peer_up(sp5, false);
+        let path = shortest_path(&t, sp4, p1).unwrap();
+        assert!(
+            !path.contains(&sp5),
+            "path must avoid crashed SP5: {path:?}"
+        );
+        assert_eq!(path.len(), 7, "detour around SP5 takes two extra hops");
+        t.set_peer_up(sp5, true);
+        // A down link likewise forces a detour.
+        let sp0 = t.expect_node("SP0");
+        let e = t.edge_between(sp0, sp5).unwrap();
+        t.set_edge_up(e, false);
+        let path = shortest_path(&t, sp4, p1).unwrap();
+        assert_eq!(path.len(), 7);
+        assert!(!path_edges(&t, &path).contains(&e));
+        // Cutting every link of a peer makes it unreachable.
+        for e in t.incident(sp5).to_vec() {
+            t.set_edge_up(e, false);
+        }
+        assert_eq!(shortest_path(&t, sp4, sp5), None);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Scripted fault injection: peer crash/recover and link drop events.
+//!
+//! Faults are part of the *scenario*, not the runtime state: a
+//! [`FaultScript`] is a time-ordered list of [`FaultEvent`]s that the
+//! driver replays against the runtime (and, for crashes, against the
+//! planner — see `dss_core::System::run_live`). Keeping the script a plain
+//! value makes perturbed runs exactly reproducible.
+
+use crate::topology::{EdgeId, NodeId};
+
+/// What breaks (or heals) at a scripted instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The peer dies: its mailbox contents are lost, in-flight items
+    /// addressed to it are lost on arrival, and the planner routes around
+    /// it until it recovers.
+    PeerCrash(NodeId),
+    /// The peer comes back empty — recovery does not restore lost items.
+    PeerRecover(NodeId),
+    /// The link drops: items charged onto it are lost in transit.
+    LinkDown(EdgeId),
+    /// The link heals.
+    LinkUp(EdgeId),
+}
+
+/// One scripted fault at an absolute simulation time (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub at_us: u64,
+    pub kind: FaultKind,
+}
+
+/// A time-ordered fault schedule, built with the chainable helpers:
+///
+/// ```
+/// # use dss_network::runtime::FaultScript;
+/// let script = FaultScript::new().crash_peer(10.0, 5).recover_peer(25.0, 5);
+/// assert_eq!(script.events().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultScript {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultScript {
+    /// An empty (unperturbed) script.
+    pub fn new() -> FaultScript {
+        FaultScript::default()
+    }
+
+    /// Inserts an event, keeping the schedule sorted by time; equal-time
+    /// events keep their insertion order (stable).
+    pub fn push(&mut self, at_us: u64, kind: FaultKind) {
+        let event = FaultEvent { at_us, kind };
+        let pos = self.events.partition_point(|e| e.at_us <= at_us);
+        self.events.insert(pos, event);
+    }
+
+    /// Crash `peer` at `at_s` seconds.
+    pub fn crash_peer(mut self, at_s: f64, peer: NodeId) -> FaultScript {
+        self.push(secs_to_us(at_s), FaultKind::PeerCrash(peer));
+        self
+    }
+
+    /// Recover `peer` at `at_s` seconds.
+    pub fn recover_peer(mut self, at_s: f64, peer: NodeId) -> FaultScript {
+        self.push(secs_to_us(at_s), FaultKind::PeerRecover(peer));
+        self
+    }
+
+    /// Drop `edge` at `at_s` seconds.
+    pub fn link_down(mut self, at_s: f64, edge: EdgeId) -> FaultScript {
+        self.push(secs_to_us(at_s), FaultKind::LinkDown(edge));
+        self
+    }
+
+    /// Heal `edge` at `at_s` seconds.
+    pub fn link_up(mut self, at_s: f64, edge: EdgeId) -> FaultScript {
+        self.push(secs_to_us(at_s), FaultKind::LinkUp(edge));
+        self
+    }
+
+    /// The schedule, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+/// Seconds (scenario scripts speak seconds) to the runtime's µs clock.
+pub(crate) fn secs_to_us(s: f64) -> u64 {
+    (s * 1e6).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_stays_sorted_and_stable() {
+        let script = FaultScript::new()
+            .crash_peer(10.0, 5)
+            .link_down(2.0, 3)
+            .recover_peer(10.0, 5)
+            .link_up(2.0, 3);
+        let times: Vec<u64> = script.events().iter().map(|e| e.at_us).collect();
+        assert_eq!(times, vec![2_000_000, 2_000_000, 10_000_000, 10_000_000]);
+        // Equal-time events preserve insertion order.
+        assert_eq!(script.events()[0].kind, FaultKind::LinkDown(3));
+        assert_eq!(script.events()[1].kind, FaultKind::LinkUp(3));
+        assert_eq!(script.events()[2].kind, FaultKind::PeerCrash(5));
+        assert_eq!(script.events()[3].kind, FaultKind::PeerRecover(5));
+    }
+}

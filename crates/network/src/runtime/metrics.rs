@@ -1,0 +1,158 @@
+//! Time-aware measurements produced by the live runtime.
+//!
+//! Where the batch simulator's [`crate::metrics::NetworkMetrics`] reports
+//! one aggregate number per edge/peer (Figures 6/7), the live runtime adds
+//! the time axis: queue depths, per-query end-to-end latency percentiles,
+//! bytes per edge bucketed over time, and the cost of failures (items
+//! lost, duplicates, recovery times).
+
+use std::collections::BTreeMap;
+
+use crate::topology::Topology;
+
+/// Per-query delivery statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryMetrics {
+    /// Result items delivered to the query's peer within the horizon.
+    pub delivered: u64,
+    /// Deliveries whose source timestamp precedes an already-delivered
+    /// item — re-sent data after a failover re-subscription.
+    pub duplicates: u64,
+    /// End-to-end latency (source emission → delivery) extremes/percentile,
+    /// `None` until the first delivery.
+    pub latency_min_us: Option<u64>,
+    pub latency_mean_us: Option<u64>,
+    pub latency_p99_us: Option<u64>,
+    /// For each failover that hit this query: time from the fault to the
+    /// first post-re-subscription delivery (recovery time).
+    pub recoveries_us: Vec<u64>,
+}
+
+impl QueryMetrics {
+    /// Folds a sorted latency sample into min/mean/p99.
+    pub(crate) fn set_latencies(&mut self, mut sample: Vec<u64>) {
+        if sample.is_empty() {
+            return;
+        }
+        sample.sort_unstable();
+        self.latency_min_us = Some(sample[0]);
+        let sum: u128 = sample.iter().map(|&l| l as u128).sum();
+        self.latency_mean_us = Some((sum / sample.len() as u128) as u64);
+        let idx = (sample.len() * 99).div_ceil(100).saturating_sub(1);
+        self.latency_p99_us = Some(sample[idx]);
+    }
+}
+
+/// The live runtime's report: per-peer queueing behaviour, per-edge traffic
+/// over time, and per-query delivery quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeMetrics {
+    /// Simulated horizon in microseconds.
+    pub horizon_us: u64,
+    /// Width of one `edge_bytes_buckets` interval in microseconds.
+    pub bucket_us: u64,
+    /// Per-peer mailbox depth high-water marks.
+    pub queue_high_water: Vec<usize>,
+    /// Per-peer items dropped at a full mailbox.
+    pub mailbox_dropped: Vec<u64>,
+    /// Items lost to faults: drained from crashed mailboxes, dropped on
+    /// down links, or addressed to dead peers/retired flows.
+    pub items_lost: u64,
+    /// Per-peer operator work executed (scaled by performance index, same
+    /// unit as the batch simulator's `node_work`).
+    pub node_work: Vec<f64>,
+    /// Per-edge total bytes carried.
+    pub edge_bytes: Vec<u64>,
+    /// Per-edge bytes per time bucket (the Figure 6/7 traffic numbers as a
+    /// time series).
+    pub edge_bytes_buckets: Vec<Vec<u64>>,
+    /// Per-query delivery statistics, keyed by query id.
+    pub queries: BTreeMap<String, QueryMetrics>,
+}
+
+impl RuntimeMetrics {
+    /// Total bytes over all edges.
+    pub fn total_edge_bytes(&self) -> u64 {
+        self.edge_bytes.iter().sum()
+    }
+
+    /// Total mailbox drops over all peers.
+    pub fn total_dropped(&self) -> u64 {
+        self.mailbox_dropped.iter().sum()
+    }
+
+    /// Human-readable report (the `peer_failure` example prints this).
+    pub fn report(&self, topo: &Topology) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "runtime report over {:.1}s: {} bytes on {} edges, {} items lost, {} dropped",
+            self.horizon_us as f64 / 1e6,
+            self.total_edge_bytes(),
+            self.edge_bytes.iter().filter(|&&b| b > 0).count(),
+            self.items_lost,
+            self.total_dropped(),
+        );
+        for (q, m) in &self.queries {
+            let lat = match (m.latency_min_us, m.latency_mean_us, m.latency_p99_us) {
+                (Some(min), Some(mean), Some(p99)) => {
+                    format!("latency µs min/mean/p99 {min}/{mean}/{p99}")
+                }
+                _ => "no deliveries".to_string(),
+            };
+            let recov = if m.recoveries_us.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", recovered in {}",
+                    m.recoveries_us
+                        .iter()
+                        .map(|r| format!("{:.2}s", *r as f64 / 1e6))
+                        .collect::<Vec<_>>()
+                        .join("+")
+                )
+            };
+            let _ = writeln!(
+                out,
+                "  query {q}: {} delivered ({} duplicates), {lat}{recov}",
+                m.delivered, m.duplicates
+            );
+        }
+        for (id, &hw) in self.queue_high_water.iter().enumerate() {
+            if hw > 0 {
+                let _ = writeln!(
+                    out,
+                    "  peer {}: queue high-water {hw}, dropped {}",
+                    topo.peer(id).name,
+                    self.mailbox_dropped[id]
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats() {
+        let mut m = QueryMetrics::default();
+        m.set_latencies((1..=100).collect());
+        assert_eq!(m.latency_min_us, Some(1));
+        assert_eq!(m.latency_mean_us, Some(50));
+        assert_eq!(m.latency_p99_us, Some(99));
+
+        let mut single = QueryMetrics::default();
+        single.set_latencies(vec![42]);
+        assert_eq!(single.latency_min_us, Some(42));
+        assert_eq!(single.latency_mean_us, Some(42));
+        assert_eq!(single.latency_p99_us, Some(42));
+
+        let mut empty = QueryMetrics::default();
+        empty.set_latencies(Vec::new());
+        assert_eq!(empty.latency_min_us, None);
+    }
+}

@@ -1,0 +1,813 @@
+//! A deterministic discrete-event live runtime over a deployed network.
+//!
+//! The batch simulator ([`crate::sim`]) pushes every source item through
+//! the flow graph in one shot — no clock, no queues, no failures. This
+//! module is its live counterpart, modelling what the paper measured on
+//! the blade cluster:
+//!
+//! * **Time**: a single `u64` microsecond clock driven by a binary-heap
+//!   event queue. Ties break on a monotone sequence number, so a run is a
+//!   pure function of its inputs — two runs with the same deployment,
+//!   sources, and fault script produce byte-identical traces.
+//! * **Sources**: each registered stream emits its items periodically
+//!   ([`SourceModel::interarrival_us`], derived from the stream's measured
+//!   frequency).
+//! * **Peers**: one bounded mailbox and one server per peer. Serving an
+//!   item runs the flow's real [`Pipeline`] incrementally and occupies the
+//!   server for `per_item_overhead_us` plus the measured operator work
+//!   scaled by the peer's speed (`pindex`) over its capacity.
+//! * **Links**: a transmission takes `link_latency_us` plus the item's
+//!   exact serialized bytes over the edge bandwidth; links carry any
+//!   number of items concurrently (the bandwidth share is charged per
+//!   item, not queued).
+//! * **Faults** ([`fault`]): scripted peer crashes/recoveries and link
+//!   drops. A crash loses the peer's queued items; traffic addressed to
+//!   dead peers, down links, or retired flows is counted in
+//!   [`RuntimeMetrics::items_lost`].
+//!
+//! The runtime deliberately does **not** flush windowed operator state at
+//! the horizon: only items actually delivered within the simulated time
+//! count, exactly like a wall-clock measurement window on the cluster.
+//!
+//! Re-planning after a failure happens *outside* this module (the planner
+//! lives in `dss_core`): the driver pauses at a fault, rewrites the
+//! deployment, and calls [`LiveRuntime::sync_deployment`] to pick up new
+//! flows and retired ones. Windowed operator state of re-planned flows
+//! restarts empty — re-subscription preserves the query, not the state.
+
+pub mod fault;
+mod mailbox;
+mod metrics;
+
+pub use fault::{FaultEvent, FaultKind, FaultScript};
+pub use metrics::{QueryMetrics, RuntimeMetrics};
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use dss_engine::Emit;
+use dss_xml::writer::serialized_size;
+use dss_xml::Node;
+
+use crate::flow::{build_flow_pipeline, Deployment, FlowId, FlowInput, FlowOp};
+use crate::sim::ConfigError;
+use crate::topology::{NodeId, Topology};
+use dss_engine::Pipeline;
+use mailbox::Mailbox;
+
+/// Live runtime parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveConfig {
+    /// Simulated horizon in seconds. Must be positive.
+    pub duration_s: f64,
+    /// Bounded mailbox capacity per peer (items). Must be at least 1.
+    pub mailbox_capacity: usize,
+    /// Fixed per-hop link latency in microseconds.
+    pub link_latency_us: u64,
+    /// Fixed per-item service overhead in microseconds (scheduling,
+    /// parsing, framing) on top of measured operator work.
+    pub per_item_overhead_us: u64,
+    /// Width of the per-edge traffic time buckets in microseconds.
+    pub bucket_us: u64,
+    /// Record a textual event trace (determinism fingerprinting).
+    pub trace: bool,
+}
+
+impl Default for LiveConfig {
+    fn default() -> LiveConfig {
+        LiveConfig {
+            duration_s: 10.0,
+            mailbox_capacity: 256,
+            link_latency_us: 200,
+            per_item_overhead_us: 50,
+            bucket_us: 1_000_000,
+            trace: false,
+        }
+    }
+}
+
+impl LiveConfig {
+    /// Checks the documented invariants, returning the first violation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.duration_s.is_finite() || self.duration_s <= 0.0 {
+            return Err(ConfigError::NonPositiveDuration(self.duration_s));
+        }
+        if self.mailbox_capacity == 0 {
+            return Err(ConfigError::ZeroMailboxCapacity);
+        }
+        if self.bucket_us == 0 {
+            return Err(ConfigError::ZeroBucket);
+        }
+        Ok(())
+    }
+}
+
+/// A timed source: the items of a registered stream plus their emission
+/// period.
+#[derive(Debug, Clone)]
+pub struct SourceModel {
+    pub items: Vec<Node>,
+    /// Microseconds between consecutive item emissions; the first item is
+    /// emitted one interarrival after t=0.
+    pub interarrival_us: u64,
+}
+
+impl SourceModel {
+    /// Builds a model emitting at `freq_hz` items per second (the unit of
+    /// `StreamStats::frequency`).
+    pub fn from_frequency(items: Vec<Node>, freq_hz: f64) -> SourceModel {
+        let interarrival_us = if freq_hz > 0.0 && freq_hz.is_finite() {
+            ((1e6 / freq_hz).round() as u64).max(1)
+        } else {
+            u64::MAX
+        };
+        SourceModel {
+            items,
+            interarrival_us,
+        }
+    }
+}
+
+enum EventKind {
+    /// A source stream emits its next item.
+    SourceEmit { source: String, idx: usize },
+    /// The peer's server looks at its mailbox.
+    StartService { node: NodeId },
+    /// A service completed: the produced items leave the processing node.
+    EmitOutputs {
+        flow: FlowId,
+        origin: u64,
+        items: Vec<Node>,
+    },
+    /// An item reaches `route[hop]` of its flow.
+    Arrive {
+        flow: FlowId,
+        hop: usize,
+        origin: u64,
+        item: Node,
+    },
+}
+
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+// The heap orders on (time, seq) only; seq is unique, giving a total,
+// deterministic order. `Reverse` turns the max-heap into a min-heap.
+impl PartialEq for Event {
+    fn eq(&self, other: &Event) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Event) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Event) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Runtime view of one deployed flow.
+struct FlowState {
+    active: bool,
+    label: String,
+    input: FlowInput,
+    node: NodeId,
+    route: Vec<NodeId>,
+    ops: Vec<FlowOp>,
+    pipeline: Pipeline,
+}
+
+/// The discrete-event scheduler. See the module docs for the model.
+pub struct LiveRuntime {
+    topo: Topology,
+    cfg: LiveConfig,
+    now: u64,
+    seq: u64,
+    horizon_us: u64,
+    heap: BinaryHeap<std::cmp::Reverse<Event>>,
+    sources: BTreeMap<String, SourceModel>,
+    flows: Vec<FlowState>,
+    /// Active children (taps) per flow, rebuilt on `sync_deployment`.
+    children: Vec<Vec<FlowId>>,
+    /// Delivery flow → query id.
+    deliveries: BTreeMap<FlowId, String>,
+    mailboxes: Vec<Mailbox>,
+    busy_until: Vec<u64>,
+    // Measurements.
+    node_work: Vec<f64>,
+    edge_bytes: Vec<u64>,
+    edge_bytes_buckets: Vec<Vec<u64>>,
+    items_lost: u64,
+    latencies: BTreeMap<String, Vec<u64>>,
+    delivered: BTreeMap<String, u64>,
+    duplicates: BTreeMap<String, u64>,
+    last_origin: BTreeMap<String, u64>,
+    recovering_since: BTreeMap<String, u64>,
+    recoveries: BTreeMap<String, Vec<u64>>,
+    trace: Vec<String>,
+}
+
+impl LiveRuntime {
+    /// Builds a runtime over a (cloned) topology and the current
+    /// deployment. `deliveries` maps each query's delivery flow to the
+    /// query id; only those flows' final-hop arrivals count as deliveries.
+    pub fn new(
+        topo: Topology,
+        deployment: &Deployment,
+        sources: BTreeMap<String, SourceModel>,
+        deliveries: BTreeMap<FlowId, String>,
+        cfg: LiveConfig,
+    ) -> Result<LiveRuntime, ConfigError> {
+        cfg.validate()?;
+        deployment.validate(&topo);
+        let horizon_us = fault::secs_to_us(cfg.duration_s);
+        let n_buckets = (horizon_us / cfg.bucket_us + 1) as usize;
+        let n_peers = topo.peer_count();
+        let n_edges = topo.edge_count();
+        let mut rt = LiveRuntime {
+            topo,
+            cfg,
+            now: 0,
+            seq: 0,
+            horizon_us,
+            heap: BinaryHeap::new(),
+            sources,
+            flows: Vec::new(),
+            children: Vec::new(),
+            deliveries: BTreeMap::new(),
+            mailboxes: (0..n_peers)
+                .map(|_| Mailbox::new(cfg.mailbox_capacity))
+                .collect(),
+            busy_until: vec![0; n_peers],
+            node_work: vec![0.0; n_peers],
+            edge_bytes: vec![0; n_edges],
+            edge_bytes_buckets: vec![vec![0; n_buckets]; n_edges],
+            items_lost: 0,
+            latencies: BTreeMap::new(),
+            delivered: BTreeMap::new(),
+            duplicates: BTreeMap::new(),
+            last_origin: BTreeMap::new(),
+            recovering_since: BTreeMap::new(),
+            recoveries: BTreeMap::new(),
+            trace: Vec::new(),
+        };
+        rt.sync_deployment(deployment, deliveries);
+        // Seed the periodic source emissions (BTreeMap order: stable).
+        let seeds: Vec<(String, u64)> = rt
+            .sources
+            .iter()
+            .filter(|(_, m)| !m.items.is_empty())
+            .map(|(name, m)| (name.clone(), m.interarrival_us))
+            .collect();
+        for (source, at) in seeds {
+            if at <= rt.horizon_us {
+                rt.schedule(at, EventKind::SourceEmit { source, idx: 0 });
+            }
+        }
+        Ok(rt)
+    }
+
+    /// The simulated horizon in microseconds.
+    pub fn horizon_us(&self) -> u64 {
+        self.horizon_us
+    }
+
+    /// Current simulation time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now
+    }
+
+    /// Reconciles the runtime with a rewritten deployment (after a
+    /// failover re-plan): new flows are picked up, retired flows
+    /// deactivated, and flows whose operator list changed in place (stream
+    /// widening) get a fresh pipeline — windowed state restarts empty.
+    pub fn sync_deployment(
+        &mut self,
+        deployment: &Deployment,
+        deliveries: BTreeMap<FlowId, String>,
+    ) {
+        for (id, flow) in deployment.flows().iter().enumerate() {
+            if id < self.flows.len() {
+                let state = &mut self.flows[id];
+                if flow.retired {
+                    state.active = false;
+                } else if state.ops != flow.ops {
+                    state.ops = flow.ops.clone();
+                    state.pipeline = build_flow_pipeline(&flow.ops);
+                    state.label = flow.label.clone();
+                }
+            } else {
+                self.flows.push(FlowState {
+                    active: !flow.retired,
+                    label: flow.label.clone(),
+                    input: flow.input.clone(),
+                    node: flow.processing_node,
+                    route: flow.route.clone(),
+                    ops: flow.ops.clone(),
+                    pipeline: build_flow_pipeline(&flow.ops),
+                });
+            }
+        }
+        self.children = (0..self.flows.len())
+            .map(|id| deployment.children_of(id))
+            .collect();
+        for q in deliveries.values() {
+            self.delivered.entry(q.clone()).or_insert(0);
+        }
+        self.deliveries = deliveries;
+    }
+
+    /// Applies one scripted fault at the current simulation time.
+    pub fn apply_fault(&mut self, fault: &FaultEvent) {
+        match fault.kind {
+            FaultKind::PeerCrash(peer) => {
+                self.topo.set_peer_up(peer, false);
+                let lost = self.mailboxes[peer].drain_all();
+                self.items_lost += lost;
+                self.busy_until[peer] = 0;
+                self.trace_line(|topo| format!("fault crash {} lost={lost}", topo.peer(peer).name));
+            }
+            FaultKind::PeerRecover(peer) => {
+                self.topo.set_peer_up(peer, true);
+                self.trace_line(|topo| format!("fault recover {}", topo.peer(peer).name));
+            }
+            FaultKind::LinkDown(edge) => {
+                self.topo.set_edge_up(edge, false);
+                self.trace_line(|_| format!("fault link-down e{edge}"));
+            }
+            FaultKind::LinkUp(edge) => {
+                self.topo.set_edge_up(edge, true);
+                self.trace_line(|_| format!("fault link-up e{edge}"));
+            }
+        }
+    }
+
+    /// Marks `query` as re-planned at time `t`: its next delivery records
+    /// the recovery time `delivery - t`.
+    pub fn mark_query_recovering(&mut self, query: &str, t_us: u64) {
+        self.recovering_since.insert(query.to_string(), t_us);
+    }
+
+    /// Runs all events up to and including `t_us` (capped at the horizon).
+    pub fn run_until(&mut self, t_us: u64) {
+        let t = t_us.min(self.horizon_us);
+        while let Some(std::cmp::Reverse(ev)) = self.heap.peek() {
+            if ev.time > t {
+                break;
+            }
+            let std::cmp::Reverse(ev) = self.heap.pop().expect("peeked");
+            self.now = ev.time;
+            self.handle(ev.kind);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs to the horizon and produces the report plus the event trace
+    /// (empty unless `LiveConfig::trace`).
+    pub fn finish(mut self) -> (RuntimeMetrics, Vec<String>) {
+        self.run_until(self.horizon_us);
+        let mut queries: BTreeMap<String, QueryMetrics> = BTreeMap::new();
+        for (q, delivered) in &self.delivered {
+            let mut m = QueryMetrics {
+                delivered: *delivered,
+                duplicates: self.duplicates.get(q).copied().unwrap_or(0),
+                recoveries_us: self.recoveries.get(q).cloned().unwrap_or_default(),
+                ..QueryMetrics::default()
+            };
+            m.set_latencies(self.latencies.get(q).cloned().unwrap_or_default());
+            queries.insert(q.clone(), m);
+        }
+        let metrics = RuntimeMetrics {
+            horizon_us: self.horizon_us,
+            bucket_us: self.cfg.bucket_us,
+            queue_high_water: self.mailboxes.iter().map(|m| m.high_water).collect(),
+            mailbox_dropped: self.mailboxes.iter().map(|m| m.dropped).collect(),
+            items_lost: self.items_lost,
+            node_work: self.node_work,
+            edge_bytes: self.edge_bytes,
+            edge_bytes_buckets: self.edge_bytes_buckets,
+            queries,
+        };
+        (metrics, self.trace)
+    }
+
+    fn schedule(&mut self, time: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(std::cmp::Reverse(Event { time, seq, kind }));
+    }
+
+    fn trace_line(&mut self, f: impl FnOnce(&Topology) -> String) {
+        if self.cfg.trace {
+            let line = format!("{:>12} {}", self.now, f(&self.topo));
+            self.trace.push(line);
+        }
+    }
+
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::SourceEmit { source, idx } => self.handle_source_emit(source, idx),
+            EventKind::StartService { node } => self.handle_start_service(node),
+            EventKind::EmitOutputs {
+                flow,
+                origin,
+                items,
+            } => {
+                if !self.flows[flow].active || !self.topo.peer(self.flows[flow].node).up {
+                    self.items_lost += items.len() as u64;
+                    return;
+                }
+                self.trace_line(|_| format!("out f{flow} n={}", items.len()));
+                for item in items {
+                    self.dispatch_at(flow, 0, origin, item);
+                }
+            }
+            EventKind::Arrive {
+                flow,
+                hop,
+                origin,
+                item,
+            } => {
+                let node = self.flows[flow].route[hop];
+                if !self.flows[flow].active || !self.topo.peer(node).up {
+                    self.items_lost += 1;
+                    return;
+                }
+                self.trace_line(|_| format!("arr f{flow} hop={hop}"));
+                self.dispatch_at(flow, hop, origin, item);
+            }
+        }
+    }
+
+    fn handle_source_emit(&mut self, source: String, idx: usize) {
+        let model = &self.sources[&source];
+        let (item, interarrival, more) = (
+            model.items[idx].clone(),
+            model.interarrival_us,
+            idx + 1 < model.items.len(),
+        );
+        self.trace_line(|_| format!("src {source} #{idx}"));
+        let origin = self.now;
+        // Hand the item to every active flow reading this source.
+        let readers: Vec<FlowId> = self
+            .flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.active && matches!(&f.input, FlowInput::Source { stream } if *stream == source)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        for flow in readers {
+            self.enqueue(flow, origin, item.clone());
+        }
+        if more {
+            let next = self.now.saturating_add(interarrival);
+            if next <= self.horizon_us {
+                self.schedule(
+                    next,
+                    EventKind::SourceEmit {
+                        source,
+                        idx: idx + 1,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Puts an item into a flow's input queue at its processing node and
+    /// kicks the server there.
+    fn enqueue(&mut self, flow: FlowId, origin: u64, item: Node) {
+        let node = self.flows[flow].node;
+        if !self.topo.peer(node).up {
+            self.items_lost += 1;
+            return;
+        }
+        if self.mailboxes[node].push(flow, origin, item) {
+            self.schedule(self.now, EventKind::StartService { node });
+        }
+    }
+
+    fn handle_start_service(&mut self, node: NodeId) {
+        if !self.topo.peer(node).up || self.now < self.busy_until[node] {
+            return;
+        }
+        let Some((flow, origin, item)) = self.mailboxes[node].pop() else {
+            return;
+        };
+        if !self.flows[flow].active {
+            // The flow was retired while the item waited.
+            self.items_lost += 1;
+            self.schedule(self.now, EventKind::StartService { node });
+            return;
+        }
+        let peer = self.topo.peer(node);
+        let (pindex, capacity) = (peer.pindex, peer.capacity);
+        let state = &mut self.flows[flow];
+        let before = state.pipeline.total_work();
+        let mut sink = Emit::new();
+        state.pipeline.process_into(&item, &mut sink);
+        let outputs = sink.into_vec();
+        let work = (state.pipeline.total_work() - before) * pindex;
+        self.node_work[node] += work;
+        let service_us = (self.cfg.per_item_overhead_us as f64 + work / capacity * 1e6)
+            .round()
+            .max(1.0) as u64;
+        let done = self.now + service_us;
+        self.busy_until[node] = done;
+        self.trace_line(|_| {
+            format!(
+                "svc n{node} f{flow} outs={} busy={service_us}",
+                outputs.len()
+            )
+        });
+        if !outputs.is_empty() {
+            self.schedule(
+                done,
+                EventKind::EmitOutputs {
+                    flow,
+                    origin,
+                    items: outputs,
+                },
+            );
+        }
+        // Look at the mailbox again once this service is over.
+        self.schedule(done, EventKind::StartService { node });
+    }
+
+    /// An item of `flow` is present at `route[hop]`: offer it to the taps
+    /// reading the passing stream there, then either forward it one hop or
+    /// — at the end of the route — count the delivery.
+    fn dispatch_at(&mut self, flow: FlowId, hop: usize, origin: u64, item: Node) {
+        let node = self.flows[flow].route[hop];
+        let taps: Vec<FlowId> = self.children[flow]
+            .iter()
+            .copied()
+            .filter(|&c| self.flows[c].active && self.flows[c].node == node)
+            .collect();
+        for tap in taps {
+            self.enqueue(tap, origin, item.clone());
+        }
+        if hop + 1 < self.flows[flow].route.len() {
+            let next = self.flows[flow].route[hop + 1];
+            let edge_id = self
+                .topo
+                .edge_between(node, next)
+                .expect("deployment validated against topology");
+            let edge = self.topo.edge(edge_id);
+            if !edge.up {
+                self.items_lost += 1;
+                return;
+            }
+            let bytes = serialized_size(&item) as u64;
+            let tx_us = ((bytes as f64) * 8000.0 / edge.bandwidth_kbps).round() as u64;
+            self.edge_bytes[edge_id] += bytes;
+            let bucket = ((self.now / self.cfg.bucket_us) as usize)
+                .min(self.edge_bytes_buckets[edge_id].len() - 1);
+            self.edge_bytes_buckets[edge_id][bucket] += bytes;
+            self.schedule(
+                self.now + self.cfg.link_latency_us + tx_us,
+                EventKind::Arrive {
+                    flow,
+                    hop: hop + 1,
+                    origin,
+                    item,
+                },
+            );
+        } else if let Some(query) = self.deliveries.get(&flow).cloned() {
+            let latency = self.now - origin;
+            *self.delivered.entry(query.clone()).or_insert(0) += 1;
+            self.latencies
+                .entry(query.clone())
+                .or_default()
+                .push(latency);
+            match self.last_origin.get(&query) {
+                Some(&last) if origin < last => {
+                    *self.duplicates.entry(query.clone()).or_insert(0) += 1;
+                }
+                _ => {
+                    self.last_origin.insert(query.clone(), origin);
+                }
+            }
+            if let Some(since) = self.recovering_since.remove(&query) {
+                self.recoveries
+                    .entry(query.clone())
+                    .or_default()
+                    .push(self.now.saturating_sub(since));
+            }
+            self.trace_line(|_| format!("dlv {query} lat={latency}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::StreamFlow;
+    use crate::topology::grid_topology;
+    use dss_properties::{InputProperties, Properties};
+
+    fn items(n: usize) -> Vec<Node> {
+        (0..n)
+            .map(|i| {
+                Node::elem(
+                    "photon",
+                    vec![
+                        Node::leaf("en", format!("{}", 1.0 + (i % 10) as f64 / 10.0)),
+                        Node::leaf("det_time", i.to_string()),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    fn one_flow_setup() -> (Topology, Deployment, BTreeMap<FlowId, String>) {
+        let t = grid_topology(2, 2);
+        let (sp0, sp1, sp3) = (
+            t.expect_node("SP0"),
+            t.expect_node("SP1"),
+            t.expect_node("SP3"),
+        );
+        let mut d = Deployment::new();
+        let f = d.add_flow(StreamFlow {
+            label: "photons".into(),
+            input: FlowInput::Source {
+                stream: "photons".into(),
+            },
+            processing_node: sp0,
+            ops: Vec::new(),
+            route: vec![sp0, sp1, sp3],
+            properties: Some(Properties::single(InputProperties::original("photons"))),
+            retired: false,
+        });
+        let deliveries = BTreeMap::from([(f, "q".to_string())]);
+        (t, d, deliveries)
+    }
+
+    fn sources(n: usize, freq: f64) -> BTreeMap<String, SourceModel> {
+        BTreeMap::from([(
+            "photons".to_string(),
+            SourceModel::from_frequency(items(n), freq),
+        )])
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(LiveConfig::default().validate().is_ok());
+        let bad = LiveConfig {
+            duration_s: 0.0,
+            ..LiveConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::NonPositiveDuration(0.0)));
+        let bad = LiveConfig {
+            mailbox_capacity: 0,
+            ..LiveConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroMailboxCapacity));
+        let bad = LiveConfig {
+            bucket_us: 0,
+            ..LiveConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroBucket));
+    }
+
+    #[test]
+    fn delivers_all_items_with_positive_latency() {
+        let (t, d, deliveries) = one_flow_setup();
+        let cfg = LiveConfig {
+            duration_s: 30.0,
+            ..LiveConfig::default()
+        };
+        let rt = LiveRuntime::new(t, &d, sources(20, 10.0), deliveries, cfg).unwrap();
+        let (m, _) = rt.finish();
+        let q = &m.queries["q"];
+        assert_eq!(q.delivered, 20);
+        assert_eq!(q.duplicates, 0);
+        // Two hops with 200µs latency each, plus service and transmission.
+        assert!(q.latency_min_us.unwrap() >= 400);
+        assert!(q.latency_p99_us.unwrap() >= q.latency_min_us.unwrap());
+        assert_eq!(m.items_lost, 0);
+        // Both edges on the route carried every item's bytes.
+        let positive = m.edge_bytes.iter().filter(|&&b| b > 0).count();
+        assert_eq!(positive, 2);
+        // The time buckets sum to the per-edge totals.
+        for (e, total) in m.edge_bytes.iter().enumerate() {
+            assert_eq!(m.edge_bytes_buckets[e].iter().sum::<u64>(), *total);
+        }
+        assert!(m.node_work.iter().all(|&w| w >= 0.0));
+        assert!(m.queue_high_water.iter().any(|&h| h > 0));
+    }
+
+    #[test]
+    fn horizon_cuts_off_late_items() {
+        let (t, d, deliveries) = one_flow_setup();
+        // 20 items at 1 Hz but only 5 simulated seconds: items 1..=4 are
+        // emitted in time (first at t=1s), the rest never happen.
+        let cfg = LiveConfig {
+            duration_s: 5.0,
+            ..LiveConfig::default()
+        };
+        let rt = LiveRuntime::new(t, &d, sources(20, 1.0), deliveries, cfg).unwrap();
+        let (m, _) = rt.finish();
+        assert!(m.queries["q"].delivered < 20);
+        assert!(m.queries["q"].delivered >= 4);
+    }
+
+    #[test]
+    fn peer_crash_loses_traffic_and_recovery_restores_it() {
+        let (t, d, deliveries) = one_flow_setup();
+        let sp1 = t.expect_node("SP1");
+        let cfg = LiveConfig {
+            duration_s: 30.0,
+            ..LiveConfig::default()
+        };
+        let mut rt = LiveRuntime::new(t, &d, sources(25, 1.0), deliveries, cfg).unwrap();
+        // Crash the middle hop for 10 simulated seconds.
+        rt.run_until(fault::secs_to_us(10.0));
+        rt.apply_fault(&FaultEvent {
+            at_us: fault::secs_to_us(10.0),
+            kind: FaultKind::PeerCrash(sp1),
+        });
+        rt.run_until(fault::secs_to_us(20.0));
+        rt.apply_fault(&FaultEvent {
+            at_us: fault::secs_to_us(20.0),
+            kind: FaultKind::PeerRecover(sp1),
+        });
+        let (m, _) = rt.finish();
+        let q = &m.queries["q"];
+        assert!(m.items_lost > 0, "items crossing SP1 while down are lost");
+        assert!(q.delivered > 0, "items after recovery are delivered");
+        assert!(
+            (q.delivered + m.items_lost) >= 25,
+            "every emitted item is accounted for: {} + {}",
+            q.delivered,
+            m.items_lost
+        );
+    }
+
+    #[test]
+    fn link_down_drops_in_transit() {
+        let (t, d, deliveries) = one_flow_setup();
+        let e = t
+            .edge_between(t.expect_node("SP1"), t.expect_node("SP3"))
+            .unwrap();
+        let cfg = LiveConfig {
+            duration_s: 30.0,
+            ..LiveConfig::default()
+        };
+        let mut rt = LiveRuntime::new(t, &d, sources(25, 1.0), deliveries, cfg).unwrap();
+        rt.run_until(0);
+        rt.apply_fault(&FaultEvent {
+            at_us: 0,
+            kind: FaultKind::LinkDown(e),
+        });
+        let (m, _) = rt.finish();
+        assert_eq!(m.queries["q"].delivered, 0);
+        assert_eq!(m.items_lost, 25);
+    }
+
+    #[test]
+    fn identical_runs_are_byte_identical() {
+        let mk = || {
+            let (t, d, deliveries) = one_flow_setup();
+            let cfg = LiveConfig {
+                duration_s: 10.0,
+                trace: true,
+                ..LiveConfig::default()
+            };
+            let rt = LiveRuntime::new(t, &d, sources(30, 5.0), deliveries, cfg).unwrap();
+            rt.finish()
+        };
+        let (m1, t1) = mk();
+        let (m2, t2) = mk();
+        assert!(!t1.is_empty());
+        assert_eq!(t1, t2);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn tiny_mailbox_drops_bursts() {
+        let (t, d, deliveries) = one_flow_setup();
+        // 1000 Hz into a 1-item mailbox with 50µs overhead per item is
+        // sustainable, but the shared clock granularity makes bursts; use
+        // an extreme rate to force drops.
+        let cfg = LiveConfig {
+            duration_s: 5.0,
+            mailbox_capacity: 1,
+            per_item_overhead_us: 5_000,
+            ..LiveConfig::default()
+        };
+        let rt = LiveRuntime::new(t, &d, sources(200, 1000.0), deliveries, cfg).unwrap();
+        let (m, _) = rt.finish();
+        assert!(m.total_dropped() > 0, "overloaded mailbox must drop");
+        assert!(m.queries["q"].delivered > 0);
+        assert!(m.queue_high_water.iter().any(|&h| h == 1));
+    }
+}

@@ -22,6 +22,36 @@ use crate::metrics::NetworkMetrics;
 use crate::routing::path_edges;
 use crate::topology::Topology;
 
+/// An invalid simulation or runtime configuration value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `duration_s` must be strictly positive (and finite).
+    NonPositiveDuration(f64),
+    /// `forward_work_per_kb` must be non-negative.
+    NegativeForwardWork(f64),
+    /// Mailboxes need room for at least one item.
+    ZeroMailboxCapacity,
+    /// Metric time buckets must be non-empty intervals.
+    ZeroBucket,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPositiveDuration(d) => {
+                write!(f, "duration_s must be positive, got {d}")
+            }
+            ConfigError::NegativeForwardWork(w) => {
+                write!(f, "forward_work_per_kb must be non-negative, got {w}")
+            }
+            ConfigError::ZeroMailboxCapacity => write!(f, "mailbox_capacity must be at least 1"),
+            ConfigError::ZeroBucket => write!(f, "bucket_us must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
@@ -29,7 +59,8 @@ pub struct SimConfig {
     /// byte/work totals into rates. Must be positive.
     pub duration_s: f64,
     /// Forwarding work units charged per kilobyte sent or received by a
-    /// peer (before scaling with its performance index).
+    /// peer (before scaling with its performance index). Must be
+    /// non-negative.
     pub forward_work_per_kb: f64,
 }
 
@@ -42,6 +73,29 @@ impl Default for SimConfig {
     }
 }
 
+impl SimConfig {
+    /// Builds a validated configuration.
+    pub fn new(duration_s: f64, forward_work_per_kb: f64) -> Result<SimConfig, ConfigError> {
+        let cfg = SimConfig {
+            duration_s,
+            forward_work_per_kb,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks the documented invariants, returning the first violation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.duration_s.is_finite() || self.duration_s <= 0.0 {
+            return Err(ConfigError::NonPositiveDuration(self.duration_s));
+        }
+        if self.forward_work_per_kb.is_nan() || self.forward_work_per_kb < 0.0 {
+            return Err(ConfigError::NegativeForwardWork(self.forward_work_per_kb));
+        }
+        Ok(())
+    }
+}
+
 /// Result of a simulation run: metrics plus each flow's delivered items.
 #[derive(Debug)]
 pub struct SimOutcome {
@@ -51,18 +105,29 @@ pub struct SimOutcome {
     pub flow_outputs: Vec<Vec<Node>>,
 }
 
-/// Runs the deployment over the given source streams.
-///
-/// `sources` maps stream names to their item sequences. Flows are executed
-/// in id order; taps read the parent's full output (tapping never costs
-/// extra transmission — the parent stream already flows past the tap).
+/// Runs the deployment over the given source streams, panicking on an
+/// invalid configuration. See [`try_run`] for the fallible variant.
 pub fn run(
     topo: &Topology,
     deployment: &Deployment,
     sources: &BTreeMap<String, Vec<Node>>,
     cfg: SimConfig,
 ) -> SimOutcome {
-    assert!(cfg.duration_s > 0.0, "simulation duration must be positive");
+    try_run(topo, deployment, sources, cfg).unwrap_or_else(|e| panic!("invalid SimConfig: {e}"))
+}
+
+/// Runs the deployment over the given source streams.
+///
+/// `sources` maps stream names to their item sequences. Flows are executed
+/// in id order; taps read the parent's full output (tapping never costs
+/// extra transmission — the parent stream already flows past the tap).
+pub fn try_run(
+    topo: &Topology,
+    deployment: &Deployment,
+    sources: &BTreeMap<String, Vec<Node>>,
+    cfg: SimConfig,
+) -> Result<SimOutcome, ConfigError> {
+    cfg.validate()?;
     deployment.validate(topo);
     let mut metrics = NetworkMetrics::new(topo, cfg.duration_s);
     let mut flow_outputs: Vec<Vec<Node>> = Vec::with_capacity(deployment.len());
@@ -119,10 +184,10 @@ pub fn run(
         flow_outputs.push(outputs);
     }
 
-    SimOutcome {
+    Ok(SimOutcome {
         metrics,
         flow_outputs,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -284,6 +349,48 @@ mod tests {
                 .total_edge_bytes()
         };
         assert_eq!(out.metrics.total_edge_bytes(), without_tap);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SimConfig::new(60.0, 1.0).is_ok());
+        assert!(matches!(
+            SimConfig::new(0.0, 1.0),
+            Err(ConfigError::NonPositiveDuration(_))
+        ));
+        assert!(matches!(
+            SimConfig::new(f64::NAN, 1.0),
+            Err(ConfigError::NonPositiveDuration(_))
+        ));
+        assert!(matches!(
+            SimConfig::new(60.0, -1.0),
+            Err(ConfigError::NegativeForwardWork(_))
+        ));
+        assert!(SimConfig::new(60.0, 0.0).is_ok());
+        assert!(SimConfig::default().validate().is_ok());
+        // try_run surfaces the error instead of panicking.
+        let t = grid_topology(2, 2);
+        let d = Deployment::new();
+        let bad = SimConfig {
+            duration_s: -3.0,
+            ..SimConfig::default()
+        };
+        assert_eq!(
+            try_run(&t, &d, &BTreeMap::new(), bad).err(),
+            Some(ConfigError::NonPositiveDuration(-3.0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_s must be positive")]
+    fn invalid_config_panics_in_run() {
+        let t = grid_topology(2, 2);
+        let d = Deployment::new();
+        let bad = SimConfig {
+            duration_s: 0.0,
+            ..SimConfig::default()
+        };
+        run(&t, &d, &BTreeMap::new(), bad);
     }
 
     #[test]

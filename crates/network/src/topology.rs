@@ -31,6 +31,9 @@ pub struct Edge {
     pub b: NodeId,
     /// Maximum bandwidth `b(e)` in kilobits per second.
     pub bandwidth_kbps: f64,
+    /// `false` while the link is down (fault injection); the planner routes
+    /// around down links and the live runtime drops traffic on them.
+    pub up: bool,
 }
 
 impl Edge {
@@ -54,6 +57,9 @@ pub struct Peer {
     /// Performance index `pindex(v)`: relative cost multiplier of executing
     /// one work unit on this peer (1.0 = reference peer; larger = slower).
     pub pindex: f64,
+    /// `false` while the peer is crashed (fault injection); the planner
+    /// routes around down peers and the live runtime drops their traffic.
+    pub up: bool,
 }
 
 /// An undirected super-peer network topology.
@@ -98,6 +104,7 @@ impl Topology {
             kind,
             capacity,
             pindex,
+            up: true,
         });
         self.adj.push(Vec::new());
         id
@@ -127,6 +134,7 @@ impl Topology {
             a,
             b,
             bandwidth_kbps,
+            up: true,
         });
         self.adj[a].push(id);
         self.adj[b].push(id);
@@ -207,6 +215,17 @@ impl Topology {
             .iter()
             .copied()
             .find(|&e| self.edges[e].other(a) == b)
+    }
+
+    /// Marks a peer as up (alive) or down (crashed). Routing skips down
+    /// peers; the live runtime loses traffic addressed to them.
+    pub fn set_peer_up(&mut self, id: NodeId, up: bool) {
+        self.peers[id].up = up;
+    }
+
+    /// Marks a connection as up or down.
+    pub fn set_edge_up(&mut self, id: EdgeId, up: bool) {
+        self.edges[id].up = up;
     }
 
     /// Ids of all super-peers.

@@ -197,6 +197,17 @@ impl ScenarioOutcome {
     pub fn simulate(&self, cfg: SimConfig) -> SimOutcome {
         self.system.run_simulation(cfg)
     }
+
+    /// Timed mode: runs the installed deployment under the discrete-event
+    /// live runtime, replaying `faults` (peer crashes trigger automatic
+    /// re-subscription of affected queries).
+    pub fn run_live(
+        &mut self,
+        cfg: dss_network::runtime::LiveConfig,
+        faults: &dss_network::runtime::FaultScript,
+    ) -> Result<dss_core::LiveOutcome, SystemError> {
+        self.system.run_live(cfg, faults)
+    }
 }
 
 /// The example network of Figures 1/2 with the `photons` stream registered
@@ -288,6 +299,25 @@ mod tests {
             b.queries.iter().map(|q| &q.text).collect::<Vec<_>>()
         );
         assert_eq!(a.streams[0].items, b.streams[0].items);
+    }
+
+    #[test]
+    fn scenario1_timed_mode_delivers() {
+        let s = Scenario::scenario1(42);
+        let mut out = s.run(Strategy::StreamSharing, false);
+        let cfg = dss_network::runtime::LiveConfig {
+            duration_s: 2.0,
+            ..Default::default()
+        };
+        let live = out
+            .run_live(cfg, &dss_network::runtime::FaultScript::new())
+            .unwrap();
+        assert!(
+            live.metrics.queries.values().any(|q| q.delivered > 0),
+            "some selection query must deliver within 2 simulated seconds"
+        );
+        assert!(live.failovers.is_empty());
+        assert_eq!(live.metrics.items_lost, 0);
     }
 
     #[test]

@@ -43,6 +43,43 @@ fn scenario_runs_are_reproducible() {
     assert_ne!(a, c, "different seeds should differ");
 }
 
+fn live_fingerprint(seed: u64) -> String {
+    use data_stream_sharing::network::runtime::{FaultScript, LiveConfig};
+    let scenario = Scenario::scenario1(seed);
+    let mut outcome = scenario.run(Strategy::StreamSharing, false);
+    assert!(outcome.errored.is_empty());
+    let sp5 = scenario.topology.expect_node("SP5");
+    let cfg = LiveConfig {
+        duration_s: 4.0,
+        trace: true,
+        ..Default::default()
+    };
+    let live = outcome
+        .run_live(cfg, &FaultScript::new().crash_peer(1.5, sp5))
+        .expect("live run succeeds");
+    let mut fp = live.trace.join("\n");
+    fp.push_str(&format!("\nmetrics:{:?}\n", live.metrics));
+    for flow in outcome.system.deployment().flows() {
+        fp.push_str(&format!(
+            "{}:{:?}:{}\n",
+            flow.label, flow.route, flow.retired
+        ));
+    }
+    fp
+}
+
+#[test]
+fn live_runs_with_faults_are_reproducible() {
+    // Same seed and fault script ⇒ byte-identical event traces, metrics,
+    // and post-failover deployments. The live runtime's heap ordering,
+    // failover re-planning, and metric folds must all be deterministic.
+    let a = live_fingerprint(42);
+    let b = live_fingerprint(42);
+    assert_eq!(a, b, "two identical live runs diverged");
+    let c = live_fingerprint(43);
+    assert_ne!(a, c, "different seeds should differ");
+}
+
 #[test]
 fn estimates_track_measured_sizes() {
     // The cost model's projected_size must be a sane predictor of the

@@ -58,8 +58,8 @@ fn window_contents_share_end_to_end() {
 }
 
 /// Widening then unregistration interact safely: after the widening query
-/// leaves, the (still widened) stream keeps serving the original consumer
-/// correctly.
+/// leaves, the stream is narrowed back to its original shape and keeps
+/// serving the original consumer correctly.
 #[test]
 fn widening_survives_unregistration_of_the_widener() {
     let mut sys = example_network();
@@ -87,6 +87,73 @@ fn widening_survives_unregistration_of_the_widener() {
     let solo_sim = solo.run_simulation(SimConfig::default());
     assert!(!q2_results.is_empty());
     assert_eq!(q2_results, &solo_sim.flow_outputs[solo2.delivery_flow]);
+}
+
+/// Unregistering the last widening consumer narrows the stream back: the
+/// widened label and the survivors' restore patches disappear, and the
+/// planner's resource charges return to their pre-widening values.
+#[test]
+fn unregistering_last_widener_narrows_the_stream_back() {
+    let mut sys = example_network();
+    sys.set_widening(true);
+    sys.register_query("q2", queries::Q2, "P1", Strategy::StreamSharing)
+        .unwrap();
+    // Snapshot the planner charges with only q2 installed.
+    let edges_before = sys.state().edge_used_kbps.clone();
+    let nodes_before = sys.state().node_used_work.clone();
+    let labels_before: Vec<String> = sys
+        .deployment()
+        .flows()
+        .iter()
+        .filter(|f| !f.retired)
+        .map(|f| f.label.clone())
+        .collect();
+
+    let reg1 = sys
+        .register_query("q1", queries::Q1, "P3", Strategy::StreamSharing)
+        .unwrap();
+    assert!(reg1.plan.parts[0].widen.is_some(), "q1 widens q2's stream");
+    assert!(
+        sys.deployment()
+            .flows()
+            .iter()
+            .any(|f| !f.retired && f.label.contains("+widened")),
+        "the widened stream must be visibly relabeled"
+    );
+
+    sys.unregister_query("q1").unwrap();
+
+    // The widened stream reverted: same labels as before q1 arrived…
+    let labels_after: Vec<String> = sys
+        .deployment()
+        .flows()
+        .iter()
+        .filter(|f| !f.retired)
+        .map(|f| f.label.clone())
+        .collect();
+    assert_eq!(labels_before, labels_after);
+    // …and the charges match the pre-widening snapshot (the widening's
+    // extra bandwidth and the survivors' restore-patch work are released).
+    for (e, (&before, &after)) in edges_before
+        .iter()
+        .zip(sys.state().edge_used_kbps.iter())
+        .enumerate()
+    {
+        assert!(
+            (before - after).abs() < 1e-6,
+            "edge {e}: {before} kbps before widening vs {after} after narrow-back"
+        );
+    }
+    for (v, (&before, &after)) in nodes_before
+        .iter()
+        .zip(sys.state().node_used_work.iter())
+        .enumerate()
+    {
+        assert!(
+            (before - after).abs() < 1e-6,
+            "node {v}: work {before} before widening vs {after} after narrow-back"
+        );
+    }
 }
 
 /// Unregistering in arbitrary orders never corrupts remaining consumers.

@@ -172,6 +172,156 @@ fn sharing_reuses_many_streams_in_scenario1() {
 }
 
 #[test]
+fn super_peer_crash_replans_and_keeps_delivering() {
+    // The paper's motivating deployment routes the shared stream through
+    // SP5. Crash SP5 mid-run: the queries riding it (q1 at P1, q2 at P2)
+    // must be re-planned onto surviving streams and keep delivering, while
+    // the untouched q_east at P4 never stops.
+    use data_stream_sharing::core::Strategy;
+    use data_stream_sharing::network::runtime::{FaultScript, LiveConfig};
+    use data_stream_sharing::wxquery::queries;
+
+    let mut system = dss_rass::scenario::example_network();
+    for (name, text, peer) in [
+        ("q_east", queries::Q1, "P4"),
+        ("q1", queries::Q1, "P1"),
+        ("q2", queries::Q2, "P2"),
+    ] {
+        system
+            .register_query(name, text, peer, Strategy::StreamSharing)
+            .expect("query registers");
+    }
+    let sp5 = system.topology().expect_node("SP5");
+    assert!(
+        system
+            .deployment()
+            .flows()
+            .iter()
+            .any(|f| !f.retired && (f.processing_node == sp5 || f.route.contains(&sp5))),
+        "precondition: the shared deployment must actually use SP5"
+    );
+
+    let cfg = LiveConfig {
+        duration_s: 60.0,
+        ..Default::default()
+    };
+    let faults = FaultScript::new().crash_peer(10.0, sp5);
+    let outcome = system.run_live(cfg, &faults).expect("live run succeeds");
+
+    assert_eq!(outcome.failovers.len(), 1);
+    let report = &outcome.failovers[0];
+    assert_eq!(report.peer, sp5);
+    assert!(
+        report.failed.is_empty(),
+        "failed replans: {:?}",
+        report.failed
+    );
+    let mut replanned: Vec<&str> = report
+        .replanned
+        .iter()
+        .map(|r| r.query_id.as_str())
+        .collect();
+    replanned.sort_unstable();
+    assert_eq!(replanned, ["q1", "q2"], "exactly the SP5 riders re-plan");
+
+    // The re-planned deployment must avoid the dead peer entirely.
+    for f in system.deployment().flows().iter().filter(|f| !f.retired) {
+        assert_ne!(f.processing_node, sp5, "{} still processed at SP5", f.label);
+        assert!(!f.route.contains(&sp5), "{} still routed via SP5", f.label);
+    }
+
+    // Every query delivers; the re-planned ones record a recovery time.
+    for q in ["q_east", "q1", "q2"] {
+        let m = &outcome.metrics.queries[q];
+        assert!(m.delivered > 0, "{q} delivered nothing");
+    }
+    for q in ["q1", "q2"] {
+        let m = &outcome.metrics.queries[q];
+        assert!(
+            !m.recoveries_us.is_empty(),
+            "{q} should record its post-fault recovery"
+        );
+    }
+    assert!(outcome.metrics.queries["q_east"].recoveries_us.is_empty());
+}
+
+#[test]
+fn unperturbed_live_run_matches_batch_results() {
+    // Without faults, the live runtime is just a timed replay of the same
+    // deployment the batch simulator processes: it must not change what
+    // queries receive, only add timestamps.
+    use data_stream_sharing::core::Strategy;
+    use data_stream_sharing::network::runtime::{FaultScript, LiveConfig};
+
+    let scenario = Scenario::scenario1(42);
+    let mut out = scenario.run(Strategy::StreamSharing, false);
+    let batch = out.simulate(sim_cfg(&scenario));
+    let cfg = LiveConfig {
+        duration_s: sim_cfg(&scenario).duration_s + 1.0,
+        ..Default::default()
+    };
+    let live = out
+        .run_live(cfg, &FaultScript::new())
+        .expect("live run succeeds");
+    assert!(live.failovers.is_empty());
+    assert_eq!(live.metrics.items_lost, 0);
+    assert_eq!(live.metrics.total_dropped(), 0);
+
+    // Windowed operators buffer state that the batch simulator flushes at
+    // end-of-input but the live runtime (deliberately) does not, so
+    // windowed chains may deliver fewer items — never more, and never
+    // different ones. Stateless chains must match the batch run exactly.
+    use data_stream_sharing::network::{FlowInput, FlowOp};
+    use data_stream_sharing::properties::Operator;
+    let chain_is_stateless = |flow: usize| -> bool {
+        let mut cur = Some(flow);
+        while let Some(id) = cur {
+            let f = &out.system.deployment().flows()[id];
+            let windowed = f.ops.iter().any(|op| {
+                matches!(
+                    op,
+                    FlowOp::Standard(Operator::Aggregation(_))
+                        | FlowOp::Standard(Operator::WindowOutput(_))
+                        | FlowOp::ReAggregate { .. }
+                        | FlowOp::ReWindow { .. }
+                )
+            });
+            if windowed {
+                return false;
+            }
+            cur = match f.input {
+                FlowInput::Tap { parent } => Some(parent),
+                FlowInput::Source { .. } => None,
+            };
+        }
+        true
+    };
+    let mut stateless_queries = 0;
+    for reg in &out.registrations {
+        let delivered = live.metrics.queries[&reg.query_id].delivered;
+        let batch_count = batch.flow_outputs[reg.delivery_flow].len() as u64;
+        if chain_is_stateless(reg.delivery_flow) {
+            stateless_queries += 1;
+            assert_eq!(
+                delivered, batch_count,
+                "stateless query {}: live delivered {delivered}, batch {batch_count}",
+                reg.query_id
+            );
+        } else {
+            assert!(
+                delivered <= batch_count,
+                "windowed query {}: live delivered {delivered} > batch {batch_count}",
+                reg.query_id
+            );
+        }
+    }
+    assert!(
+        stateless_queries > 0,
+        "scenario 1 should contain selection-only template queries"
+    );
+}
+
+#[test]
 fn different_seeds_preserve_shapes() {
     for seed in [1u64, 7, 1234] {
         let scenario = Scenario::scenario1(seed);
