@@ -1,0 +1,157 @@
+//! Intra-peer operator sharing: cost of running N flows with the identical
+//! operator chain over one stream at one peer, fused into a prefix-sharing
+//! DAG vs. one pipeline per flow.
+//!
+//! Besides the timing numbers, a `cargo bench` run writes the measured
+//! per-peer work totals to `BENCH_shared_prefix.json` — the headline is
+//! the work ratio at 16 flows (≥3x less when fused; by construction the
+//! fully shared chain executes once instead of 16 times).
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dss_bench::json::number;
+use dss_network::{
+    grid_topology, run, Deployment, FlowInput, FlowOp, SimConfig, StreamFlow, Topology,
+};
+use dss_predicate::{Atom, CompOp, PredicateGraph};
+use dss_properties::{
+    AggOp, AggregationSpec, InputProperties, Operator, Properties, ResultFilter, WindowSpec,
+};
+use dss_rass::{GeneratorConfig, PhotonGenerator};
+use dss_xml::{Decimal, Node, Path};
+
+const FLOW_COUNTS: [usize; 3] = [1, 4, 16];
+const N_ITEMS: usize = 2_000;
+
+/// The shared chain: σ(en ≥ 1.2) → Φ avg over |det_time diff 20 step 10|.
+fn chain() -> Vec<FlowOp> {
+    let sel = PredicateGraph::from_atoms(&[Atom::var_const(
+        "en".parse::<Path>().unwrap(),
+        CompOp::Ge,
+        "1.2".parse::<Decimal>().unwrap(),
+    )]);
+    let agg = AggregationSpec {
+        op: AggOp::Avg,
+        element: "en".parse().unwrap(),
+        window: WindowSpec::diff(
+            "det_time".parse().unwrap(),
+            Decimal::from_int(20),
+            Some(Decimal::from_int(10)),
+        )
+        .unwrap(),
+        pre_selection: PredicateGraph::new(),
+        result_filter: ResultFilter::none(),
+    };
+    vec![
+        FlowOp::Standard(Operator::Selection(sel)),
+        FlowOp::Standard(Operator::Aggregation(agg)),
+    ]
+}
+
+/// One source flow SP0→SP1 plus `n` identical taps processed at SP1.
+fn deployment(n: usize) -> (Topology, Deployment) {
+    let t = grid_topology(2, 2);
+    let (sp0, sp1) = (t.expect_node("SP0"), t.expect_node("SP1"));
+    let mut d = Deployment::new();
+    let src = d.add_flow(StreamFlow {
+        label: "photons".into(),
+        input: FlowInput::Source {
+            stream: "photons".into(),
+        },
+        processing_node: sp0,
+        ops: Vec::new(),
+        route: vec![sp0, sp1],
+        properties: Some(Properties::single(InputProperties::original("photons"))),
+        retired: false,
+    });
+    for i in 0..n {
+        d.add_flow(StreamFlow {
+            label: format!("tap{i}"),
+            input: FlowInput::Tap { parent: src },
+            processing_node: sp1,
+            ops: chain(),
+            route: vec![sp1],
+            properties: None,
+            retired: false,
+        });
+    }
+    (t, d)
+}
+
+fn sources() -> BTreeMap<String, Vec<Node>> {
+    let cfg = GeneratorConfig {
+        seed: 7,
+        mean_time_increment: 0.1,
+        ..GeneratorConfig::default()
+    };
+    let mut m = BTreeMap::new();
+    m.insert(
+        "photons".to_string(),
+        PhotonGenerator::new(cfg).generate_items(N_ITEMS),
+    );
+    m
+}
+
+/// Forwarding work zeroed so `node_work` isolates operator execution.
+fn cfg(shared_ops: bool) -> SimConfig {
+    SimConfig {
+        forward_work_per_kb: 0.0,
+        shared_ops,
+        ..SimConfig::default()
+    }
+}
+
+fn bench_shared_prefix(c: &mut Criterion) {
+    let src = sources();
+    let mut g = c.benchmark_group("shared_prefix/sim");
+    g.throughput(Throughput::Elements(N_ITEMS as u64));
+    for n in FLOW_COUNTS {
+        let (t, d) = deployment(n);
+        g.bench_with_input(BenchmarkId::new("fused", n), &n, |b, _| {
+            b.iter(|| run(&t, &d, &src, cfg(true)).metrics.node_work.len())
+        });
+        g.bench_with_input(BenchmarkId::new("unfused", n), &n, |b, _| {
+            b.iter(|| run(&t, &d, &src, cfg(false)).metrics.node_work.len())
+        });
+    }
+    g.finish();
+
+    // Work accounting, written once per `cargo bench` invocation.
+    if std::env::args().any(|a| a == "--bench") {
+        let src = sources();
+        let mut fused_work = Vec::new();
+        let mut unfused_work = Vec::new();
+        for n in FLOW_COUNTS {
+            let (t, d) = deployment(n);
+            let sp1 = t.expect_node("SP1");
+            fused_work.push(run(&t, &d, &src, cfg(true)).metrics.node_work[sp1]);
+            unfused_work.push(run(&t, &d, &src, cfg(false)).metrics.node_work[sp1]);
+        }
+        let list = |vals: &[f64]| {
+            vals.iter()
+                .map(|&v| number(v))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let ratios: Vec<f64> = fused_work
+            .iter()
+            .zip(&unfused_work)
+            .map(|(f, u)| u / f)
+            .collect();
+        let json = format!(
+            "{{\"bench\":\"shared_prefix\",\"items\":{N_ITEMS},\"flows\":[{}],\
+             \"fused_work\":[{}],\"unfused_work\":[{}],\"work_ratio\":[{}]}}\n",
+            FLOW_COUNTS.map(|n| n.to_string()).join(","),
+            list(&fused_work),
+            list(&unfused_work),
+            list(&ratios),
+        );
+        let path = "BENCH_shared_prefix.json";
+        std::fs::write(path, &json).expect("write bench results");
+        println!("shared_prefix work ratios {ratios:?} -> {path}");
+    }
+}
+
+criterion_group!(benches, bench_shared_prefix);
+criterion_main!(benches);

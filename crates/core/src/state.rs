@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use dss_network::{Deployment, EdgeId, FlowId, NodeId, Topology};
+use dss_network::{ops_mergeable, Deployment, EdgeId, FlowId, FlowOp, GroupKey, NodeId, Topology};
 
 use crate::cost::{CostParams, StreamEstimate};
 use crate::stats::StreamStats;
@@ -21,6 +21,182 @@ pub struct FlowCharge {
     pub edge_kbps: Vec<(EdgeId, f64)>,
     /// Estimated work units per second charged per peer.
     pub node_work: Vec<(NodeId, f64)>,
+}
+
+/// Estimate-level mirror of the runtime's intra-peer operator sharing:
+/// a refcounted prefix trie per (peer, input stream) of the operator
+/// charges installed there. A newly registered flow only pays for the
+/// operators no earlier flow already runs — shared-prefix work is charged
+/// once and split across sharers, keeping the planner's `u_l(v)` (and so
+/// `a_l(v)`) consistent with what the fused executor actually does.
+///
+/// Scope: only the install-time operator charges of new flows route
+/// through the book. Widening patch charges (and their narrow-back
+/// reversals) stay on the exact-recompute [`FlowCharge`] paths — the book
+/// releases exactly what it charged, never more, so both mechanisms
+/// compose. A node's stored `work` is the estimate at creation time;
+/// later sharers joining at a different estimated input frequency add
+/// nothing (the instance already runs), which keeps release exact.
+#[derive(Debug, Default)]
+pub struct ShareBook {
+    groups: Vec<BookGroup>,
+    group_of: BTreeMap<(NodeId, GroupKey), usize>,
+    paths: BTreeMap<FlowId, BookPath>,
+}
+
+#[derive(Debug)]
+struct BookGroup {
+    peer: NodeId,
+    roots: Vec<usize>,
+    /// Arena; pruned slots stay `None` (installs are rare — no free list).
+    nodes: Vec<Option<BookNode>>,
+}
+
+#[derive(Debug)]
+struct BookNode {
+    op: FlowOp,
+    /// Estimated work/s charged when this node was created.
+    work: f64,
+    sharers: usize,
+    children: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct BookPath {
+    group: usize,
+    nodes: Vec<usize>,
+}
+
+impl ShareBook {
+    /// Records `flow`'s operator chain at `peer` for input `key` and
+    /// returns the newly charged work/s: `unit_work` summed over exactly
+    /// the operators no existing sharer already runs (per
+    /// [`ops_mergeable`]).
+    ///
+    /// # Panics
+    /// Panics if `flow` already has a recorded chain.
+    pub fn register(
+        &mut self,
+        flow: FlowId,
+        peer: NodeId,
+        key: GroupKey,
+        ops: &[FlowOp],
+        unit_work: impl Fn(&FlowOp) -> f64,
+    ) -> f64 {
+        assert!(
+            !self.paths.contains_key(&flow),
+            "flow {flow} has shared op charges recorded twice"
+        );
+        let group = match self.group_of.get(&(peer, key.clone())) {
+            Some(&g) => g,
+            None => {
+                let g = self.groups.len();
+                self.groups.push(BookGroup {
+                    peer,
+                    roots: Vec::new(),
+                    nodes: Vec::new(),
+                });
+                self.group_of.insert((peer, key), g);
+                g
+            }
+        };
+        let g = &mut self.groups[group];
+        fn node(nodes: &[Option<BookNode>], i: usize) -> &BookNode {
+            nodes[i].as_ref().expect("live book node")
+        }
+        let mut added = 0.0;
+        let mut path = Vec::with_capacity(ops.len());
+        let mut parent: Option<usize> = None;
+        for op in ops {
+            let siblings = match parent {
+                None => &g.roots,
+                Some(p) => &node(&g.nodes, p).children,
+            };
+            let found = siblings
+                .iter()
+                .copied()
+                .find(|&c| ops_mergeable(&node(&g.nodes, c).op, op));
+            let idx = match found {
+                Some(c) => {
+                    g.nodes[c].as_mut().expect("live book node").sharers += 1;
+                    c
+                }
+                None => {
+                    let w = unit_work(op);
+                    added += w;
+                    let idx = g.nodes.len();
+                    g.nodes.push(Some(BookNode {
+                        op: op.clone(),
+                        work: w,
+                        sharers: 1,
+                        children: Vec::new(),
+                    }));
+                    match parent {
+                        None => g.roots.push(idx),
+                        Some(p) => g.nodes[p]
+                            .as_mut()
+                            .expect("live book node")
+                            .children
+                            .push(idx),
+                    }
+                    idx
+                }
+            };
+            path.push(idx);
+            parent = Some(idx);
+        }
+        self.paths.insert(flow, BookPath { group, nodes: path });
+        added
+    }
+
+    /// Drops `flow`'s recorded chain, returning the peer and the work/s
+    /// freed by the operators it was the last sharer of. `None` when the
+    /// flow never registered shared charges.
+    pub fn retire(&mut self, flow: FlowId) -> Option<(NodeId, f64)> {
+        let BookPath { group, nodes: path } = self.paths.remove(&flow)?;
+        let g = &mut self.groups[group];
+        for &idx in &path {
+            g.nodes[idx].as_mut().expect("live book node").sharers -= 1;
+        }
+        let mut freed = 0.0;
+        for i in (0..path.len()).rev() {
+            let idx = path[i];
+            let n = g.nodes[idx].as_ref().expect("live book node");
+            if n.sharers > 0 {
+                break;
+            }
+            freed += n.work;
+            match i.checked_sub(1) {
+                None => g.roots.retain(|&r| r != idx),
+                Some(pi) => {
+                    let p = path[pi];
+                    g.nodes[p]
+                        .as_mut()
+                        .expect("live book node")
+                        .children
+                        .retain(|&c| c != idx);
+                }
+            }
+            g.nodes[idx] = None;
+        }
+        Some((g.peer, freed))
+    }
+
+    /// `flow`'s fair share of the work it rides: each node's charge
+    /// divided by its current sharer count.
+    pub fn attributed_work(&self, flow: FlowId) -> f64 {
+        let Some(p) = self.paths.get(&flow) else {
+            return 0.0;
+        };
+        let g = &self.groups[p.group];
+        p.nodes
+            .iter()
+            .map(|&i| {
+                let n = g.nodes[i].as_ref().expect("live book node");
+                n.work / n.sharers as f64
+            })
+            .sum()
+    }
 }
 
 /// Mutable network state shared by planning and installation.
@@ -40,6 +216,8 @@ pub struct NetworkState {
     pub edge_used_kbps: Vec<f64>,
     /// Estimated work currently executed per peer (work units per second).
     pub node_used_work: Vec<f64>,
+    /// Refcounted install-time operator charges (intra-peer sharing).
+    pub share_book: ShareBook,
     /// Cost-model parameters.
     pub params: CostParams,
 }
@@ -58,6 +236,7 @@ impl NetworkState {
             flow_charges: Vec::new(),
             edge_used_kbps: vec![0.0; edges],
             node_used_work: vec![0.0; nodes],
+            share_book: ShareBook::default(),
             params,
         }
     }
@@ -149,7 +328,36 @@ impl NetworkState {
         }
     }
 
-    /// Reverses every charge attributed to `flow` (flow retirement).
+    /// Charges `flow`'s operator chain at peer `v` through the sharing
+    /// book: only operators not already run by a sharing sibling (same
+    /// peer, same input `key`, mergeable prefix) add to `node_used_work`.
+    pub fn charge_shared_ops_for(
+        &mut self,
+        flow: FlowId,
+        v: NodeId,
+        key: GroupKey,
+        ops: &[FlowOp],
+        input_frequency: f64,
+    ) {
+        if ops.is_empty() {
+            return;
+        }
+        let pindex = self.topo.peer(v).pindex;
+        let added = self.share_book.register(flow, v, key, ops, |op| {
+            crate::plan::flow_op_base_load(op) * pindex * input_frequency
+        });
+        self.node_used_work[v] += added;
+    }
+
+    /// `flow`'s fair share of the shared operator work it rides.
+    pub fn shared_attributed_work(&self, flow: FlowId) -> f64 {
+        self.share_book.attributed_work(flow)
+    }
+
+    /// Reverses every charge attributed to `flow` (flow retirement),
+    /// including its sharing-book entry: operators the flow was the last
+    /// sharer of free their charge, shared ones stay paid for by the
+    /// remaining sharers.
     pub fn uncharge_flow(&mut self, flow: usize) {
         let charge = std::mem::take(&mut self.flow_charges[flow]);
         for (e, kbps) in charge.edge_kbps {
@@ -157,6 +365,9 @@ impl NetworkState {
         }
         for (v, work) in charge.node_work {
             self.node_used_work[v] -= work;
+        }
+        if let Some((v, freed)) = self.share_book.retire(flow) {
+            self.node_used_work[v] -= freed;
         }
     }
 }
@@ -190,6 +401,62 @@ mod tests {
         st.uncharge_flow(0);
         assert!((st.available_bandwidth_frac(e) - 1.0).abs() < 1e-12);
         assert!((st.available_load_frac(a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn share_book_charges_prefix_once_and_frees_last_sharer() {
+        use dss_properties::Operator;
+        let udf = |name: &str| {
+            FlowOp::Standard(Operator::Udf {
+                name: name.into(),
+                params: Vec::new(),
+            })
+        };
+        let mut book = ShareBook::default();
+        let unit = |_: &FlowOp| 10.0;
+        // Flow 0 installs σ-like prefix [a, b]: both charged.
+        let key = GroupKey::Tap(7);
+        let added = book.register(0, 3, key.clone(), &[udf("a"), udf("b")], unit);
+        assert!((added - 20.0).abs() < 1e-12);
+        // Flow 1 shares [a] and adds [c]: only c is charged.
+        let added = book.register(1, 3, key.clone(), &[udf("a"), udf("c")], unit);
+        assert!((added - 10.0).abs() < 1e-12);
+        // Fair split: flow 0 rides a (half) + b (alone).
+        assert!((book.attributed_work(0) - 15.0).abs() < 1e-12);
+        // Same ops at a different peer share nothing.
+        let added = book.register(2, 4, key.clone(), &[udf("a")], unit);
+        assert!((added - 10.0).abs() < 1e-12);
+        // Retiring flow 0 frees b only; a stays paid for flow 1.
+        let (peer, freed) = book.retire(0).unwrap();
+        assert_eq!(peer, 3);
+        assert!((freed - 10.0).abs() < 1e-12);
+        assert!((book.attributed_work(1) - 20.0).abs() < 1e-12);
+        // Retiring the last sharer frees the rest.
+        let (_, freed) = book.retire(1).unwrap();
+        assert!((freed - 20.0).abs() < 1e-12);
+        assert!(book.retire(1).is_none(), "already retired");
+    }
+
+    #[test]
+    fn uncharge_flow_releases_share_book_entry() {
+        let topo = grid_topology(2, 2);
+        let mut st = NetworkState::new(topo, CostParams::default());
+        let ops = vec![FlowOp::Standard(dss_properties::Operator::Udf {
+            name: "u".into(),
+            params: Vec::new(),
+        })];
+        st.flow_charges.push(FlowCharge::default());
+        st.flow_charges.push(FlowCharge::default());
+        st.charge_shared_ops_for(0, 1, GroupKey::Source("s".into()), &ops, 100.0);
+        let one_flow = st.node_used_work[1];
+        assert!(one_flow > 0.0);
+        // A second identical flow shares the whole chain: no extra charge.
+        st.charge_shared_ops_for(1, 1, GroupKey::Source("s".into()), &ops, 100.0);
+        assert_eq!(st.node_used_work[1], one_flow);
+        st.uncharge_flow(0);
+        assert_eq!(st.node_used_work[1], one_flow, "flow 1 still pays");
+        st.uncharge_flow(1);
+        assert!(st.node_used_work[1].abs() < 1e-12);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use dss_network::{
-    sim, ConfigError, Deployment, FlowId, FlowInput, FlowOp, NodeId, PeerKind, SimConfig,
+    sim, ConfigError, Deployment, FlowId, FlowInput, FlowOp, GroupKey, NodeId, PeerKind, SimConfig,
     SimOutcome, StreamFlow, Topology,
 };
 use dss_properties::Properties;
@@ -394,10 +394,17 @@ impl StreamGlobe {
             self.state
                 .charge_route_for(flow, &part.route, part.estimate);
             if !part.ops.is_empty() {
-                let bload: f64 = part.ops.iter().map(flow_op_base_load).sum();
                 let input_freq = self.state.flow_estimate(parent).frequency;
-                self.state
-                    .charge_node_for(flow, part.tap_node, bload, input_freq);
+                // Route through the sharing book: operators an earlier flow
+                // already runs at this tap (same input, mergeable prefix)
+                // are not charged again — the fused executor runs them once.
+                self.state.charge_shared_ops_for(
+                    flow,
+                    part.tap_node,
+                    GroupKey::Tap(parent),
+                    &part.ops,
+                    input_freq,
+                );
             }
             upstream.push(flow);
         }
@@ -419,10 +426,14 @@ impl StreamGlobe {
             .push(crate::state::FlowCharge::default());
         self.state
             .charge_route_for(delivery_flow, &plan.deliver_route, plan.result_estimate);
-        let post_bload: f64 = plan.post_ops.iter().map(flow_op_base_load).sum();
         let input_freq = self.state.flow_estimate(parent).frequency;
-        self.state
-            .charge_node_for(delivery_flow, plan.post_node, post_bload, input_freq);
+        self.state.charge_shared_ops_for(
+            delivery_flow,
+            plan.post_node,
+            GroupKey::Tap(parent),
+            &plan.post_ops,
+            input_freq,
+        );
 
         self.registrations.push(Installed {
             query_id: query_id.clone(),

@@ -55,7 +55,10 @@ impl StreamOperator for UdfOp {
 }
 
 /// Instantiates one executable operator from its properties description.
-pub fn build_operator(op: &Operator) -> Box<dyn StreamOperator> {
+/// The returned operator is `Send` so shared-DAG executors can run it on a
+/// worker thread; it coerces to a plain `Box<dyn StreamOperator>` wherever
+/// one is expected.
+pub fn build_operator(op: &Operator) -> Box<dyn StreamOperator + Send> {
     match op {
         Operator::Selection(g) => Box::new(SelectOp::new(g.clone())),
         Operator::Projection(spec) => Box::new(ProjectOp::new(spec.clone())),

@@ -1,0 +1,634 @@
+//! A prefix-sharing operator DAG: many operator chains fused into one
+//! executable trie.
+//!
+//! Several continuous queries consuming the same input stream at one peer
+//! frequently start with the *same* leading operators (the common
+//! selection/projection prefix of a query template). Executing each
+//! chain as its own [`Pipeline`](crate::Pipeline) re-runs that prefix once
+//! per chain and per item. An [`OpDag`] instead merges equal prefixes into
+//! single trie nodes: each input item runs through every shared node
+//! exactly once, and a fan-out routes node outputs to the per-chain
+//! *sinks* — so per-item work grows with the number of *distinct*
+//! operators, not the number of chains.
+//!
+//! Merging is controlled by a caller-supplied `mergeable` predicate over
+//! the caller's operator keys (`K`), because only the caller knows when
+//! two operator descriptions may share one instance (stateless operators:
+//! structural equality; windowed operators: only when their window specs
+//! match — the paper's `MatchAggregations` rule).
+//!
+//! Chains register and retire dynamically. [`OpDag::reregister`] replaces
+//! a sink's chain while keeping the nodes of the unchanged leading prefix
+//! alive — including their buffered window state — and rebuilding only the
+//! suffix below the first changed operator.
+//!
+//! Output semantics are item-for-item identical to running each chain as
+//! its own `Pipeline`: per-node short-circuiting on empty output, and
+//! flushes that cascade upstream-drained items through downstream
+//! operators before those drain their own state.
+
+use std::collections::BTreeMap;
+
+use dss_xml::Node;
+
+use crate::op::{Emit, OpStats, StreamOperator};
+
+/// Identifies one registered chain's output (the caller's routing handle —
+/// a flow id, typically).
+pub type SinkId = usize;
+
+/// Snapshot of one DAG node's identity and counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagNodeStats {
+    /// Depth in the trie (0 = reads the input stream directly).
+    pub depth: usize,
+    /// Number of registered chains currently sharing this node.
+    pub sharers: usize,
+    /// Execution counters, same meaning as a pipeline stage's.
+    pub stats: OpStats,
+}
+
+#[derive(Debug)]
+struct DagNode<K> {
+    key: K,
+    op: Box<dyn StreamOperator + Send>,
+    /// Cached `op.base_load()`.
+    load: f64,
+    /// Registered chains whose path passes through this node.
+    sharers: usize,
+    children: Vec<usize>,
+    /// Chains terminating here: their output is this node's output.
+    sinks: Vec<SinkId>,
+    stats: OpStats,
+}
+
+/// The prefix-sharing operator trie. See the module docs.
+#[derive(Debug)]
+pub struct OpDag<K> {
+    /// Arena; freed slots are `None` and recycled via `free`.
+    nodes: Vec<Option<DagNode<K>>>,
+    free: Vec<usize>,
+    /// Top-level nodes (consume the input stream directly).
+    roots: Vec<usize>,
+    /// Sinks of empty chains: they receive every input item verbatim.
+    root_sinks: Vec<SinkId>,
+    /// Each sink's node path from root to terminal (empty for root sinks).
+    paths: BTreeMap<SinkId, Vec<usize>>,
+    /// Per-depth scratch output buffers, reused across items.
+    scratch: Vec<Emit>,
+}
+
+impl<K> Default for OpDag<K> {
+    fn default() -> OpDag<K> {
+        OpDag {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            roots: Vec::new(),
+            root_sinks: Vec::new(),
+            paths: BTreeMap::new(),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl<K> OpDag<K> {
+    /// An empty DAG.
+    pub fn new() -> OpDag<K> {
+        OpDag::default()
+    }
+
+    fn node(&self, idx: usize) -> &DagNode<K> {
+        self.nodes[idx].as_ref().expect("live DAG node")
+    }
+
+    fn node_mut(&mut self, idx: usize) -> &mut DagNode<K> {
+        self.nodes[idx].as_mut().expect("live DAG node")
+    }
+
+    fn alloc(&mut self, node: DagNode<K>) -> usize {
+        match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx] = Some(node);
+                idx
+            }
+            None => {
+                self.nodes.push(Some(node));
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Registers a chain under `sink`, merging its leading operators into
+    /// existing nodes wherever `mergeable` allows. The boxed operators of
+    /// merged prefix ops are dropped unused.
+    ///
+    /// # Panics
+    /// Panics if `sink` is already registered.
+    pub fn register<F>(
+        &mut self,
+        sink: SinkId,
+        ops: Vec<(K, Box<dyn StreamOperator + Send>)>,
+        mergeable: F,
+    ) where
+        F: Fn(&K, &K) -> bool,
+    {
+        assert!(
+            !self.paths.contains_key(&sink),
+            "sink {sink} registered twice"
+        );
+        let mut path = Vec::with_capacity(ops.len());
+        self.extend_path(&mut path, ops.into_iter(), &mergeable);
+        self.set_terminal(sink, &path);
+    }
+
+    /// Drops `sink`'s chain, pruning nodes it was the last sharer of.
+    ///
+    /// # Panics
+    /// Panics if `sink` is not registered.
+    pub fn retire(&mut self, sink: SinkId) {
+        let path = self.paths.remove(&sink).expect("sink not registered");
+        self.clear_terminal(sink, &path);
+        self.release_suffix(&path, 0);
+    }
+
+    /// Replaces `sink`'s chain: the longest leading run of operators that
+    /// `mergeable` matches against the old path keeps its existing nodes
+    /// (and their state); only the diverging suffix is released and
+    /// rebuilt. Registers from scratch when `sink` is unknown.
+    pub fn reregister<F>(
+        &mut self,
+        sink: SinkId,
+        ops: Vec<(K, Box<dyn StreamOperator + Send>)>,
+        mergeable: F,
+    ) where
+        F: Fn(&K, &K) -> bool,
+    {
+        let Some(old_path) = self.paths.remove(&sink) else {
+            self.register(sink, ops, mergeable);
+            return;
+        };
+        self.clear_terminal(sink, &old_path);
+        let mut keep = 0;
+        while keep < old_path.len()
+            && keep < ops.len()
+            && mergeable(&self.node(old_path[keep]).key, &ops[keep].0)
+        {
+            keep += 1;
+        }
+        self.release_suffix(&old_path, keep);
+        let mut path = old_path[..keep].to_vec();
+        self.extend_path(&mut path, ops.into_iter().skip(keep), &mergeable);
+        self.set_terminal(sink, &path);
+    }
+
+    /// Walks/creates nodes for `ops` below the last node of `path`,
+    /// appending the visited node indices to `path`.
+    fn extend_path<F>(
+        &mut self,
+        path: &mut Vec<usize>,
+        ops: impl Iterator<Item = (K, Box<dyn StreamOperator + Send>)>,
+        mergeable: &F,
+    ) where
+        F: Fn(&K, &K) -> bool,
+    {
+        let mut parent = path.last().copied();
+        for (key, op) in ops {
+            let siblings = match parent {
+                None => &self.roots,
+                Some(p) => &self.node(p).children,
+            };
+            let found = siblings
+                .iter()
+                .copied()
+                .find(|&c| mergeable(&self.node(c).key, &key));
+            let idx = match found {
+                Some(c) => {
+                    self.node_mut(c).sharers += 1;
+                    c
+                }
+                None => {
+                    let idx = self.alloc(DagNode {
+                        load: op.base_load(),
+                        stats: OpStats {
+                            name: op.name(),
+                            ..OpStats::default()
+                        },
+                        key,
+                        op,
+                        sharers: 1,
+                        children: Vec::new(),
+                        sinks: Vec::new(),
+                    });
+                    match parent {
+                        None => self.roots.push(idx),
+                        Some(p) => self.node_mut(p).children.push(idx),
+                    }
+                    idx
+                }
+            };
+            path.push(idx);
+            parent = Some(idx);
+        }
+    }
+
+    fn set_terminal(&mut self, sink: SinkId, path: &[usize]) {
+        match path.last() {
+            None => self.root_sinks.push(sink),
+            Some(&t) => self.node_mut(t).sinks.push(sink),
+        }
+        self.paths.insert(sink, path.to_vec());
+    }
+
+    fn clear_terminal(&mut self, sink: SinkId, path: &[usize]) {
+        match path.last() {
+            None => self.root_sinks.retain(|&s| s != sink),
+            Some(&t) => self.node_mut(t).sinks.retain(|&s| s != sink),
+        }
+    }
+
+    /// Decrements sharer counts on `path[from..]` and prunes the nodes
+    /// that dropped to zero, bottom-up. Sharer counts never increase with
+    /// depth, so pruning stops at the first still-shared node.
+    fn release_suffix(&mut self, path: &[usize], from: usize) {
+        for &idx in &path[from..] {
+            self.node_mut(idx).sharers -= 1;
+        }
+        for i in (from..path.len()).rev() {
+            let idx = path[i];
+            if self.node(idx).sharers > 0 {
+                break;
+            }
+            debug_assert!(
+                self.node(idx).children.is_empty() && self.node(idx).sinks.is_empty(),
+                "pruned DAG node still referenced"
+            );
+            match i.checked_sub(1) {
+                None => self.roots.retain(|&r| r != idx),
+                Some(pi) => {
+                    let p = path[pi];
+                    self.node_mut(p).children.retain(|&c| c != idx);
+                }
+            }
+            self.nodes[idx] = None;
+            self.free.push(idx);
+        }
+    }
+
+    /// Pushes one item through the DAG. Every (sink, output item) pair is
+    /// reported through `out`; a sink's call sequence is byte-identical to
+    /// what its chain would emit as a standalone pipeline.
+    pub fn process_into(&mut self, item: &Node, out: &mut dyn FnMut(SinkId, &Node)) {
+        for i in 0..self.root_sinks.len() {
+            out(self.root_sinks[i], item);
+        }
+        for i in 0..self.roots.len() {
+            let r = self.roots[i];
+            self.run_node(r, std::slice::from_ref(item), 0, out);
+        }
+    }
+
+    fn run_node(
+        &mut self,
+        idx: usize,
+        inputs: &[Node],
+        depth: usize,
+        out: &mut dyn FnMut(SinkId, &Node),
+    ) {
+        if depth == self.scratch.len() {
+            self.scratch.push(Emit::new());
+        }
+        let mut buf = std::mem::take(&mut self.scratch[depth]);
+        debug_assert!(buf.is_empty());
+        {
+            let node = self.node_mut(idx);
+            for item in inputs {
+                node.stats.items_in += 1;
+                node.stats.work += node.load;
+                node.op.process_into(item, &mut buf);
+            }
+            node.stats.items_out += buf.len() as u64;
+        }
+        // Short-circuit on empty output, exactly like a pipeline stage.
+        if !buf.is_empty() {
+            for si in 0..self.node(idx).sinks.len() {
+                let sink = self.node(idx).sinks[si];
+                for item in buf.as_slice() {
+                    out(sink, item);
+                }
+            }
+            for ci in 0..self.node(idx).children.len() {
+                let c = self.node(idx).children[ci];
+                self.run_node(c, buf.as_slice(), depth + 1, out);
+            }
+        }
+        buf.clear();
+        self.scratch[depth] = buf;
+    }
+
+    /// End-of-stream flush: carried upstream items run through each node
+    /// *before* the node drains its own buffered state, matching
+    /// `Pipeline::flush_into` ordering per chain.
+    pub fn flush_into(&mut self, out: &mut dyn FnMut(SinkId, &Node)) {
+        for i in 0..self.roots.len() {
+            let r = self.roots[i];
+            self.flush_node(r, &[], 0, out);
+        }
+    }
+
+    fn flush_node(
+        &mut self,
+        idx: usize,
+        carried: &[Node],
+        depth: usize,
+        out: &mut dyn FnMut(SinkId, &Node),
+    ) {
+        if depth == self.scratch.len() {
+            self.scratch.push(Emit::new());
+        }
+        let mut buf = std::mem::take(&mut self.scratch[depth]);
+        debug_assert!(buf.is_empty());
+        {
+            let node = self.node_mut(idx);
+            for item in carried {
+                node.stats.items_in += 1;
+                node.stats.work += node.load;
+                node.op.process_into(item, &mut buf);
+            }
+            node.op.flush_into(&mut buf);
+            node.stats.items_out += buf.len() as u64;
+        }
+        for si in 0..self.node(idx).sinks.len() {
+            let sink = self.node(idx).sinks[si];
+            for item in buf.as_slice() {
+                out(sink, item);
+            }
+        }
+        // No short-circuit here: children may hold buffered state of their
+        // own that must drain even when this node flushed nothing.
+        for ci in 0..self.node(idx).children.len() {
+            let c = self.node(idx).children[ci];
+            self.flush_node(c, buf.as_slice(), depth + 1, out);
+        }
+        buf.clear();
+        self.scratch[depth] = buf;
+    }
+
+    /// Number of registered sinks.
+    pub fn sink_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// `true` when no chain is registered.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// `true` when `sink` has a registered chain.
+    pub fn contains(&self, sink: SinkId) -> bool {
+        self.paths.contains_key(&sink)
+    }
+
+    /// Number of live operator nodes (shared prefixes count once).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Total accumulated work across live nodes — each shared node's work
+    /// counted once, however many sinks ride it.
+    pub fn total_work(&self) -> f64 {
+        self.nodes.iter().flatten().map(|n| n.stats.work).sum()
+    }
+
+    /// Per-node counters in deterministic DFS (pre-)order.
+    pub fn node_stats(&self) -> Vec<DagNodeStats> {
+        let mut acc = Vec::with_capacity(self.node_count());
+        let mut stack: Vec<(usize, usize)> = self.roots.iter().rev().map(|&r| (r, 0)).collect();
+        while let Some((idx, depth)) = stack.pop() {
+            let n = self.node(idx);
+            acc.push(DagNodeStats {
+                depth,
+                sharers: n.sharers,
+                stats: n.stats.clone(),
+            });
+            for &c in n.children.iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Pipeline;
+
+    /// Emits each input `n` times — stateless test operator.
+    #[derive(Debug)]
+    struct Echo(u32);
+
+    impl StreamOperator for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn process_into(&mut self, item: &Node, out: &mut Emit) {
+            for _ in 0..self.0 {
+                out.push(item.clone());
+            }
+        }
+        fn base_load(&self) -> f64 {
+            1.0
+        }
+    }
+
+    /// Buffers items, emitting them on flush — stateful test operator.
+    #[derive(Debug, Default)]
+    struct Hold(Vec<Node>);
+
+    impl StreamOperator for Hold {
+        fn name(&self) -> &'static str {
+            "hold"
+        }
+        fn process_into(&mut self, item: &Node, _out: &mut Emit) {
+            self.0.push(item.clone());
+        }
+        fn flush_into(&mut self, out: &mut Emit) {
+            for item in self.0.drain(..) {
+                out.push(item);
+            }
+        }
+        fn base_load(&self) -> f64 {
+            2.0
+        }
+    }
+
+    fn op(key: &'static str) -> (&'static str, Box<dyn StreamOperator + Send>) {
+        match key {
+            "hold" => (key, Box::new(Hold::default())),
+            "drop" => (key, Box::new(Echo(0))),
+            "dup" => (key, Box::new(Echo(2))),
+            _ => (key, Box::new(Echo(1))),
+        }
+    }
+
+    fn chain(keys: &[&'static str]) -> Vec<(&'static str, Box<dyn StreamOperator + Send>)> {
+        keys.iter().map(|&k| op(k)).collect()
+    }
+
+    fn eq(a: &&'static str, b: &&'static str) -> bool {
+        a == b
+    }
+
+    fn collect(dag: &mut OpDag<&'static str>, items: &[Node]) -> BTreeMap<SinkId, Vec<Node>> {
+        let mut out: BTreeMap<SinkId, Vec<Node>> = BTreeMap::new();
+        for item in items {
+            dag.process_into(item, &mut |s, n| out.entry(s).or_default().push(n.clone()));
+        }
+        dag.flush_into(&mut |s, n| out.entry(s).or_default().push(n.clone()));
+        out
+    }
+
+    fn items(n: usize) -> Vec<Node> {
+        (0..n).map(|i| Node::leaf("x", i.to_string())).collect()
+    }
+
+    #[test]
+    fn shared_prefix_merges_into_one_node() {
+        let mut dag = OpDag::new();
+        dag.register(0, chain(&["a", "b"]), eq);
+        dag.register(1, chain(&["a", "c"]), eq);
+        dag.register(2, chain(&["a", "b"]), eq);
+        // "a" once, "b" once (sinks 0 and 2 share it), "c" once.
+        assert_eq!(dag.node_count(), 3);
+        let stats = dag.node_stats();
+        assert_eq!(stats[0].sharers, 3, "the 'a' prefix is shared by all");
+        let out = collect(&mut dag, &items(4));
+        assert_eq!(out[&0].len(), 4);
+        assert_eq!(out[&0], out[&2]);
+        assert_eq!(out[&1].len(), 4);
+        // The shared "a" node ran each item once, not three times.
+        assert_eq!(dag.node_stats()[0].stats.items_in, 4);
+    }
+
+    #[test]
+    fn matches_standalone_pipelines() {
+        let chains: Vec<Vec<&'static str>> = vec![
+            vec![],
+            vec!["dup"],
+            vec!["dup", "hold"],
+            vec!["dup", "drop", "dup"],
+            vec!["hold", "dup"],
+            vec!["dup", "hold"],
+        ];
+        let input = items(7);
+        let mut dag = OpDag::new();
+        for (sink, keys) in chains.iter().enumerate() {
+            dag.register(sink, chain(keys), eq);
+        }
+        let fused = collect(&mut dag, &input);
+        for (sink, keys) in chains.iter().enumerate() {
+            let mut p = Pipeline::new();
+            for &k in keys {
+                p.push(op(k).1);
+            }
+            let mut expect = Vec::new();
+            let mut sinkbuf = Emit::new();
+            for item in &input {
+                p.process_into(item, &mut sinkbuf);
+            }
+            p.flush_into(&mut sinkbuf);
+            expect.extend(sinkbuf.into_vec());
+            assert_eq!(
+                fused.get(&sink).cloned().unwrap_or_default(),
+                expect,
+                "chain {keys:?} diverged from its standalone pipeline"
+            );
+        }
+    }
+
+    #[test]
+    fn retire_prunes_exclusive_suffix_only() {
+        let mut dag = OpDag::new();
+        dag.register(0, chain(&["a", "b", "c"]), eq);
+        dag.register(1, chain(&["a", "b", "d"]), eq);
+        assert_eq!(dag.node_count(), 4);
+        dag.retire(0);
+        // "c" was exclusive to sink 0; "a"/"b" survive for sink 1.
+        assert_eq!(dag.node_count(), 3);
+        assert!(!dag.contains(0));
+        let out = collect(&mut dag, &items(3));
+        assert_eq!(out[&1].len(), 3);
+        dag.retire(1);
+        assert!(dag.is_empty());
+        assert_eq!(dag.node_count(), 0);
+    }
+
+    #[test]
+    fn reregister_keeps_prefix_state() {
+        let mut dag = OpDag::new();
+        dag.register(0, chain(&["hold", "a"]), eq);
+        let mut sunk = Vec::new();
+        for item in items(3) {
+            dag.process_into(&item, &mut |_, n| sunk.push(n.clone()));
+        }
+        assert!(sunk.is_empty(), "hold buffers everything until flush");
+        // Change only the suffix below the stateful prefix.
+        dag.reregister(0, chain(&["hold", "dup"]), eq);
+        let mut out = Vec::new();
+        dag.flush_into(&mut |_, n| out.push(n.clone()));
+        // The 3 held items survived the re-registration and now pass the
+        // new "dup" suffix: 6 outputs. A full rebuild would emit 0.
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn reregister_rebuilds_below_first_change() {
+        let mut dag = OpDag::new();
+        dag.register(0, chain(&["a", "hold"]), eq);
+        for item in items(2) {
+            dag.process_into(&item, &mut |_, _| {});
+        }
+        // The first operator changes: the whole chain (and its held state)
+        // must be rebuilt — the stream content feeding "hold" changed.
+        dag.reregister(0, chain(&["dup", "hold"]), eq);
+        let mut out = Vec::new();
+        dag.flush_into(&mut |_, n| out.push(n.clone()));
+        assert!(out.is_empty(), "state below a changed operator is dropped");
+        assert_eq!(dag.node_count(), 2);
+    }
+
+    #[test]
+    fn work_counts_shared_nodes_once() {
+        let input = items(10);
+        let mut dag = OpDag::new();
+        for sink in 0..4 {
+            dag.register(sink, chain(&["a", "b"]), eq);
+        }
+        let _ = collect(&mut dag, &input);
+        // 2 nodes × 10 items × load 1.0, regardless of 4 sinks.
+        assert_eq!(dag.total_work(), 20.0);
+    }
+
+    #[test]
+    fn empty_chain_is_identity_fanout() {
+        let mut dag = OpDag::new();
+        dag.register(7, Vec::new(), eq);
+        dag.register(9, Vec::new(), eq);
+        let input = items(2);
+        let out = collect(&mut dag, &input);
+        assert_eq!(out[&7], input);
+        assert_eq!(out[&9], input);
+        dag.retire(7);
+        let out = collect(&mut dag, &input);
+        assert!(!out.contains_key(&7));
+        assert_eq!(out[&9], input);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_sink_rejected() {
+        let mut dag = OpDag::new();
+        dag.register(0, chain(&["a"]), eq);
+        dag.register(0, chain(&["b"]), eq);
+    }
+}

@@ -15,18 +15,22 @@
 
 pub mod flow;
 pub mod metrics;
+pub mod pool;
 pub mod routing;
 pub mod runtime;
+pub mod shared;
 pub mod sim;
 pub mod topology;
 
 pub use flow::{build_flow_pipeline, Deployment, FlowId, FlowInput, FlowOp, StreamFlow};
 pub use metrics::NetworkMetrics;
+pub use pool::{max_parallelism, run_scoped, WorkerPool};
 pub use routing::{distance, path_edges, shortest_path};
 pub use runtime::{
     FaultEvent, FaultKind, FaultScript, LiveConfig, LiveRuntime, QueryMetrics, RuntimeMetrics,
     SourceModel,
 };
+pub use shared::{build_flow_op, op_is_stateful, ops_mergeable, FlowDag, GroupKey};
 pub use sim::{run, try_run, ConfigError, SimConfig, SimOutcome};
 pub use topology::{
     example_topology, grid_topology, hierarchical_topology, Edge, EdgeId, NodeId, Peer, PeerKind,

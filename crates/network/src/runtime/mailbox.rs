@@ -4,16 +4,14 @@ use std::collections::VecDeque;
 
 use dss_xml::Node;
 
-use crate::flow::FlowId;
-
-/// A peer's bounded input queue. Every item addressed to a flow whose
-/// pipeline runs at this peer waits here until the peer's (single) server
-/// picks it up. When the queue is full, new arrivals are dropped
-/// (drop-newest), which is what a saturated StreamGlobe peer does once its
-/// buffers fill.
+/// A peer's bounded input queue. Every item addressed to a sharing group
+/// whose operator DAG runs at this peer waits here until the peer's
+/// (single) server picks it up — one entry serves *all* flows of the
+/// group. When the queue is full, new arrivals are dropped (drop-newest),
+/// which is what a saturated StreamGlobe peer does once its buffers fill.
 #[derive(Debug)]
 pub(crate) struct Mailbox {
-    queue: VecDeque<(FlowId, u64, Node)>,
+    queue: VecDeque<(usize, u64, Node)>,
     capacity: usize,
     /// Highest queue depth ever observed (reported in `RuntimeMetrics`).
     pub high_water: usize,
@@ -31,27 +29,27 @@ impl Mailbox {
         }
     }
 
-    /// Enqueues an item for `flow` stamped with its source-emission time.
-    /// Returns `false` (and counts a drop) when the mailbox is full.
-    pub fn push(&mut self, flow: FlowId, origin: u64, item: Node) -> bool {
+    /// Enqueues an item for sharing group `group`, stamped with its
+    /// source-emission time. Returns `false` (and counts a drop) when the
+    /// mailbox is full.
+    pub fn push(&mut self, group: usize, origin: u64, item: Node) -> bool {
         if self.queue.len() >= self.capacity {
             self.dropped += 1;
             return false;
         }
-        self.queue.push_back((flow, origin, item));
+        self.queue.push_back((group, origin, item));
         self.high_water = self.high_water.max(self.queue.len());
         true
     }
 
-    pub fn pop(&mut self) -> Option<(FlowId, u64, Node)> {
+    pub fn pop(&mut self) -> Option<(usize, u64, Node)> {
         self.queue.pop_front()
     }
 
-    /// Empties the queue (peer crash), returning how many items were lost.
-    pub fn drain_all(&mut self) -> u64 {
-        let n = self.queue.len() as u64;
-        self.queue.clear();
-        n
+    /// Empties the queue (peer crash), returning the lost entries so the
+    /// caller can count the per-group fan-out they would have served.
+    pub fn drain_all(&mut self) -> Vec<(usize, u64, Node)> {
+        self.queue.drain(..).collect()
     }
 }
 
@@ -68,9 +66,9 @@ mod tests {
         assert!(!m.push(2, 30, item.clone()), "third push must be dropped");
         assert_eq!(m.dropped, 1);
         assert_eq!(m.high_water, 2);
-        assert_eq!(m.pop().map(|(f, t, _)| (f, t)), Some((0, 10)));
+        assert_eq!(m.pop().map(|(g, t, _)| (g, t)), Some((0, 10)));
         assert!(m.push(2, 30, item));
-        assert_eq!(m.drain_all(), 2);
+        assert_eq!(m.drain_all().len(), 2);
         assert!(m.pop().is_none());
         assert_eq!(m.high_water, 2, "high water survives draining");
     }

@@ -43,6 +43,24 @@ impl QueryMetrics {
     }
 }
 
+/// Execution counters of one operator node in a peer's shared DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpWork {
+    /// Operator kind (`select`, `project`, `aggregate`, …).
+    pub name: &'static str,
+    /// Depth in the sharing trie (0 = reads the group's input directly).
+    pub depth: usize,
+    /// How many flows shared this node at the end of the run. Values above
+    /// one mean the node's work was executed once *for all of them*.
+    pub sharers: usize,
+    /// Items the node processed.
+    pub items_in: u64,
+    /// Items the node emitted.
+    pub items_out: u64,
+    /// Work units executed (unscaled by the peer's performance index).
+    pub work: f64,
+}
+
 /// The live runtime's report: per-peer queueing behaviour, per-edge traffic
 /// over time, and per-query delivery quality.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +86,9 @@ pub struct RuntimeMetrics {
     pub edge_bytes_buckets: Vec<Vec<u64>>,
     /// Per-query delivery statistics, keyed by query id.
     pub queries: BTreeMap<String, QueryMetrics>,
+    /// Per-peer operator counters of the shared DAGs (one entry per DAG
+    /// node in deterministic trie order) — where the sharing wins show.
+    pub node_ops: Vec<Vec<OpWork>>,
 }
 
 impl RuntimeMetrics {
@@ -79,6 +100,19 @@ impl RuntimeMetrics {
     /// Total mailbox drops over all peers.
     pub fn total_dropped(&self) -> u64 {
         self.mailbox_dropped.iter().sum()
+    }
+
+    /// Work units intra-peer sharing avoided: each DAG node with `s`
+    /// sharers executed once instead of `s` times, saving `(s-1)·work`.
+    pub fn shared_work_saved(&self) -> f64 {
+        // fold, not sum: an empty iterator's f64 sum is -0.0, which would
+        // print as "-0.0 work units saved".
+        self.node_ops
+            .iter()
+            .flatten()
+            .filter(|o| o.sharers > 1)
+            .map(|o| o.work * (o.sharers - 1) as f64)
+            .fold(0.0, |a, b| a + b)
     }
 
     /// Human-readable report (the `peer_failure` example prints this).
@@ -126,6 +160,25 @@ impl RuntimeMetrics {
                     "  peer {}: queue high-water {hw}, dropped {}",
                     topo.peer(id).name,
                     self.mailbox_dropped[id]
+                );
+            }
+        }
+        for (id, ops) in self.node_ops.iter().enumerate() {
+            if ops.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "  peer {} operators:", topo.peer(id).name);
+            for op in ops {
+                let _ = writeln!(
+                    out,
+                    "    {:indent$}{} sharers={} in={} out={} work={:.1}",
+                    "",
+                    op.name,
+                    op.sharers,
+                    op.items_in,
+                    op.items_out,
+                    op.work,
+                    indent = op.depth * 2
                 );
             }
         }

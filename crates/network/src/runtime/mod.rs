@@ -12,10 +12,15 @@
 //! * **Sources**: each registered stream emits its items periodically
 //!   ([`SourceModel::interarrival_us`], derived from the stream's measured
 //!   frequency).
-//! * **Peers**: one bounded mailbox and one server per peer. Serving an
-//!   item runs the flow's real [`Pipeline`] incrementally and occupies the
-//!   server for `per_item_overhead_us` plus the measured operator work
-//!   scaled by the peer's speed (`pindex`) over its capacity.
+//! * **Peers**: one bounded mailbox and one server per peer. The flows
+//!   consuming one input stream at a peer are fused into a shared operator
+//!   DAG ([`crate::shared::FlowDag`]); serving an item runs it through the
+//!   whole DAG incrementally (shared prefixes execute once) and occupies
+//!   the server for `per_item_overhead_us` plus the measured operator work
+//!   scaled by the peer's speed (`pindex`) over its capacity. Within one
+//!   timestamp, the DAGs claimed by distinct peers execute in parallel on
+//!   a worker pool; results are applied in claim order, so runs stay
+//!   byte-deterministic.
 //! * **Links**: a transmission takes `link_latency_us` plus the item's
 //!   exact serialized bytes over the edge bandwidth; links carry any
 //!   number of items concurrently (the bandwidth share is charged per
@@ -40,19 +45,19 @@ mod mailbox;
 mod metrics;
 
 pub use fault::{FaultEvent, FaultKind, FaultScript};
-pub use metrics::{QueryMetrics, RuntimeMetrics};
+pub use metrics::{OpWork, QueryMetrics, RuntimeMetrics};
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
 
-use dss_engine::Emit;
 use dss_xml::writer::serialized_size;
 use dss_xml::Node;
 
-use crate::flow::{build_flow_pipeline, Deployment, FlowId, FlowInput, FlowOp};
+use crate::flow::{Deployment, FlowId, FlowOp};
+use crate::pool::{max_parallelism, WorkerPool};
+use crate::shared::{FlowDag, GroupKey};
 use crate::sim::ConfigError;
 use crate::topology::{NodeId, Topology};
-use dss_engine::Pipeline;
 use mailbox::Mailbox;
 
 /// Live runtime parameters.
@@ -177,11 +182,42 @@ impl Ord for Event {
 struct FlowState {
     active: bool,
     label: String,
-    input: FlowInput,
     node: NodeId,
     route: Vec<NodeId>,
     ops: Vec<FlowOp>,
-    pipeline: Pipeline,
+}
+
+/// One intra-peer sharing group: every active flow consuming `key` at
+/// `node`, fused into a single operator DAG.
+struct Group {
+    node: NodeId,
+    key: GroupKey,
+    dag: FlowDag,
+    /// Active member count — kept outside `dag` because the DAG is checked
+    /// out to a worker while its service runs.
+    sinks: usize,
+}
+
+/// A service claimed during a same-timestamp batch: the group's DAG is
+/// checked out and handed to a worker.
+struct ServiceClaim {
+    node: NodeId,
+    group: usize,
+    origin: u64,
+    item: Node,
+    dag: FlowDag,
+}
+
+/// A completed service, applied back to the runtime in claim order.
+struct ServiceDone {
+    node: NodeId,
+    group: usize,
+    origin: u64,
+    dag: FlowDag,
+    /// Per-flow outputs, sorted by flow id.
+    outputs: Vec<(FlowId, Vec<Node>)>,
+    /// Work executed, unscaled by the peer's performance index.
+    work: f64,
 }
 
 /// The discrete-event scheduler. See the module docs for the model.
@@ -194,8 +230,15 @@ pub struct LiveRuntime {
     heap: BinaryHeap<std::cmp::Reverse<Event>>,
     sources: BTreeMap<String, SourceModel>,
     flows: Vec<FlowState>,
-    /// Active children (taps) per flow, rebuilt on `sync_deployment`.
-    children: Vec<Vec<FlowId>>,
+    /// Sharing groups, in creation order (deterministic).
+    groups: Vec<Group>,
+    group_of: BTreeMap<(NodeId, GroupKey), usize>,
+    /// Each flow's sharing group (None for flows that joined retired).
+    flow_group: Vec<Option<usize>>,
+    /// Lazily started worker pool for same-timestamp service batches.
+    pool: Option<WorkerPool>,
+    /// Peers with a service claimed in the current timestamp batch.
+    claimed: Vec<bool>,
     /// Delivery flow → query id.
     deliveries: BTreeMap<FlowId, String>,
     mailboxes: Vec<Mailbox>,
@@ -240,7 +283,11 @@ impl LiveRuntime {
             heap: BinaryHeap::new(),
             sources,
             flows: Vec::new(),
-            children: Vec::new(),
+            groups: Vec::new(),
+            group_of: BTreeMap::new(),
+            flow_group: Vec::new(),
+            pool: None,
+            claimed: vec![false; n_peers],
             deliveries: BTreeMap::new(),
             mailboxes: (0..n_peers)
                 .map(|_| Mailbox::new(cfg.mailbox_capacity))
@@ -285,9 +332,11 @@ impl LiveRuntime {
     }
 
     /// Reconciles the runtime with a rewritten deployment (after a
-    /// failover re-plan): new flows are picked up, retired flows
-    /// deactivated, and flows whose operator list changed in place (stream
-    /// widening) get a fresh pipeline — windowed state restarts empty.
+    /// failover re-plan): new flows join their peer's sharing group,
+    /// retired flows leave it (operators nothing else shares are pruned),
+    /// and flows whose operator list changed in place (stream widening)
+    /// rebuild only the suffix below the first changed operator — the
+    /// windowed state of the unchanged leading prefix survives.
     pub fn sync_deployment(
         &mut self,
         deployment: &Deployment,
@@ -297,31 +346,58 @@ impl LiveRuntime {
             if id < self.flows.len() {
                 let state = &mut self.flows[id];
                 if flow.retired {
-                    state.active = false;
+                    if state.active {
+                        state.active = false;
+                        if let Some(g) = self.flow_group[id] {
+                            self.groups[g].dag.retire(id);
+                            self.groups[g].sinks -= 1;
+                        }
+                    }
                 } else if state.ops != flow.ops {
                     state.ops = flow.ops.clone();
-                    state.pipeline = build_flow_pipeline(&flow.ops);
                     state.label = flow.label.clone();
+                    if let Some(g) = self.flow_group[id] {
+                        self.groups[g].dag.reregister(id, &flow.ops);
+                    }
                 }
             } else {
+                let active = !flow.retired;
                 self.flows.push(FlowState {
-                    active: !flow.retired,
+                    active,
                     label: flow.label.clone(),
-                    input: flow.input.clone(),
                     node: flow.processing_node,
                     route: flow.route.clone(),
                     ops: flow.ops.clone(),
-                    pipeline: build_flow_pipeline(&flow.ops),
                 });
+                let group = active.then(|| {
+                    let g = self.group_for(flow.processing_node, GroupKey::of(&flow.input));
+                    self.groups[g].dag.register(id, &flow.ops);
+                    self.groups[g].sinks += 1;
+                    g
+                });
+                self.flow_group.push(group);
             }
         }
-        self.children = (0..self.flows.len())
-            .map(|id| deployment.children_of(id))
-            .collect();
         for q in deliveries.values() {
             self.delivered.entry(q.clone()).or_insert(0);
         }
         self.deliveries = deliveries;
+    }
+
+    /// The sharing group for (`node`, `key`), created on first use.
+    fn group_for(&mut self, node: NodeId, key: GroupKey) -> usize {
+        if let Some(&g) = self.group_of.get(&(node, key.clone())) {
+            return g;
+        }
+        let g = self.groups.len();
+        self.groups.push(Group {
+            node,
+            key: key.clone(),
+            dag: FlowDag::new(),
+            sinks: 0,
+        });
+        self.group_of.insert((node, key), g);
+        g
     }
 
     /// Applies one scripted fault at the current simulation time.
@@ -329,7 +405,13 @@ impl LiveRuntime {
         match fault.kind {
             FaultKind::PeerCrash(peer) => {
                 self.topo.set_peer_up(peer, false);
-                let lost = self.mailboxes[peer].drain_all();
+                // A drained entry would have served its whole group: count
+                // one loss per flow that was waiting on it.
+                let lost: u64 = self.mailboxes[peer]
+                    .drain_all()
+                    .into_iter()
+                    .map(|(g, _, _)| self.groups[g].sinks.max(1) as u64)
+                    .sum();
                 self.items_lost += lost;
                 self.busy_until[peer] = 0;
                 self.trace_line(|topo| format!("fault crash {} lost={lost}", topo.peer(peer).name));
@@ -356,15 +438,51 @@ impl LiveRuntime {
     }
 
     /// Runs all events up to and including `t_us` (capped at the horizon).
+    ///
+    /// Events sharing a timestamp run as one batch in three phases: (A)
+    /// every event at that time is handled in sequence order, with each
+    /// `StartService` *claiming* at most one mailbox item per idle peer;
+    /// (B) the claimed peers' DAG services execute in parallel on the
+    /// worker pool; (C) results are applied in claim order — so outputs,
+    /// work charges, and follow-up events are identical however the OS
+    /// schedules the workers.
     pub fn run_until(&mut self, t_us: u64) {
         let t = t_us.min(self.horizon_us);
-        while let Some(std::cmp::Reverse(ev)) = self.heap.peek() {
-            if ev.time > t {
+        while let Some(std::cmp::Reverse(head)) = self.heap.peek() {
+            if head.time > t {
                 break;
             }
-            let std::cmp::Reverse(ev) = self.heap.pop().expect("peeked");
-            self.now = ev.time;
-            self.handle(ev.kind);
+            let now = head.time;
+            self.now = now;
+            // Phase A: drain the timestamp (handlers may add more events
+            // at `now`; they are drained too, in seq order).
+            let mut claims: Vec<ServiceClaim> = Vec::new();
+            loop {
+                match self.heap.peek() {
+                    Some(std::cmp::Reverse(ev)) if ev.time == now => {}
+                    _ => break,
+                }
+                let std::cmp::Reverse(ev) = self.heap.pop().expect("peeked");
+                match ev.kind {
+                    EventKind::SourceEmit { source, idx } => self.handle_source_emit(source, idx),
+                    EventKind::StartService { node } => self.try_claim(node, &mut claims),
+                    EventKind::EmitOutputs {
+                        flow,
+                        origin,
+                        items,
+                    } => self.handle_emit_outputs(flow, origin, items),
+                    EventKind::Arrive {
+                        flow,
+                        hop,
+                        origin,
+                        item,
+                    } => self.handle_arrive(flow, hop, origin, item),
+                }
+            }
+            // Phases B + C.
+            for done in self.run_services(claims) {
+                self.apply_service(done);
+            }
         }
         self.now = self.now.max(t);
     }
@@ -384,6 +502,19 @@ impl LiveRuntime {
             m.set_latencies(self.latencies.get(q).cloned().unwrap_or_default());
             queries.insert(q.clone(), m);
         }
+        let mut node_ops: Vec<Vec<OpWork>> = vec![Vec::new(); self.topo.peer_count()];
+        for g in &self.groups {
+            for s in g.dag.node_stats() {
+                node_ops[g.node].push(OpWork {
+                    name: s.stats.name,
+                    depth: s.depth,
+                    sharers: s.sharers,
+                    items_in: s.stats.items_in,
+                    items_out: s.stats.items_out,
+                    work: s.stats.work,
+                });
+            }
+        }
         let metrics = RuntimeMetrics {
             horizon_us: self.horizon_us,
             bucket_us: self.cfg.bucket_us,
@@ -394,6 +525,7 @@ impl LiveRuntime {
             edge_bytes: self.edge_bytes,
             edge_bytes_buckets: self.edge_bytes_buckets,
             queries,
+            node_ops,
         };
         (metrics, self.trace)
     }
@@ -411,39 +543,25 @@ impl LiveRuntime {
         }
     }
 
-    fn handle(&mut self, kind: EventKind) {
-        match kind {
-            EventKind::SourceEmit { source, idx } => self.handle_source_emit(source, idx),
-            EventKind::StartService { node } => self.handle_start_service(node),
-            EventKind::EmitOutputs {
-                flow,
-                origin,
-                items,
-            } => {
-                if !self.flows[flow].active || !self.topo.peer(self.flows[flow].node).up {
-                    self.items_lost += items.len() as u64;
-                    return;
-                }
-                self.trace_line(|_| format!("out f{flow} n={}", items.len()));
-                for item in items {
-                    self.dispatch_at(flow, 0, origin, item);
-                }
-            }
-            EventKind::Arrive {
-                flow,
-                hop,
-                origin,
-                item,
-            } => {
-                let node = self.flows[flow].route[hop];
-                if !self.flows[flow].active || !self.topo.peer(node).up {
-                    self.items_lost += 1;
-                    return;
-                }
-                self.trace_line(|_| format!("arr f{flow} hop={hop}"));
-                self.dispatch_at(flow, hop, origin, item);
-            }
+    fn handle_emit_outputs(&mut self, flow: FlowId, origin: u64, items: Vec<Node>) {
+        if !self.flows[flow].active || !self.topo.peer(self.flows[flow].node).up {
+            self.items_lost += items.len() as u64;
+            return;
         }
+        self.trace_line(|_| format!("out f{flow} n={}", items.len()));
+        for item in items {
+            self.dispatch_at(flow, 0, origin, item);
+        }
+    }
+
+    fn handle_arrive(&mut self, flow: FlowId, hop: usize, origin: u64, item: Node) {
+        let node = self.flows[flow].route[hop];
+        if !self.flows[flow].active || !self.topo.peer(node).up {
+            self.items_lost += 1;
+            return;
+        }
+        self.trace_line(|_| format!("arr f{flow} hop={hop}"));
+        self.dispatch_at(flow, hop, origin, item);
     }
 
     fn handle_source_emit(&mut self, source: String, idx: usize) {
@@ -455,18 +573,17 @@ impl LiveRuntime {
         );
         self.trace_line(|_| format!("src {source} #{idx}"));
         let origin = self.now;
-        // Hand the item to every active flow reading this source.
-        let readers: Vec<FlowId> = self
-            .flows
+        // Hand the item to every sharing group reading this source — one
+        // mailbox entry per group serves all its member flows.
+        let readers: Vec<usize> = self
+            .groups
             .iter()
             .enumerate()
-            .filter(|(_, f)| {
-                f.active && matches!(&f.input, FlowInput::Source { stream } if *stream == source)
-            })
-            .map(|(id, _)| id)
+            .filter(|(_, g)| g.sinks > 0 && matches!(&g.key, GroupKey::Source(s) if *s == source))
+            .map(|(i, _)| i)
             .collect();
-        for flow in readers {
-            self.enqueue(flow, origin, item.clone());
+        for group in readers {
+            self.enqueue(group, origin, item.clone());
         }
         if more {
             let next = self.now.saturating_add(interarrival);
@@ -482,64 +599,117 @@ impl LiveRuntime {
         }
     }
 
-    /// Puts an item into a flow's input queue at its processing node and
+    /// Puts an item into a sharing group's input queue at its peer and
     /// kicks the server there.
-    fn enqueue(&mut self, flow: FlowId, origin: u64, item: Node) {
-        let node = self.flows[flow].node;
+    fn enqueue(&mut self, group: usize, origin: u64, item: Node) {
+        let node = self.groups[group].node;
         if !self.topo.peer(node).up {
-            self.items_lost += 1;
+            // The entry would have served every member flow.
+            self.items_lost += self.groups[group].sinks.max(1) as u64;
             return;
         }
-        if self.mailboxes[node].push(flow, origin, item) {
+        if self.mailboxes[node].push(group, origin, item) {
             self.schedule(self.now, EventKind::StartService { node });
         }
     }
 
-    fn handle_start_service(&mut self, node: NodeId) {
-        if !self.topo.peer(node).up || self.now < self.busy_until[node] {
+    /// Phase A of a timestamp batch: an idle, unclaimed peer checks out
+    /// its next live mailbox entry (and the group's DAG) for execution.
+    fn try_claim(&mut self, node: NodeId, claims: &mut Vec<ServiceClaim>) {
+        if !self.topo.peer(node).up || self.now < self.busy_until[node] || self.claimed[node] {
             return;
         }
-        let Some((flow, origin, item)) = self.mailboxes[node].pop() else {
-            return;
-        };
-        if !self.flows[flow].active {
-            // The flow was retired while the item waited.
-            self.items_lost += 1;
-            self.schedule(self.now, EventKind::StartService { node });
+        loop {
+            let Some((group, origin, item)) = self.mailboxes[node].pop() else {
+                return;
+            };
+            if self.groups[group].sinks == 0 {
+                // Every member retired while the item waited.
+                self.items_lost += 1;
+                continue;
+            }
+            let dag = std::mem::take(&mut self.groups[group].dag);
+            self.claimed[node] = true;
+            claims.push(ServiceClaim {
+                node,
+                group,
+                origin,
+                item,
+                dag,
+            });
             return;
         }
+    }
+
+    /// Phase B: execute the claimed services — in parallel on the worker
+    /// pool when more than one peer claimed. Results come back in claim
+    /// order whatever the thread interleaving.
+    fn run_services(&mut self, claims: Vec<ServiceClaim>) -> Vec<ServiceDone> {
+        fn run_one(mut c: ServiceClaim) -> ServiceDone {
+            let before = c.dag.total_work();
+            let mut outputs: Vec<(FlowId, Vec<Node>)> = Vec::new();
+            c.dag.process_into(&c.item, &mut |f, n| match outputs
+                .binary_search_by_key(&f, |&(id, _)| id)
+            {
+                Ok(i) => outputs[i].1.push(n.clone()),
+                Err(i) => outputs.insert(i, (f, vec![n.clone()])),
+            });
+            let work = c.dag.total_work() - before;
+            ServiceDone {
+                node: c.node,
+                group: c.group,
+                origin: c.origin,
+                dag: c.dag,
+                outputs,
+                work,
+            }
+        }
+        if claims.len() <= 1 {
+            return claims.into_iter().map(run_one).collect();
+        }
+        let pool = self
+            .pool
+            .get_or_insert_with(|| WorkerPool::new(max_parallelism()));
+        pool.run(claims, run_one)
+    }
+
+    /// Phase C: apply one completed service — return the DAG, charge the
+    /// work, occupy the server, and schedule the per-flow outputs.
+    fn apply_service(&mut self, done: ServiceDone) {
+        let ServiceDone {
+            node,
+            group,
+            origin,
+            dag,
+            outputs,
+            work,
+        } = done;
+        self.groups[group].dag = dag;
+        self.claimed[node] = false;
         let peer = self.topo.peer(node);
-        let (pindex, capacity) = (peer.pindex, peer.capacity);
-        let state = &mut self.flows[flow];
-        let before = state.pipeline.total_work();
-        let mut sink = Emit::new();
-        state.pipeline.process_into(&item, &mut sink);
-        let outputs = sink.into_vec();
-        let work = (state.pipeline.total_work() - before) * pindex;
-        self.node_work[node] += work;
-        let service_us = (self.cfg.per_item_overhead_us as f64 + work / capacity * 1e6)
+        let scaled = work * peer.pindex;
+        let service_us = (self.cfg.per_item_overhead_us as f64 + scaled / peer.capacity * 1e6)
             .round()
             .max(1.0) as u64;
-        let done = self.now + service_us;
-        self.busy_until[node] = done;
-        self.trace_line(|_| {
-            format!(
-                "svc n{node} f{flow} outs={} busy={service_us}",
-                outputs.len()
-            )
-        });
-        if !outputs.is_empty() {
-            self.schedule(
-                done,
-                EventKind::EmitOutputs {
-                    flow,
-                    origin,
-                    items: outputs,
-                },
-            );
+        self.node_work[node] += scaled;
+        let done_at = self.now + service_us;
+        self.busy_until[node] = done_at;
+        let n_out: usize = outputs.iter().map(|(_, v)| v.len()).sum();
+        self.trace_line(|_| format!("svc n{node} g{group} outs={n_out} busy={service_us}"));
+        for (flow, items) in outputs {
+            if !items.is_empty() {
+                self.schedule(
+                    done_at,
+                    EventKind::EmitOutputs {
+                        flow,
+                        origin,
+                        items,
+                    },
+                );
+            }
         }
         // Look at the mailbox again once this service is over.
-        self.schedule(done, EventKind::StartService { node });
+        self.schedule(done_at, EventKind::StartService { node });
     }
 
     /// An item of `flow` is present at `route[hop]`: offer it to the taps
@@ -547,13 +717,12 @@ impl LiveRuntime {
     /// — at the end of the route — count the delivery.
     fn dispatch_at(&mut self, flow: FlowId, hop: usize, origin: u64, item: Node) {
         let node = self.flows[flow].route[hop];
-        let taps: Vec<FlowId> = self.children[flow]
-            .iter()
-            .copied()
-            .filter(|&c| self.flows[c].active && self.flows[c].node == node)
-            .collect();
-        for tap in taps {
-            self.enqueue(tap, origin, item.clone());
+        // Offer the passing item to the taps reading it here: all of them
+        // form one sharing group, fed by a single enqueue.
+        if let Some(&g) = self.group_of.get(&(node, GroupKey::Tap(flow))) {
+            if self.groups[g].sinks > 0 {
+                self.enqueue(g, origin, item.clone());
+            }
         }
         if hop + 1 < self.flows[flow].route.len() {
             let next = self.flows[flow].route[hop + 1];
@@ -610,7 +779,7 @@ impl LiveRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::StreamFlow;
+    use crate::flow::{FlowInput, StreamFlow};
     use crate::topology::grid_topology;
     use dss_properties::{InputProperties, Properties};
 
@@ -808,6 +977,6 @@ mod tests {
         let (m, _) = rt.finish();
         assert!(m.total_dropped() > 0, "overloaded mailbox must drop");
         assert!(m.queries["q"].delivered > 0);
-        assert!(m.queue_high_water.iter().any(|&h| h == 1));
+        assert!(m.queue_high_water.contains(&1));
     }
 }

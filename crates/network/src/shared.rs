@@ -1,0 +1,264 @@
+//! Intra-peer operator sharing: fusing the flows that consume one input
+//! stream at one peer into a single prefix-sharing [`OpDag`].
+//!
+//! The paper's stream sharing removes redundant work *between* peers; this
+//! module removes it *within* a peer. All flows reading the same input
+//! stream (the same raw source, or taps on the same parent flow) at a peer
+//! form a *sharing group*, keyed by [`GroupKey`]. Their operator lists are
+//! factored into a trie whose nodes each execute once per input item,
+//! however many flows ride them — see [`dss_engine::OpDag`].
+//!
+//! Merging follows the paper's `MatchAggregations` discipline, implemented
+//! by [`ops_mergeable`]: stateless operators merge on structural equality,
+//! while windowed/stateful operators (aggregation, window output,
+//! re-aggregation, re-windowing) additionally require *identical window
+//! specifications* — two aggregates over different windows never share an
+//! instance even if everything else matches.
+
+use dss_engine::{
+    build_operator, DagNodeStats, OpDag, ReAggregateOp, ReWindowOp, RestructureOp, StreamOperator,
+};
+use dss_properties::Operator;
+use dss_xml::Node;
+
+use crate::flow::{FlowId, FlowInput, FlowOp};
+
+/// Identity of the input stream a flow consumes at its processing node.
+/// Flows at the same peer with equal keys read the very same item sequence
+/// and are fused into one [`FlowDag`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GroupKey {
+    /// A raw registered source stream, by name.
+    Source(String),
+    /// A tap on another flow's output stream.
+    Tap(FlowId),
+}
+
+impl GroupKey {
+    /// The sharing-group key for a flow input.
+    pub fn of(input: &FlowInput) -> GroupKey {
+        match input {
+            FlowInput::Source { stream } => GroupKey::Source(stream.clone()),
+            FlowInput::Tap { parent } => GroupKey::Tap(*parent),
+        }
+    }
+}
+
+/// Instantiates the executable operator for one flow operator.
+pub fn build_flow_op(op: &FlowOp) -> Box<dyn StreamOperator + Send> {
+    match op {
+        FlowOp::Standard(o) => build_operator(o),
+        FlowOp::ReAggregate { reused, new } => {
+            Box::new(ReAggregateOp::new(reused.clone(), new.clone()))
+        }
+        FlowOp::ReWindow { reused, new } => Box::new(ReWindowOp::new(reused.clone(), new.clone())),
+        FlowOp::Restructure {
+            template,
+            agg,
+            window,
+        } => match (agg, window) {
+            (Some(a), _) => Box::new(RestructureOp::for_aggregate(template.clone(), *a)),
+            (None, true) => Box::new(RestructureOp::for_window(template.clone())),
+            (None, false) => Box::new(RestructureOp::new(template.clone())),
+        },
+    }
+}
+
+/// `true` when `op` buffers window state across items.
+pub fn op_is_stateful(op: &FlowOp) -> bool {
+    matches!(
+        op,
+        FlowOp::Standard(Operator::Aggregation(_))
+            | FlowOp::Standard(Operator::WindowOutput(_))
+            | FlowOp::ReAggregate { .. }
+            | FlowOp::ReWindow { .. }
+    )
+}
+
+/// May two operator descriptions share one executing instance?
+///
+/// Stateless operators share when structurally equal. Stateful (windowed)
+/// operators apply the paper's `MatchAggregations` rule: their window
+/// specifications must be *identical* — matching spec fields alone is not
+/// enough, because a shared instance has exactly one window sequence.
+pub fn ops_mergeable(a: &FlowOp, b: &FlowOp) -> bool {
+    use FlowOp::*;
+    use Operator as O;
+    match (a, b) {
+        (Standard(O::Aggregation(x)), Standard(O::Aggregation(y))) => {
+            x.window == y.window && x == y
+        }
+        (Standard(O::WindowOutput(x)), Standard(O::WindowOutput(y))) => {
+            x.window == y.window && x == y
+        }
+        (
+            ReAggregate {
+                reused: xr,
+                new: xn,
+            },
+            ReAggregate {
+                reused: yr,
+                new: yn,
+            },
+        ) => xn.window == yn.window && (xr, xn) == (yr, yn),
+        (
+            ReWindow {
+                reused: xr,
+                new: xn,
+            },
+            ReWindow {
+                reused: yr,
+                new: yn,
+            },
+        ) => xn.window == yn.window && (xr, xn) == (yr, yn),
+        _ => a == b,
+    }
+}
+
+/// One peer's fused operator DAG for one input stream: the flows of a
+/// sharing group, keyed by [`FlowId`] sinks.
+#[derive(Debug, Default)]
+pub struct FlowDag {
+    dag: OpDag<FlowOp>,
+}
+
+impl FlowDag {
+    /// An empty DAG.
+    pub fn new() -> FlowDag {
+        FlowDag::default()
+    }
+
+    /// Registers `flow`'s operator chain, merging shared prefixes.
+    pub fn register(&mut self, flow: FlowId, ops: &[FlowOp]) {
+        self.dag
+            .register(flow, Self::instantiate(ops), ops_mergeable);
+    }
+
+    /// Replaces `flow`'s chain, rebuilding only the suffix below the first
+    /// changed operator: kept prefix nodes retain their window state.
+    pub fn reregister(&mut self, flow: FlowId, ops: &[FlowOp]) {
+        self.dag
+            .reregister(flow, Self::instantiate(ops), ops_mergeable);
+    }
+
+    /// Drops `flow` from the DAG, pruning operators nothing else shares.
+    pub fn retire(&mut self, flow: FlowId) {
+        self.dag.retire(flow);
+    }
+
+    fn instantiate(ops: &[FlowOp]) -> Vec<(FlowOp, Box<dyn StreamOperator + Send>)> {
+        ops.iter()
+            .map(|op| (op.clone(), build_flow_op(op)))
+            .collect()
+    }
+
+    /// `true` when `flow` is registered.
+    pub fn contains(&self, flow: FlowId) -> bool {
+        self.dag.contains(flow)
+    }
+
+    /// Number of registered flows.
+    pub fn sink_count(&self) -> usize {
+        self.dag.sink_count()
+    }
+
+    /// `true` when no flow is registered.
+    pub fn is_empty(&self) -> bool {
+        self.dag.is_empty()
+    }
+
+    /// Runs one input item through the DAG; `out` receives every
+    /// (flow, output item) pair in deterministic DFS order.
+    pub fn process_into(&mut self, item: &Node, out: &mut dyn FnMut(FlowId, &Node)) {
+        self.dag.process_into(item, out);
+    }
+
+    /// End-of-stream flush of all buffered window state.
+    pub fn flush_into(&mut self, out: &mut dyn FnMut(FlowId, &Node)) {
+        self.dag.flush_into(out);
+    }
+
+    /// Total work across DAG nodes — each shared node counted once.
+    pub fn total_work(&self) -> f64 {
+        self.dag.total_work()
+    }
+
+    /// Per-node execution counters (depth, sharers, stats).
+    pub fn node_stats(&self) -> Vec<DagNodeStats> {
+        self.dag.node_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_predicate::{Atom, CompOp, PredicateGraph};
+    use dss_properties::{AggOp, AggregationSpec, ResultFilter, WindowSpec};
+    use dss_xml::{Decimal, Path};
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    fn d(s: &str) -> Decimal {
+        s.parse().unwrap()
+    }
+
+    fn agg(width: &str) -> FlowOp {
+        FlowOp::Standard(Operator::Aggregation(AggregationSpec {
+            op: AggOp::Sum,
+            element: p("en"),
+            window: WindowSpec::diff(p("det_time"), d(width), None).unwrap(),
+            pre_selection: PredicateGraph::new(),
+            result_filter: ResultFilter::none(),
+        }))
+    }
+
+    fn select(min_en: &str) -> FlowOp {
+        FlowOp::Standard(Operator::Selection(PredicateGraph::from_atoms(&[
+            Atom::var_const(p("en"), CompOp::Ge, d(min_en)),
+        ])))
+    }
+
+    #[test]
+    fn stateless_merge_is_equality() {
+        assert!(ops_mergeable(&select("1.0"), &select("1.0")));
+        assert!(!ops_mergeable(&select("1.0"), &select("2.0")));
+    }
+
+    #[test]
+    fn windowed_merge_requires_identical_window() {
+        assert!(ops_mergeable(&agg("10"), &agg("10")));
+        assert!(!ops_mergeable(&agg("10"), &agg("20")));
+        assert!(op_is_stateful(&agg("10")));
+        assert!(!op_is_stateful(&select("1.0")));
+    }
+
+    #[test]
+    fn group_key_distinguishes_inputs() {
+        let src = FlowInput::Source {
+            stream: "photons".into(),
+        };
+        let tap = FlowInput::Tap { parent: 3 };
+        assert_eq!(GroupKey::of(&src), GroupKey::Source("photons".into()));
+        assert_eq!(GroupKey::of(&tap), GroupKey::Tap(3));
+        assert_ne!(GroupKey::of(&src), GroupKey::of(&tap));
+    }
+
+    #[test]
+    fn flow_dag_shares_prefix_and_fans_out() {
+        let mut dag = FlowDag::new();
+        dag.register(0, &[select("1.0")]);
+        dag.register(1, &[select("1.0")]);
+        dag.register(2, &[select("2.0")]);
+        let hot = dss_xml::Node::elem("photon", vec![dss_xml::Node::leaf("en", "1.5")]);
+        let mut outs = Vec::new();
+        dag.process_into(&hot, &mut |f, _| outs.push(f));
+        outs.sort_unstable();
+        assert_eq!(outs, vec![0, 1], "en 1.5 passes σ≥1.0 but not σ≥2.0");
+        // One shared σ≥1.0 node: a single item_in despite two sinks.
+        let stats = dag.node_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats.iter().map(|s| s.stats.items_in).sum::<u64>(), 2);
+    }
+}

@@ -17,10 +17,12 @@ use dss_engine::Emit;
 use dss_xml::writer::serialized_size;
 use dss_xml::Node;
 
-use crate::flow::{build_flow_pipeline, Deployment, FlowInput};
+use crate::flow::{build_flow_pipeline, Deployment, FlowId, FlowInput, FlowOp};
 use crate::metrics::NetworkMetrics;
+use crate::pool::{max_parallelism, run_scoped};
 use crate::routing::path_edges;
-use crate::topology::Topology;
+use crate::shared::{FlowDag, GroupKey};
+use crate::topology::{NodeId, Topology};
 
 /// An invalid simulation or runtime configuration value.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +64,12 @@ pub struct SimConfig {
     /// peer (before scaling with its performance index). Must be
     /// non-negative.
     pub forward_work_per_kb: f64,
+    /// Fuse the flows sharing an input stream at a peer into one operator
+    /// DAG (shared prefixes execute once) and run independent peers'
+    /// DAGs in parallel. `false` runs each flow as its own pipeline — per-
+    /// flow outputs are byte-identical either way, only the work accounting
+    /// of shared prefixes differs.
+    pub shared_ops: bool,
 }
 
 impl Default for SimConfig {
@@ -69,16 +77,18 @@ impl Default for SimConfig {
         SimConfig {
             duration_s: 60.0,
             forward_work_per_kb: 1.0,
+            shared_ops: true,
         }
     }
 }
 
 impl SimConfig {
-    /// Builds a validated configuration.
+    /// Builds a validated configuration (with operator sharing enabled).
     pub fn new(duration_s: f64, forward_work_per_kb: f64) -> Result<SimConfig, ConfigError> {
         let cfg = SimConfig {
             duration_s,
             forward_work_per_kb,
+            shared_ops: true,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -118,9 +128,12 @@ pub fn run(
 
 /// Runs the deployment over the given source streams.
 ///
-/// `sources` maps stream names to their item sequences. Flows are executed
-/// in id order; taps read the parent's full output (tapping never costs
-/// extra transmission — the parent stream already flows past the tap).
+/// `sources` maps stream names to their item sequences. Taps read the
+/// parent's full output (tapping never costs extra transmission — the
+/// parent stream already flows past the tap). With `cfg.shared_ops`, the
+/// flows consuming one input stream at one peer are fused into a shared
+/// operator DAG and independent DAGs of one tap depth run in parallel;
+/// per-flow outputs are identical to unfused execution either way.
 pub fn try_run(
     topo: &Topology,
     deployment: &Deployment,
@@ -130,42 +143,26 @@ pub fn try_run(
     cfg.validate()?;
     deployment.validate(topo);
     let mut metrics = NetworkMetrics::new(topo, cfg.duration_s);
-    let mut flow_outputs: Vec<Vec<Node>> = Vec::with_capacity(deployment.len());
+    let mut flow_outputs: Vec<Vec<Node>> = vec![Vec::new(); deployment.len()];
 
-    for flow in deployment.flows() {
+    if cfg.shared_ops {
+        run_shared(topo, deployment, sources, &mut metrics, &mut flow_outputs);
+    } else {
+        run_unfused(topo, deployment, sources, &mut metrics, &mut flow_outputs);
+    }
+
+    // Transmit every flow's outputs along its route, charging edges and
+    // forwarding work, in flow id order.
+    for (id, flow) in deployment.flows().iter().enumerate() {
         if flow.retired {
-            // Retired flows carry nothing; keep output indices aligned.
-            flow_outputs.push(Vec::new());
             continue;
         }
-        // Gather the flow's input items.
-        let inputs: &[Node] = match &flow.input {
-            FlowInput::Source { stream } => sources
-                .get(stream)
-                .unwrap_or_else(|| panic!("flow {} reads unknown source {stream:?}", flow.label))
-                .as_slice(),
-            FlowInput::Tap { parent } => flow_outputs[*parent].as_slice(),
-        };
-
-        // Execute the pipeline at the processing node, accumulating into a
-        // single sink buffer (the pipeline reuses its internal scratch
-        // buffers across items).
-        let mut pipeline = build_flow_pipeline(&flow.ops);
-        let mut sink = Emit::new();
-        for item in inputs {
-            pipeline.process_into(item, &mut sink);
-        }
-        pipeline.flush_into(&mut sink);
-        let outputs: Vec<Node> = sink.into_vec();
-
-        let pindex = topo.peer(flow.processing_node).pindex;
-        metrics.record_work(flow.processing_node, pipeline.total_work() * pindex);
-
-        // Transmit the outputs along the route, charging edges and
-        // forwarding work.
         let edges = path_edges(topo, &flow.route);
         if !edges.is_empty() {
-            let total_bytes: u64 = outputs.iter().map(|n| serialized_size(n) as u64).sum();
+            let total_bytes: u64 = flow_outputs[id]
+                .iter()
+                .map(|n| serialized_size(n) as u64)
+                .sum();
             for (hop, &e) in edges.iter().enumerate() {
                 let (sender, receiver) = (flow.route[hop], flow.route[hop + 1]);
                 metrics.record_transmission(e, sender, receiver, total_bytes);
@@ -180,14 +177,143 @@ pub fn try_run(
                 );
             }
         }
-
-        flow_outputs.push(outputs);
     }
 
     Ok(SimOutcome {
         metrics,
         flow_outputs,
     })
+}
+
+/// Unfused execution: every flow runs its own pipeline, in id order.
+fn run_unfused(
+    topo: &Topology,
+    deployment: &Deployment,
+    sources: &BTreeMap<String, Vec<Node>>,
+    metrics: &mut NetworkMetrics,
+    flow_outputs: &mut [Vec<Node>],
+) {
+    for (id, flow) in deployment.flows().iter().enumerate() {
+        if flow.retired {
+            continue;
+        }
+        let inputs: &[Node] = match &flow.input {
+            FlowInput::Source { stream } => sources
+                .get(stream)
+                .unwrap_or_else(|| panic!("flow {} reads unknown source {stream:?}", flow.label))
+                .as_slice(),
+            FlowInput::Tap { parent } => flow_outputs[*parent].as_slice(),
+        };
+        let mut pipeline = build_flow_pipeline(&flow.ops);
+        let mut sink = Emit::new();
+        for item in inputs {
+            pipeline.process_into(item, &mut sink);
+        }
+        pipeline.flush_into(&mut sink);
+        let pindex = topo.peer(flow.processing_node).pindex;
+        metrics.record_work(flow.processing_node, pipeline.total_work() * pindex);
+        flow_outputs[id] = sink.into_vec();
+    }
+}
+
+/// Fused execution: flows group by (tap depth, peer, input stream); each
+/// group runs as one shared [`FlowDag`], and the independent groups of one
+/// depth execute on a scoped worker pool. Results are applied in the
+/// deterministic group order regardless of worker scheduling.
+fn run_shared(
+    topo: &Topology,
+    deployment: &Deployment,
+    sources: &BTreeMap<String, Vec<Node>>,
+    metrics: &mut NetworkMetrics,
+    flow_outputs: &mut [Vec<Node>],
+) {
+    let flows = deployment.flows();
+    // Tap depth of each flow; `add_flow` guarantees parent ids are smaller.
+    let mut depth = vec![0usize; flows.len()];
+    for (id, f) in flows.iter().enumerate() {
+        if let FlowInput::Tap { parent } = f.input {
+            depth[id] = depth[parent] + 1;
+        }
+    }
+    let mut groups: BTreeMap<(usize, NodeId, GroupKey), Vec<FlowId>> = BTreeMap::new();
+    for (id, f) in flows.iter().enumerate() {
+        if f.retired {
+            continue;
+        }
+        groups
+            .entry((depth[id], f.processing_node, GroupKey::of(&f.input)))
+            .or_default()
+            .push(id);
+    }
+    let mut levels: Vec<Vec<(NodeId, GroupKey, Vec<FlowId>)>> = Vec::new();
+    for ((lvl, node, key), members) in groups {
+        if lvl >= levels.len() {
+            levels.resize_with(lvl + 1, Vec::new);
+        }
+        levels[lvl].push((node, key, members));
+    }
+
+    struct Job<'a> {
+        node: NodeId,
+        members: Vec<(FlowId, &'a [FlowOp])>,
+        inputs: &'a [Node],
+    }
+
+    let threads = max_parallelism();
+    for level in &levels {
+        // Resolve inputs on this thread: an unknown source must panic here,
+        // not inside a worker.
+        let jobs: Vec<Job> = level
+            .iter()
+            .map(|(node, key, members)| {
+                let inputs: &[Node] = match key {
+                    GroupKey::Source(stream) => sources
+                        .get(stream)
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "flow {} reads unknown source {stream:?}",
+                                flows[members[0]].label
+                            )
+                        })
+                        .as_slice(),
+                    GroupKey::Tap(parent) => flow_outputs[*parent].as_slice(),
+                };
+                Job {
+                    node: *node,
+                    members: members
+                        .iter()
+                        .map(|&id| (id, flows[id].ops.as_slice()))
+                        .collect(),
+                    inputs,
+                }
+            })
+            .collect();
+        let results = run_scoped(jobs, threads, |job| {
+            let mut dag = FlowDag::new();
+            for (id, ops) in &job.members {
+                dag.register(*id, ops);
+            }
+            let ids: Vec<FlowId> = job.members.iter().map(|&(id, _)| id).collect();
+            let mut outs: Vec<Vec<Node>> = vec![Vec::new(); ids.len()];
+            for item in job.inputs {
+                dag.process_into(item, &mut |f, n| {
+                    let i = ids.binary_search(&f).expect("sink is a group member");
+                    outs[i].push(n.clone());
+                });
+            }
+            dag.flush_into(&mut |f, n| {
+                let i = ids.binary_search(&f).expect("sink is a group member");
+                outs[i].push(n.clone());
+            });
+            (job.node, dag.total_work(), ids, outs)
+        });
+        for (node, work, ids, outs) in results {
+            metrics.record_work(node, work * topo.peer(node).pindex);
+            for (id, out) in ids.into_iter().zip(outs) {
+                flow_outputs[id] = out;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -411,6 +537,58 @@ mod tests {
             retired: false,
         });
         run(&t, &d, &BTreeMap::new(), SimConfig::default());
+    }
+
+    #[test]
+    fn fused_matches_unfused_and_shares_work() {
+        // Four flows tap the same source at SP1: two share the σ≥1.5 chain
+        // exactly, the others differ. Outputs must match the unfused run
+        // byte-for-byte; the shared prefix must be charged once.
+        let t = grid_topology(2, 2);
+        let (sp0, sp1) = (t.expect_node("SP0"), t.expect_node("SP1"));
+        let mut d = Deployment::new();
+        let src = d.add_flow(StreamFlow {
+            label: "photons".into(),
+            input: FlowInput::Source {
+                stream: "photons".into(),
+            },
+            processing_node: sp0,
+            ops: Vec::new(),
+            route: vec![sp0, sp1],
+            properties: Some(Properties::single(InputProperties::original("photons"))),
+            retired: false,
+        });
+        for (label, en) in [("a", "1.5"), ("b", "1.5"), ("c", "1.7"), ("d", "1.9")] {
+            d.add_flow(StreamFlow {
+                label: label.into(),
+                input: FlowInput::Tap { parent: src },
+                processing_node: sp1,
+                ops: vec![selection_ge(en)],
+                route: vec![sp1],
+                properties: None,
+                retired: false,
+            });
+        }
+        let mut sources = BTreeMap::new();
+        sources.insert("photons".to_string(), items(100));
+        let fused = run(&t, &d, &sources, SimConfig::default());
+        let unfused = run(
+            &t,
+            &d,
+            &sources,
+            SimConfig {
+                shared_ops: false,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(fused.flow_outputs, unfused.flow_outputs);
+        assert_eq!(
+            fused.metrics.total_edge_bytes(),
+            unfused.metrics.total_edge_bytes()
+        );
+        // The duplicate σ≥1.5 ran once when fused: SP1's work drops by
+        // exactly one selection pass over the 100 tapped items.
+        assert!(fused.metrics.node_work[sp1] < unfused.metrics.node_work[sp1]);
     }
 
     #[test]

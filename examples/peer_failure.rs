@@ -73,4 +73,8 @@ fn main() {
     print_active_flows(&system);
 
     println!("\n{}", outcome.metrics.report(system.topology()));
+    println!(
+        "intra-peer sharing saved {:.1} work units",
+        outcome.metrics.shared_work_saved()
+    );
 }
