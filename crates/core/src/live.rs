@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 
 use dss_network::runtime::{FaultKind, FaultScript, LiveConfig, LiveRuntime, RuntimeMetrics};
 use dss_network::{FlowId, FlowInput, NodeId, SourceModel};
+use dss_xml::Node;
 
 use crate::system::{Installed, Registration, StreamGlobe, SystemError};
 
@@ -50,6 +51,9 @@ pub struct LiveOutcome {
     pub trace: Vec<String>,
     /// One report per scripted peer crash.
     pub failovers: Vec<FailoverReport>,
+    /// Per query: every delivered item with its origin timestamp, in
+    /// delivery order. Empty unless [`LiveConfig::record_deliveries`].
+    pub delivered_items: BTreeMap<String, Vec<(u64, Node)>>,
 }
 
 impl StreamGlobe {
@@ -184,11 +188,16 @@ impl StreamGlobe {
                 FaultKind::LinkUp(edge) => self.state.topo.set_edge_up(edge, true),
             }
         }
+        // Drain the remaining horizon before collecting recorded
+        // deliveries — `finish` would otherwise run it after the take.
+        runtime.run_until(runtime.horizon_us());
+        let delivered_items = runtime.take_delivered_items();
         let (metrics, trace) = runtime.finish();
         Ok(LiveOutcome {
             metrics,
             trace,
             failovers,
+            delivered_items,
         })
     }
 }

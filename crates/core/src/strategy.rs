@@ -139,8 +139,10 @@ fn fixed_plan(
         let stats = state
             .stats(stream)
             .ok_or_else(|| SubscribeError::UnknownStream(stream.to_string()))?;
+        // The stream exists but no live route reaches it: that is
+        // `Unreachable`, not `UnknownStream`.
         let route = shortest_path(&state.topo, v_b, v_q)
-            .ok_or_else(|| SubscribeError::UnknownStream(stream.to_string()))?;
+            .ok_or_else(|| SubscribeError::Unreachable(stream.to_string()))?;
         let (ops, estimate) = match placement {
             Placement::AtSubscriber => {
                 // Ship the raw stream; evaluate in post-processing.

@@ -76,6 +76,10 @@ pub struct LiveConfig {
     pub bucket_us: u64,
     /// Record a textual event trace (determinism fingerprinting).
     pub trace: bool,
+    /// Keep every delivered item (with its origin timestamp) per query,
+    /// for differential comparison against a reference evaluation. Off by
+    /// default: long runs would hold the whole output in memory.
+    pub record_deliveries: bool,
 }
 
 impl Default for LiveConfig {
@@ -87,6 +91,7 @@ impl Default for LiveConfig {
             per_item_overhead_us: 50,
             bucket_us: 1_000_000,
             trace: false,
+            record_deliveries: false,
         }
     }
 }
@@ -254,6 +259,9 @@ pub struct LiveRuntime {
     last_origin: BTreeMap<String, u64>,
     recovering_since: BTreeMap<String, u64>,
     recoveries: BTreeMap<String, Vec<u64>>,
+    /// Per query: every delivered item with its origin timestamp, in
+    /// delivery order (only when `cfg.record_deliveries`).
+    delivered_items: BTreeMap<String, Vec<(u64, Node)>>,
     trace: Vec<String>,
 }
 
@@ -303,6 +311,7 @@ impl LiveRuntime {
             last_origin: BTreeMap::new(),
             recovering_since: BTreeMap::new(),
             recoveries: BTreeMap::new(),
+            delivered_items: BTreeMap::new(),
             trace: Vec::new(),
         };
         rt.sync_deployment(deployment, deliveries);
@@ -485,6 +494,13 @@ impl LiveRuntime {
             }
         }
         self.now = self.now.max(t);
+    }
+
+    /// Hands out the recorded per-query deliveries (empty unless
+    /// `LiveConfig::record_deliveries`): every delivered item with its
+    /// origin timestamp, in delivery order. Call before [`Self::finish`].
+    pub fn take_delivered_items(&mut self) -> BTreeMap<String, Vec<(u64, Node)>> {
+        std::mem::take(&mut self.delivered_items)
     }
 
     /// Runs to the horizon and produces the report plus the event trace
@@ -770,6 +786,12 @@ impl LiveRuntime {
                     .entry(query.clone())
                     .or_default()
                     .push(self.now.saturating_sub(since));
+            }
+            if self.cfg.record_deliveries {
+                self.delivered_items
+                    .entry(query.clone())
+                    .or_default()
+                    .push((origin, item));
             }
             self.trace_line(|_| format!("dlv {query} lat={latency}"));
         }

@@ -1,0 +1,564 @@
+//! The differential harness: random cases, the four end-to-end
+//! equivalences, and greedy shrinking of failing cases.
+//!
+//! A [`Case`] is a materialized photon stream plus a handful of random
+//! flat subscriptions ([`dss_wxquery::testing::QuerySpec`]). The checks
+//! assert, byte-exact after canonical serialization:
+//!
+//! - [`check_pipeline`] (equivalence 1) — the engine's operator pipeline
+//!   ≡ the naive [`Oracle`], split into streamed and flushed results;
+//! - [`check_network`] (equivalences 2 and 3) — the planned deployment
+//!   delivers the oracle's results under **every** planning strategy
+//!   (stream sharing, query shipping, data shipping), with fused
+//!   FlowDags on *and* off;
+//! - [`check_live`] (equivalence 4) — the discrete-event live runtime
+//!   with an injected peer crash delivers exactly the oracle's results:
+//!   re-planned queries deliver `oracle(prefix)` before the crash and
+//!   `oracle(suffix)` after it (operator state restarts on
+//!   re-subscription, windows never flush), untouched queries deliver
+//!   `oracle(stream)`.
+//!
+//! [`shrink`] reduces a failing case with the query-level simplifications
+//! from `dss_wxquery::testing` plus item bisection, re-checking the
+//! failing property at each step, so reported counterexamples stay small
+//! enough to read.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use proptest::prelude::*;
+use proptest::strategy::one_of;
+
+use dss_core::{Registration, Strategy as PlanStrategy, StreamGlobe};
+use dss_engine::StreamOperatorExt;
+use dss_network::{grid_topology, FaultScript, LiveConfig, SimConfig};
+use dss_rass::{GeneratorConfig, PhotonGenerator};
+use dss_wxquery::compile_query;
+use dss_wxquery::testing::{arb_query, QuerySpec};
+use dss_xml::writer::node_to_string;
+use dss_xml::{Decimal, Node};
+
+use crate::interpreter::{Oracle, OracleResult};
+
+/// One differential test case: a materialized stream and the
+/// subscriptions registered against it.
+#[derive(Debug, Clone)]
+pub struct Case {
+    pub items: Vec<Node>,
+    pub queries: Vec<QuerySpec>,
+}
+
+impl Case {
+    /// Human-readable rendering for failure reports.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "case with {} stream items:", self.items.len());
+        for (i, q) in self.queries.iter().enumerate() {
+            let _ = writeln!(s, "  q{i}: {}", q.to_text());
+        }
+        let shown = self.items.len().min(12);
+        for item in &self.items[..shown] {
+            let _ = writeln!(s, "  item: {}", node_to_string(item));
+        }
+        if shown < self.items.len() {
+            let _ = writeln!(s, "  … {} more items", self.items.len() - shown);
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// Blueprint of one synthetic stream item. Deliberately adversarial:
+/// elements go missing, appear twice, or hold non-numeric text, and
+/// `det_time` increments often land exactly on window-grid boundaries.
+#[derive(Debug, Clone)]
+struct ItemSketch {
+    /// `det_time` advance in tenths (strictly positive keeps the
+    /// reference element monotone, as value windows require).
+    dt_tenths: i64,
+    /// `en` in milli-keV; `None` drops the element entirely.
+    en_milli: Option<i64>,
+    /// A second `en` element (first-match vs. multi-match paths).
+    extra_en_milli: Option<i64>,
+    /// `en` holds non-numeric text instead of a value.
+    en_garbage: bool,
+    phc: Option<i64>,
+    /// `(ra, dec)` in tenths of degrees; `None` drops `coord` entirely.
+    coord_tenths: Option<(i64, i64)>,
+}
+
+fn arb_sketch() -> BoxedStrategy<ItemSketch> {
+    (
+        1i64..120,
+        prop::option::of(0i64..3200),
+        (0usize..8, 0i64..3200),
+        0usize..16,
+        prop::option::of(0i64..120),
+        prop::option::of((900i64..1800, -600i64..-200)),
+    )
+        .prop_map(
+            |(dt, en, (extra_k, extra), garbage_k, phc, coord)| ItemSketch {
+                dt_tenths: dt,
+                en_milli: en,
+                extra_en_milli: (extra_k == 0).then_some(extra),
+                en_garbage: garbage_k == 0,
+                phc,
+                coord_tenths: coord,
+            },
+        )
+        .boxed()
+}
+
+fn build_items(sketches: Vec<ItemSketch>) -> Vec<Node> {
+    let mut t = 0i64; // running det_time in tenths
+    let mut items = Vec::with_capacity(sketches.len());
+    for s in sketches {
+        t += s.dt_tenths;
+        let mut item = Node::empty("photon");
+        item.push_child(Node::leaf(
+            "det_time",
+            Decimal::new(t as i128, 1).to_string(),
+        ));
+        if s.en_garbage {
+            item.push_child(Node::leaf("en", "not-a-number"));
+        } else if let Some(en) = s.en_milli {
+            item.push_child(Node::leaf("en", Decimal::new(en as i128, 3).to_string()));
+        }
+        if let Some(extra) = s.extra_en_milli {
+            item.push_child(Node::leaf("en", Decimal::new(extra as i128, 3).to_string()));
+        }
+        if let Some(phc) = s.phc {
+            item.push_child(Node::leaf("phc", phc.to_string()));
+        }
+        if let Some((ra, dec)) = s.coord_tenths {
+            let mut cel = Node::empty("cel");
+            cel.push_child(Node::leaf("ra", Decimal::new(ra as i128, 1).to_string()));
+            cel.push_child(Node::leaf("dec", Decimal::new(dec as i128, 1).to_string()));
+            let mut coord = Node::empty("coord");
+            coord.push_child(cel);
+            item.push_child(coord);
+        }
+        items.push(item);
+    }
+    items
+}
+
+/// A materialized stream: either adversarial synthetic items or a
+/// schema-conforming RASS photon stream from `dss_rass::generator`.
+pub fn arb_items() -> BoxedStrategy<Vec<Node>> {
+    let synthetic = prop::collection::vec(arb_sketch(), 0..=36)
+        .prop_map(build_items)
+        .boxed();
+    let rass = (0u64..1_000_000, 4usize..48)
+        .prop_map(|(seed, n)| {
+            let cfg = GeneratorConfig {
+                seed,
+                mean_time_increment: 0.2,
+                ..GeneratorConfig::default()
+            };
+            PhotonGenerator::new(cfg).generate_items(n)
+        })
+        .boxed();
+    one_of(vec![synthetic, rass])
+}
+
+/// A full differential case: a stream plus one to three subscriptions.
+pub fn arb_case() -> BoxedStrategy<Case> {
+    (arb_items(), prop::collection::vec(arb_query(), 1..=3))
+        .prop_map(|(items, queries)| Case { items, queries })
+        .boxed()
+}
+
+// ---------------------------------------------------------------------
+// Equivalence 1: engine pipeline ≡ oracle
+// ---------------------------------------------------------------------
+
+fn serialize(items: &[Node]) -> Vec<String> {
+    items.iter().map(node_to_string).collect()
+}
+
+fn oracle_run(q: &QuerySpec, items: &[Node]) -> Result<OracleResult, String> {
+    Oracle::compile(&q.to_text())
+        .map_err(|e| format!("oracle rejects a query the engine compiles: {e}"))
+        .map(|oracle| oracle.run(items))
+}
+
+/// Runs one compiled query through the engine's operator pipeline plus
+/// restructuring, returning (streamed, flushed) serialized results.
+fn engine_pipeline(q: &QuerySpec, items: &[Node]) -> Result<(Vec<String>, Vec<String>), String> {
+    let compiled = compile_query(&q.to_text()).map_err(|e| format!("engine compile: {e}"))?;
+    let mut pipeline = dss_engine::build_pipeline(compiled.operator_chain());
+    let mut post = compiled.restructure_op();
+    let mut streamed = Vec::new();
+    for item in items {
+        for t in pipeline.process(item) {
+            for out in post.process_collect(&t) {
+                streamed.push(node_to_string(&out));
+            }
+        }
+    }
+    let mut flushed = Vec::new();
+    for t in pipeline.flush() {
+        for out in post.process_collect(&t) {
+            flushed.push(node_to_string(&out));
+        }
+    }
+    Ok((streamed, flushed))
+}
+
+/// Equivalence 1: for every query, the engine pipeline's streamed and
+/// flushed outputs equal the oracle's, byte-exact.
+pub fn check_pipeline(case: &Case) -> Result<(), String> {
+    for (i, q) in case.queries.iter().enumerate() {
+        let expect = oracle_run(q, &case.items)?;
+        let (streamed, flushed) = engine_pipeline(q, &case.items)?;
+        if streamed != serialize(&expect.closed) {
+            return Err(format!(
+                "pipeline ≠ oracle (streamed) for q{i} `{}`:\n engine: {streamed:?}\n oracle: {:?}",
+                q.to_text(),
+                serialize(&expect.closed)
+            ));
+        }
+        if flushed != serialize(&expect.flushed) {
+            return Err(format!(
+                "pipeline ≠ oracle (flushed) for q{i} `{}`:\n engine: {flushed:?}\n oracle: {:?}",
+                q.to_text(),
+                serialize(&expect.flushed)
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Equivalences 2 + 3: planned deployments ≡ oracle, fused and unfused,
+// under every strategy
+// ---------------------------------------------------------------------
+
+/// Peer the `i`-th query subscribes at. Alternating far/near subscribers
+/// varies routes and sharing opportunities while always leaving SP2 free
+/// to crash in [`check_live`].
+fn subscriber(i: usize) -> &'static str {
+    if i.is_multiple_of(2) {
+        "SP3"
+    } else {
+        "SP1"
+    }
+}
+
+/// Builds a 2×2 super-peer grid with the case's stream at SP0 (emitting
+/// at `frequency` Hz) and all queries registered under `strategy`.
+fn build_system(
+    case: &Case,
+    strategy: PlanStrategy,
+    frequency: f64,
+) -> Result<(StreamGlobe, Vec<Registration>), String> {
+    let mut sys = StreamGlobe::new(grid_topology(2, 2));
+    sys.register_stream("photons", "SP0", case.items.clone(), frequency)
+        .map_err(|e| format!("register_stream: {e}"))?;
+    let mut regs = Vec::new();
+    for (i, q) in case.queries.iter().enumerate() {
+        let reg = sys
+            .register_query(format!("q{i}"), &q.to_text(), subscriber(i), strategy)
+            .map_err(|e| format!("register q{i} under {strategy:?}: {e}"))?;
+        regs.push(reg);
+    }
+    Ok((sys, regs))
+}
+
+/// Equivalences 2 and 3: under every planning strategy, with operator
+/// fusion on and off, every query's delivery flow carries exactly the
+/// oracle's results (streamed plus end-of-stream flushes — the batch
+/// simulator drains and flushes all pipelines).
+pub fn check_network(case: &Case) -> Result<(), String> {
+    let expected: Vec<Vec<String>> = case
+        .queries
+        .iter()
+        .map(|q| oracle_run(q, &case.items).map(|r| serialize(&r.all())))
+        .collect::<Result<_, _>>()?;
+    for strategy in PlanStrategy::ALL {
+        let (sys, regs) = build_system(case, strategy, 10.0)?;
+        for shared_ops in [true, false] {
+            let cfg = SimConfig {
+                shared_ops,
+                ..SimConfig::default()
+            };
+            let out = sys.run_simulation(cfg);
+            for (i, reg) in regs.iter().enumerate() {
+                let got = serialize(&out.flow_outputs[reg.delivery_flow]);
+                if got != expected[i] {
+                    return Err(format!(
+                        "{strategy:?} (fused={shared_ops}) ≠ oracle for q{i} `{}`:\n \
+                         delivered: {got:?}\n oracle: {:?}",
+                        case.queries[i].to_text(),
+                        expected[i]
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Equivalence 4: live runtime with a peer crash ≡ oracle
+// ---------------------------------------------------------------------
+
+/// Cap on live-run stream length: sources emit at 1 Hz so crash timing
+/// falls in quiet gaps, and the simulated horizon grows linearly with the
+/// item count.
+const LIVE_MAX_ITEMS: usize = 20;
+
+/// Equivalence 4: run the stream-sharing deployment under the
+/// discrete-event runtime at 1 Hz, crash a relay super-peer in the quiet
+/// gap after item `k = n/2`, and compare every query's recorded
+/// deliveries against the oracle. Re-planned queries must deliver
+/// exactly `oracle(items[..k]).closed` before the crash and
+/// `oracle(items[k..]).closed` after it (fresh operator state on the
+/// re-planned route, and the runtime never flushes); untouched queries
+/// must deliver `oracle(items).closed` for the whole stream.
+pub fn check_live(case: &Case) -> Result<(), String> {
+    let items = &case.items[..case.items.len().min(LIVE_MAX_ITEMS)];
+    if items.is_empty() {
+        return Ok(());
+    }
+    let sliced = Case {
+        items: items.to_vec(),
+        queries: case.queries.clone(),
+    };
+    let (mut sys, regs) = build_system(&sliced, PlanStrategy::StreamSharing, 1.0)?;
+    // Crash a peer that carries or processes flows but is neither the
+    // source's super-peer nor a subscriber.
+    let protected: BTreeSet<String> = std::iter::once("SP0".to_string())
+        .chain((0..regs.len()).map(|i| subscriber(i).to_string()))
+        .collect();
+    let victim = sys
+        .deployment()
+        .flows()
+        .iter()
+        .filter(|f| !f.retired)
+        .flat_map(|f| f.route.iter().chain(std::iter::once(&f.processing_node)))
+        .find(|&&n| !protected.contains(&sys.topology().peer(n).name))
+        .copied();
+    let n = items.len();
+    let k = n / 2;
+    let cfg = LiveConfig {
+        duration_s: n as f64 + 3.0,
+        record_deliveries: true,
+        ..LiveConfig::default()
+    };
+    // Sources emit item i at (i+1)·1 s (origin (i+1)·1e6 µs); the crash
+    // lands in the quiet gap after item k-1, when nothing is in flight
+    // (per-hop latency is microseconds against a one-second gap).
+    let faults = match victim {
+        Some(peer) => FaultScript::new().crash_peer(k as f64 + 0.5, peer),
+        None => FaultScript::new(),
+    };
+    let outcome = sys
+        .run_live(cfg, &faults)
+        .map_err(|e| format!("run_live: {e}"))?;
+    let mut replanned: BTreeSet<String> = BTreeSet::new();
+    for report in &outcome.failovers {
+        if let Some((id, err)) = report.failed.first() {
+            return Err(format!("failover could not re-plan {id}: {err}"));
+        }
+        replanned.extend(report.replanned.iter().map(|r| r.query_id.clone()));
+    }
+    let crash_origin_us = (k as u64) * 1_000_000;
+    let empty = Vec::new();
+    for (i, reg) in regs.iter().enumerate() {
+        let q = &sliced.queries[i];
+        let delivered = outcome.delivered_items.get(&reg.query_id).unwrap_or(&empty);
+        if replanned.contains(&reg.query_id) {
+            let pre: Vec<String> = delivered
+                .iter()
+                .filter(|(o, _)| *o <= crash_origin_us)
+                .map(|(_, node)| node_to_string(node))
+                .collect();
+            let post: Vec<String> = delivered
+                .iter()
+                .filter(|(o, _)| *o > crash_origin_us)
+                .map(|(_, node)| node_to_string(node))
+                .collect();
+            let expect_pre = serialize(&oracle_run(q, &items[..k])?.closed);
+            let expect_post = serialize(&oracle_run(q, &items[k..])?.closed);
+            if pre != expect_pre {
+                return Err(format!(
+                    "live ≠ oracle before the crash for {} `{}`:\n delivered: {pre:?}\n \
+                     oracle(prefix): {expect_pre:?}",
+                    reg.query_id,
+                    q.to_text()
+                ));
+            }
+            if post != expect_post {
+                return Err(format!(
+                    "live ≠ oracle after re-subscription for {} `{}`:\n delivered: {post:?}\n \
+                     oracle(suffix): {expect_post:?}",
+                    reg.query_id,
+                    q.to_text()
+                ));
+            }
+        } else {
+            let got: Vec<String> = delivered
+                .iter()
+                .map(|(_, node)| node_to_string(node))
+                .collect();
+            let expect = serialize(&oracle_run(q, items)?.closed);
+            if got != expect {
+                return Err(format!(
+                    "live ≠ oracle for unperturbed {} `{}`:\n delivered: {got:?}\n \
+                     oracle: {expect:?}",
+                    reg.query_id,
+                    q.to_text()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// All four equivalences on one case.
+pub fn check_all(case: &Case) -> Result<(), String> {
+    check_pipeline(case)?;
+    check_network(case)?;
+    check_live(case)
+}
+
+// ---------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------
+
+/// Greedily shrinks a failing case: fewer queries, fewer items (bisection
+/// first, then single removals), simpler queries via
+/// [`QuerySpec::shrink`]. Each accepted step must still fail `check`;
+/// returns the reduced case and its failure message.
+pub fn shrink(
+    mut case: Case,
+    mut message: String,
+    check: &dyn Fn(&Case) -> Result<(), String>,
+) -> (Case, String) {
+    let mut budget = 400usize;
+    'outer: while budget > 0 {
+        let mut candidates: Vec<Case> = Vec::new();
+        if case.queries.len() > 1 {
+            for i in 0..case.queries.len() {
+                let mut c = case.clone();
+                c.queries.remove(i);
+                candidates.push(c);
+            }
+        }
+        let n = case.items.len();
+        if n > 1 {
+            for range in [0..n / 2, n / 2..n] {
+                let mut c = case.clone();
+                c.items = case.items[range].to_vec();
+                candidates.push(c);
+            }
+        }
+        if n > 0 && n <= 12 {
+            for i in 0..n {
+                let mut c = case.clone();
+                c.items.remove(i);
+                candidates.push(c);
+            }
+        }
+        for (i, q) in case.queries.iter().enumerate() {
+            for simpler in q.shrink() {
+                let mut c = case.clone();
+                c.queries[i] = simpler;
+                candidates.push(c);
+            }
+        }
+        for candidate in candidates {
+            budget = budget.saturating_sub(1);
+            if budget == 0 {
+                break 'outer;
+            }
+            if let Err(msg) = check(&candidate) {
+                case = candidate;
+                message = msg;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (case, message)
+}
+
+/// Runs `check` on the case; on failure, shrinks and returns a full
+/// report (minimal case plus its failure message) for the test to fail
+/// with.
+pub fn check_shrinking(
+    case: &Case,
+    check: &dyn Fn(&Case) -> Result<(), String>,
+) -> Result<(), String> {
+    match check(case) {
+        Ok(()) => Ok(()),
+        Err(msg) => {
+            let (minimal, msg) = shrink(case.clone(), msg, check);
+            Err(format!(
+                "differential failure (shrunk):\n{}{msg}",
+                minimal.describe()
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::test_runner::TestRng;
+
+    fn sample_case(seed: u64) -> Case {
+        let mut rng = TestRng::from_seed(seed);
+        arb_case().sample(&mut rng)
+    }
+
+    #[test]
+    fn sampled_cases_pass_all_equivalences() {
+        for seed in [1u64, 2, 3, 4] {
+            let case = sample_case(seed);
+            check_all(&case).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn paper_query_roundtrip_through_harness() {
+        let items = PhotonGenerator::new(GeneratorConfig {
+            seed: 99,
+            mean_time_increment: 0.3,
+            ..GeneratorConfig::default()
+        })
+        .generate_items(40);
+        let case = Case {
+            items,
+            queries: vec![sample_case(7).queries[0].clone()],
+        };
+        check_all(&case).unwrap();
+    }
+
+    #[test]
+    fn shrink_reduces_failing_cases() {
+        let case = sample_case(42);
+        let started_with = case.items.len();
+        // A fake property: "fails" whenever the stream has > 2 items.
+        // Shrinking must keep the case failing while reducing it.
+        let check = |c: &Case| -> Result<(), String> {
+            if c.items.len() > 2 {
+                Err("too many items".to_string())
+            } else {
+                Ok(())
+            }
+        };
+        if check(&case).is_err() {
+            let (minimal, msg) = shrink(case, "initial".into(), &check);
+            assert_eq!(msg, "too many items");
+            assert!(minimal.items.len() >= 3);
+            assert!(minimal.items.len() <= 4, "started at {started_with}");
+            assert_eq!(minimal.queries.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,972 @@
+//! A deliberately naive, tree-at-a-time WXQuery interpreter.
+//!
+//! This is the *reference* side of the differential harness: it evaluates
+//! a flat WXQuery subscription directly from the parsed AST over a fully
+//! materialized stream, with no pipelining, no operator objects, no
+//! sharing, and no code from `dss_engine`. Its only dependencies are the
+//! foundation crates: `dss_xml` (trees, exact decimals), `dss_predicate`
+//! (the comparison-operator enum), `dss_properties` (the aggregate-op
+//! enum embedded in the AST), and `dss_wxquery` (parser/AST).
+//!
+//! Semantics implemented from the paper (Definition 2.1, Sections 2–3):
+//!
+//! - child-axis paths with document-order multi-matches,
+//! - conjunctive predicates `$p/π θ c` and `$p/π θ $p/ρ + c`, evaluated
+//!   fail-closed on missing or non-numeric values,
+//! - `count`/`diff` data windows anchored on the absolute non-negative
+//!   `µ`-grid, closed in ascending start order once the (sorted)
+//!   reference value passes their end, with empty windows never emitted,
+//! - distributive (`min`/`max`/`sum`/`count`) and algebraic (`avg`)
+//!   aggregates, `avg` as an exact `sum/count` rounded half away from
+//!   zero to six decimal places, and aggregate result filters compared by
+//!   exact cross-multiplication,
+//! - `return`-clause element construction with literal text rendered
+//!   before constructed children.
+//!
+//! The interpreter distinguishes results emitted *while the stream is
+//! live* ([`OracleResult::closed`]) from those only an end-of-stream
+//! flush would produce ([`OracleResult::flushed`]) — the batch simulator
+//! delivers both, the live runtime deliberately only the former.
+
+use std::fmt;
+
+use dss_predicate::CompOp;
+use dss_properties::AggOp;
+use dss_wxquery::ast::{Clause, Content, Expr, Flwr, ForSource, PredTerm, WindowAst};
+use dss_wxquery::parse_query;
+use dss_xml::writer::node_to_string;
+use dss_xml::{Decimal, Node, Path};
+
+/// Why a query text cannot be interpreted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// The text failed to parse as WXQuery.
+    Parse(String),
+    /// The query parses but falls outside the flat fragment the oracle
+    /// (like the engine) evaluates.
+    Unsupported(String),
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Parse(m) => write!(f, "oracle parse error: {m}"),
+            OracleError::Unsupported(m) => write!(f, "oracle: unsupported query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// The oracle's verdict on a query over a materialized stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OracleResult {
+    /// Results produced while consuming the stream (selection matches and
+    /// windows closed by later items), in stream order.
+    pub closed: Vec<Node>,
+    /// Results only an end-of-stream flush produces (windows still open
+    /// when the stream ended), ascending by window start.
+    pub flushed: Vec<Node>,
+}
+
+impl OracleResult {
+    /// All results in delivery order: streamed results, then the flush.
+    pub fn all(&self) -> Vec<Node> {
+        let mut out = self.closed.clone();
+        out.extend(self.flushed.iter().cloned());
+        out
+    }
+
+    /// Canonical byte-exact serialization of [`Self::all`].
+    pub fn canonical(&self) -> Vec<String> {
+        self.closed
+            .iter()
+            .chain(self.flushed.iter())
+            .map(node_to_string)
+            .collect()
+    }
+}
+
+/// Right-hand side of a selection atom.
+#[derive(Debug, Clone)]
+enum Rhs {
+    Const(Decimal),
+    /// `$p/ρ + c` — another path on the same item plus a constant.
+    ItemPath(Path, Decimal),
+}
+
+/// One conjunct of the selection predicate, on the stream item.
+#[derive(Debug, Clone)]
+struct SelAtom {
+    lhs: Path,
+    op: CompOp,
+    rhs: Rhs,
+}
+
+impl SelAtom {
+    /// Naive fail-closed evaluation: every referenced path must resolve
+    /// (first match in document order) to a decimal.
+    fn holds(&self, item: &Node) -> bool {
+        let Ok(lv) = self.lhs.decimal_value(item) else {
+            return false;
+        };
+        let rv = match &self.rhs {
+            Rhs::Const(c) => *c,
+            Rhs::ItemPath(p, c) => match p.decimal_value(item) {
+                Ok(v) => match v.checked_add(*c) {
+                    Some(s) => s,
+                    None => return false,
+                },
+                Err(_) => return false,
+            },
+        };
+        self.op.evaluate(lv, rv)
+    }
+}
+
+/// The data window of the `for` clause, if any.
+#[derive(Debug, Clone)]
+enum Windowing {
+    /// `|count Δ step µ|` — reference value is the arrival index among
+    /// the items that survived selection.
+    Count { size: Decimal, step: Decimal },
+    /// `|π diff Δ step µ|` — reference value read from the item.
+    Diff {
+        reference: Path,
+        size: Decimal,
+        step: Decimal,
+    },
+}
+
+impl Windowing {
+    fn size(&self) -> Decimal {
+        match self {
+            Windowing::Count { size, .. } | Windowing::Diff { size, .. } => *size,
+        }
+    }
+
+    fn step(&self) -> Decimal {
+        match self {
+            Windowing::Count { step, .. } | Windowing::Diff { step, .. } => *step,
+        }
+    }
+}
+
+/// The window aggregation of the `let` clause, if any.
+#[derive(Debug, Clone)]
+struct Aggregate {
+    op: AggOp,
+    element: Path,
+    /// Conjunctive conditions on the aggregate value (`where $a θ c`).
+    filter: Vec<(CompOp, Decimal)>,
+}
+
+/// A `return`-clause construction template (re-derived, not shared with
+/// the engine's `Template`).
+#[derive(Debug, Clone)]
+enum Tpl {
+    Element { tag: String, children: Vec<Tpl> },
+    Subtree(Path),
+    AggValue,
+    WindowContents,
+    Text(String),
+}
+
+/// A compiled-for-interpretation flat WXQuery.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    /// Referenced input stream name.
+    pub stream: String,
+    selection: Vec<SelAtom>,
+    window: Option<Windowing>,
+    aggregate: Option<Aggregate>,
+    template: Tpl,
+}
+
+/// Parses and interprets `text` over `items` in one call.
+pub fn evaluate(text: &str, items: &[Node]) -> Result<OracleResult, OracleError> {
+    Ok(Oracle::compile(text)?.run(items))
+}
+
+impl Oracle {
+    /// Parses a subscription text into an interpretable form.
+    pub fn compile(text: &str) -> Result<Oracle, OracleError> {
+        let expr = parse_query(text).map_err(|e| OracleError::Parse(e.to_string()))?;
+        Self::from_expr(&expr)
+    }
+
+    fn from_expr(expr: &Expr) -> Result<Oracle, OracleError> {
+        let unsupported = |m: &str| Err(OracleError::Unsupported(m.to_string()));
+        // Unwrap the optional result-root constructor around the FLWR.
+        let flwr: &Flwr = match expr {
+            Expr::Flwr(f) => f,
+            Expr::Element(el) => {
+                let mut found = None;
+                for c in &el.content {
+                    match c {
+                        Content::Enclosed(Expr::Flwr(f)) if found.is_none() => found = Some(f),
+                        Content::Text(_) => {}
+                        _ => return unsupported("result constructor shape"),
+                    }
+                }
+                match found {
+                    Some(f) => f,
+                    None => return unsupported("no FLWR expression"),
+                }
+            }
+            _ => return unsupported("subscription shape"),
+        };
+        let mut for_clause = None;
+        let mut let_clause = None;
+        for clause in &flwr.clauses {
+            match clause {
+                Clause::For { .. } if for_clause.is_none() => for_clause = Some(clause),
+                Clause::Let { .. } if let_clause.is_none() => let_clause = Some(clause),
+                _ => return unsupported("duplicate for/let clauses"),
+            }
+        }
+        let Some(Clause::For {
+            var: for_var,
+            source,
+            path,
+            conditions,
+            window,
+        }) = for_clause
+        else {
+            return unsupported("no for clause");
+        };
+        let ForSource::Stream(stream) = source else {
+            return unsupported("for clause must range over stream(…)");
+        };
+        if path.len() != 2 {
+            return unsupported("for-clause path must be stream-root/item");
+        }
+        let let_var = match let_clause {
+            Some(Clause::Let { var, .. }) => Some(var.as_str()),
+            _ => None,
+        };
+        // Split predicates into item selection and aggregate filter.
+        let mut selection = Vec::new();
+        let mut filter = Vec::new();
+        for atom in conditions.iter().chain(flwr.where_.iter()) {
+            if atom.lhs.var == *for_var {
+                if atom.lhs.path.is_empty() {
+                    return unsupported("predicate on the whole item");
+                }
+                let rhs = match &atom.rhs {
+                    PredTerm::Const(c) => Rhs::Const(*c),
+                    PredTerm::VarPlus(w, c) => {
+                        if w.var != *for_var {
+                            return unsupported("predicate mixes variables");
+                        }
+                        Rhs::ItemPath(w.path.clone(), *c)
+                    }
+                };
+                selection.push(SelAtom {
+                    lhs: atom.lhs.path.clone(),
+                    op: atom.op,
+                    rhs,
+                });
+            } else if Some(atom.lhs.var.as_str()) == let_var && atom.lhs.path.is_empty() {
+                match &atom.rhs {
+                    PredTerm::Const(c) => filter.push((atom.op, *c)),
+                    PredTerm::VarPlus(..) => return unsupported("non-constant aggregate filter"),
+                }
+            } else {
+                return unsupported("unbound predicate variable");
+            }
+        }
+        let windowing = match window {
+            Some(WindowAst::Count { size, step }) => Some(Windowing::Count {
+                size: *size,
+                step: step.unwrap_or(*size),
+            }),
+            Some(WindowAst::Diff {
+                reference,
+                size,
+                step,
+            }) => Some(Windowing::Diff {
+                reference: reference.clone(),
+                size: *size,
+                step: step.unwrap_or(*size),
+            }),
+            None => None,
+        };
+        if let Some(w) = &windowing {
+            if w.size().signum() <= 0 || w.step().signum() <= 0 {
+                return unsupported("non-positive window size or step");
+            }
+        }
+        let aggregate = match let_clause {
+            Some(Clause::Let { var: _, op, source }) => {
+                if source.var != *for_var {
+                    return unsupported("aggregation source is not the for variable");
+                }
+                if windowing.is_none() {
+                    return unsupported("aggregation without a data window");
+                }
+                Some(Aggregate {
+                    op: *op,
+                    element: source.path.clone(),
+                    filter,
+                })
+            }
+            _ => {
+                if !filter.is_empty() {
+                    return unsupported("aggregate filter without a let clause");
+                }
+                None
+            }
+        };
+        let template = Self::template_of(
+            &flwr.ret,
+            for_var,
+            let_var,
+            aggregate.is_some(),
+            aggregate.is_none() && windowing.is_some(),
+        )?;
+        Ok(Oracle {
+            stream: stream.clone(),
+            selection,
+            window: windowing,
+            aggregate,
+            template,
+        })
+    }
+
+    fn template_of(
+        expr: &Expr,
+        for_var: &str,
+        let_var: Option<&str>,
+        has_agg: bool,
+        has_window: bool,
+    ) -> Result<Tpl, OracleError> {
+        let unsupported = |m: &str| Err(OracleError::Unsupported(m.to_string()));
+        match expr {
+            Expr::Element(el) => {
+                let mut children = Vec::new();
+                for c in &el.content {
+                    children.push(match c {
+                        Content::Element(nested) => Self::template_of(
+                            &Expr::Element(nested.clone()),
+                            for_var,
+                            let_var,
+                            has_agg,
+                            has_window,
+                        )?,
+                        Content::Enclosed(inner) => {
+                            Self::template_of(inner, for_var, let_var, has_agg, has_window)?
+                        }
+                        Content::Text(t) => Tpl::Text(t.clone()),
+                    });
+                }
+                Ok(Tpl::Element {
+                    tag: el.tag.clone(),
+                    children,
+                })
+            }
+            Expr::PathOutput(vp) => {
+                if vp.var == for_var {
+                    if has_agg {
+                        return unsupported("raw item data alongside aggregation");
+                    }
+                    if has_window {
+                        if !vp.path.is_empty() {
+                            return unsupported("path below the window variable");
+                        }
+                        return Ok(Tpl::WindowContents);
+                    }
+                    Ok(Tpl::Subtree(vp.path.clone()))
+                } else if Some(vp.var.as_str()) == let_var {
+                    if !vp.path.is_empty() {
+                        return unsupported("path below the aggregate variable");
+                    }
+                    Ok(Tpl::AggValue)
+                } else {
+                    unsupported("unbound variable in return clause")
+                }
+            }
+            _ => unsupported("return-clause expression outside the flat fragment"),
+        }
+    }
+
+    /// `true` when the item passes every selection conjunct.
+    fn selected(&self, item: &Node) -> bool {
+        self.selection.iter().all(|a| a.holds(item))
+    }
+
+    /// Evaluates the query over the materialized stream items.
+    pub fn run(&self, items: &[Node]) -> OracleResult {
+        match (&self.window, &self.aggregate) {
+            (None, None) => self.run_plain(items),
+            (Some(w), Some(a)) => self.run_aggregate(items, w, a),
+            (Some(w), None) => self.run_window_contents(items, w),
+            (None, Some(_)) => unreachable!("compile rejects aggregation without a window"),
+        }
+    }
+
+    fn run_plain(&self, items: &[Node]) -> OracleResult {
+        let mut out = OracleResult::default();
+        for item in items {
+            if self.selected(item) {
+                if let Some(n) = instantiate(&self.template, item, None, None) {
+                    out.closed.push(n);
+                }
+            }
+        }
+        out
+    }
+
+    fn run_aggregate(&self, items: &[Node], w: &Windowing, agg: &Aggregate) -> OracleResult {
+        let mut windows: GridWindows<Accumulator> = GridWindows::new(w.size(), w.step());
+        let mut closed: Vec<(Decimal, Accumulator)> = Vec::new();
+        let mut arrivals = 0u64;
+        for item in items {
+            if !self.selected(item) {
+                continue;
+            }
+            let Some(v) = reference_of(w, item, arrivals) else {
+                continue;
+            };
+            if v < Decimal::ZERO {
+                continue;
+            }
+            arrivals += 1;
+            // Every matched element value folds into every window the
+            // reference value lies in.
+            let mut values = Vec::new();
+            agg.element.visit(item, &mut |n| {
+                if let Ok(d) = n.decimal_value() {
+                    values.push(d);
+                }
+            });
+            windows.observe(v, &mut closed, |acc| {
+                for v in &values {
+                    acc.add(*v);
+                }
+            });
+        }
+        let mut out = OracleResult::default();
+        for (start, acc) in closed.drain(..) {
+            if let Some(n) = self.finish_window(agg, start, &acc) {
+                out.closed.push(n);
+            }
+        }
+        let mut flushed = Vec::new();
+        windows.flush(&mut flushed);
+        for (start, acc) in flushed {
+            if let Some(n) = self.finish_window(agg, start, &acc) {
+                out.flushed.push(n);
+            }
+        }
+        out
+    }
+
+    /// Turns one closed window into a result item: drop empty windows,
+    /// apply the aggregate filter, render the value, instantiate the
+    /// template.
+    fn finish_window(&self, agg: &Aggregate, _start: Decimal, acc: &Accumulator) -> Option<Node> {
+        if acc.count == 0 {
+            return None;
+        }
+        if !acc.passes_filter(agg.op, &agg.filter) {
+            return None;
+        }
+        let value = acc.final_value(agg.op)?;
+        instantiate(&self.template, &Node::empty("item"), Some(&value), None)
+    }
+
+    fn run_window_contents(&self, items: &[Node], w: &Windowing) -> OracleResult {
+        let mut windows: GridWindows<Vec<Node>> = GridWindows::new(w.size(), w.step());
+        let mut closed: Vec<(Decimal, Vec<Node>)> = Vec::new();
+        let mut arrivals = 0u64;
+        for item in items {
+            if !self.selected(item) {
+                continue;
+            }
+            let Some(v) = reference_of(w, item, arrivals) else {
+                continue;
+            };
+            if v < Decimal::ZERO {
+                continue;
+            }
+            arrivals += 1;
+            windows.observe(v, &mut closed, |acc| acc.push(item.clone()));
+        }
+        let mut out = OracleResult::default();
+        let size = w.size();
+        for (start, contents) in closed.drain(..) {
+            if let Some(n) = self.finish_contents(start, size, &contents) {
+                out.closed.push(n);
+            }
+        }
+        let mut flushed = Vec::new();
+        windows.flush(&mut flushed);
+        for (start, contents) in flushed {
+            if let Some(n) = self.finish_contents(start, size, &contents) {
+                out.flushed.push(n);
+            }
+        }
+        out
+    }
+
+    fn finish_contents(&self, _start: Decimal, _size: Decimal, contents: &[Node]) -> Option<Node> {
+        if contents.is_empty() {
+            return None;
+        }
+        instantiate(&self.template, &Node::empty("item"), None, Some(contents))
+    }
+}
+
+/// Reference value of an item under a windowing mode: the arrival index
+/// (0-based, among selected items) for `count` windows, the reference
+/// element's value for `diff` windows.
+fn reference_of(w: &Windowing, item: &Node, arrivals: u64) -> Option<Decimal> {
+    match w {
+        Windowing::Count { .. } => Some(Decimal::from_int(arrivals as i64)),
+        Windowing::Diff { reference, .. } => reference.decimal_value(item).ok(),
+    }
+}
+
+/// Raw window accounting for the `MatchAggregations` metamorphic laws:
+/// every window the oracle opens over `items` for a `diff` window on
+/// `reference`, with the values `element` matched inside it, ascending by
+/// window start (closed windows first, then the end-of-stream flush —
+/// which is also ascending, so the whole sequence is).
+pub fn diff_windows(
+    items: &[Node],
+    reference: &Path,
+    element: &Path,
+    size: Decimal,
+    step: Decimal,
+) -> Vec<(Decimal, Vec<Decimal>)> {
+    let mut windows: GridWindows<Vec<Decimal>> = GridWindows::new(size, step);
+    let mut closed = Vec::new();
+    for item in items {
+        let Ok(v) = reference.decimal_value(item) else {
+            continue;
+        };
+        if v < Decimal::ZERO {
+            continue;
+        }
+        let mut values = Vec::new();
+        element.visit(item, &mut |n| {
+            if let Ok(d) = n.decimal_value() {
+                values.push(d);
+            }
+        });
+        windows.observe(v, &mut closed, |acc| acc.extend(values.iter().copied()));
+    }
+    windows.flush(&mut closed);
+    closed
+}
+
+/// Naive accumulator for one window's aggregate state. Public so the
+/// metamorphic harness can cross-check the engine's `AggItem` against
+/// this independent derivation on arbitrary value sequences.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Accumulator {
+    pub count: u64,
+    pub sum: Option<Decimal>,
+    pub min: Option<Decimal>,
+    pub max: Option<Decimal>,
+}
+
+impl Accumulator {
+    pub fn add(&mut self, v: Decimal) {
+        self.count += 1;
+        self.sum = Some(match self.sum {
+            Some(s) => s + v,
+            None => v,
+        });
+        self.min = Some(match self.min {
+            Some(m) if m <= v => m,
+            _ => v,
+        });
+        self.max = Some(match self.max {
+            Some(m) if m >= v => m,
+            _ => v,
+        });
+    }
+
+    /// Folds another accumulator in, as if its values had been added
+    /// here. Distributivity of count/sum/min/max (and of avg via
+    /// sum/count) over window splits is exactly the property the
+    /// re-aggregation operators rely on; the metamorphic harness checks
+    /// it against element-wise accumulation.
+    pub fn merge(&mut self, other: &Accumulator) {
+        self.count += other.count;
+        self.sum = match (self.sum, other.sum) {
+            (Some(a), Some(b)) => Some(a + b),
+            (a, b) => a.or(b),
+        };
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Applies the aggregate result filter: `avg` conditions compare
+    /// exactly by cross-multiplication (`sum θ c·count`), everything else
+    /// compares the final value; empty windows fail every non-trivial
+    /// filter.
+    pub fn passes_filter(&self, agg_op: AggOp, filter: &[(CompOp, Decimal)]) -> bool {
+        filter.iter().all(|(op, c)| match agg_op {
+            AggOp::Avg => {
+                let Some(sum) = self.sum else { return false };
+                if self.count == 0 {
+                    return false;
+                }
+                match c.units().checked_mul(self.count as i128) {
+                    Some(units) => op.evaluate(sum, Decimal::new(units, c.scale())),
+                    None => false,
+                }
+            }
+            _ => match self.value_of(agg_op) {
+                Some(v) => op.evaluate(v, *c),
+                None => false,
+            },
+        })
+    }
+
+    /// The aggregate's final value: `None` drops the window (empty
+    /// min/max/avg), `sum` of an empty window is zero by convention.
+    pub fn value_of(&self, op: AggOp) -> Option<Decimal> {
+        match op {
+            AggOp::Count => Some(Decimal::from_int(self.count as i64)),
+            AggOp::Sum => self.sum.or(Some(Decimal::ZERO)),
+            AggOp::Min => self.min,
+            AggOp::Max => self.max,
+            AggOp::Avg => self.avg(6),
+        }
+    }
+
+    fn final_value(&self, op: AggOp) -> Option<String> {
+        self.value_of(op).map(|v| v.to_string())
+    }
+
+    /// Exact `sum/count` rounded half away from zero to
+    /// `max(scale, sum scale)` decimal places, then reduced to `scale`
+    /// places with a second half-away rounding when the sum was finer
+    /// than the target; `None` on an empty window or when the exact
+    /// numerator overflows `i128`.
+    pub fn avg(&self, scale: u32) -> Option<Decimal> {
+        let sum = self.sum?;
+        if self.count == 0 {
+            return None;
+        }
+        let target = scale.max(sum.scale());
+        let extra = (target + 1).min(dss_xml::decimal::MAX_SCALE);
+        let numerator = sum
+            .units()
+            .checked_mul(10i128.checked_pow(extra - sum.scale())?)?;
+        let value = Decimal::new(
+            round_half_away(numerator, 10 * self.count as i128),
+            extra - 1,
+        );
+        if value.scale() <= scale {
+            Some(value)
+        } else {
+            let div = 10i128.pow(value.scale() - scale);
+            Some(Decimal::new(round_half_away(value.units(), div), scale))
+        }
+    }
+}
+
+/// `round(n / d)` with ties away from zero; `d > 0`.
+fn round_half_away(n: i128, d: i128) -> i128 {
+    if n >= 0 {
+        (n + d / 2) / d
+    } else {
+        (n - d / 2) / d
+    }
+}
+
+/// Largest multiple of `step` that is ≤ `v` (floor toward −∞).
+fn floor_to_grid(v: Decimal, step: Decimal) -> Decimal {
+    let scale = v.scale().max(step.scale());
+    let (vu, su) = (v.units_at_scale(scale), step.units_at_scale(scale));
+    Decimal::new(vu.div_euclid(su) * su, scale)
+}
+
+/// Grid-anchored sliding windows over a sorted reference sequence: a
+/// window with start `s` covers `[s, s + Δ)`, starts lie on the
+/// non-negative `µ`-grid, windows close in ascending start order once the
+/// reference value passes their end, and grid positions whose window
+/// never contained an item are skipped (never materialized).
+#[derive(Debug)]
+struct GridWindows<T> {
+    size: Decimal,
+    step: Decimal,
+    /// Open windows, ascending by start.
+    active: Vec<(Decimal, T)>,
+    /// Highest grid start considered so far.
+    youngest: Option<Decimal>,
+}
+
+impl<T: Default> GridWindows<T> {
+    fn new(size: Decimal, step: Decimal) -> GridWindows<T> {
+        GridWindows {
+            size,
+            step,
+            active: Vec::new(),
+            youngest: None,
+        }
+    }
+
+    /// Observes reference value `v`: closes every window ending at or
+    /// before `v`, opens the grid windows newly overlapping `v`, and
+    /// folds the item into every open window containing `v`.
+    fn observe(
+        &mut self,
+        v: Decimal,
+        closed: &mut Vec<(Decimal, T)>,
+        mut fold: impl FnMut(&mut T),
+    ) {
+        while !self.active.is_empty() && self.active[0].0 + self.size <= v {
+            closed.push(self.active.remove(0));
+        }
+        let highest = floor_to_grid(v, self.step);
+        let mut start = match self.youngest {
+            Some(y) => y + self.step,
+            None => {
+                // Walk back to the earliest non-negative grid window that
+                // still contains v.
+                let mut s = highest;
+                while s > Decimal::ZERO && v < (s - self.step) + self.size {
+                    s = s - self.step;
+                }
+                s
+            }
+        };
+        while start <= highest {
+            if v < start + self.size {
+                self.active.push((start, T::default()));
+            }
+            self.youngest = Some(start);
+            start = start + self.step;
+        }
+        if self.youngest.is_none() {
+            self.youngest = Some(highest);
+        }
+        for (s, acc) in &mut self.active {
+            if *s <= v && v < *s + self.size {
+                fold(acc);
+            }
+        }
+    }
+
+    /// Drains all still-open windows, ascending by start.
+    fn flush(&mut self, closed: &mut Vec<(Decimal, T)>) {
+        closed.append(&mut self.active);
+    }
+}
+
+/// Instantiates a `return`-clause template. Literal text (and aggregate
+/// values, which render as text) accumulates and renders before the
+/// constructed children; a missing aggregate value drops the whole
+/// result.
+fn instantiate(
+    tpl: &Tpl,
+    item: &Node,
+    agg_value: Option<&str>,
+    window_items: Option<&[Node]>,
+) -> Option<Node> {
+    match tpl {
+        Tpl::Element { tag, children } => {
+            let mut node = Node::empty(tag.as_str());
+            let mut text = String::new();
+            for child in children {
+                match child {
+                    Tpl::Subtree(path) => {
+                        path.visit(item, &mut |n| node.push_child(n.clone()));
+                    }
+                    Tpl::AggValue => text.push_str(agg_value?),
+                    Tpl::WindowContents => {
+                        for n in window_items? {
+                            node.push_child(n.clone());
+                        }
+                    }
+                    Tpl::Text(t) => text.push_str(t),
+                    nested @ Tpl::Element { .. } => {
+                        node.push_child(instantiate(nested, item, agg_value, window_items)?);
+                    }
+                }
+            }
+            if !text.is_empty() {
+                node.set_text(text);
+            }
+            Some(node)
+        }
+        Tpl::Subtree(path) => path.first(item).cloned(),
+        Tpl::AggValue => agg_value.map(|v| Node::leaf("value", v)),
+        Tpl::WindowContents => window_items.map(|items| Node::elem("window", items.to_vec())),
+        Tpl::Text(t) => Some(Node::leaf("text", t.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn photon(t: &str, en: &str, ra: &str) -> Node {
+        Node::elem(
+            "photon",
+            vec![
+                Node::leaf("det_time", t),
+                Node::leaf("en", en),
+                Node::elem("coord", vec![Node::elem("cel", vec![Node::leaf("ra", ra)])]),
+            ],
+        )
+    }
+
+    #[test]
+    fn selection_query_filters_and_restructures() {
+        let q = r#"<hot>
+{ for $p in stream("photons")/photons/photon
+  where $p/en >= 1.5
+  return <hit> { $p/en } { $p/coord/cel/ra } </hit> }
+</hot>"#;
+        let items = vec![
+            photon("1", "1.0", "120.0"),
+            photon("2", "1.5", "121.0"),
+            photon("3", "2.0", "122.0"),
+        ];
+        let out = evaluate(q, &items).unwrap();
+        assert_eq!(
+            out.canonical(),
+            vec![
+                "<hit><en>1.5</en><ra>121.0</ra></hit>",
+                "<hit><en>2.0</en><ra>122.0</ra></hit>",
+            ]
+        );
+        assert!(out.flushed.is_empty());
+    }
+
+    #[test]
+    fn missing_values_fail_closed() {
+        let q =
+            r#"for $p in stream("s")/photons/photon where $p/en >= 0.0 return <x> { $p/en } </x>"#;
+        let items = vec![Node::elem("photon", vec![Node::leaf("det_time", "1")])];
+        let out = evaluate(q, &items).unwrap();
+        assert!(out.all().is_empty());
+    }
+
+    #[test]
+    fn sliding_diff_avg_matches_hand_computation() {
+        let q = r#"for $w in stream("s")/photons/photon |det_time diff 20 step 10|
+let $a := avg($w/en)
+return <avg_en> { $a } </avg_en>"#;
+        let items = vec![
+            photon("5", "1.0", "0"),
+            photon("15", "2.0", "0"),
+            photon("25", "4.0", "0"),
+            photon("35", "8.0", "0"),
+        ];
+        let out = evaluate(q, &items).unwrap();
+        // Windows [0,20): avg 1.5; [10,30): 3; [20,40): 6; [30,50): 8.
+        assert_eq!(
+            out.canonical(),
+            vec![
+                "<avg_en>1.5</avg_en>",
+                "<avg_en>3</avg_en>",
+                "<avg_en>6</avg_en>",
+                "<avg_en>8</avg_en>",
+            ]
+        );
+        // [0,20) and [10,30) close while streaming; the rest flush.
+        assert_eq!(out.closed.len(), 2);
+        assert_eq!(out.flushed.len(), 2);
+    }
+
+    #[test]
+    fn avg_rounds_half_away_at_six_places() {
+        let q = r#"for $w in stream("s")/photons/photon |count 3|
+let $a := avg($w/en)
+return <a> { $a } </a>"#;
+        let items = vec![
+            photon("1", "1", "0"),
+            photon("2", "1", "0"),
+            photon("3", "0", "0"),
+        ];
+        let out = evaluate(q, &items).unwrap();
+        assert_eq!(out.canonical(), vec!["<a>0.666667</a>"]);
+    }
+
+    #[test]
+    fn count_window_uses_selected_arrivals() {
+        let q = r#"for $w in stream("s")/photons/photon [en >= 1.0] |count 2|
+let $a := sum($w/en)
+return <s> { $a } </s>"#;
+        // Only the three items with en ≥ 1.0 count toward window indices.
+        let items = vec![
+            photon("1", "1.0", "0"),
+            photon("2", "0.5", "0"),
+            photon("3", "2.0", "0"),
+            photon("4", "4.0", "0"),
+        ];
+        let out = evaluate(q, &items).unwrap();
+        // Decimal sums canonicalize (1.0 + 2.0 renders as 3), exactly as
+        // the engine's AggItem does.
+        assert_eq!(out.canonical(), vec!["<s>3</s>", "<s>4</s>"]);
+    }
+
+    #[test]
+    fn aggregate_filter_drops_windows() {
+        let q = r#"for $w in stream("s")/photons/photon |det_time diff 10|
+let $a := avg($w/en)
+where $a >= 1.3
+return <avg_en> { $a } </avg_en>"#;
+        let items = vec![
+            photon("1", "1.0", "0"),
+            photon("2", "1.2", "0"),
+            photon("11", "1.4", "0"),
+            photon("12", "1.6", "0"),
+        ];
+        let out = evaluate(q, &items).unwrap();
+        assert_eq!(out.canonical(), vec!["<avg_en>1.5</avg_en>"]);
+    }
+
+    #[test]
+    fn window_contents_splice_items() {
+        let q = r#"for $w in stream("s")/photons/photon |det_time diff 10|
+return <wnd> { $w } </wnd>"#;
+        let items = vec![photon("1", "1.0", "120.0"), photon("11", "2.0", "121.0")];
+        let out = evaluate(q, &items).unwrap();
+        assert_eq!(out.all().len(), 2);
+        let first = node_to_string(&out.all()[0]);
+        assert!(first.starts_with("<wnd><photon>"), "{first}");
+    }
+
+    #[test]
+    fn empty_windows_are_skipped() {
+        let q = r#"for $w in stream("s")/photons/photon |det_time diff 10|
+let $a := count($w/en)
+return <c> { $a } </c>"#;
+        let items = vec![photon("5", "1", "0"), photon("95", "1", "0")];
+        let out = evaluate(q, &items).unwrap();
+        assert_eq!(out.canonical(), vec!["<c>1</c>", "<c>1</c>"]);
+    }
+
+    #[test]
+    fn rejects_nested_queries() {
+        let q = r#"for $p in stream("a")/r/i return <x> { for $q in stream("b")/r/i return <y/> } </x>"#;
+        assert!(matches!(
+            Oracle::compile(q),
+            Err(OracleError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn text_renders_before_children() {
+        let q = r#"for $p in stream("s")/photons/photon
+return <x>label { $p/en }</x>"#;
+        let items = vec![photon("1", "1.5", "0")];
+        let out = evaluate(q, &items).unwrap();
+        assert_eq!(out.canonical(), vec!["<x>label<en>1.5</en></x>"]);
+    }
+}

@@ -99,8 +99,12 @@ macro_rules! prop_assume {
 
 /// Declares `#[test]` functions whose arguments are sampled from strategies.
 ///
-/// Unlike real proptest there is no shrinking: the first failing sample is
-/// reported directly. Sampling is deterministic per test function.
+/// Unlike real proptest there is no shrinking, but every case runs from
+/// its own derived seed, so a failure is reproduced by a single `u64`:
+/// failing seeds are appended to the crate's
+/// `proptest-regressions/<file-stem>.txt` (commit it) and replayed before
+/// fresh sampling on every later run. Set `DSS_PROPTEST_SEED` to explore
+/// a different deterministic case stream.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -122,19 +126,57 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config = $cfg;
-                let mut rng = $crate::test_runner::TestRng::deterministic();
+                let regressions = $crate::test_runner::regression_file(
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                );
+                // One case from one seed; `Err` carries the failure text.
+                let run_case = |seed: u64| -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                let fail = |seed: u64, origin: &str, passed: u32, msg: ::std::string::String| {
+                    $crate::test_runner::persist_seed(
+                        &regressions,
+                        stringify!($name),
+                        seed,
+                        &msg,
+                    );
+                    panic!(
+                        "proptest {name} failed on {origin} seed 0x{seed:016X} after \
+                         {passed} passing cases: {msg}\n(seed persisted to {path}; it \
+                         replays automatically on the next run)",
+                        name = stringify!($name),
+                        path = regressions.display(),
+                    );
+                };
+                // Replay every previously-failing seed first.
                 let mut passed: u32 = 0;
+                for seed in $crate::test_runner::stored_seeds(&regressions, stringify!($name)) {
+                    match run_case(seed) {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            fail(seed, "persisted", passed, msg)
+                        }
+                    }
+                }
+                // Then the fresh deterministic stream for this run.
+                let base = $crate::test_runner::base_seed();
                 let mut rejected: u32 = 0;
                 let reject_cap = config.cases.saturating_mul(20).max(1000);
+                let mut index: u64 = 0;
+                passed = 0;
                 while passed < config.cases {
-                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
-                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| {
-                            $body
-                            #[allow(unreachable_code)]
-                            ::std::result::Result::Ok(())
-                        })();
-                    match outcome {
+                    let seed = $crate::test_runner::derive_case_seed(base, index);
+                    index += 1;
+                    match run_case(seed) {
                         ::std::result::Result::Ok(()) => passed += 1,
                         ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
                             rejected += 1;
@@ -145,13 +187,8 @@ macro_rules! __proptest_impl {
                                 );
                             }
                         }
-                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
-                            msg,
-                        )) => {
-                            panic!(
-                                "proptest {} failed after {passed} passing cases: {msg}",
-                                stringify!($name)
-                            );
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            fail(seed, "sampled", passed, msg)
                         }
                     }
                 }

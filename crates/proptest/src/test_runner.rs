@@ -1,5 +1,17 @@
-//! Test-runner configuration, errors, and the deterministic RNG driving
-//! sampling.
+//! Test-runner configuration, errors, the deterministic RNG driving
+//! sampling, and seed persistence for failure replay.
+//!
+//! Every sampled case runs from its **own** RNG, seeded as
+//! `derive_case_seed(base, index)`. A failing case is therefore fully
+//! identified by one `u64`; the runner appends it to the crate's
+//! `proptest-regressions/<file-stem>.txt` file (commit it!) and replays
+//! every stored seed before sampling fresh cases. The base seed defaults
+//! to a fixed constant and can be overridden with the `DSS_PROPTEST_SEED`
+//! environment variable (decimal or `0x…` hex) to explore a different
+//! deterministic stream, e.g. per-push in CI.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Per-block configuration, set via `#![proptest_config(...)]`.
 #[derive(Debug, Clone)]
@@ -23,24 +35,33 @@ impl Default for ProptestConfig {
 /// Outcome of a single sampled case.
 #[derive(Debug)]
 pub enum TestCaseError {
-    /// The case was discarded by `prop_assume!` (resampled, not counted).
+    /// The case was discarded by `prop_assume!` (skipped, not counted).
     Reject,
     /// The case failed a `prop_assert*!`.
     Fail(String),
 }
 
-/// Deterministic splitmix64 generator. Every `proptest!` test starts from the
-/// same seed, so runs are reproducible without persisted failure files.
+/// Default base seed when `DSS_PROPTEST_SEED` is unset.
+pub const DEFAULT_BASE_SEED: u64 = 0x0123_4567_89AB_CDEF;
+
+/// Environment variable overriding the base seed.
+pub const SEED_ENV: &str = "DSS_PROPTEST_SEED";
+
+/// Deterministic splitmix64 generator.
 #[derive(Debug, Clone)]
 pub struct TestRng {
     state: u64,
 }
 
 impl TestRng {
+    /// The historical fixed-seed constructor (kept for direct strategy
+    /// sampling in unit tests).
     pub fn deterministic() -> TestRng {
-        TestRng {
-            state: 0x0123_4567_89AB_CDEF,
-        }
+        TestRng::from_seed(DEFAULT_BASE_SEED)
+    }
+
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -70,6 +91,108 @@ impl TestRng {
     }
 }
 
+/// Base seed for this process: `DSS_PROPTEST_SEED` if set, else
+/// [`DEFAULT_BASE_SEED`]. Panics on an unparseable override — a typo'd
+/// seed silently falling back would defeat the reproduction attempt.
+pub fn base_seed() -> u64 {
+    match std::env::var(SEED_ENV) {
+        Ok(v) => parse_seed(&v)
+            .unwrap_or_else(|| panic!("{SEED_ENV}={v:?} is not a u64 (decimal or 0x… hex)")),
+        Err(_) => DEFAULT_BASE_SEED,
+    }
+}
+
+/// Parses a seed in decimal or `0x…` hexadecimal (underscores allowed).
+pub fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim().replace('_', "");
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Derives the seed of case `index` in the stream rooted at `base`
+/// (splitmix64 jump so neighbouring indices share no low-bit structure).
+pub fn derive_case_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Path of the regression file for the test source file `source`
+/// (`file!()`) inside the crate rooted at `manifest_dir`
+/// (`env!("CARGO_MANIFEST_DIR")`).
+pub fn regression_file(manifest_dir: &str, source: &str) -> PathBuf {
+    let stem = Path::new(source)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string());
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"))
+}
+
+/// Seeds stored for `test_name` in the regression file. Lines have the
+/// form `test_name 0xSEED`, optionally followed by a `#` comment; blank
+/// lines and full-line `#` comments are ignored.
+pub fn stored_seeds(path: &Path, test_name: &str) -> Vec<u64> {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in contents.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some(test_name) {
+            continue;
+        }
+        if let Some(seed) = parts.next().and_then(parse_seed) {
+            seeds.push(seed);
+        }
+    }
+    seeds
+}
+
+/// Appends a failing seed to the regression file (no-op if already
+/// stored). Persistence is best-effort: a read-only checkout must not
+/// turn the real failure into an I/O panic.
+pub fn persist_seed(path: &Path, test_name: &str, seed: u64, message: &str) {
+    if stored_seeds(path, test_name).contains(&seed) {
+        return;
+    }
+    let mut line = String::new();
+    let first = message.lines().next().unwrap_or("").trim();
+    let _ = write!(line, "{test_name} 0x{seed:016X}");
+    if !first.is_empty() {
+        let _ = write!(line, " # {first}");
+    }
+    line.push('\n');
+    let _ = std::fs::create_dir_all(path.parent().unwrap_or(Path::new(".")));
+    let header = if path.exists() {
+        String::new()
+    } else {
+        "# Seeds of proptest cases that failed at least once. Committed so\n\
+         # every run replays them before sampling fresh cases. One line per\n\
+         # failure: `test_name 0xSEED`. Text after `#` is ignored.\n"
+            .to_string()
+    };
+    use std::io::Write as _;
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    let _ = f.write_all(header.as_bytes());
+    let _ = f.write_all(line.as_bytes());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +214,54 @@ mod tests {
             assert!((-25..25).contains(&v));
             assert!(rng.usize_below(7) < 7);
         }
+    }
+
+    #[test]
+    fn seeds_parse_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0x2A"), Some(42));
+        assert_eq!(parse_seed("0X2a"), Some(42));
+        assert_eq!(parse_seed("0x0123_4567_89AB_CDEF"), Some(DEFAULT_BASE_SEED));
+        assert_eq!(parse_seed("nope"), None);
+    }
+
+    #[test]
+    fn case_seeds_differ_per_index() {
+        let a = derive_case_seed(DEFAULT_BASE_SEED, 0);
+        let b = derive_case_seed(DEFAULT_BASE_SEED, 1);
+        let c = derive_case_seed(DEFAULT_BASE_SEED ^ 1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn regression_files_round_trip() {
+        let dir = std::env::temp_dir().join(format!("dss-proptest-{}", std::process::id()));
+        let path = dir.join("sample.txt");
+        let _ = std::fs::remove_file(&path);
+        assert!(stored_seeds(&path, "t").is_empty());
+        persist_seed(&path, "t", 0xDEAD, "boom: left != right\nsecond line");
+        persist_seed(&path, "t", 0xDEAD, "duplicate is ignored");
+        persist_seed(&path, "other", 7, "");
+        assert_eq!(stored_seeds(&path, "t"), vec![0xDEAD]);
+        assert_eq!(stored_seeds(&path, "other"), vec![7]);
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            contents
+                .lines()
+                .filter(|l| l.contains("0x000000000000DEAD"))
+                .count(),
+            1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn regression_file_path_uses_file_stem() {
+        let p = regression_file("/tmp/crate", "tests/property_based.rs");
+        assert_eq!(
+            p,
+            Path::new("/tmp/crate/proptest-regressions/property_based.txt")
+        );
     }
 }

@@ -19,6 +19,8 @@ pub mod display;
 pub mod error;
 pub mod parse;
 pub mod queries;
+#[cfg(feature = "testing")]
+pub mod testing;
 
 pub use compile::{compile_expr, compile_query, CompiledQuery};
 pub use error::QueryError;
