@@ -8,7 +8,7 @@ use dss_bench::experiments::{
 use dss_core::Strategy;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, trace_path) = dss_bench::trace::split_trace_arg(std::env::args().skip(1).collect());
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -30,7 +30,16 @@ fn main() {
 
     println!("{}", render_table1(&table1(seed)));
 
+    // Tracing the full evaluation would produce tens of megabytes; the
+    // capture covers the two sections the trace schema is about — the
+    // rejection experiment (per-registration outcomes, E6) and the
+    // Subscribe scalability probes (per-registration search trees, E10).
+    if trace_path.is_some() {
+        dss_telemetry::reset();
+        dss_telemetry::set_enabled(true);
+    }
     let rej = rejections(seed);
+    dss_telemetry::set_enabled(false);
     println!("Rejections with 10 % CPU / 1 Mbit/s caps (scenario 2, 100 queries):");
     for (strategy, (acc, rejd)) in Strategy::ALL.into_iter().zip(rej) {
         println!("  {strategy:>15}: {acc} accepted, {rejd} rejected");
@@ -50,8 +59,13 @@ fn main() {
     }
     println!();
 
+    if trace_path.is_some() {
+        dss_telemetry::set_enabled(true);
+    }
+    let scal = scalability(seed);
+    dss_telemetry::set_enabled(false);
     println!("Scalability of the Subscribe search (grid networks, 24 queries each):");
-    for row in scalability(seed) {
+    for row in scal {
         println!(
             "  {:>3} super-peers: avg registration {:>8.1} µs, {:>5.1} peers visited, {:>5.1} candidates matched",
             row.peers,
@@ -75,5 +89,9 @@ fn main() {
         );
         std::fs::write(&path, json).expect("write JSON results");
         println!("\nwrote JSON results to {path}");
+    }
+
+    if let Some(path) = trace_path {
+        dss_bench::trace::write_snapshot(&path);
     }
 }

@@ -4,11 +4,19 @@
 use dss_bench::experiments::{fig6, DEFAULT_SEED};
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
+    let (args, trace_path) = dss_bench::trace::split_trace_arg(std::env::args().skip(1).collect());
+    let seed = args
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_SEED);
+    if trace_path.is_some() {
+        dss_telemetry::reset();
+        dss_telemetry::set_enabled(true);
+    }
     let data = fig6(seed);
     println!("{}", data.cpu.render());
     println!("{}", data.traffic.render());
+    if let Some(path) = trace_path {
+        dss_bench::trace::write_snapshot(&path);
+    }
 }

@@ -1,0 +1,55 @@
+//! Times the telemetry-overhead guard workload (the 16-flow fused
+//! `shared_prefix` simulation) and prints the median wall time.
+//!
+//! ```text
+//! overhead [iterations]        default 30, plus 3 warm-up runs
+//! ```
+//!
+//! `scripts/telemetry_overhead.sh` runs this binary from two builds — one
+//! with the telemetry layer compiled in (the default; recording stays
+//! disabled) and one with `--no-default-features` — and compares the
+//! `median_ns` lines. Telemetry must stay free when off, so the two medians
+//! may differ only by noise.
+
+use std::time::Instant;
+
+fn main() {
+    let iterations: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+
+    // `set_enabled` only sticks when the `runtime` feature is compiled in,
+    // so round-tripping the flag detects which build this is.
+    dss_telemetry::set_enabled(true);
+    let compiled_in = dss_telemetry::enabled();
+    dss_telemetry::set_enabled(false);
+
+    let workload = dss_bench::overhead::Workload::new();
+    let reference = workload.run_once();
+    for _ in 0..2 {
+        assert_eq!(
+            workload.run_once(),
+            reference,
+            "workload must be deterministic"
+        );
+    }
+
+    let mut samples: Vec<u128> = (0..iterations)
+        .map(|_| {
+            let start = Instant::now();
+            let work = workload.run_once();
+            let elapsed = start.elapsed().as_nanos();
+            assert_eq!(work, reference, "workload must be deterministic");
+            elapsed
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+
+    println!(
+        "shared_prefix fused x16: {iterations} iterations, telemetry compiled {} (recording off)",
+        if compiled_in { "in" } else { "out" },
+    );
+    println!("median_ns {median}");
+}

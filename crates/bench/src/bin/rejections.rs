@@ -5,14 +5,22 @@ use dss_bench::experiments::{rejections, DEFAULT_SEED};
 use dss_core::Strategy;
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
+    let (args, trace_path) = dss_bench::trace::split_trace_arg(std::env::args().skip(1).collect());
+    let seed = args
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_SEED);
+    if trace_path.is_some() {
+        dss_telemetry::reset();
+        dss_telemetry::set_enabled(true);
+    }
     let rej = rejections(seed);
     println!("rejections with 10 % CPU / 1 Mbit/s caps (scenario 2, 100 queries):");
     for (strategy, (acc, rejd)) in Strategy::ALL.into_iter().zip(rej) {
         println!("  {strategy:>15}: {acc} accepted, {rejd} rejected");
     }
     println!("  paper          : 53/65 accepted, 47 / 35 / 2 rejected");
+    if let Some(path) = trace_path {
+        dss_bench::trace::write_snapshot(&path);
+    }
 }

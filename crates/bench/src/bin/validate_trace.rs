@@ -1,0 +1,66 @@
+//! Validates a `--trace` snapshot against the checked-in trace schema.
+//!
+//! ```text
+//! validate_trace <trace.json> [schema.json]
+//! ```
+//!
+//! The schema defaults to `schemas/trace.schema.json` at the repository
+//! root. Exits non-zero and prints one line per violation if the document
+//! does not conform.
+
+use std::process::ExitCode;
+
+use dss_telemetry::{json, schema};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(trace_path) = args.first() else {
+        eprintln!("usage: validate_trace <trace.json> [schema.json]");
+        return ExitCode::from(2);
+    };
+    let schema_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "schemas/trace.schema.json".to_string());
+
+    let doc = match load(trace_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let schema = match load(&schema_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{schema_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let errors = schema::validate(&doc, &schema);
+    if errors.is_empty() {
+        let count = |key: &str| {
+            doc.get(key)
+                .and_then(json::Json::as_array)
+                .map_or(0, <[_]>::len)
+        };
+        println!(
+            "{trace_path}: conforms to {schema_path} ({} metrics, {} trace roots)",
+            count("metrics"),
+            count("trace"),
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("{trace_path}: {e}");
+        }
+        eprintln!("{trace_path}: {} schema violation(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn load(path: &str) -> Result<json::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))
+}

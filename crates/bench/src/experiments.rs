@@ -416,11 +416,27 @@ pub fn scalability(seed: u64) -> Vec<ScalabilityRow> {
                 if i >= 19 {
                     let compiled = compile_query(&text).expect("template compiles");
                     let v_q = system.topology().expect_node(&peer);
+                    // One trace span per measured registration: the nested
+                    // `subscribe_input` spans carry a `visit` event per
+                    // dequeued peer, so a `--trace` capture reproduces the
+                    // peers-visited column of this table.
+                    let probe_span = dss_telemetry::span("scalability_probe", || {
+                        [
+                            ("grid_peers", dss_telemetry::Value::from(dim * dim)),
+                            ("query", format!("q{i}").into()),
+                            ("peer", peer.as_str().into()),
+                        ]
+                    });
                     let start = std::time::Instant::now();
                     let (_, stats) =
                         subscribe(system.state(), &compiled, v_q, v_q, SearchOrder::Bfs, false)
                             .expect("plan found");
                     times.push(start.elapsed());
+                    dss_telemetry::add_field("nodes_visited", || stats.nodes_visited.into());
+                    dss_telemetry::add_field("candidates_matched", || {
+                        stats.candidates_matched.into()
+                    });
+                    drop(probe_span);
                     visited.push(stats.nodes_visited as f64);
                     candidates.push(stats.candidates_matched as f64);
                 }

@@ -12,4 +12,6 @@
 
 pub mod experiments;
 pub mod json;
+pub mod overhead;
 pub mod report;
+pub mod trace;

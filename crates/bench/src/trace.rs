@@ -1,0 +1,33 @@
+//! `--trace <path>` support for the experiment binaries.
+//!
+//! A binary passes its raw args through [`split_trace_arg`]; when the flag
+//! is present it flips the global telemetry switch around the sections it
+//! wants captured and finally calls [`write_snapshot`]. With the
+//! `telemetry` feature compiled out the switch is a no-op and the written
+//! document is empty-but-valid.
+
+/// Splits `--trace <path>` out of the raw argument list, returning the
+/// remaining args and the path. Panics with a usage message when the flag
+/// is present without a path.
+pub fn split_trace_arg(args: Vec<String>) -> (Vec<String>, Option<String>) {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut path = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--trace" {
+            path = Some(it.next().expect("--trace requires a file path"));
+        } else {
+            rest.push(a);
+        }
+    }
+    (rest, path)
+}
+
+/// Disables recording and writes the accumulated snapshot (metrics + span
+/// trees, `schemas/trace.schema.json` format) to `path`.
+pub fn write_snapshot(path: &str) {
+    dss_telemetry::set_enabled(false);
+    std::fs::write(path, dss_telemetry::snapshot_json())
+        .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
+    eprintln!("wrote telemetry trace to {path}");
+}

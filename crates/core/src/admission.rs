@@ -35,17 +35,14 @@ impl AdmissionReport {
 pub struct AdmissionControl;
 
 impl AdmissionControl {
-    /// Caps every peer's capacity at `cpu_fraction` of its current value
-    /// and every connection at `bandwidth_kbps` (the paper: 10 % CPU and
-    /// 1 Mbit/s).
+    /// Caps every peer's capacity at `cpu_fraction` of its *original*
+    /// capacity and every connection at `bandwidth_kbps` (the paper: 10 %
+    /// CPU and 1 Mbit/s). Idempotent: the first call records the uncapped
+    /// capacities as a baseline, and later calls re-apply against that
+    /// baseline instead of compounding (a second `apply_caps(s, 0.10, …)`
+    /// used to silently tighten the cap to 1 %).
     pub fn apply_caps(system: &mut StreamGlobe, cpu_fraction: f64, bandwidth_kbps: f64) {
-        let topo = system.topology_mut();
-        for v in 0..topo.peer_count() {
-            topo.peer_mut(v).capacity *= cpu_fraction;
-        }
-        for e in 0..topo.edge_count() {
-            topo.edge_mut(e).bandwidth_kbps = bandwidth_kbps;
-        }
+        system.apply_capacity_caps(cpu_fraction, bandwidth_kbps);
     }
 
     /// Registers a batch of `(id, query text, peer)` subscriptions with
@@ -66,5 +63,90 @@ impl AdmissionControl {
             }
         }
         report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::StreamGlobe;
+    use dss_network::grid_topology;
+    use dss_xml::{Decimal, Node};
+
+    fn items(n: usize) -> Vec<Node> {
+        (0..n)
+            .map(|i| {
+                let mut item = Node::empty("photon");
+                item.push_child(Node::leaf(
+                    "det_time",
+                    Decimal::new(i as i128 + 1, 0).to_string(),
+                ));
+                item.push_child(Node::leaf(
+                    "en",
+                    Decimal::new(i as i128 * 7 + 3, 1).to_string(),
+                ));
+                item
+            })
+            .collect()
+    }
+
+    fn capped_system(times: usize) -> StreamGlobe {
+        let mut sys = StreamGlobe::new(grid_topology(2, 2));
+        sys.register_stream("photons", "SP0", items(16), 50.0)
+            .unwrap();
+        for _ in 0..times {
+            AdmissionControl::apply_caps(&mut sys, 0.10, 1_000.0);
+        }
+        sys
+    }
+
+    /// `apply_caps` used to multiply capacities in place, so calling it
+    /// twice silently tightened a 10 % cap to 1 %. Caps are now absolute
+    /// against the pre-cap baseline.
+    #[test]
+    fn apply_caps_twice_equals_once() {
+        let once = capped_system(1);
+        let twice = capped_system(2);
+        for v in 0..once.topology().peer_count() {
+            assert_eq!(
+                once.topology().peer(v).capacity,
+                twice.topology().peer(v).capacity,
+                "peer {v} capacity must not compound"
+            );
+        }
+        for e in 0..once.topology().edge_count() {
+            assert_eq!(
+                once.topology().edge(e).bandwidth_kbps,
+                twice.topology().edge(e).bandwidth_kbps
+            );
+        }
+    }
+
+    /// The whole admission outcome — not just the raw capacities — must be
+    /// unaffected by a repeated cap application.
+    #[test]
+    fn double_cap_yields_identical_admission_report() {
+        let queries: Vec<(String, String, String)> = (0..6)
+            .map(|i| {
+                let lo = i as f64 * 0.3;
+                (
+                    format!("q{i}"),
+                    format!(
+                        r#"<r>{{ for $p in stream("photons")/photons/photon
+                           where $p/en >= {lo:.1} return <out>{{ $p/en }}</out> }}</r>"#
+                    ),
+                    "SP3".to_string(),
+                )
+            })
+            .collect();
+        let mut once = capped_system(1);
+        let mut twice = capped_system(2);
+        let report_once =
+            AdmissionControl::register_batch(&mut once, &queries, Strategy::StreamSharing);
+        let report_twice =
+            AdmissionControl::register_batch(&mut twice, &queries, Strategy::StreamSharing);
+        assert_eq!(report_once.accepted, report_twice.accepted);
+        assert_eq!(report_once.rejected, report_twice.rejected);
+        assert!(report_once.errored.is_empty(), "{:?}", report_once.errored);
     }
 }

@@ -101,9 +101,12 @@ pub fn estimate_chain(stats: &StreamStats, chain: &[Operator]) -> StreamEstimate
                 est.frequency = window_output_frequency(stats, &spec.window, est.frequency);
                 // A result filter further reduces the frequency; without
                 // per-window value statistics we fall back to a fixed
-                // factor per condition.
+                // factor per *distinct* condition — duplicated or implied
+                // bounds collapse through the predicate graph's minimized
+                // form instead of compounding as if independent.
                 if !spec.result_filter.is_trivial() {
-                    est.frequency *= 0.5f64.powi(spec.result_filter.conditions.len() as i32);
+                    est.frequency *=
+                        0.5f64.powi(spec.result_filter.distinct_condition_count() as i32);
                 }
             }
             Operator::WindowOutput(spec) => {
@@ -190,9 +193,19 @@ fn penalized(used: f64, available: f64) -> f64 {
 /// Evaluates the cost function `C` over a plan's affected connections and
 /// peers.
 pub fn plan_cost(params: &CostParams, edges: &[EdgeUse], nodes: &[NodeUse]) -> f64 {
+    let (traffic, load) = plan_cost_split(params, edges, nodes);
+    traffic + load
+}
+
+/// [`plan_cost`] split into its two weighted terms
+/// `(γ·Σ penalized(u_b, a_b), (1−γ)·Σ penalized(u_l, a_l))`. Adding the
+/// terms reproduces `plan_cost` bit-for-bit (same multiplications, same
+/// final addition), so per-candidate breakdowns reported by the tracing
+/// layer sum exactly to the plan's `C(P)`.
+pub fn plan_cost_split(params: &CostParams, edges: &[EdgeUse], nodes: &[NodeUse]) -> (f64, f64) {
     let traffic: f64 = edges.iter().map(|e| penalized(e.used, e.available)).sum();
     let load: f64 = nodes.iter().map(|n| penalized(n.used, n.available)).sum();
-    params.gamma * traffic + (1.0 - params.gamma) * load
+    (params.gamma * traffic, (1.0 - params.gamma) * load)
 }
 
 #[cfg(test)]
@@ -312,6 +325,85 @@ mod tests {
         assert!(est.item_size < s.item_size);
         assert!(est.bytes_per_s() < s.item_size * s.frequency);
         assert!(est.kbps() > 0.0);
+    }
+
+    /// Count-window estimate paths never consult the diff-window
+    /// reference: a stream with no numeric leaves (hence no increment
+    /// statistics at all) must estimate count-window chains without
+    /// reaching the `expect("diff windows carry a reference")` sites.
+    #[test]
+    fn count_window_estimates_need_no_reference_stats() {
+        let sample: Vec<Node> = (0..10)
+            .map(|i| Node::elem("ev", vec![Node::leaf("tag", format!("t{i}"))]))
+            .collect();
+        let s = StreamStats::from_sample(&sample, 8.0);
+        assert_eq!(
+            window_output_frequency(&s, &WindowSpec::count(d("4"), Some(d("2"))).unwrap(), 8.0),
+            4.0
+        );
+        let agg = AggregationSpec {
+            op: AggOp::Avg,
+            element: p("tag"),
+            window: WindowSpec::count(d("4"), Some(d("2"))).unwrap(),
+            pre_selection: PredicateGraph::new(),
+            result_filter: ResultFilter::single(CompOp::Ge, d("1.0")),
+        };
+        let est = estimate_chain(&s, &[Operator::Aggregation(agg)]);
+        // freq/step, then halved once for the single filter condition.
+        assert!((est.frequency - 8.0 / 2.0 * 0.5).abs() < 1e-9, "{est:?}");
+        let wo = dss_properties::WindowOutputSpec {
+            window: WindowSpec::count(d("4"), None).unwrap(),
+            pre_selection: PredicateGraph::new(),
+        };
+        let est = estimate_chain(&s, &[Operator::WindowOutput(wo)]);
+        assert!((est.item_size - (4.0 * s.item_size + 80.0)).abs() < 1e-6);
+    }
+
+    /// Diff windows carry a reference by construction (`WindowSpec::diff`
+    /// requires one), and an *unobserved* reference path estimates through
+    /// the increment fallback of 1.0 rather than panicking.
+    #[test]
+    fn diff_window_with_unobserved_reference_uses_increment_fallback() {
+        let s = stats();
+        let w = WindowSpec::diff(p("nosuch"), d("6"), Some(d("3"))).unwrap();
+        let f = window_output_frequency(&s, &w, s.frequency);
+        // Fallback increment 1.0 ⇒ 3 items per update ⇒ frequency / 3.
+        assert!((f - s.frequency / 3.0).abs() < 1e-9, "{f}");
+    }
+
+    /// Duplicate or implied result-filter conditions collapse through the
+    /// predicate graph's minimized form instead of compounding the 0.5
+    /// factor as if they were independent.
+    #[test]
+    fn duplicate_result_filter_conditions_do_not_compound() {
+        let s = stats();
+        let with_filter = |filter: ResultFilter| {
+            let agg = AggregationSpec {
+                op: AggOp::Avg,
+                element: p("en"),
+                window: WindowSpec::count(d("10"), None).unwrap(),
+                pre_selection: PredicateGraph::new(),
+                result_filter: filter,
+            };
+            estimate_chain(&s, &[Operator::Aggregation(agg)]).frequency
+        };
+        let single = with_filter(ResultFilter::single(CompOp::Ge, d("1.3")));
+        let duplicated = with_filter(ResultFilter {
+            conditions: vec![(CompOp::Ge, d("1.3")), (CompOp::Ge, d("1.3"))],
+        });
+        let implied = with_filter(ResultFilter {
+            conditions: vec![(CompOp::Ge, d("1.3")), (CompOp::Ge, d("1.0"))],
+        });
+        assert_eq!(
+            single, duplicated,
+            "duplicate condition must not halve again"
+        );
+        assert_eq!(single, implied, "implied condition must not halve again");
+        // Genuinely independent bounds still compound.
+        let two_sided = with_filter(ResultFilter {
+            conditions: vec![(CompOp::Ge, d("1.3")), (CompOp::Le, d("1.6"))],
+        });
+        assert!((two_sided - single * 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -80,6 +80,13 @@ impl UseAccumulator {
     pub fn cost(&self, state: &NetworkState) -> f64 {
         plan_cost(&state.params, &self.edges, &self.nodes)
     }
+
+    /// The cost split into its weighted traffic and load terms; the sum
+    /// reproduces [`Self::cost`] bit-for-bit (see
+    /// [`crate::cost::plan_cost_split`]).
+    pub fn cost_split(&self, state: &NetworkState) -> (f64, f64) {
+        crate::cost::plan_cost_split(&state.params, &self.edges, &self.nodes)
+    }
 }
 
 /// Base load of execution-only flow operators (mirrors the engine's
@@ -136,6 +143,11 @@ pub struct PlanPart {
     pub widen: Option<WidenAction>,
     /// Cost-function value of this part.
     pub cost: f64,
+    /// The weighted traffic term `γ·Σ penalized(u_b)` of `cost`.
+    pub traffic: f64,
+    /// The weighted load term `(1−γ)·Σ penalized(u_l)` of `cost`; the two
+    /// terms sum to `cost` exactly.
+    pub load: f64,
     /// `true` if the part overloads no connection or peer.
     pub feasible: bool,
 }
@@ -155,6 +167,9 @@ pub struct Plan {
     pub deliver_route: Vec<NodeId>,
     /// Estimated delivered result stream.
     pub result_estimate: StreamEstimate,
+    /// Cost of the post-processing + delivery component alone; adding the
+    /// parts' costs reproduces `total_cost` exactly.
+    pub post_cost: f64,
     /// Total cost across parts plus post-processing.
     pub total_cost: f64,
     /// `true` if no component overloads the network.
@@ -281,7 +296,8 @@ pub fn generate_plan_part_cached(
         bload,
         state.flow_estimate(tap_flow).frequency,
     );
-    let cost = uses.cost(state);
+    let (traffic, load) = uses.cost_split(state);
+    let cost = traffic + load;
     let feasible = uses.feasible();
     Some(PlanPart {
         stream: wanted.stream().to_string(),
@@ -292,6 +308,8 @@ pub fn generate_plan_part_cached(
         estimate,
         widen: None,
         cost,
+        traffic,
+        load,
         feasible,
     })
 }
@@ -375,7 +393,8 @@ pub fn generate_widening_part(
     // The new subscription's residual ops at the tap node.
     let bload: f64 = ops.iter().map(flow_op_base_load).sum();
     uses.add_node_ops(state, tap_node, bload, widened_estimate.frequency);
-    let cost = uses.cost(state);
+    let (traffic, load) = uses.cost_split(state);
+    let cost = traffic + load;
     let feasible = uses.feasible();
     Some(PlanPart {
         stream: wanted.stream().to_string(),
@@ -393,6 +412,8 @@ pub fn generate_widening_part(
             child_patches,
         }),
         cost,
+        traffic,
+        load,
         feasible,
     })
 }
@@ -473,6 +494,7 @@ pub fn assemble_plan(
         post_ops,
         deliver_route,
         result_estimate,
+        post_cost,
         total_cost,
         feasible,
     }

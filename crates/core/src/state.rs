@@ -347,6 +347,30 @@ impl NetworkState {
             crate::plan::flow_op_base_load(op) * pindex * input_frequency
         });
         self.node_used_work[v] += added;
+        // `added` below the chain's full load means a sharing sibling
+        // already pays for the prefix — the ShareBook win the trace makes
+        // visible per installation.
+        dss_telemetry::event("sharebook_charge", || {
+            let full: f64 = ops
+                .iter()
+                .map(|op| crate::plan::flow_op_base_load(op) * pindex * input_frequency)
+                .sum();
+            [
+                (
+                    "peer",
+                    dss_telemetry::Value::from(self.topo.peer(v).name.as_str()),
+                ),
+                ("flow", (flow as u64).into()),
+                ("ops", ops.len().into()),
+                ("charged", added.into()),
+                ("full_load", full.into()),
+            ]
+        });
+        dss_telemetry::histogram_record(
+            "plan.sharebook_charge",
+            || vec![("peer", self.topo.peer(v).name.clone())],
+            added,
+        );
     }
 
     /// `flow`'s fair share of the shared operator work it rides.

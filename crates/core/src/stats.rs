@@ -453,4 +453,61 @@ mod tests {
     fn empty_sample_rejected() {
         StreamStats::from_sample(&[], 1.0);
     }
+
+    /// A stream whose leaves carry no numeric values builds an empty
+    /// `ranges` table without tripping the `expect("non-empty")` min/max:
+    /// value lists are only created for paths that contributed at least
+    /// one decimal, so value-less paths simply have no entry — and every
+    /// stat query against them falls back instead of panicking.
+    #[test]
+    fn valueless_streams_build_stats_and_answer_queries() {
+        let sample: Vec<Node> = (0..10)
+            .map(|i| {
+                Node::elem(
+                    "msg",
+                    vec![
+                        Node::leaf("text", format!("hello-{i}")),
+                        Node::elem("empty", Vec::new()),
+                    ],
+                )
+            })
+            .collect();
+        let s = StreamStats::from_sample(&sample, 5.0);
+        assert!(
+            s.ranges.is_empty(),
+            "no numeric leaf, no range: {:?}",
+            s.ranges
+        );
+        assert!(s.path_stat(&p("text")).is_some());
+        assert_eq!(s.avg_increment(&p("text")), 1.0);
+        // Selectivity over a range-less variable uses the default factor.
+        let g = PredicateGraph::from_atoms(&[Atom::var_const(p("text"), CompOp::Ge, d("1"))]);
+        assert_eq!(s.selectivity(&g), DEFAULT_SELECTIVITY);
+    }
+
+    /// Mixed streams range only the numeric paths; queries against the
+    /// non-numeric ones still answer.
+    #[test]
+    fn mixed_value_streams_range_only_numeric_paths() {
+        let sample: Vec<Node> = (0..10)
+            .map(|i| {
+                Node::elem(
+                    "msg",
+                    vec![
+                        Node::leaf("en", format!("{}", 1.0 + i as f64)),
+                        Node::leaf("label", format!("tag-{i}")),
+                    ],
+                )
+            })
+            .collect();
+        let s = StreamStats::from_sample(&sample, 5.0);
+        assert!(s.ranges.contains_key(&p("en")));
+        assert!(!s.ranges.contains_key(&p("label")));
+        let g = PredicateGraph::from_atoms(&[
+            Atom::var_const(p("en"), CompOp::Ge, d("1.0")),
+            Atom::var_const(p("label"), CompOp::Ge, d("1.0")),
+        ]);
+        let sel = s.selectivity(&g);
+        assert!(sel > 0.0 && sel <= 1.0, "{sel}");
+    }
 }

@@ -170,7 +170,8 @@ fn fixed_plan(
             bload,
             state.flow_estimate(source_flow).frequency,
         );
-        let cost = uses.cost(state);
+        let (traffic, load) = uses.cost_split(state);
+        let cost = traffic + load;
         let feasible = uses.feasible();
         parts.push(PlanPart {
             stream: stream.to_string(),
@@ -181,6 +182,8 @@ fn fixed_plan(
             estimate,
             widen: None,
             cost,
+            traffic,
+            load,
             feasible,
         });
     }

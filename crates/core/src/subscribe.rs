@@ -15,7 +15,8 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use dss_network::NodeId;
-use dss_properties::match_input_properties;
+use dss_properties::{explain_match_input_properties, match_input_properties};
+use dss_telemetry::Value;
 use dss_wxquery::CompiledQuery;
 
 use crate::plan::{
@@ -136,9 +137,32 @@ pub fn subscribe_with(
             return Err(SubscribeError::Unreachable(stream.to_string()));
         }
         let v_b = state.deployment.flow(source_flow).target_node();
+        // One trace span per input stream's graph search. Every recording
+        // call below is a no-op branch unless tracing is enabled.
+        let _search_span = dss_telemetry::span("subscribe_input", || {
+            [
+                ("stream", Value::from(stream)),
+                ("v_b", state.topo.peer(v_b).name.as_str().into()),
+                ("v_q", state.topo.peer(v_q).name.as_str().into()),
+            ]
+        });
         let mut best = generate_plan_part(state, wanted, source_flow, v_b, v_q)
             .ok_or_else(|| SubscribeError::Unreachable(stream.to_string()))?;
         stats.plans_generated += 1;
+        dss_telemetry::event("candidate", || {
+            [
+                (
+                    "flow",
+                    state.deployment.flow(source_flow).label.as_str().into(),
+                ),
+                ("peer", state.topo.peer(v_b).name.as_str().into()),
+                ("outcome", Value::from("initial")),
+                ("cost", best.cost.into()),
+                ("traffic", best.traffic.into()),
+                ("load", best.load.into()),
+                ("feasible", best.feasible.into()),
+            ]
+        });
         // Fixed per search: the subscription's own chain estimate.
         let wanted_estimate = best.estimate;
 
@@ -158,6 +182,9 @@ pub fn subscribe_with(
             }
             marked[v] = true;
             stats.nodes_visited += 1;
+            dss_telemetry::event("visit", || {
+                [("peer", Value::from(state.topo.peer(v).name.as_str()))]
+            });
             // Fixed per tap node: the transport route to v_q.
             let route_to_vq = dss_network::shortest_path(&state.topo, v, v_q);
             // Lines 9–11: streams available at v that are variants of the
@@ -171,6 +198,20 @@ pub fn subscribe_with(
                 stats.candidates_matched += 1;
                 // Line 14: MatchProperties.
                 if !match_input_properties(candidate, wanted) {
+                    // The losing check is only diagnosed when someone is
+                    // recording: the hot path keeps the boolean match.
+                    dss_telemetry::event("candidate", || {
+                        let reason = match explain_match_input_properties(candidate, wanted) {
+                            Err(failure) => failure.check_name(),
+                            Ok(()) => "MatchProperties",
+                        };
+                        [
+                            ("flow", Value::from(flow.label.as_str())),
+                            ("peer", state.topo.peer(v).name.as_str().into()),
+                            ("outcome", Value::from("rejected")),
+                            ("reason", reason.into()),
+                        ]
+                    });
                     // Widening extension: a non-matching stream may still be
                     // usable after loosening its operators in place.
                     if widening {
@@ -190,6 +231,18 @@ pub fn subscribe_with(
                             } else {
                                 plan.cost < best.cost
                             };
+                            dss_telemetry::event("candidate", || {
+                                [
+                                    ("flow", Value::from(flow.label.as_str())),
+                                    ("peer", state.topo.peer(v).name.as_str().into()),
+                                    ("outcome", Value::from("widened")),
+                                    ("cost", plan.cost.into()),
+                                    ("traffic", plan.traffic.into()),
+                                    ("load", plan.load.into()),
+                                    ("feasible", plan.feasible.into()),
+                                    ("chosen", better.into()),
+                                ]
+                            });
                             if better {
                                 best = plan;
                             }
@@ -231,11 +284,36 @@ pub fn subscribe_with(
                 } else {
                     plan.cost < best.cost
                 };
+                dss_telemetry::event("candidate", || {
+                    [
+                        ("flow", Value::from(flow.label.as_str())),
+                        ("peer", state.topo.peer(v).name.as_str().into()),
+                        ("outcome", Value::from("matched")),
+                        ("cost", plan.cost.into()),
+                        ("traffic", plan.traffic.into()),
+                        ("load", plan.load.into()),
+                        ("feasible", plan.feasible.into()),
+                        ("chosen", better.into()),
+                    ]
+                });
                 if better {
                     best = plan;
                 }
             }
         }
+        dss_telemetry::event("best", || {
+            [
+                (
+                    "flow",
+                    Value::from(state.deployment.flow(best.tap_flow).label.as_str()),
+                ),
+                ("peer", state.topo.peer(best.tap_node).name.as_str().into()),
+                ("cost", best.cost.into()),
+                ("traffic", best.traffic.into()),
+                ("load", best.load.into()),
+                ("feasible", best.feasible.into()),
+            ]
+        });
         parts.push(best);
     }
 

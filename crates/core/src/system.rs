@@ -141,6 +141,10 @@ pub struct StreamGlobe {
     pub(crate) registrations: Vec<Installed>,
     /// Stream widening (the paper's ongoing-work extension) enabled?
     widening: bool,
+    /// Per-peer capacities as they were before the first capacity cap was
+    /// applied. Caps are expressed against this baseline so re-applying a
+    /// cap is idempotent instead of compounding.
+    capacity_baseline: Option<Vec<f64>>,
 }
 
 impl StreamGlobe {
@@ -156,6 +160,7 @@ impl StreamGlobe {
             sources: BTreeMap::new(),
             registrations: Vec::new(),
             widening: false,
+            capacity_baseline: None,
         }
     }
 
@@ -178,6 +183,24 @@ impl StreamGlobe {
     /// graph structure.
     pub fn topology_mut(&mut self) -> &mut Topology {
         &mut self.state.topo
+    }
+
+    /// Caps every peer's capacity at `cpu_fraction` of its *original*
+    /// (pre-cap) capacity and every connection at `bandwidth_kbps`. The
+    /// baseline is recorded on first use, so calling this again with the
+    /// same arguments is a no-op rather than compounding the cap.
+    pub fn apply_capacity_caps(&mut self, cpu_fraction: f64, bandwidth_kbps: f64) {
+        let baseline = self.capacity_baseline.get_or_insert_with(|| {
+            (0..self.state.topo.peer_count())
+                .map(|v| self.state.topo.peer(v).capacity)
+                .collect()
+        });
+        for (v, &base) in baseline.iter().enumerate() {
+            self.state.topo.peer_mut(v).capacity = base * cpu_fraction;
+        }
+        for e in 0..self.state.topo.edge_count() {
+            self.state.topo.edge_mut(e).bandwidth_kbps = bandwidth_kbps;
+        }
     }
 
     /// The deployed dataflow graph.
@@ -263,10 +286,20 @@ impl StreamGlobe {
     ) -> Result<Registration, SystemError> {
         let query_id = query_id.into();
         let start = Instant::now();
+        // The whole registration — search, plan choice, installation — is
+        // one trace span; the per-input `subscribe_input` search spans
+        // nest under it.
+        let _reg_span = dss_telemetry::span("register_query", || {
+            [
+                ("query", dss_telemetry::Value::from(query_id.as_str())),
+                ("strategy", format!("{strategy:?}").into()),
+                ("peer", at_peer.into()),
+            ]
+        });
         let compiled = compile_query(text)?;
         let subscriber = self.node_by_name(at_peer)?;
         let v_q = self.super_peer_of(subscriber)?;
-        let plan = plan_query_with(
+        let planned = plan_query_with(
             &self.state,
             &compiled,
             v_q,
@@ -274,8 +307,22 @@ impl StreamGlobe {
             strategy,
             require_feasible,
             self.widening,
-        )?;
+        );
+        let plan = match planned {
+            Ok(plan) => plan,
+            Err(e) => {
+                dss_telemetry::add_field("outcome", || format!("error: {e}").into());
+                return Err(e.into());
+            }
+        };
+        dss_telemetry::add_field("outcome", || "installed".into());
+        dss_telemetry::add_field("cost", || plan.total_cost.into());
+        dss_telemetry::add_field("post_cost", || plan.post_cost.into());
+        dss_telemetry::add_field("feasible", || plan.feasible.into());
         let registration = self.install(query_id, text, at_peer, strategy, &compiled, plan, start);
+        dss_telemetry::add_field("elapsed_us", || {
+            (registration.elapsed.as_micros() as u64).into()
+        });
         Ok(registration)
     }
 

@@ -76,6 +76,9 @@ pub struct OpDag<K> {
     paths: BTreeMap<SinkId, Vec<usize>>,
     /// Per-depth scratch output buffers, reused across items.
     scratch: Vec<Emit>,
+    /// Aggregated counters of pruned nodes: their work was executed, so it
+    /// must not vanish from the books when the last sharer retires.
+    retired: OpStats,
 }
 
 impl<K> Default for OpDag<K> {
@@ -87,6 +90,10 @@ impl<K> Default for OpDag<K> {
             root_sinks: Vec::new(),
             paths: BTreeMap::new(),
             scratch: Vec::new(),
+            retired: OpStats {
+                name: "retired",
+                ..OpStats::default()
+            },
         }
     }
 }
@@ -269,6 +276,8 @@ impl<K> OpDag<K> {
                     self.node_mut(p).children.retain(|&c| c != idx);
                 }
             }
+            let stats = self.node(idx).stats.clone();
+            self.retired.absorb(&stats);
             self.nodes[idx] = None;
             self.free.push(idx);
         }
@@ -397,6 +406,13 @@ impl<K> OpDag<K> {
     /// counted once, however many sinks ride it.
     pub fn total_work(&self) -> f64 {
         self.nodes.iter().flatten().map(|n| n.stats.work).sum()
+    }
+
+    /// Aggregated counters of every node pruned so far (named "retired").
+    /// [`Self::node_stats`] reports live nodes only; without this, the
+    /// counters of a fully-retired chain would silently disappear.
+    pub fn retired_stats(&self) -> &OpStats {
+        &self.retired
     }
 
     /// Per-node counters in deterministic DFS (pre-)order.
@@ -561,6 +577,26 @@ mod tests {
         dag.retire(1);
         assert!(dag.is_empty());
         assert_eq!(dag.node_count(), 0);
+    }
+
+    #[test]
+    fn retired_counters_survive_pruning() {
+        let mut dag = OpDag::new();
+        dag.register(0, chain(&["a", "b"]), eq);
+        let _ = collect(&mut dag, &items(3));
+        let live = dag.node_stats();
+        let executed: f64 = live.iter().map(|s| s.stats.work).sum();
+        let fed: u64 = live.iter().map(|s| s.stats.items_in).sum();
+        assert!(executed > 0.0);
+        dag.retire(0);
+        assert_eq!(dag.node_count(), 0, "both nodes pruned");
+        let retired = dag.retired_stats();
+        assert_eq!(retired.name, "retired");
+        assert_eq!(
+            retired.work, executed,
+            "pruned nodes' executed work must not vanish from the books"
+        );
+        assert_eq!(retired.items_in, fed);
     }
 
     #[test]

@@ -162,6 +162,17 @@ pub struct OpStats {
     pub work: f64,
 }
 
+impl OpStats {
+    /// Folds another operator's counters into this one, keeping `self`'s
+    /// name. Used to aggregate the counters of pruned DAG nodes, whose
+    /// per-node identity is gone but whose executed work still happened.
+    pub fn absorb(&mut self, other: &OpStats) {
+        self.items_in += other.items_in;
+        self.items_out += other.items_out;
+        self.work += other.work;
+    }
+}
+
 /// A chain of operators applied in order.
 ///
 /// The pipeline owns two scratch [`Emit`] buffers that stage outputs

@@ -1,6 +1,6 @@
 //! Bounded per-peer input queues.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use dss_xml::Node;
 
@@ -17,6 +17,10 @@ pub(crate) struct Mailbox {
     pub high_water: usize,
     /// Items dropped because the queue was full.
     pub dropped: u64,
+    /// Drops attributed to the sharing group whose item was refused — the
+    /// raw material for per-(peer, flow) drop accounting: an aggregate
+    /// per-peer count alone cannot say *which query* lost data.
+    pub dropped_by_group: BTreeMap<usize, u64>,
 }
 
 impl Mailbox {
@@ -26,15 +30,22 @@ impl Mailbox {
             capacity,
             high_water: 0,
             dropped: 0,
+            dropped_by_group: BTreeMap::new(),
         }
     }
 
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Enqueues an item for sharing group `group`, stamped with its
-    /// source-emission time. Returns `false` (and counts a drop) when the
-    /// mailbox is full.
+    /// source-emission time. Returns `false` (and counts a drop, both in
+    /// aggregate and against `group`) when the mailbox is full.
     pub fn push(&mut self, group: usize, origin: u64, item: Node) -> bool {
         if self.queue.len() >= self.capacity {
             self.dropped += 1;
+            *self.dropped_by_group.entry(group).or_insert(0) += 1;
             return false;
         }
         self.queue.push_back((group, origin, item));
@@ -66,10 +77,36 @@ mod tests {
         assert!(!m.push(2, 30, item.clone()), "third push must be dropped");
         assert_eq!(m.dropped, 1);
         assert_eq!(m.high_water, 2);
+        assert_eq!(m.len(), 2);
         assert_eq!(m.pop().map(|(g, t, _)| (g, t)), Some((0, 10)));
         assert!(m.push(2, 30, item));
         assert_eq!(m.drain_all().len(), 2);
         assert!(m.pop().is_none());
         assert_eq!(m.high_water, 2, "high water survives draining");
+    }
+
+    /// Drops are attributed to the group whose item was refused, so they
+    /// can be traced back to the flows (and the query) that lost data —
+    /// not just to the peer.
+    #[test]
+    fn drops_are_attributed_per_group() {
+        let mut m = Mailbox::new(1);
+        let item = Node::leaf("x", "1");
+        assert!(m.push(7, 0, item.clone()));
+        for t in 1..=3 {
+            assert!(!m.push(7, t, item.clone()));
+        }
+        assert!(!m.push(9, 4, item.clone()));
+        assert_eq!(m.dropped, 4);
+        assert_eq!(m.dropped_by_group.get(&7), Some(&3));
+        assert_eq!(m.dropped_by_group.get(&9), Some(&1));
+        assert_eq!(
+            m.dropped_by_group.values().sum::<u64>(),
+            m.dropped,
+            "per-group drops must account for every aggregate drop"
+        );
+        // Draining (peer crash) does not disturb drop accounting.
+        m.drain_all();
+        assert_eq!(m.dropped_by_group.get(&7), Some(&3));
     }
 }

@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::topology::Topology;
+use crate::topology::{NodeId, Topology};
 
 /// Per-query delivery statistics.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -73,6 +73,11 @@ pub struct RuntimeMetrics {
     pub queue_high_water: Vec<usize>,
     /// Per-peer items dropped at a full mailbox.
     pub mailbox_dropped: Vec<u64>,
+    /// Mailbox drops attributed per (peer, flow label). A refused entry
+    /// would have served every active member flow of its sharing group, so
+    /// each drop counts once *per member flow* here — the per-peer
+    /// aggregate above cannot say which flow (query/stream) lost data.
+    pub mailbox_dropped_flows: BTreeMap<(NodeId, String), u64>,
     /// Items lost to faults: drained from crashed mailboxes, dropped on
     /// down links, or addressed to dead peers/retired flows.
     pub items_lost: u64,
@@ -113,6 +118,87 @@ impl RuntimeMetrics {
             .filter(|o| o.sharers > 1)
             .map(|o| o.work * (o.sharers - 1) as f64)
             .fold(0.0, |a, b| a + b)
+    }
+
+    /// Pushes the report into the telemetry registry: per-peer queue/work
+    /// gauges, per-(peer, flow) drop counters, and per-query delivery
+    /// counters and latency/recovery values. No-op while recording is
+    /// disabled (the caller typically guards on [`dss_telemetry::enabled`]
+    /// anyway to skip the iteration).
+    pub fn publish(&self, topo: &Topology) {
+        for (id, &hw) in self.queue_high_water.iter().enumerate() {
+            if hw > 0 {
+                dss_telemetry::gauge_set(
+                    "runtime.queue_high_water",
+                    || vec![("peer", topo.peer(id).name.clone())],
+                    hw as f64,
+                );
+            }
+        }
+        for (id, &work) in self.node_work.iter().enumerate() {
+            if work > 0.0 {
+                dss_telemetry::gauge_set(
+                    "runtime.node_work",
+                    || vec![("peer", topo.peer(id).name.clone())],
+                    work,
+                );
+            }
+        }
+        for ((peer, flow), &n) in &self.mailbox_dropped_flows {
+            dss_telemetry::counter_add(
+                "runtime.mailbox.dropped_flow",
+                || {
+                    vec![
+                        ("peer", topo.peer(*peer).name.clone()),
+                        ("flow", flow.clone()),
+                    ]
+                },
+                n,
+            );
+        }
+        dss_telemetry::counter_add("runtime.items_lost", Vec::new, self.items_lost);
+        for (q, m) in &self.queries {
+            dss_telemetry::counter_add(
+                "runtime.delivered",
+                || vec![("query", q.clone())],
+                m.delivered,
+            );
+            dss_telemetry::counter_add(
+                "runtime.duplicates",
+                || vec![("query", q.clone())],
+                m.duplicates,
+            );
+            if let Some(mean) = m.latency_mean_us {
+                dss_telemetry::gauge_set(
+                    "runtime.latency_mean_us",
+                    || vec![("query", q.clone())],
+                    mean as f64,
+                );
+            }
+            for &r in &m.recoveries_us {
+                dss_telemetry::histogram_record(
+                    "runtime.recovery_us",
+                    || vec![("query", q.clone())],
+                    r as f64,
+                );
+            }
+        }
+        for (id, ops) in self.node_ops.iter().enumerate() {
+            for op in ops {
+                if op.sharers > 1 {
+                    dss_telemetry::counter_add(
+                        "runtime.shared_op_executions",
+                        || {
+                            vec![
+                                ("peer", topo.peer(id).name.clone()),
+                                ("op", op.name.to_string()),
+                            ]
+                        },
+                        op.items_in,
+                    );
+                }
+            }
+        }
     }
 
     /// Human-readable report (the `peer_failure` example prints this).
@@ -162,6 +248,14 @@ impl RuntimeMetrics {
                     self.mailbox_dropped[id]
                 );
             }
+        }
+        for ((peer, flow), n) in &self.mailbox_dropped_flows {
+            let _ = writeln!(
+                out,
+                "    drop {} @ {}: {n} items",
+                flow,
+                topo.peer(*peer).name
+            );
         }
         for (id, ops) in self.node_ops.iter().enumerate() {
             if ops.is_empty() {

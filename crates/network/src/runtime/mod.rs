@@ -262,6 +262,9 @@ pub struct LiveRuntime {
     /// Per query: every delivered item with its origin timestamp, in
     /// delivery order (only when `cfg.record_deliveries`).
     delivered_items: BTreeMap<String, Vec<(u64, Node)>>,
+    /// Mailbox drops attributed per (peer, flow label): one count per
+    /// active member flow of the group whose entry was refused.
+    dropped_flows: BTreeMap<(NodeId, String), u64>,
     trace: Vec<String>,
 }
 
@@ -312,6 +315,7 @@ impl LiveRuntime {
             recovering_since: BTreeMap::new(),
             recoveries: BTreeMap::new(),
             delivered_items: BTreeMap::new(),
+            dropped_flows: BTreeMap::new(),
             trace: Vec::new(),
         };
         rt.sync_deployment(deployment, deliveries);
@@ -424,18 +428,47 @@ impl LiveRuntime {
                 self.items_lost += lost;
                 self.busy_until[peer] = 0;
                 self.trace_line(|topo| format!("fault crash {} lost={lost}", topo.peer(peer).name));
+                dss_telemetry::event("fault", || {
+                    [
+                        ("kind", dss_telemetry::Value::from("peer-crash")),
+                        ("peer", self.topo.peer(peer).name.as_str().into()),
+                        ("at_us", self.now.into()),
+                        ("items_lost", lost.into()),
+                    ]
+                });
             }
             FaultKind::PeerRecover(peer) => {
                 self.topo.set_peer_up(peer, true);
                 self.trace_line(|topo| format!("fault recover {}", topo.peer(peer).name));
+                dss_telemetry::event("fault", || {
+                    [
+                        ("kind", dss_telemetry::Value::from("peer-recover")),
+                        ("peer", self.topo.peer(peer).name.as_str().into()),
+                        ("at_us", self.now.into()),
+                    ]
+                });
             }
             FaultKind::LinkDown(edge) => {
                 self.topo.set_edge_up(edge, false);
                 self.trace_line(|_| format!("fault link-down e{edge}"));
+                dss_telemetry::event("fault", || {
+                    [
+                        ("kind", dss_telemetry::Value::from("link-down")),
+                        ("edge", edge.into()),
+                        ("at_us", self.now.into()),
+                    ]
+                });
             }
             FaultKind::LinkUp(edge) => {
                 self.topo.set_edge_up(edge, true);
                 self.trace_line(|_| format!("fault link-up e{edge}"));
+                dss_telemetry::event("fault", || {
+                    [
+                        ("kind", dss_telemetry::Value::from("link-up")),
+                        ("edge", edge.into()),
+                        ("at_us", self.now.into()),
+                    ]
+                });
             }
         }
     }
@@ -530,12 +563,27 @@ impl LiveRuntime {
                     work: s.stats.work,
                 });
             }
+            // Work executed by since-pruned nodes (retired flows'
+            // exclusive operators) still happened: report it as one
+            // zero-sharer aggregate so the books balance after failovers.
+            let r = g.dag.retired_stats();
+            if r.items_in > 0 {
+                node_ops[g.node].push(OpWork {
+                    name: r.name,
+                    depth: 0,
+                    sharers: 0,
+                    items_in: r.items_in,
+                    items_out: r.items_out,
+                    work: r.work,
+                });
+            }
         }
         let metrics = RuntimeMetrics {
             horizon_us: self.horizon_us,
             bucket_us: self.cfg.bucket_us,
             queue_high_water: self.mailboxes.iter().map(|m| m.high_water).collect(),
             mailbox_dropped: self.mailboxes.iter().map(|m| m.dropped).collect(),
+            mailbox_dropped_flows: self.dropped_flows,
             items_lost: self.items_lost,
             node_work: self.node_work,
             edge_bytes: self.edge_bytes,
@@ -543,6 +591,9 @@ impl LiveRuntime {
             queries,
             node_ops,
         };
+        if dss_telemetry::enabled() {
+            metrics.publish(&self.topo);
+        }
         (metrics, self.trace)
     }
 
@@ -626,6 +677,29 @@ impl LiveRuntime {
         }
         if self.mailboxes[node].push(group, origin, item) {
             self.schedule(self.now, EventKind::StartService { node });
+        } else {
+            // The refused entry would have served every member flow of the
+            // group: attribute the drop to each of them, so the report can
+            // say which flow (and thus which query/stream) lost data — the
+            // per-peer aggregate alone cannot.
+            for f in 0..self.flows.len() {
+                if self.flow_group[f] == Some(group) && self.flows[f].active {
+                    *self
+                        .dropped_flows
+                        .entry((node, self.flows[f].label.clone()))
+                        .or_insert(0) += 1;
+                    dss_telemetry::counter_add(
+                        "runtime.mailbox.dropped",
+                        || {
+                            vec![
+                                ("peer", self.topo.peer(node).name.clone()),
+                                ("flow", self.flows[f].label.clone()),
+                            ]
+                        },
+                        1,
+                    );
+                }
+            }
         }
     }
 
@@ -712,6 +786,18 @@ impl LiveRuntime {
         self.busy_until[node] = done_at;
         let n_out: usize = outputs.iter().map(|(_, v)| v.len()).sum();
         self.trace_line(|_| format!("svc n{node} g{group} outs={n_out} busy={service_us}"));
+        // Phase C runs on the control thread in claim order, so recording
+        // here is deterministic (the worker pool in phase B records nothing).
+        dss_telemetry::histogram_record(
+            "runtime.service_us",
+            || vec![("peer", self.topo.peer(node).name.clone())],
+            service_us as f64,
+        );
+        dss_telemetry::histogram_record(
+            "runtime.mailbox.depth",
+            || vec![("peer", self.topo.peer(node).name.clone())],
+            self.mailboxes[node].len() as f64,
+        );
         for (flow, items) in outputs {
             if !items.is_empty() {
                 self.schedule(
@@ -995,10 +1081,27 @@ mod tests {
             per_item_overhead_us: 5_000,
             ..LiveConfig::default()
         };
+        let sp0 = t.expect_node("SP0");
         let rt = LiveRuntime::new(t, &d, sources(200, 1000.0), deliveries, cfg).unwrap();
         let (m, _) = rt.finish();
         assert!(m.total_dropped() > 0, "overloaded mailbox must drop");
         assert!(m.queries["q"].delivered > 0);
         assert!(m.queue_high_water.contains(&1));
+        // Every drop is attributed to the flow that lost data, not just to
+        // the peer: the single flow here reads "photons" at SP0.
+        let attributed = m
+            .mailbox_dropped_flows
+            .get(&(sp0, "photons".to_string()))
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(
+            attributed, m.mailbox_dropped[sp0],
+            "single-flow group: per-flow drops must equal the peer aggregate"
+        );
+        assert_eq!(
+            m.mailbox_dropped_flows.values().sum::<u64>(),
+            m.total_dropped(),
+            "one member flow per group: attribution covers every drop"
+        );
     }
 }

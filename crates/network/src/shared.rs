@@ -187,6 +187,12 @@ impl FlowDag {
     pub fn node_stats(&self) -> Vec<DagNodeStats> {
         self.dag.node_stats()
     }
+
+    /// Aggregated counters of pruned nodes (retired flows' exclusive
+    /// operators) — live `node_stats` no longer covers them.
+    pub fn retired_stats(&self) -> &dss_engine::OpStats {
+        self.dag.retired_stats()
+    }
 }
 
 #[cfg(test)]

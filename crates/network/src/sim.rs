@@ -179,6 +179,8 @@ pub fn try_run(
         }
     }
 
+    metrics.publish(topo);
+
     Ok(SimOutcome {
         metrics,
         flow_outputs,

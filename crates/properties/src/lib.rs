@@ -19,8 +19,8 @@ pub mod properties;
 pub mod window;
 
 pub use matching::{
-    match_aggregations, match_input_properties, match_window_output, residual_operators,
-    widen_input,
+    explain_match_input_properties, match_aggregations, match_input_properties,
+    match_window_output, residual_operators, widen_input, MatchFailure,
 };
 pub use operator::{
     AggOp, AggregationSpec, Operator, ProjectionSpec, ResultFilter, WindowOutputSpec,

@@ -108,24 +108,7 @@ pub fn match_input_properties(stream_props: &InputProperties, new_props: &InputP
             if o.kind() != o_new.kind() {
                 continue;
             }
-            let ok = match (o, o_new) {
-                (Operator::Selection(g), Operator::Selection(g_new)) => match_predicates(g, g_new),
-                (Operator::Projection(r), Operator::Projection(r_new)) => r.covers(r_new),
-                (Operator::Aggregation(c), Operator::Aggregation(c_new)) => {
-                    match_aggregations(c, c_new)
-                }
-                (Operator::WindowOutput(w), Operator::WindowOutput(w_new)) => {
-                    match_window_output(w, w_new)
-                }
-                (
-                    Operator::Udf { params, .. },
-                    Operator::Udf {
-                        params: new_params, ..
-                    },
-                ) => params == new_params,
-                _ => unreachable!("kind equality guarantees identical variants"),
-            };
-            if ok {
+            if same_kind_compatible(o, o_new) {
                 matched = true;
                 break;
             }
@@ -135,6 +118,123 @@ pub fn match_input_properties(stream_props: &InputProperties, new_props: &InputP
         }
     }
     true
+}
+
+/// The kind-specific compatibility check of Algorithm 2's inner loop.
+/// Callers guarantee `o.kind() == o_new.kind()`.
+fn same_kind_compatible(o: &Operator, o_new: &Operator) -> bool {
+    match (o, o_new) {
+        (Operator::Selection(g), Operator::Selection(g_new)) => match_predicates(g, g_new),
+        (Operator::Projection(r), Operator::Projection(r_new)) => r.covers(r_new),
+        (Operator::Aggregation(c), Operator::Aggregation(c_new)) => match_aggregations(c, c_new),
+        (Operator::WindowOutput(w), Operator::WindowOutput(w_new)) => match_window_output(w, w_new),
+        (
+            Operator::Udf { params, .. },
+            Operator::Udf {
+                params: new_params, ..
+            },
+        ) => params == new_params,
+        _ => unreachable!("kind equality guarantees identical variants"),
+    }
+}
+
+/// Why [`match_input_properties`] rejected a candidate, named after the
+/// paper's check that said no.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchFailure {
+    /// Algorithm 2 lines 1–4: the original input streams differ.
+    Origin,
+    /// An operator of the shared stream has no same-kind partner in the new
+    /// query at all — a structural `MatchProperties` failure.
+    MissingPartner { kind: &'static str },
+    /// Same-kind partners exist but every one failed the kind's
+    /// compatibility check (`MatchPredicates`, `MatchAggregations`, …).
+    CheckFailed {
+        kind: &'static str,
+        check: &'static str,
+    },
+}
+
+impl MatchFailure {
+    /// The paper-level check name (`MatchProperties`, `MatchPredicates`,
+    /// `MatchAggregations`, `MatchWindowOutput`).
+    pub fn check_name(&self) -> &'static str {
+        match self {
+            MatchFailure::Origin | MatchFailure::MissingPartner { .. } => "MatchProperties",
+            MatchFailure::CheckFailed { check, .. } => check,
+        }
+    }
+
+    /// The kind of the unmatched stream operator, if the failure is
+    /// operator-level.
+    pub fn operator_kind(&self) -> Option<&'static str> {
+        match self {
+            MatchFailure::Origin => None,
+            MatchFailure::MissingPartner { kind } | MatchFailure::CheckFailed { kind, .. } => {
+                Some(kind)
+            }
+        }
+    }
+}
+
+fn operator_kind_name(o: &Operator) -> &'static str {
+    match o {
+        Operator::Selection(_) => "selection",
+        Operator::Projection(_) => "projection",
+        Operator::Aggregation(_) => "aggregation",
+        Operator::WindowOutput(_) => "window-output",
+        Operator::Udf { .. } => "udf",
+    }
+}
+
+fn operator_check_name(o: &Operator) -> &'static str {
+    match o {
+        Operator::Selection(_) => "MatchPredicates",
+        Operator::Aggregation(_) => "MatchAggregations",
+        Operator::WindowOutput(_) => "MatchWindowOutput",
+        // Projection cover and UDF parameter equality are structural parts
+        // of MatchProperties itself.
+        Operator::Projection(_) | Operator::Udf { .. } => "MatchProperties",
+    }
+}
+
+/// [`match_input_properties`] with a reason: `Ok(())` when the candidate
+/// stream can serve the new query, otherwise which check rejected it.
+/// Exactly as strict as the boolean form — used by the tracing layer to
+/// explain rejections without burdening the hot path.
+pub fn explain_match_input_properties(
+    stream_props: &InputProperties,
+    new_props: &InputProperties,
+) -> Result<(), MatchFailure> {
+    if !stream_props.same_origin(new_props) {
+        return Err(MatchFailure::Origin);
+    }
+    for o in stream_props.operators() {
+        let mut saw_kind = false;
+        let mut matched = false;
+        for o_new in new_props.operators() {
+            if o.kind() != o_new.kind() {
+                continue;
+            }
+            saw_kind = true;
+            if same_kind_compatible(o, o_new) {
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            let kind = operator_kind_name(o);
+            return Err(if saw_kind {
+                MatchFailure::CheckFailed {
+                    kind,
+                    check: operator_check_name(o),
+                }
+            } else {
+                MatchFailure::MissingPartner { kind }
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Stream *widening* (the paper's ongoing work): computes properties of a
@@ -324,6 +424,48 @@ mod tests {
     fn different_origin_streams_never_match() {
         let other = InputProperties::original("spectra");
         assert!(!match_input_properties(&other, &q2_props()));
+    }
+
+    /// The explain variant agrees with the boolean form and names the
+    /// check that lost.
+    #[test]
+    fn explain_agrees_and_names_the_losing_check() {
+        assert_eq!(
+            explain_match_input_properties(&q1_props(), &q2_props()),
+            Ok(())
+        );
+
+        let other = InputProperties::original("spectra");
+        assert_eq!(
+            explain_match_input_properties(&other, &q2_props()),
+            Err(MatchFailure::Origin)
+        );
+
+        // Q2's narrower selection cannot serve Q1: the selection partner
+        // exists but MatchPredicates fails.
+        let failure = explain_match_input_properties(&q2_props(), &q1_props()).unwrap_err();
+        assert_eq!(
+            failure,
+            MatchFailure::CheckFailed {
+                kind: "selection",
+                check: "MatchPredicates"
+            }
+        );
+        assert_eq!(failure.check_name(), "MatchPredicates");
+        assert_eq!(failure.operator_kind(), Some("selection"));
+
+        // A filtered stream offered to an unfiltered subscription: the
+        // stream's selection has no partner at all.
+        let unfiltered = InputProperties::new(
+            "photons",
+            vec![Operator::Projection(ProjectionSpec::returning([p("en")]))],
+        )
+        .unwrap();
+        let filtered =
+            InputProperties::new("photons", vec![Operator::Selection(q1_selection())]).unwrap();
+        let failure = explain_match_input_properties(&filtered, &unfiltered).unwrap_err();
+        assert_eq!(failure, MatchFailure::MissingPartner { kind: "selection" });
+        assert_eq!(failure.check_name(), "MatchProperties");
     }
 
     #[test]

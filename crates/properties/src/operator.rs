@@ -145,6 +145,21 @@ impl ResultFilter {
         self.conditions.iter().all(|(op, c)| op.evaluate(value, *c))
     }
 
+    /// Number of *distinct* conditions after predicate-graph minimization:
+    /// duplicated or implied bounds collapse, so `$a ≥ 1 and $a ≥ 2`
+    /// counts as one condition. Capped at the literal count (an equality
+    /// asserts two directed bounds but is still one condition); an
+    /// unsatisfiable filter keeps its literal count.
+    pub fn distinct_condition_count(&self) -> usize {
+        if self.conditions.len() <= 1 {
+            return self.conditions.len();
+        }
+        self.to_graph()
+            .minimize()
+            .edge_count()
+            .min(self.conditions.len())
+    }
+
     fn to_graph(&self) -> PredicateGraph {
         let var: Path = "agg_result".parse().expect("valid synthetic name");
         PredicateGraph::from_atoms(

@@ -1,0 +1,188 @@
+//! A validator for the small JSON-Schema subset used by
+//! `schemas/trace.schema.json`: `type` (string or list), `properties`,
+//! `required`, `items`, `additionalProperties` (boolean or schema), and
+//! `enum`. Nested schemas can be factored into `definitions` and referred
+//! to with `{"$ref": "#/definitions/<name>"}`.
+
+use crate::json::Json;
+
+/// Validates `doc` against `schema`. Returns every violation found, each
+/// prefixed with a `/`-separated path into the document; an empty vector
+/// means the document conforms.
+pub fn validate(doc: &Json, schema: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut ctx = Context {
+        root: schema,
+        errors: &mut errors,
+    };
+    ctx.check(doc, schema, "$");
+    errors
+}
+
+struct Context<'a, 'e> {
+    root: &'a Json,
+    errors: &'e mut Vec<String>,
+}
+
+impl<'a> Context<'a, '_> {
+    fn fail(&mut self, path: &str, msg: String) {
+        self.errors.push(format!("{path}: {msg}"));
+    }
+
+    // `schema` always borrows from the root document, so $ref targets
+    // resolved out of `self.root` can replace it in place.
+    fn check(&mut self, doc: &Json, mut schema: &'a Json, path: &str) {
+        let mut hops = 0;
+        while let Some(reference) = schema.get("$ref").and_then(Json::as_str) {
+            hops += 1;
+            if hops > 16 {
+                self.fail(path, "$ref chain too deep".to_string());
+                return;
+            }
+            let Some(name) = reference.strip_prefix("#/definitions/") else {
+                self.fail(path, format!("unsupported $ref '{reference}'"));
+                return;
+            };
+            match self.root.get("definitions").and_then(|d| d.get(name)) {
+                Some(target) => schema = target,
+                None => {
+                    self.fail(path, format!("unresolved $ref '{reference}'"));
+                    return;
+                }
+            }
+        }
+
+        if let Some(expected) = schema.get("type") {
+            let actual = doc.type_name();
+            let matches = match expected {
+                Json::Str(t) => type_matches(t, actual, doc),
+                Json::Arr(ts) => ts
+                    .iter()
+                    .filter_map(Json::as_str)
+                    .any(|t| type_matches(t, actual, doc)),
+                _ => true,
+            };
+            if !matches {
+                self.fail(path, format!("expected type {expected:?}, got {actual}"));
+                return;
+            }
+        }
+
+        if let Some(allowed) = schema.get("enum").and_then(Json::as_array) {
+            if !allowed.contains(doc) {
+                self.fail(path, format!("value not in enum {allowed:?}"));
+            }
+        }
+
+        if let Json::Obj(members) = doc {
+            if let Some(required) = schema.get("required").and_then(Json::as_array) {
+                for key in required.iter().filter_map(Json::as_str) {
+                    if doc.get(key).is_none() {
+                        self.fail(path, format!("missing required member '{key}'"));
+                    }
+                }
+            }
+            let props = schema.get("properties").and_then(Json::as_object);
+            let additional = schema.get("additionalProperties");
+            for (key, value) in members {
+                let child_path = format!("{path}/{key}");
+                let prop_schema =
+                    props.and_then(|p| p.iter().find(|(k, _)| k == key).map(|(_, v)| v));
+                match (prop_schema, additional) {
+                    (Some(sub), _) => self.check(value, sub, &child_path),
+                    (None, Some(Json::Bool(false))) => {
+                        self.fail(&child_path, "unexpected member".to_string());
+                    }
+                    (None, Some(sub @ Json::Obj(_))) => self.check(value, sub, &child_path),
+                    _ => {}
+                }
+            }
+        }
+
+        if let Json::Arr(items) = doc {
+            if let Some(item_schema) = schema.get("items") {
+                for (i, item) in items.iter().enumerate() {
+                    self.check(item, item_schema, &format!("{path}/{i}"));
+                }
+            }
+        }
+    }
+}
+
+fn type_matches(expected: &str, actual: &str, doc: &Json) -> bool {
+    match expected {
+        "integer" => matches!(doc, Json::Num(n) if n.fract() == 0.0),
+        other => other == actual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn accepts_conforming_documents() {
+        let schema = parse(
+            r##"{
+                "type": "object",
+                "required": ["name", "items"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "items": {"type": "array", "items": {"$ref": "#/definitions/entry"}}
+                },
+                "definitions": {
+                    "entry": {
+                        "type": "object",
+                        "required": ["kind"],
+                        "properties": {"kind": {"enum": ["a", "b"]}, "n": {"type": "integer"}}
+                    }
+                }
+            }"##,
+        )
+        .unwrap();
+        let doc = parse(r#"{"name":"x","items":[{"kind":"a","n":3},{"kind":"b"}]}"#).unwrap();
+        assert_eq!(validate(&doc, &schema), Vec::<String>::new());
+    }
+
+    #[test]
+    fn reports_violations_with_paths() {
+        let schema = parse(
+            r#"{
+                "type": "object",
+                "required": ["name"],
+                "properties": {"name": {"type": "string"}},
+                "additionalProperties": false
+            }"#,
+        )
+        .unwrap();
+        let doc = parse(r#"{"nam":"x","extra":1}"#).unwrap();
+        let errors = validate(&doc, &schema);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("missing required member 'name'")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("unexpected member")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn integer_type_rejects_fractions() {
+        let schema = parse(r#"{"type":"integer"}"#).unwrap();
+        assert!(validate(&parse("3").unwrap(), &schema).is_empty());
+        assert!(!validate(&parse("3.5").unwrap(), &schema).is_empty());
+    }
+
+    #[test]
+    fn nested_errors_carry_item_paths() {
+        let schema =
+            parse(r#"{"type":"array","items":{"type":"object","required":["x"]}}"#).unwrap();
+        let errors = validate(&parse(r#"[{"x":1},{}]"#).unwrap(), &schema);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].starts_with("$/1:"), "{errors:?}");
+    }
+}

@@ -19,4 +19,14 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> trace snapshot conforms to schemas/trace.schema.json"
+cargo build --release -q -p dss-bench --bins
+TRACE_TMP=$(mktemp --suffix .trace.json)
+trap 'rm -f "$TRACE_TMP"' EXIT
+./target/release/experiments --trace "$TRACE_TMP" > /dev/null
+./target/release/validate_trace "$TRACE_TMP"
+
+echo "==> telemetry overhead guard (disabled recording must be free)"
+./scripts/telemetry_overhead.sh
+
 echo "All checks passed."

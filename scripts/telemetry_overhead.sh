@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Telemetry-overhead guard: the observability layer must be free when it is
+# merely compiled in (recording disabled). Builds the `overhead` binary —
+# the 16-flow fused shared_prefix simulation — once with default features
+# (telemetry compiled in, off at run time) and once with
+# --no-default-features (telemetry compiled out), times both, and fails if
+# the compiled-in median exceeds the compiled-out median by more than
+# DSS_OVERHEAD_PCT percent (default 10, chosen to sit above scheduler noise
+# on shared CI runners; the design target is <2 %).
+#
+# Separate target dirs keep the two feature resolutions from thrashing one
+# build cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ITERATIONS="${DSS_OVERHEAD_ITERS:-30}"
+THRESHOLD_PCT="${DSS_OVERHEAD_PCT:-10}"
+
+echo "==> building overhead binary (telemetry compiled in)"
+cargo build --release -q -p dss-bench --bin overhead \
+    --target-dir target/overhead-on
+
+echo "==> building overhead binary (telemetry compiled out)"
+cargo build --release -q -p dss-bench --bin overhead --no-default-features \
+    --target-dir target/overhead-off
+
+median() {
+    "$1" "$ITERATIONS" | tee /dev/stderr | awk '/^median_ns/ { print $2 }'
+}
+
+# Interleave-free but alternating-order-free too: run the compiled-out
+# baseline first so a warm machine favours the guarded build if anything.
+OFF_NS=$(median target/overhead-off/release/overhead)
+ON_NS=$(median target/overhead-on/release/overhead)
+
+DELTA_PCT=$(awk -v on="$ON_NS" -v off="$OFF_NS" \
+    'BEGIN { printf "%.2f", (on - off) * 100.0 / off }')
+echo "compiled-out median: ${OFF_NS} ns"
+echo "compiled-in  median: ${ON_NS} ns (delta ${DELTA_PCT} %)"
+
+PASS=$(awk -v d="$DELTA_PCT" -v t="$THRESHOLD_PCT" 'BEGIN { print (d <= t) ? 1 : 0 }')
+if [ "$PASS" -ne 1 ]; then
+    echo "FAIL: disabled telemetry costs ${DELTA_PCT} % (> ${THRESHOLD_PCT} % threshold)" >&2
+    exit 1
+fi
+echo "PASS: disabled telemetry within ${THRESHOLD_PCT} % of the compiled-out build"

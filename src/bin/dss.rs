@@ -5,11 +5,15 @@
 //! dss queries                       print the paper's example queries
 //! dss plan <file|-> [options]       plan one WXQuery subscription on the
 //!                                   example network and explain the plan
+//! dss explain <file|-> [options]    like `plan`, but print the recorded
+//!                                   plan-search trace: peers visited, every
+//!                                   candidate stream with its C(P) breakdown
+//!                                   (traffic + load) or rejection reason
 //! dss check <file|->                parse/compile a subscription and dump
 //!                                   its properties
 //! ```
 //!
-//! Options for `plan`:
+//! Options for `plan` and `explain`:
 //!   --at <peer>          registering peer (default P1)
 //!   --strategy <s>       data-shipping | query-shipping | stream-sharing
 //!   --after <q1,q3,...>  pre-register paper queries first (enables sharing)
@@ -32,6 +36,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("plan") => plan(&args[1..]),
+        Some("explain") => explain(&args[1..]),
         Some("check") => check(&args[1..]),
         _ => {
             eprintln!(
@@ -40,8 +45,9 @@ fn main() -> ExitCode {
                  demo                         run the paper's Figures-1/2 narrative\n  \
                  queries                      print the paper's example queries\n  \
                  plan <file|-> [options]      plan a WXQuery subscription\n  \
+                 explain <file|-> [options]   plan + print the plan-search trace\n  \
                  check <file|->               compile a subscription, dump properties\n\n\
-                 plan options:\n  \
+                 plan/explain options:\n  \
                  --at <peer>                  registering peer (default P1)\n  \
                  --strategy <s>               data-shipping | query-shipping | stream-sharing\n  \
                  --after <q1,q2,...>          pre-register paper queries (enables sharing)"
@@ -113,7 +119,15 @@ fn demo() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn plan(args: &[String]) -> ExitCode {
+/// Parsed arguments shared by `plan` and `explain`.
+struct PlanArgs {
+    at: String,
+    strategy: Strategy,
+    after: Vec<String>,
+    text: String,
+}
+
+fn parse_plan_args(args: &[String]) -> Result<PlanArgs, String> {
     let mut at = "P1".to_string();
     let mut strategy = Strategy::StreamSharing;
     let mut after: Vec<String> = Vec::new();
@@ -123,40 +137,67 @@ fn plan(args: &[String]) -> ExitCode {
         match a.as_str() {
             "--at" => match it.next() {
                 Some(p) => at = p.clone(),
-                None => return usage_error("--at requires a peer name"),
+                None => return Err("--at requires a peer name".into()),
             },
             "--strategy" => match it.next().map(|s| parse_strategy(s)) {
                 Some(Ok(s)) => strategy = s,
-                Some(Err(e)) => return usage_error(&e),
-                None => return usage_error("--strategy requires a value"),
+                Some(Err(e)) => return Err(e),
+                None => return Err("--strategy requires a value".into()),
             },
             "--after" => match it.next() {
                 Some(list) => after = list.split(',').map(str::to_string).collect(),
-                None => return usage_error("--after requires a comma-separated list"),
+                None => return Err("--after requires a comma-separated list".into()),
             },
             _ if query_arg.is_none() => query_arg = Some(a.clone()),
-            other => return usage_error(&format!("unexpected argument {other:?}")),
+            other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    let text = match read_query_arg(query_arg.as_ref()) {
-        Ok(t) => t,
-        Err(e) => return usage_error(&e),
-    };
+    let text = read_query_arg(query_arg.as_ref())?;
+    Ok(PlanArgs {
+        at,
+        strategy,
+        after,
+        text,
+    })
+}
 
+/// Builds the example network and pre-registers the `--after` queries.
+fn prepared_network(after: &[String]) -> Result<data_stream_sharing::core::StreamGlobe, ExitCode> {
     let mut system = example_network();
-    for q in &after {
+    for q in after {
         let (name, text, peer) = match q.to_ascii_lowercase().as_str() {
             "q1" => ("q1", queries::Q1, "P1"),
             "q2" => ("q2", queries::Q2, "P2"),
             "q3" => ("q3", queries::Q3, "P3"),
             "q4" => ("q4", queries::Q4, "P4"),
-            other => return usage_error(&format!("--after only knows q1..q4, got {other:?}")),
+            other => {
+                return Err(usage_error(&format!(
+                    "--after only knows q1..q4, got {other:?}"
+                )))
+            }
         };
         if let Err(e) = system.register_query(name, text, peer, Strategy::StreamSharing) {
             eprintln!("pre-registering {name} failed: {e}");
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
     }
+    Ok(system)
+}
+
+fn plan(args: &[String]) -> ExitCode {
+    let PlanArgs {
+        at,
+        strategy,
+        after,
+        text,
+    } = match parse_plan_args(args) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let mut system = match prepared_network(&after) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
     match system.register_query("user-query", &text, &at, strategy) {
         Ok(reg) => {
             println!(
@@ -176,6 +217,150 @@ fn plan(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `dss explain` — plan a query with tracing enabled and print the recorded
+/// search tree: every peer the Subscribe BFS dequeued, every candidate
+/// stream with its cost split into the traffic and load terms (or the name
+/// of the check that rejected it), and the per-input winners, whose costs
+/// must sum exactly to the plan's C(P).
+fn explain(args: &[String]) -> ExitCode {
+    let PlanArgs {
+        at,
+        strategy,
+        after,
+        text,
+    } = match parse_plan_args(args) {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    // Pre-registrations happen before the session opens so the trace holds
+    // exactly one registration: the user's.
+    let mut system = match prepared_network(&after) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let session = dss_telemetry::session();
+    let result = system.register_query("user-query", &text, &at, strategy);
+    let snap = session.snapshot();
+    drop(session);
+
+    let Some(reg) = snap.spans_named("register_query").last() else {
+        eprintln!(
+            "no trace recorded — this binary was built with --no-default-features, \
+             which compiles the telemetry layer out; rebuild with default features"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    println!(
+        "register user-query ({strategy}) at {at} — {}",
+        vstr(reg.field("outcome"))
+    );
+    let mut parts_sum = 0.0f64;
+    for input in reg.children_named("subscribe_input") {
+        let visits = input.children_named("visit").count();
+        let candidates = input.children_named("candidate").count();
+        println!(
+            "  input {:?}: source at {}, subscriber super-peer {}; \
+             {visits} peers visited, {candidates} candidates",
+            vstr(input.field("stream")),
+            vstr(input.field("v_b")),
+            vstr(input.field("v_q")),
+        );
+        for cand in input.children_named("candidate") {
+            let outcome = vstr(cand.field("outcome"));
+            let who = format!(
+                "{} @ {}",
+                vstr(cand.field("flow")),
+                vstr(cand.field("peer"))
+            );
+            if outcome == "rejected" {
+                println!(
+                    "    rejected  {who:<24} failed {}",
+                    vstr(cand.field("reason"))
+                );
+            } else {
+                println!(
+                    "    {outcome:<9} {who:<24} C = {} (traffic {} + load {}){}{}",
+                    vf64(cand.field("cost")),
+                    vf64(cand.field("traffic")),
+                    vf64(cand.field("load")),
+                    if vbool(cand.field("feasible")) {
+                        ""
+                    } else {
+                        "  [infeasible]"
+                    },
+                    if vbool(cand.field("chosen")) {
+                        "  <- new best"
+                    } else {
+                        ""
+                    },
+                );
+            }
+        }
+        if let Some(best) = input.children_named("best").last() {
+            let cost = vf64(best.field("cost"));
+            parts_sum += cost;
+            println!(
+                "    best      {} @ {:<17} C = {} (traffic {} + load {})",
+                vstr(best.field("flow")),
+                vstr(best.field("peer")),
+                cost,
+                vf64(best.field("traffic")),
+                vf64(best.field("load")),
+            );
+        }
+    }
+
+    match result {
+        Ok(registration) => {
+            let plan = &registration.plan;
+            let total = parts_sum + plan.post_cost;
+            println!("  post-processing + delivery: C = {}", plan.post_cost);
+            println!(
+                "  C(P) = sum of best parts + post = {} + {} = {}",
+                parts_sum, plan.post_cost, total
+            );
+            if total == plan.total_cost {
+                println!(
+                    "  matches the installed plan's total cost {} exactly",
+                    plan.total_cost
+                );
+            } else {
+                eprintln!(
+                    "  MISMATCH: installed plan reports C(P) = {} (trace sums to {})",
+                    plan.total_cost, total
+                );
+                return ExitCode::FAILURE;
+            }
+            println!();
+            print!("{}", plan.describe(system.state()));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn vstr(v: Option<&dss_telemetry::Value>) -> &str {
+    match v {
+        Some(dss_telemetry::Value::Str(s)) => s,
+        _ => "?",
+    }
+}
+
+fn vf64(v: Option<&dss_telemetry::Value>) -> f64 {
+    match v {
+        Some(dss_telemetry::Value::Float(f)) => *f,
+        _ => f64::NAN,
+    }
+}
+
+fn vbool(v: Option<&dss_telemetry::Value>) -> bool {
+    matches!(v, Some(dss_telemetry::Value::Bool(true)))
 }
 
 fn check(args: &[String]) -> ExitCode {

@@ -152,6 +152,15 @@ fn rejection_experiment_shape() {
         rejected[2] <= 5,
         "stream sharing rejects almost nothing: {rejected:?}"
     );
+    // Pin the exact seed-42 counts so a silent cost-model change (like the
+    // duplicate-selectivity double-count this fixed) shows up in review
+    // rather than drifting unnoticed. Data shipping lands exactly on the
+    // paper's 47.
+    assert_eq!(
+        rejected,
+        vec![47, 24, 0],
+        "seed-42 rejection counts changed — cost model drift?"
+    );
 }
 
 #[test]
