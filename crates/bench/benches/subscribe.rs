@@ -1,8 +1,13 @@
 //! Ablation of Table 1: the cost of the `Subscribe` search (Algorithm 1)
-//! as the number of already-registered queries and the network size grow.
+//! as the number of already-registered queries and the network size grow —
+//! plus the registration-latency curve against large installed
+//! subscription populations (indexed catalog lookup vs. the full-scan
+//! reference). A `cargo bench` run writes the measured curve to
+//! `BENCH_subscribe.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dss_core::{subscribe, SearchOrder, Strategy, StreamGlobe};
+use dss_bench::registration::{registration_curve, smoke_sets};
+use dss_core::{subscribe, subscribe_full_scan, SearchOrder, Strategy, StreamGlobe};
 use dss_network::grid_topology;
 use dss_rass::{QueryTemplateGenerator, Scenario};
 use dss_wxquery::compile_query;
@@ -91,10 +96,80 @@ fn bench_bfs_vs_dfs(c: &mut Criterion) {
     g.finish();
 }
 
+/// A 6×6-grid system with `n` template subscriptions installed from the
+/// narrow smoke value sets (the high-sharing regime of Section 4), plus
+/// an unregistered probe query.
+fn populated_system(n: usize) -> (StreamGlobe, String) {
+    let mut system = StreamGlobe::new(grid_topology(6, 6));
+    system
+        .register_stream("photons", "SP0", dss_rass::default_photons(7, 200), 60.0)
+        .expect("stream registers");
+    let mut tgen = QueryTemplateGenerator::with_sets(7, "photons", smoke_sets());
+    for i in 0..n {
+        let peer = format!("SP{}", (i * 13 + 5) % 36);
+        system
+            .register_query(
+                format!("q{i}"),
+                &tgen.next_query(),
+                &peer,
+                Strategy::StreamSharing,
+            )
+            .expect("query registers");
+    }
+    (system, tgen.next_query())
+}
+
+/// The tentpole ablation: candidate lookup against 1k/10k installed
+/// subscriptions, indexed catalog vs. the pre-index full scan. The
+/// indexed search stays near-flat across tiers; the full scan grows with
+/// the deployed flow table.
+fn bench_vs_installed_subscriptions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subscribe/vs-installed-subscriptions");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let (system, probe) = populated_system(n);
+        let compiled = compile_query(&probe).expect("probe compiles");
+        let v_q = system.topology().expect_node("SP21");
+        g.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| {
+                subscribe(system.state(), &compiled, v_q, v_q, SearchOrder::Bfs, false)
+                    .expect("plan found")
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("full-scan", n), &n, |b, _| {
+            b.iter(|| {
+                subscribe_full_scan(
+                    system.state(),
+                    &compiled,
+                    v_q,
+                    v_q,
+                    SearchOrder::Bfs,
+                    false,
+                    false,
+                )
+                .expect("plan found")
+            })
+        });
+    }
+    g.finish();
+
+    // Registration-curve accounting, written once per `cargo bench`
+    // invocation (small tiers here; `registration_smoke` covers 100k and,
+    // with DSS_BENCH_FULL=1, the million-subscription tier).
+    if std::env::args().any(|a| a == "--bench") {
+        let curve = registration_curve(7, &[1_000, 10_000]);
+        let path = "BENCH_subscribe.json";
+        std::fs::write(path, curve.to_json()).expect("write bench results");
+        let ratios: Vec<f64> = curve.tiers.iter().map(|t| t.flat_ratio).collect();
+        println!("subscribe registration flat ratios {ratios:?} -> {path}");
+    }
+}
+
 criterion_group!(
     benches,
     bench_vs_registered_queries,
     bench_vs_network_size,
-    bench_bfs_vs_dfs
+    bench_bfs_vs_dfs,
+    bench_vs_installed_subscriptions
 );
 criterion_main!(benches);

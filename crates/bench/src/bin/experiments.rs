@@ -2,8 +2,8 @@
 //! regenerated tables plus shape verdicts (who wins, where the peaks are).
 
 use dss_bench::experiments::{
-    fig6, fig7, gamma_sweep, motivating, rejections, render_table1, scalability, table1, verdicts,
-    widening_ablation, DEFAULT_SEED,
+    fig6, fig7, gamma_sweep, motivating, registration_scaling, rejections, render_table1,
+    scalability, table1, verdicts, widening_ablation, DEFAULT_SEED,
 };
 use dss_core::Strategy;
 
@@ -73,6 +73,12 @@ fn main() {
             row.avg_nodes_visited,
             row.avg_candidates,
         );
+    }
+    println!();
+
+    println!("Registration latency vs. installed subscriptions (6x6 grid, narrow value sets):");
+    for tier in registration_scaling(seed) {
+        println!("  {}", tier.render());
     }
     println!();
 

@@ -455,6 +455,15 @@ pub fn scalability(seed: u64) -> Vec<ScalabilityRow> {
         .collect()
 }
 
+/// E11 — registration latency vs. installed subscriptions: the indexed
+/// catalog lookup keeps per-registration latency near-flat as the
+/// population grows (tiers here are sized for the full-evaluation binary;
+/// `registration_smoke` runs the 100k gate and, with `DSS_BENCH_FULL=1`,
+/// the million-subscription tier).
+pub fn registration_scaling(seed: u64) -> Vec<crate::registration::TierReport> {
+    crate::registration::registration_curve(seed, &[500, 2_000, 8_000]).tiers
+}
+
 /// Quick textual verdict comparing measured shapes with the paper's claims.
 pub fn verdicts(fig6: &FigureData, fig7: &FigureData, rej: &[(usize, usize); 3]) -> String {
     let mut out = String::new();

@@ -13,5 +13,6 @@
 pub mod experiments;
 pub mod json;
 pub mod overhead;
+pub mod registration;
 pub mod report;
 pub mod trace;

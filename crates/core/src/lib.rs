@@ -36,7 +36,9 @@ pub use plan::{Plan, PlanPart};
 pub use state::NetworkState;
 pub use stats::StreamStats;
 pub use strategy::{plan_query, Strategy};
-pub use subscribe::{subscribe, SearchOrder, SearchStats, SubscribeError};
+pub use subscribe::{
+    subscribe, subscribe_full_scan, subscribe_with, SearchOrder, SearchStats, SubscribeError,
+};
 pub use system::{Registration, StreamGlobe, SystemError};
 
 #[cfg(test)]

@@ -275,9 +275,8 @@ pub fn generate_plan_part_cached(
         .flow(tap_flow)
         .properties
         .as_ref()
-        .and_then(|p| p.input_for(wanted.stream()))?
-        .clone();
-    let ops = residual_flow_ops(&reused_props, wanted);
+        .and_then(|p| p.input_for(wanted.stream()))?;
+    let ops = residual_flow_ops(reused_props, wanted);
     let route = match route_hint {
         Some(r) => r.to_vec(),
         None => shortest_path(&state.topo, tap_node, post_node)?,
@@ -327,12 +326,17 @@ pub fn generate_plan_part_cached(
 /// stream's additional rate over the flow's existing route, the prepended
 /// restore-operators at every existing consumer, and the usual transport of
 /// the new subscription's stream from the tap to `post_node`.
+///
+/// `route_hint` optionally passes the precomputed shortest route from
+/// `tap_node` to `post_node` (fixed per visited peer, so the search computes
+/// it once per node instead of once per candidate).
 pub fn generate_widening_part(
     state: &NetworkState,
     wanted: &InputProperties,
     tap_flow: FlowId,
     tap_node: NodeId,
     post_node: NodeId,
+    route_hint: Option<&[NodeId]>,
 ) -> Option<PlanPart> {
     let stats = state.stats(wanted.stream())?;
     let flow = state.deployment.flow(tap_flow);
@@ -374,7 +378,10 @@ pub fn generate_widening_part(
 
     // The new subscription taps the widened stream.
     let ops = residual_flow_ops(&widened, wanted);
-    let route = shortest_path(&state.topo, tap_node, post_node)?;
+    let route = match route_hint {
+        Some(r) => r.to_vec(),
+        None => shortest_path(&state.topo, tap_node, post_node)?,
+    };
     let estimate = crate::cost::estimate_chain(stats, wanted.operators());
 
     // ---- cost & feasibility ----------------------------------------------

@@ -14,8 +14,8 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use dss_network::NodeId;
-use dss_properties::{explain_match_input_properties, match_input_properties};
+use dss_network::{FlowId, NodeId};
+use dss_properties::{explain_match_input_properties, match_input_properties, QueryLens};
 use dss_telemetry::Value;
 use dss_wxquery::CompiledQuery;
 
@@ -121,8 +121,75 @@ pub fn subscribe_with(
     require_feasible: bool,
     widening: bool,
 ) -> Result<(Plan, SearchStats), SubscribeError> {
+    search(
+        state,
+        query,
+        v_q,
+        subscriber,
+        order,
+        require_feasible,
+        widening,
+        CandidateSource::Indexed,
+    )
+}
+
+/// [`subscribe_with`], but enumerating candidate streams by scanning the
+/// full flow table at every visited peer — the pre-index reference search.
+/// Kept as the differential oracle for the catalog: for any deployment and
+/// query it must produce the same matches, the same number of generated
+/// plans, and a byte-identical winning plan as the indexed search (whose
+/// candidate counts may only be *smaller*).
+#[allow(clippy::too_many_arguments)]
+pub fn subscribe_full_scan(
+    state: &NetworkState,
+    query: &CompiledQuery,
+    v_q: NodeId,
+    subscriber: NodeId,
+    order: SearchOrder,
+    require_feasible: bool,
+    widening: bool,
+) -> Result<(Plan, SearchStats), SubscribeError> {
+    search(
+        state,
+        query,
+        v_q,
+        subscriber,
+        order,
+        require_feasible,
+        widening,
+        CandidateSource::FullScan,
+    )
+}
+
+/// How the search enumerates candidate streams at a visited peer.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CandidateSource {
+    /// The deployment's stream catalog: per-peer per-stream buckets with
+    /// signature/bound/window pre-filters (sublinear in installed flows).
+    Indexed,
+    /// Scan every installed flow (linear in all registrations ever made).
+    FullScan,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    state: &NetworkState,
+    query: &CompiledQuery,
+    v_q: NodeId,
+    subscriber: NodeId,
+    order: SearchOrder,
+    require_feasible: bool,
+    widening: bool,
+    source: CandidateSource,
+) -> Result<(Plan, SearchStats), SubscribeError> {
     let mut stats = SearchStats::default();
     let mut parts: Vec<PlanPart> = Vec::new();
+    // Memoized shortest routes to v_q, shared across this search's input
+    // streams (the route from a tap peer to v_q does not depend on the
+    // stream). `None` = not yet computed; `Some(None)` = unreachable.
+    let mut route_memo: Vec<Option<Option<Vec<NodeId>>>> = vec![None; state.topo.peer_count()];
+    // Scratch candidate buffer, reused across peers and inputs.
+    let mut scratch: Vec<FlowId> = Vec::new();
 
     // Line 2: iterate over the properties of all input data streams of q.
     for wanted in query.properties.inputs() {
@@ -165,6 +232,20 @@ pub fn subscribe_with(
         });
         // Fixed per search: the subscription's own chain estimate.
         let wanted_estimate = best.estimate;
+        // Pre-digested match pre-filters for the indexed lookup. Widening
+        // must enumerate *non-matching* variants too, so it probes the
+        // unpruned per-(peer, stream) index instead.
+        let lens = match source {
+            CandidateSource::Indexed if !widening => Some(QueryLens::of(wanted)),
+            _ => None,
+        };
+        // Per-chain lens verdicts, memoized across every peer this input's
+        // search visits (a chain flowing past many peers is judged once).
+        let mut verdicts = dss_network::LensVerdicts::default();
+        // Full-match results per interned chain: flows with the same chain
+        // id carry byte-identical input properties, so MatchProperties is
+        // a pure function of the chain and need only run once per chain.
+        let mut match_memo: Vec<Option<bool>> = Vec::new();
 
         let mut marked = vec![false; state.topo.peer_count()];
         let mut queued = vec![false; state.topo.peer_count()];
@@ -185,19 +266,59 @@ pub fn subscribe_with(
             dss_telemetry::event("visit", || {
                 [("peer", Value::from(state.topo.peer(v).name.as_str()))]
             });
-            // Fixed per tap node: the transport route to v_q.
-            let route_to_vq = dss_network::shortest_path(&state.topo, v, v_q);
+            // Fixed per tap node (and per v_q, hence memoized across the
+            // whole search): the transport route to v_q.
+            let route_to_vq = route_memo[v]
+                .get_or_insert_with(|| dss_network::shortest_path(&state.topo, v, v_q))
+                .as_deref();
             // Lines 9–11: streams available at v that are variants of the
             // input stream.
-            for flow_id in state.deployment.shareable_at(v) {
+            let flow_ids: &[FlowId] = match source {
+                CandidateSource::Indexed => match &lens {
+                    Some(lens) => {
+                        state.deployment.candidates_into(
+                            v,
+                            stream,
+                            lens,
+                            &mut verdicts,
+                            &mut scratch,
+                        );
+                        &scratch
+                    }
+                    None => state.deployment.variants_at(v, stream),
+                },
+                CandidateSource::FullScan => {
+                    scratch.clear();
+                    scratch.extend((0..state.deployment.len()).filter(|&i| {
+                        let f = state.deployment.flow(i);
+                        !f.retired && f.properties.is_some() && f.available_at(v)
+                    }));
+                    &scratch
+                }
+            };
+            for &flow_id in flow_ids {
                 let flow = state.deployment.flow(flow_id);
                 let Some(candidate) = flow.properties.as_ref().and_then(|p| p.input_for(stream))
                 else {
                     continue;
                 };
                 stats.candidates_matched += 1;
-                // Line 14: MatchProperties.
-                if !match_input_properties(candidate, wanted) {
+                // Line 14: MatchProperties (memoized per distinct chain on
+                // the indexed path; the full-scan reference stays direct).
+                let matched = match source {
+                    CandidateSource::Indexed => match state.deployment.chain_of(flow_id, stream) {
+                        Some(cid) => {
+                            if match_memo.len() <= cid {
+                                match_memo.resize(cid + 1, None);
+                            }
+                            *match_memo[cid]
+                                .get_or_insert_with(|| match_input_properties(candidate, wanted))
+                        }
+                        None => match_input_properties(candidate, wanted),
+                    },
+                    CandidateSource::FullScan => match_input_properties(candidate, wanted),
+                };
+                if !matched {
                     // The losing check is only diagnosed when someone is
                     // recording: the hot path keeps the boolean match.
                     dss_telemetry::event("candidate", || {
@@ -215,7 +336,9 @@ pub fn subscribe_with(
                     // Widening extension: a non-matching stream may still be
                     // usable after loosening its operators in place.
                     if widening {
-                        if let Some(plan) = generate_widening_part(state, wanted, flow_id, v, v_q) {
+                        if let Some(plan) =
+                            generate_widening_part(state, wanted, flow_id, v, v_q, route_to_vq)
+                        {
                             // A widenable stream can be tapped anywhere on
                             // its route, so the route's peers join the
                             // frontier just like a matched stream's.
@@ -274,7 +397,7 @@ pub fn subscribe_with(
                     v,
                     v_q,
                     Some(wanted_estimate),
-                    route_to_vq.as_deref(),
+                    route_to_vq,
                 ) else {
                     continue;
                 };

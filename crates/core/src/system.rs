@@ -376,14 +376,16 @@ impl StreamGlobe {
                     }
                     let node = self.state.deployment.flow(*child).processing_node;
                     let bload: f64 = patch.iter().map(flow_op_base_load).sum();
-                    let flow = self.state.deployment.flow_mut(*child);
-                    flow.ops.splice(0..0, patch.iter().cloned());
+                    {
+                        let mut flow = self.state.deployment.flow_mut(*child);
+                        flow.ops.splice(0..0, patch.iter().cloned());
+                    }
                     self.state
                         .charge_node_for(*child, node, bload, widened_freq);
                 }
                 let route = self.state.deployment.flow(widen.flow).route.clone();
                 {
-                    let flow = self.state.deployment.flow_mut(widen.flow);
+                    let mut flow = self.state.deployment.flow_mut(widen.flow);
                     flow.ops = widen.new_flow_ops.clone();
                     flow.properties = Some(Properties::single(widen.widened.clone()));
                     flow.label.push_str("+widened");
@@ -596,10 +598,12 @@ impl StreamGlobe {
             self.state
                 .discharge_node_for(child, node, bload, undo.widened_frequency);
         }
-        let flow = self.state.deployment.flow_mut(undo.flow);
-        flow.ops = undo.prev_ops.clone();
-        flow.properties = undo.prev_properties.clone();
-        flow.label = undo.prev_label.clone();
+        {
+            let mut flow = self.state.deployment.flow_mut(undo.flow);
+            flow.ops = undo.prev_ops.clone();
+            flow.properties = undo.prev_properties.clone();
+            flow.label = undo.prev_label.clone();
+        }
         self.state.flow_estimates[undo.flow] = undo.prev_estimate;
         self.state
             .discharge_route_for(undo.flow, &undo.route, undo.delta_estimate);

@@ -11,9 +11,12 @@
 //! flow's processing node must lie on the parent flow's route, and reading
 //! the passing stream there costs no extra transmission.
 
-use dss_engine::{build_operator, Pipeline, ReAggregateOp, ReWindowOp, RestructureOp, Template};
-use dss_properties::{AggOp, AggregationSpec, Operator, Properties, WindowOutputSpec};
+use std::ops::{Deref, DerefMut};
 
+use dss_engine::{build_operator, Pipeline, ReAggregateOp, ReWindowOp, RestructureOp, Template};
+use dss_properties::{AggOp, AggregationSpec, Operator, Properties, QueryLens, WindowOutputSpec};
+
+use crate::catalog::{Catalog, LensVerdicts};
 use crate::topology::{NodeId, Topology};
 
 /// Flow identifier (dense index into the deployment).
@@ -119,10 +122,12 @@ impl StreamFlow {
     }
 }
 
-/// The deployed dataflow graph.
+/// The deployed dataflow graph, with a per-peer [`Catalog`] over its
+/// shareable flows maintained incrementally on install/retire/widen.
 #[derive(Debug, Clone, Default)]
 pub struct Deployment {
     flows: Vec<StreamFlow>,
+    catalog: Catalog,
 }
 
 impl Deployment {
@@ -163,7 +168,9 @@ impl Deployment {
             );
         }
         self.flows.push(flow);
-        self.flows.len() - 1
+        let id = self.flows.len() - 1;
+        self.catalog.insert(id, &self.flows[id]);
+        id
     }
 
     /// All flows in id order.
@@ -177,9 +184,14 @@ impl Deployment {
     }
 
     /// Mutable access to a flow (used by stream widening, which replaces a
-    /// deployed flow's operators and properties in place).
-    pub fn flow_mut(&mut self, id: FlowId) -> &mut StreamFlow {
-        &mut self.flows[id]
+    /// deployed flow's operators and properties in place). The returned
+    /// guard re-indexes the flow in the catalog when dropped, so widening
+    /// and narrowing keep the index consistent without explicit calls.
+    pub fn flow_mut(&mut self, id: FlowId) -> FlowMut<'_> {
+        FlowMut {
+            deployment: self,
+            id,
+        }
     }
 
     /// Ids of the flows that tap `id` directly.
@@ -204,13 +216,54 @@ impl Deployment {
 
     /// Ids of *shareable* flows whose stream is available at `node` —
     /// the candidate streams Algorithm 1 inspects at each BFS step.
-    pub fn shareable_at(&self, node: NodeId) -> Vec<FlowId> {
-        (0..self.flows.len())
-            .filter(|&i| {
-                let f = &self.flows[i];
-                !f.retired && f.properties.is_some() && f.available_at(node)
-            })
-            .collect()
+    /// Served from the maintained per-peer index: no scan, no allocation.
+    pub fn shareable_at(&self, node: NodeId) -> &[FlowId] {
+        self.catalog.shareable_at(node)
+    }
+
+    /// Number of currently shareable (indexed) flows across all peers.
+    pub fn shareable_len(&self) -> usize {
+        self.catalog.indexed_len()
+    }
+
+    /// Number of distinct operator chains the catalog has ever seen —
+    /// the quantity candidate lookup scales with instead of flow count.
+    pub fn distinct_chains(&self) -> usize {
+        self.catalog.distinct_chains()
+    }
+
+    /// The interned chain id of `id`'s input for `stream` (see
+    /// [`Catalog::chain_of`]): equal ids mean byte-identical input
+    /// properties.
+    pub fn chain_of(&self, id: FlowId, stream: &str) -> Option<crate::catalog::ChainId> {
+        self.catalog.chain_of(id, stream)
+    }
+
+    /// Shareable variants of origin stream `stream` available at `node`,
+    /// ascending — every flow in [`Self::shareable_at`] whose properties
+    /// have an input for `stream`. This is the unpruned candidate set; the
+    /// widening search enumerates it because widening must see
+    /// *non-matching* streams too.
+    pub fn variants_at(&self, node: NodeId, stream: &str) -> &[FlowId] {
+        self.catalog.variants_at(node, stream)
+    }
+
+    /// Collects into `out` the variants of `stream` at `node` whose chain
+    /// summaries pass `lens`'s pre-filters, ascending. Guaranteed to
+    /// contain every flow whose properties `match_input_properties` would
+    /// accept for the lens's subscription input; non-matches may be pruned.
+    /// `verdicts` memoizes per-chain judgements across the peers of one
+    /// search — pass a fresh one per lens.
+    pub fn candidates_into(
+        &self,
+        node: NodeId,
+        stream: &str,
+        lens: &QueryLens,
+        verdicts: &mut LensVerdicts,
+        out: &mut Vec<FlowId>,
+    ) {
+        self.catalog
+            .candidates_into(node, stream, lens, verdicts, out);
     }
 
     /// Retires a flow: it keeps its id but carries no traffic and is no
@@ -226,6 +279,7 @@ impl Deployment {
             self.children_of(id).len()
         );
         self.flows[id].retired = true;
+        self.catalog.remove(id);
     }
 
     /// Validates the deployment against a topology: all route hops must be
@@ -242,6 +296,36 @@ impl Deployment {
                 );
             }
         }
+    }
+}
+
+/// Mutable-access guard for one flow. Dereferences to [`StreamFlow`]; on
+/// drop, the flow is re-indexed in the deployment's catalog so in-place
+/// mutations (widening's operator/properties rewrite, narrowing's rollback)
+/// are reflected in candidate lookups.
+pub struct FlowMut<'a> {
+    deployment: &'a mut Deployment,
+    id: FlowId,
+}
+
+impl Deref for FlowMut<'_> {
+    type Target = StreamFlow;
+
+    fn deref(&self) -> &StreamFlow {
+        &self.deployment.flows[self.id]
+    }
+}
+
+impl DerefMut for FlowMut<'_> {
+    fn deref_mut(&mut self) -> &mut StreamFlow {
+        &mut self.deployment.flows[self.id]
+    }
+}
+
+impl Drop for FlowMut<'_> {
+    fn drop(&mut self) {
+        let Deployment { flows, catalog } = &mut *self.deployment;
+        catalog.reindex(self.id, &flows[self.id]);
     }
 }
 
@@ -380,6 +464,78 @@ mod tests {
         // In-place mutation (the widening path).
         d.flow_mut(f0).label = "widened".into();
         assert_eq!(d.flow(f0).label, "widened");
+    }
+
+    #[test]
+    fn catalog_follows_retire_and_inplace_mutation() {
+        let t = grid_topology(2, 2);
+        let mut d = Deployment::new();
+        let (sp0, sp1) = (t.expect_node("SP0"), t.expect_node("SP1"));
+        let f0 = d.add_flow(source_flow(vec![sp0, sp1]));
+        assert_eq!(d.shareable_at(sp0), vec![f0]);
+        assert_eq!(d.shareable_at(sp1), vec![f0]);
+        assert_eq!(d.variants_at(sp1, "photons"), vec![f0]);
+        assert!(d.variants_at(sp1, "spectra").is_empty());
+
+        // Mutating properties through the guard re-indexes under the new
+        // origin stream.
+        d.flow_mut(f0).properties = Some(Properties::single(InputProperties::original("spectra")));
+        assert!(d.variants_at(sp1, "photons").is_empty());
+        assert_eq!(d.variants_at(sp1, "spectra"), vec![f0]);
+        assert_eq!(d.shareable_at(sp1), vec![f0]);
+
+        // Dropping properties makes the flow unshareable…
+        d.flow_mut(f0).properties = None;
+        assert!(d.shareable_at(sp0).is_empty());
+        // …and restoring them brings it back.
+        d.flow_mut(f0).properties = Some(Properties::single(InputProperties::original("photons")));
+        assert_eq!(d.shareable_at(sp0), vec![f0]);
+
+        d.retire(f0);
+        assert!(d.shareable_at(sp0).is_empty());
+        assert!(d.shareable_at(sp1).is_empty());
+        assert!(d.variants_at(sp1, "photons").is_empty());
+    }
+
+    #[test]
+    fn indexed_candidates_equal_filtered_scan() {
+        use dss_properties::QueryLens;
+        let t = grid_topology(2, 2);
+        let mut d = Deployment::new();
+        let (sp0, sp1, sp3) = (
+            t.expect_node("SP0"),
+            t.expect_node("SP1"),
+            t.expect_node("SP3"),
+        );
+        d.add_flow(source_flow(vec![sp0, sp1, sp3]));
+        d.add_flow(source_flow(vec![sp0, sp1]));
+        // A delivery flow (no properties) must never appear.
+        d.add_flow(StreamFlow {
+            label: "delivery".into(),
+            input: FlowInput::Source {
+                stream: "photons".into(),
+            },
+            processing_node: sp1,
+            ops: Vec::new(),
+            route: vec![sp1],
+            properties: None,
+            retired: false,
+        });
+        let wanted = InputProperties::original("photons");
+        let lens = QueryLens::of(&wanted);
+        let mut verdicts = crate::catalog::LensVerdicts::default();
+        let mut got = Vec::new();
+        for node in [sp0, sp1, sp3] {
+            d.candidates_into(node, "photons", &lens, &mut verdicts, &mut got);
+            let scan: Vec<FlowId> = (0..d.len())
+                .filter(|&i| {
+                    let f = d.flow(i);
+                    !f.retired && f.properties.is_some() && f.available_at(node)
+                })
+                .collect();
+            assert_eq!(got, scan, "node {node}");
+            assert_eq!(d.variants_at(node, "photons"), scan.as_slice());
+        }
     }
 
     #[test]

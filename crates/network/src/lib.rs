@@ -13,6 +13,7 @@
 //! discrete-event scheduler with timestamped items, bounded per-peer
 //! mailboxes, link latencies, and scripted fault injection.
 
+pub mod catalog;
 pub mod flow;
 pub mod metrics;
 pub mod pool;
@@ -22,7 +23,8 @@ pub mod shared;
 pub mod sim;
 pub mod topology;
 
-pub use flow::{build_flow_pipeline, Deployment, FlowId, FlowInput, FlowOp, StreamFlow};
+pub use catalog::{Catalog, ChainId, LensVerdicts};
+pub use flow::{build_flow_pipeline, Deployment, FlowId, FlowInput, FlowMut, FlowOp, StreamFlow};
 pub use metrics::NetworkMetrics;
 pub use pool::{max_parallelism, run_scoped, WorkerPool};
 pub use routing::{distance, path_edges, shortest_path};

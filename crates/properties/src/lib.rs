@@ -16,6 +16,7 @@
 pub mod matching;
 pub mod operator;
 pub mod properties;
+pub mod summary;
 pub mod window;
 
 pub use matching::{
@@ -26,4 +27,5 @@ pub use operator::{
     AggOp, AggregationSpec, Operator, ProjectionSpec, ResultFilter, WindowOutputSpec,
 };
 pub use properties::{InputProperties, Properties, PropertiesError};
+pub use summary::{ChainSummary, QueryLens, SigAtom, Signature, WindowKey};
 pub use window::{WindowError, WindowKind, WindowSpec};

@@ -1,0 +1,616 @@
+//! Compact chain summaries for indexed candidate lookup.
+//!
+//! The plan search (Algorithm 1) asks, at every visited peer, "which of the
+//! streams passing here could serve this subscription input?" Answering
+//! with `match_input_properties` per installed stream is a full scan. This
+//! module extracts, from a chain's properties, the cheap *necessary*
+//! conditions of a match so a catalog can bucket streams by them and only
+//! run the full match on plausible covers:
+//!
+//! * [`Signature`] — the set of operator kinds in the chain. A stream
+//!   matches only if every one of its operator kinds also occurs in the
+//!   subscription chain (each stream operator needs a same-kind partner).
+//! * selection bounds — every edge of the stream's (minimized) selection
+//!   graph must be implied by the subscription's selection closure
+//!   (`MatchPredicates` is sound *and complete*, so this is a necessary
+//!   condition whenever the subscription has exactly one selection).
+//! * [`WindowKey`] — aggregation/window-contents sharing requires the
+//!   reused window's kind and reference element to equal the new one's and
+//!   its size Δ to divide (hence not exceed) the new Δ, which makes window
+//!   sizes orderable: candidates live in a sorted structure and a
+//!   subscription probes the prefix up to its own Δ.
+//!
+//! Everything here errs on the side of *keeping* a candidate: the full
+//! `match_input_properties` remains the authority, so pruning can never
+//! change which streams match — only how many non-matches are inspected.
+
+use std::fmt;
+
+use dss_predicate::{Bound, NodeRef, PredicateGraph};
+use dss_xml::{Decimal, Path};
+
+use crate::operator::{AggOp, Operator};
+use crate::properties::InputProperties;
+use crate::window::{WindowKind, WindowSpec};
+
+/// One element of a [`Signature`]: an operator kind, made orderable and
+/// hashable (unlike [`crate::OperatorKind`], which carries no `Ord`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SigAtom {
+    Selection,
+    Projection,
+    Aggregation,
+    WindowOutput,
+    Udf(String),
+}
+
+impl SigAtom {
+    fn of(op: &Operator) -> SigAtom {
+        match op {
+            Operator::Selection(_) => SigAtom::Selection,
+            Operator::Projection(_) => SigAtom::Projection,
+            Operator::Aggregation(_) => SigAtom::Aggregation,
+            Operator::WindowOutput(_) => SigAtom::WindowOutput,
+            Operator::Udf { name, .. } => SigAtom::Udf(name.clone()),
+        }
+    }
+}
+
+/// The sorted, deduplicated set of operator kinds in a chain. Used as the
+/// catalog's hash key: a candidate stream can only match a subscription
+/// whose signature is a superset of the stream's.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Signature(Vec<SigAtom>);
+
+impl Signature {
+    /// Signature of an operator chain.
+    pub fn of(chain: &[Operator]) -> Signature {
+        let mut atoms: Vec<SigAtom> = chain.iter().map(SigAtom::of).collect();
+        atoms.sort();
+        atoms.dedup();
+        Signature(atoms)
+    }
+
+    /// `true` if every kind in `self` also occurs in `other` (merge walk
+    /// over the two sorted sets).
+    pub fn is_subset_of(&self, other: &Signature) -> bool {
+        let mut it = other.0.iter();
+        'outer: for a in &self.0 {
+            for b in it.by_ref() {
+                match b.cmp(a) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Number of distinct kinds.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` for the empty (original-stream) signature.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match a {
+                SigAtom::Selection => write!(f, "σ")?,
+                SigAtom::Projection => write!(f, "π")?,
+                SigAtom::Aggregation => write!(f, "Φ")?,
+                SigAtom::WindowOutput => write!(f, "ω")?,
+                SigAtom::Udf(n) => write!(f, "udf:{n}")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Which sharing rule a window participates in: aggregation results and
+/// window-contents streams never serve each other, so their keys live in
+/// disjoint key ranges.
+const CLASS_AGG: u8 = 0;
+const CLASS_WINDOW_OUTPUT: u8 = 1;
+
+fn kind_tag(kind: WindowKind) -> u8 {
+    match kind {
+        WindowKind::Count => 0,
+        WindowKind::Diff => 1,
+    }
+}
+
+/// Ordered key placing a stream's window in the factor-multiple lattice:
+/// `(class, kind, reference, Δ)`. Sharing requires equal class, kind, and
+/// reference, plus `Δ' mod Δ = 0` — so every stream a subscription with
+/// window size Δ' could reuse sits in the contiguous key range
+/// `(class, kind, ref, 0) ..= (class, kind, ref, Δ')`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WindowKey {
+    class: u8,
+    kind: u8,
+    reference: Option<Path>,
+    size: Decimal,
+}
+
+impl WindowKey {
+    /// Key of an aggregation window.
+    pub fn aggregation(w: &WindowSpec) -> WindowKey {
+        WindowKey::new(CLASS_AGG, w)
+    }
+
+    /// Key of a window-contents window.
+    pub fn window_output(w: &WindowSpec) -> WindowKey {
+        WindowKey::new(CLASS_WINDOW_OUTPUT, w)
+    }
+
+    fn new(class: u8, w: &WindowSpec) -> WindowKey {
+        WindowKey {
+            class,
+            kind: kind_tag(w.kind()),
+            reference: w.reference().cloned(),
+            size: w.size(),
+        }
+    }
+
+    fn floor_of(&self) -> WindowKey {
+        WindowKey {
+            size: Decimal::ZERO,
+            ..self.clone()
+        }
+    }
+}
+
+/// The per-aggregation facts a pre-filter can check without predicate
+/// graphs: operator, aggregated element, window, and whether the result
+/// stream was filtered (filtered aggregates only serve identical windows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggSummary {
+    pub op: AggOp,
+    pub element: Path,
+    pub window: WindowSpec,
+    pub filtered: bool,
+}
+
+fn ops_compatible(reused: AggOp, new: AggOp) -> bool {
+    reused == new || (reused == AggOp::Avg && matches!(new, AggOp::Sum | AggOp::Count))
+}
+
+impl AggSummary {
+    /// Necessary conditions of `match_aggregations(self, new)`, skipping
+    /// the predicate-graph checks (pre-selection equality, filter
+    /// restrictiveness) that the authoritative match re-verifies.
+    fn plausibly_serves(&self, new: &AggSummary) -> bool {
+        if !ops_compatible(self.op, new.op) || self.element != new.element {
+            return false;
+        }
+        if self.filtered {
+            // Filtered aggregates: windows must be identical and the filter
+            // comparison only makes sense on equal operators.
+            self.op == new.op && self.window == new.window
+        } else {
+            new.window.shareable_from(&self.window)
+        }
+    }
+}
+
+/// Pre-computed summary of one chain (one `InputProperties`), stored by the
+/// catalog per indexed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainSummary {
+    signature: Signature,
+    /// Direct edges of the chain's *first* selection graph (minimized at
+    /// construction). A match requires the subscription's selection closure
+    /// to imply every one of them.
+    sel_edges: Vec<(NodeRef, NodeRef, Bound)>,
+    aggs: Vec<AggSummary>,
+    window_outputs: Vec<WindowSpec>,
+}
+
+impl ChainSummary {
+    /// Summarizes a chain's properties.
+    pub fn of(props: &InputProperties) -> ChainSummary {
+        let mut aggs = Vec::new();
+        let mut window_outputs = Vec::new();
+        for op in props.operators() {
+            match op {
+                Operator::Aggregation(a) => aggs.push(AggSummary {
+                    op: a.op,
+                    element: a.element.clone(),
+                    window: a.window.clone(),
+                    filtered: !a.result_filter.is_trivial(),
+                }),
+                Operator::WindowOutput(w) => window_outputs.push(w.window.clone()),
+                _ => {}
+            }
+        }
+        let sel_edges = props
+            .selection()
+            .map(|g| {
+                g.edges()
+                    .map(|(u, v, b)| (u.clone(), v.clone(), b))
+                    .collect()
+            })
+            .unwrap_or_default();
+        ChainSummary {
+            signature: Signature::of(props.operators()),
+            sel_edges,
+            aggs,
+            window_outputs,
+        }
+    }
+
+    /// The chain's operator-kind signature.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// The key under which this chain is filed in the window lattice: its
+    /// first aggregation window, else its first window-contents window,
+    /// else `None` (the chain folds no windows and is not size-prunable).
+    pub fn window_key(&self) -> Option<WindowKey> {
+        if let Some(a) = self.aggs.first() {
+            return Some(WindowKey::aggregation(&a.window));
+        }
+        self.window_outputs.first().map(WindowKey::window_output)
+    }
+}
+
+/// A subscription input, pre-digested for probing the catalog: built once
+/// per `Subscribe` input, checked against many candidate summaries.
+#[derive(Debug, Clone)]
+pub struct QueryLens {
+    kinds: Signature,
+    /// Transitive closure of the subscription's selection — only when the
+    /// chain has *exactly one* selection (with several, a stream selection
+    /// may match any of them) and the closure is satisfiable (an
+    /// unsatisfiable one implies everything). `None` disables the bound
+    /// pre-filter; candidates are kept.
+    sel_closure: Option<PredicateGraph>,
+    aggs: Vec<AggSummary>,
+    window_outputs: Vec<WindowSpec>,
+    /// Inclusive key ranges covering every window a candidate could ask
+    /// this subscription to compose: per distinct (class, kind, reference)
+    /// among the subscription's windows, sizes `0 ..= Δ'`.
+    window_ranges: Vec<(WindowKey, WindowKey)>,
+}
+
+impl QueryLens {
+    /// Digests a subscription input.
+    pub fn of(props: &InputProperties) -> QueryLens {
+        let mut selections = props.operators().iter().filter_map(|o| match o {
+            Operator::Selection(g) => Some(g),
+            _ => None,
+        });
+        let sel_closure = match (selections.next(), selections.next()) {
+            (Some(g), None) => {
+                let closure = g.closure();
+                let unsat = closure
+                    .edges()
+                    .any(|(u, v, b)| u == v && b.cycle_is_infeasible());
+                (!unsat).then_some(closure)
+            }
+            _ => None,
+        };
+        let mut aggs = Vec::new();
+        let mut window_outputs = Vec::new();
+        for op in props.operators() {
+            match op {
+                Operator::Aggregation(a) => aggs.push(AggSummary {
+                    op: a.op,
+                    element: a.element.clone(),
+                    window: a.window.clone(),
+                    filtered: !a.result_filter.is_trivial(),
+                }),
+                Operator::WindowOutput(w) => window_outputs.push(w.window.clone()),
+                _ => {}
+            }
+        }
+        let mut ceilings: Vec<WindowKey> = aggs
+            .iter()
+            .map(|a| WindowKey::aggregation(&a.window))
+            .chain(window_outputs.iter().map(WindowKey::window_output))
+            .collect();
+        ceilings.sort();
+        // Keep only the largest Δ' per (class, kind, reference): later keys
+        // with the same prefix subsume earlier ones.
+        ceilings.dedup_by(|next, prev| {
+            prev.class == next.class && prev.kind == next.kind && prev.reference == next.reference
+        });
+        let window_ranges = ceilings.into_iter().map(|hi| (hi.floor_of(), hi)).collect();
+        QueryLens {
+            kinds: Signature::of(props.operators()),
+            sel_closure,
+            aggs,
+            window_outputs,
+            window_ranges,
+        }
+    }
+
+    /// The subscription chain's operator-kind signature.
+    pub fn kinds(&self) -> &Signature {
+        &self.kinds
+    }
+
+    /// Inclusive [`WindowKey`] ranges a matching windowed candidate must
+    /// fall in; empty when the subscription folds no windows.
+    pub fn window_ranges(&self) -> &[(WindowKey, WindowKey)] {
+        &self.window_ranges
+    }
+
+    /// Fast necessary conditions of
+    /// `match_input_properties(candidate, self)`: `false` means the full
+    /// match *cannot* succeed; `true` means it might and must be run.
+    pub fn may_be_served_by(&self, candidate: &ChainSummary) -> bool {
+        if !candidate.signature.is_subset_of(&self.kinds) {
+            return false;
+        }
+        if let Some(closure) = &self.sel_closure {
+            // MatchPredicates is complete: the single query selection must
+            // imply every edge of the stream's first selection graph.
+            let implied = candidate.sel_edges.iter().all(|(u, v, want)| {
+                closure
+                    .direct_bound(u, v)
+                    .is_some_and(|have| have.implies(*want))
+            });
+            if !implied {
+                return false;
+            }
+        }
+        for cand_agg in &candidate.aggs {
+            if !self.aggs.iter().any(|a| cand_agg.plausibly_serves(a)) {
+                return false;
+            }
+        }
+        for cand_w in &candidate.window_outputs {
+            if !self.window_outputs.iter().any(|w| w.shareable_from(cand_w)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `true` if `key` falls inside one of [`Self::window_ranges`] — the
+    /// catalog-range counterpart of [`Self::may_be_served_by`].
+    pub fn admits_window_key(&self, key: &WindowKey) -> bool {
+        self.window_ranges
+            .iter()
+            .any(|(lo, hi)| lo <= key && key <= hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::match_input_properties;
+    use crate::operator::{AggregationSpec, ProjectionSpec, ResultFilter, WindowOutputSpec};
+    use dss_predicate::{Atom, CompOp};
+
+    fn p(s: &str) -> Path {
+        s.parse().unwrap()
+    }
+
+    fn d(s: &str) -> Decimal {
+        s.parse().unwrap()
+    }
+
+    fn region(ra: (&str, &str), dec: (&str, &str), en: Option<&str>) -> PredicateGraph {
+        let mut atoms = vec![
+            Atom::var_const(p("coord/cel/ra"), CompOp::Ge, d(ra.0)),
+            Atom::var_const(p("coord/cel/ra"), CompOp::Le, d(ra.1)),
+            Atom::var_const(p("coord/cel/dec"), CompOp::Ge, d(dec.0)),
+            Atom::var_const(p("coord/cel/dec"), CompOp::Le, d(dec.1)),
+        ];
+        if let Some(cut) = en {
+            atoms.push(Atom::var_const(p("en"), CompOp::Ge, d(cut)));
+        }
+        PredicateGraph::from_atoms(&atoms)
+    }
+
+    fn sel_props(sel: PredicateGraph, outputs: &[&str]) -> InputProperties {
+        InputProperties::new(
+            "photons",
+            vec![
+                Operator::Selection(sel),
+                Operator::Projection(ProjectionSpec::returning(
+                    outputs.iter().map(|s| p(s)).collect::<Vec<_>>(),
+                )),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn agg_props(op: AggOp, size: &str, step: &str, filter: ResultFilter) -> InputProperties {
+        InputProperties::new(
+            "photons",
+            vec![Operator::Aggregation(AggregationSpec {
+                op,
+                element: p("en"),
+                window: WindowSpec::diff(p("det_time"), d(size), Some(d(step))).unwrap(),
+                pre_selection: region(("120", "138"), ("-49", "-40"), None),
+                result_filter: filter,
+            })],
+        )
+        .unwrap()
+    }
+
+    fn wout_props(size: &str, step: &str) -> InputProperties {
+        InputProperties::new(
+            "photons",
+            vec![Operator::WindowOutput(WindowOutputSpec {
+                window: WindowSpec::diff(p("det_time"), d(size), Some(d(step))).unwrap(),
+                pre_selection: PredicateGraph::new(),
+            })],
+        )
+        .unwrap()
+    }
+
+    fn fixtures() -> Vec<InputProperties> {
+        vec![
+            InputProperties::original("photons"),
+            sel_props(
+                region(("120", "138"), ("-49", "-40"), None),
+                &["coord/cel/ra", "coord/cel/dec", "phc", "en", "det_time"],
+            ),
+            sel_props(
+                region(("130.5", "135.5"), ("-48", "-45"), Some("1.3")),
+                &["coord/cel/ra", "coord/cel/dec", "en", "det_time"],
+            ),
+            sel_props(region(("10", "20"), ("0", "5"), None), &["en"]),
+            agg_props(AggOp::Avg, "20", "10", ResultFilter::none()),
+            agg_props(
+                AggOp::Avg,
+                "60",
+                "40",
+                ResultFilter::single(CompOp::Ge, d("1.3")),
+            ),
+            agg_props(AggOp::Sum, "60", "40", ResultFilter::none()),
+            agg_props(AggOp::Count, "120", "40", ResultFilter::none()),
+            wout_props("20", "10"),
+            wout_props("60", "40"),
+            InputProperties::new(
+                "photons",
+                vec![Operator::Udf {
+                    name: "deskew".into(),
+                    params: vec!["7".into()],
+                }],
+            )
+            .unwrap(),
+        ]
+    }
+
+    /// The load-bearing soundness property: whenever the full match accepts
+    /// a (stream, subscription) pair, the pre-filter must too, and the
+    /// stream's window key (if any) must fall inside the subscription's
+    /// probe ranges. Pruning may only ever drop non-matches.
+    #[test]
+    fn prefilter_never_rejects_a_true_match() {
+        let all = fixtures();
+        for stream in &all {
+            let summary = ChainSummary::of(stream);
+            for query in &all {
+                let lens = QueryLens::of(query);
+                if match_input_properties(stream, query) {
+                    assert!(
+                        lens.may_be_served_by(&summary),
+                        "pre-filter dropped a matching candidate:\n  stream {stream}\n  query {query}"
+                    );
+                    if let Some(key) = summary.window_key() {
+                        assert!(
+                            lens.admits_window_key(&key),
+                            "window range missed a matching candidate:\n  stream {stream}\n  query {query}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The pre-filter must actually prune: known non-matches from the
+    /// paper's examples are rejected without running the full match.
+    #[test]
+    fn prefilter_prunes_known_non_matches() {
+        let q1 = sel_props(
+            region(("120", "138"), ("-49", "-40"), None),
+            &["coord/cel/ra", "coord/cel/dec", "phc", "en", "det_time"],
+        );
+        let q2 = sel_props(
+            region(("130.5", "135.5"), ("-48", "-45"), Some("1.3")),
+            &["coord/cel/ra", "coord/cel/dec", "en", "det_time"],
+        );
+        // Q2's narrower stream cannot serve Q1: bounds not implied.
+        assert!(!QueryLens::of(&q1).may_be_served_by(&ChainSummary::of(&q2)));
+        // An aggregate stream cannot serve a selection-only query: kinds.
+        let agg = agg_props(AggOp::Avg, "20", "10", ResultFilter::none());
+        assert!(!QueryLens::of(&q1).may_be_served_by(&ChainSummary::of(&agg)));
+        // A coarser aggregate cannot serve a finer one: window lattice.
+        let fine = agg_props(AggOp::Avg, "20", "10", ResultFilter::none());
+        let coarse = agg_props(AggOp::Avg, "60", "40", ResultFilter::none());
+        assert!(!QueryLens::of(&fine).may_be_served_by(&ChainSummary::of(&coarse)));
+        assert!(!QueryLens::of(&fine)
+            .admits_window_key(&ChainSummary::of(&coarse).window_key().unwrap()));
+        assert!(QueryLens::of(&coarse).may_be_served_by(&ChainSummary::of(&fine)));
+    }
+
+    #[test]
+    fn signature_subsets() {
+        let empty = Signature::of(&[]);
+        let q1 = sel_props(region(("0", "1"), ("0", "1"), None), &["en"]);
+        let sig = Signature::of(q1.operators());
+        assert!(empty.is_subset_of(&sig));
+        assert!(empty.is_subset_of(&empty));
+        assert!(sig.is_subset_of(&sig));
+        assert!(!sig.is_subset_of(&empty));
+        assert_eq!(sig.len(), 2);
+        assert!(empty.is_empty());
+        assert_eq!(sig.to_string(), "{σ,π}");
+        let udf = |name: &str| {
+            Signature::of(&[Operator::Udf {
+                name: name.into(),
+                params: vec![],
+            }])
+        };
+        assert!(!udf("a").is_subset_of(&udf("b")));
+        assert!(udf("a").is_subset_of(&udf("a")));
+    }
+
+    #[test]
+    fn window_keys_order_by_size_within_shape() {
+        let fine = ChainSummary::of(&agg_props(AggOp::Avg, "20", "10", ResultFilter::none()))
+            .window_key()
+            .unwrap();
+        let coarse = ChainSummary::of(&agg_props(AggOp::Avg, "60", "40", ResultFilter::none()))
+            .window_key()
+            .unwrap();
+        assert!(fine < coarse);
+        // Aggregation and window-contents keys never collide.
+        let wout = ChainSummary::of(&wout_props("20", "10"))
+            .window_key()
+            .unwrap();
+        assert_ne!(fine, wout);
+        // Selection-only chains have no window key.
+        let sel = sel_props(region(("0", "1"), ("0", "1"), None), &["en"]);
+        assert!(ChainSummary::of(&sel).window_key().is_none());
+        assert!(QueryLens::of(&sel).window_ranges().is_empty());
+    }
+
+    #[test]
+    fn multi_selection_query_disables_bound_prefilter() {
+        // Two selections in one chain: a stream selection may match either,
+        // so the lens must not prune on bounds.
+        let two = InputProperties::new(
+            "photons",
+            vec![
+                Operator::Selection(region(("0", "1"), ("0", "1"), None)),
+                Operator::Selection(region(("100", "200"), ("-90", "90"), None)),
+            ],
+        )
+        .unwrap();
+        let lens = QueryLens::of(&two);
+        // A stream whose bounds only the *second* selection implies must
+        // survive the pre-filter (only kinds are checked).
+        let cand = ChainSummary::of(
+            &InputProperties::new(
+                "photons",
+                vec![Operator::Selection(region(
+                    ("100", "200"),
+                    ("-90", "90"),
+                    None,
+                ))],
+            )
+            .unwrap(),
+        );
+        assert!(lens.may_be_served_by(&cand));
+    }
+}

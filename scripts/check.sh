@@ -29,4 +29,11 @@ trap 'rm -f "$TRACE_TMP"' EXIT
 echo "==> telemetry overhead guard (disabled recording must be free)"
 ./scripts/telemetry_overhead.sh
 
+echo "==> registration smoke (indexed plan search stays flat at scale)"
+# 100k subscriptions by default (~1.5 min); override with DSS_SMOKE_SUBS.
+# Fails on plan divergence from the full-scan reference or when the last
+# latency decile's p99 exceeds DSS_SMOKE_FLAT_RATIO (default 2.5) times
+# the first decile's.
+./target/release/registration_smoke
+
 echo "All checks passed."

@@ -1,0 +1,294 @@
+//! Indexed plan search vs. the full-scan reference (PR 6).
+//!
+//! `subscribe_with` now resolves candidate streams through the per-peer
+//! stream catalog (signature/window pre-filters, route memoization);
+//! `subscribe_full_scan` is the pre-index reference that enumerates every
+//! deployed flow at every visited peer. The two must be *observationally
+//! identical*: same matches, same plans generated, same peers visited,
+//! byte-identical winning plan — the index may only prune candidates that
+//! `match_input_properties` would have rejected anyway ("prune, never
+//! skip").
+//!
+//! Budget: `DSS_DIFF_CASES` (default 64) cases per property; CI runs 256.
+//! `DSS_PROPTEST_SEED` picks the deterministic case stream.
+
+use proptest::prelude::*;
+
+use data_stream_sharing::core::{
+    subscribe_full_scan, subscribe_with, SearchOrder, SearchStats, Strategy, StreamGlobe,
+};
+use data_stream_sharing::network::grid_topology;
+use dss_rass::{default_photons, QueryTemplateGenerator, TemplateKind};
+use dss_wxquery::compile_query;
+use dss_wxquery::testing::arb_query;
+
+fn diff_cases() -> u32 {
+    std::env::var("DSS_DIFF_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(64)
+}
+
+/// Builds a grid system with `n_queries` template subscriptions scattered
+/// over the peers, optionally with widening on and a subset unregistered
+/// again (exercising catalog de-indexing on retire).
+fn build_system(
+    dim: usize,
+    seed: u64,
+    n_queries: usize,
+    widening: bool,
+    unregister_every: usize,
+) -> (StreamGlobe, QueryTemplateGenerator) {
+    let mut system = StreamGlobe::new(grid_topology(dim, dim));
+    system.set_widening(widening);
+    system
+        .register_stream("photons", "SP0", default_photons(seed, 120), 50.0)
+        .expect("stream registration");
+    let mut tgen = QueryTemplateGenerator::new(seed, "photons");
+    let peers = dim * dim;
+    for i in 0..n_queries {
+        let text = tgen.next_query();
+        let peer = format!("SP{}", (i * 7 + 3) % peers);
+        // Some registrations may legitimately fail (e.g. infeasible
+        // plans); the probe only needs whatever ended up deployed.
+        let _ = system.register_query(format!("q{i}"), &text, &peer, Strategy::StreamSharing);
+    }
+    if unregister_every > 0 {
+        for i in (0..n_queries).step_by(unregister_every) {
+            let _ = system.unregister_query(&format!("q{i}"));
+        }
+    }
+    (system, tgen)
+}
+
+/// Runs both searches for one probe query and asserts observational
+/// equivalence. Returns the stats pair (indexed, full scan) for BFS when
+/// both succeeded, so callers can additionally assert pruning.
+fn assert_equivalent(
+    system: &StreamGlobe,
+    text: &str,
+    v_q_name: &str,
+    widening: bool,
+) -> Option<(SearchStats, SearchStats)> {
+    let Ok(compiled) = compile_query(text) else {
+        return None;
+    };
+    let v_q = system.topology().expect_node(v_q_name);
+    let mut bfs_stats = None;
+    for order in [SearchOrder::Bfs, SearchOrder::Dfs] {
+        let indexed = subscribe_with(system.state(), &compiled, v_q, v_q, order, false, widening);
+        let full = subscribe_full_scan(system.state(), &compiled, v_q, v_q, order, false, widening);
+        match (indexed, full) {
+            (Ok((ip, is)), Ok((fp, fs))) => {
+                assert_eq!(
+                    is.nodes_visited, fs.nodes_visited,
+                    "indexed search must visit the same peers ({order:?}, probe {text})"
+                );
+                assert_eq!(
+                    is.matches, fs.matches,
+                    "indexed search must find the same matches ({order:?}, probe {text})"
+                );
+                assert_eq!(
+                    is.plans_generated, fs.plans_generated,
+                    "indexed search must generate the same plans ({order:?}, probe {text})"
+                );
+                assert!(
+                    is.candidates_matched <= fs.candidates_matched,
+                    "index may only prune candidates: {} > {} ({order:?}, probe {text})",
+                    is.candidates_matched,
+                    fs.candidates_matched
+                );
+                assert_eq!(
+                    format!("{ip:?}"),
+                    format!("{fp:?}"),
+                    "winning plan must be byte-identical ({order:?}, probe {text})"
+                );
+                if matches!(order, SearchOrder::Bfs) {
+                    bfs_stats = Some((is, fs));
+                }
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "both searches must fail identically ({order:?}, probe {text})"
+                );
+            }
+            (a, b) => panic!(
+                "indexed and full-scan search disagree on success ({order:?}, probe {text}): \
+                 indexed {:?} vs full {:?}",
+                a.map(|(_, s)| s),
+                b.map(|(_, s)| s)
+            ),
+        }
+    }
+    bfs_stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(diff_cases()))]
+
+    /// Equivalence: for arbitrary deployments (grid size, template mix,
+    /// widening on/off, retired subscriptions) and probes drawn from both
+    /// the template generator and the unconstrained query strategy, the
+    /// indexed search is observationally identical to the full scan.
+    #[test]
+    fn indexed_search_equals_full_scan(
+        seed in 0u64..1_000_000,
+        dim in 2usize..=4,
+        n_queries in 0usize..14,
+        widening in any::<bool>(),
+        unregister_every in 0usize..4,
+        probe_peer in 0usize..64,
+        spec in arb_query(),
+    ) {
+        let (system, mut tgen) = build_system(dim, seed, n_queries, widening, unregister_every);
+        let peers = dim * dim;
+        let v_q = format!("SP{}", probe_peer % peers);
+        // Template probes: one of each kind, hitting the pre-filters the
+        // installed population was drawn from.
+        for kind in [
+            TemplateKind::Selection,
+            TemplateKind::Projection,
+            TemplateKind::Aggregation,
+        ] {
+            let text = tgen.next_query_of(kind);
+            assert_equivalent(&system, &text, &v_q, widening);
+        }
+        // Unconstrained probe: arbitrary selections/projections/windows,
+        // including shapes the templates never produce.
+        assert_equivalent(&system, &spec.to_text(), &v_q, widening);
+    }
+}
+
+/// Counts, per `subscribe_input` span, the recorded `visit` and
+/// `candidate` events, plus how many candidate events carry an accepted
+/// outcome (`initial`/`matched`/`widened` — the events pruning must never
+/// remove).
+fn traced_counts(
+    system: &StreamGlobe,
+    text: &str,
+    v_q_name: &str,
+    full_scan: bool,
+) -> Vec<(usize, usize, usize)> {
+    use dss_telemetry::Value;
+    let compiled = compile_query(text).expect("probe compiles");
+    let v_q = system.topology().expect_node(v_q_name);
+    let session = dss_telemetry::session();
+    let result = if full_scan {
+        subscribe_full_scan(
+            system.state(),
+            &compiled,
+            v_q,
+            v_q,
+            SearchOrder::Bfs,
+            false,
+            false,
+        )
+    } else {
+        subscribe_with(
+            system.state(),
+            &compiled,
+            v_q,
+            v_q,
+            SearchOrder::Bfs,
+            false,
+            false,
+        )
+    };
+    result.expect("probe subscribes");
+    let snap = session.snapshot();
+    drop(session);
+    snap.spans_named("subscribe_input")
+        .map(|span| {
+            let visits = span.children_named("visit").count();
+            let candidates = span.children_named("candidate").count();
+            let accepted = span
+                .children_named("candidate")
+                .filter(|c| {
+                    matches!(
+                        c.field("outcome"),
+                        Some(Value::Str(s)) if s == "initial" || s == "matched" || s == "widened"
+                    )
+                })
+                .count();
+            (visits, candidates, accepted)
+        })
+        .collect()
+}
+
+/// Telemetry regression: with the index, the `subscribe_input` trace
+/// records the same visits and the same accepted candidates as the full
+/// scan, and strictly fewer candidate probes on a workload where the
+/// signature pre-filter must fire (selection probe against a population
+/// containing aggregation streams).
+#[test]
+fn telemetry_counts_prune_but_never_skip() {
+    let mut system = StreamGlobe::new(grid_topology(4, 4));
+    system
+        .register_stream("photons", "SP0", default_photons(7, 160), 50.0)
+        .expect("stream registration");
+    let mut tgen = QueryTemplateGenerator::new(7, "photons");
+    for i in 0..8 {
+        let text = tgen.next_query_of(TemplateKind::Aggregation);
+        system
+            .register_query(
+                format!("agg{i}"),
+                &text,
+                &format!("SP{}", (i * 5) % 16),
+                Strategy::StreamSharing,
+            )
+            .expect("aggregation registration");
+    }
+    for i in 0..8 {
+        let text = tgen.next_query_of(TemplateKind::Selection);
+        system
+            .register_query(
+                format!("sel{i}"),
+                &text,
+                &format!("SP{}", (i * 3 + 1) % 16),
+                Strategy::StreamSharing,
+            )
+            .expect("selection registration");
+    }
+    let probe = tgen.next_query_of(TemplateKind::Selection);
+    let indexed = traced_counts(&system, &probe, "SP10", false);
+    let full = traced_counts(&system, &probe, "SP10", true);
+    assert_eq!(indexed.len(), full.len(), "same number of input searches");
+    let mut any_pruned = false;
+    for ((iv, ic, ia), (fv, fc, fa)) in indexed.iter().zip(full.iter()) {
+        assert_eq!(iv, fv, "visit events must be unchanged by indexing");
+        assert!(
+            ic <= fc,
+            "indexed candidate events must not exceed full scan"
+        );
+        assert_eq!(ia, fa, "accepted candidates must be unchanged by indexing");
+        any_pruned |= ic < fc;
+    }
+    assert!(
+        any_pruned,
+        "selection probe against aggregation streams must prune candidates: \
+         indexed {indexed:?} vs full {full:?}"
+    );
+}
+
+/// E10 regression: over the scalability experiment's query mix, the
+/// `nodes_visited` column is identical with and without the index — the
+/// pre-filters prune candidate *streams*, never search *peers*.
+#[test]
+fn e10_nodes_visited_unchanged_by_indexing() {
+    let seed = 20060329;
+    let mut system = StreamGlobe::new(grid_topology(4, 4));
+    system
+        .register_stream("photons", "SP0", default_photons(seed, 160), 60.0)
+        .expect("stream registration");
+    let mut tgen = QueryTemplateGenerator::new(seed, "photons");
+    for i in 0..24 {
+        let text = tgen.next_query();
+        let peer = format!("SP{}", (i * 11 + 2) % 16);
+        if let Some((is, fs)) = assert_equivalent(&system, &text, &peer, false) {
+            assert_eq!(is.nodes_visited, fs.nodes_visited);
+        }
+        let _ = system.register_query(format!("q{i}"), &text, &peer, Strategy::StreamSharing);
+    }
+}
