@@ -516,6 +516,27 @@ impl StreamGlobe {
         self.registrations.len()
     }
 
+    /// The sample items of one registered source stream. Networked
+    /// deployments replay these from each hosting process's local replica
+    /// instead of shipping them over the control plane.
+    pub fn source_items(&self, name: &str) -> Option<&[Node]> {
+        self.sources.get(name).map(|s| s.items.as_slice())
+    }
+
+    /// Names of all registered source streams, in registration-name order.
+    pub fn source_names(&self) -> impl Iterator<Item = &str> {
+        self.sources.keys().map(String::as_str)
+    }
+
+    /// Installed subscriptions as `(query_id, delivery_flow)`, in
+    /// registration order — the map a deployment server needs to route a
+    /// delivery flow's output back to its subscriber.
+    pub fn registered_queries(&self) -> impl Iterator<Item = (&str, FlowId)> {
+        self.registrations
+            .iter()
+            .map(|r| (r.query_id.as_str(), r.delivery_flow))
+    }
+
     /// Unregisters a continuous query: its delivery flow is retired, its
     /// resource charges reversed, and any transport flow left without
     /// consumers is retired transitively (a stream kept alive by *other*

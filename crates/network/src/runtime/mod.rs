@@ -45,6 +45,7 @@ mod mailbox;
 mod metrics;
 
 pub use fault::{FaultEvent, FaultKind, FaultScript};
+pub use mailbox::{MailboxStats, SyncMailbox};
 pub use metrics::{OpWork, QueryMetrics, RuntimeMetrics};
 
 use std::cmp::Ordering;

@@ -1,0 +1,247 @@
+//! Property coverage for the wire codec (the PR 4 harness discipline
+//! applied to the protocol layer): arbitrary messages round-trip through
+//! encode → frame → read → decode byte-exactly, and every corruption —
+//! torn writes, truncated frames, flipped payload bits, oversized length
+//! prefixes, random garbage — is rejected with a typed error, never a
+//! panic.
+
+use proptest::prelude::*;
+
+use dss_proto::{
+    read_frame, read_message, write_message, DecodeError, Message, ProtoError, Role, WireStrategy,
+    MAX_FRAME_LEN,
+};
+use dss_xml::Node;
+
+fn arb_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        "[a-z]{1,12}".prop_map(|s| s),
+        Just("wxquery — unicode ✓ \u{1F300}".to_string()),
+        Just("a\0b\nc".to_string()),
+    ]
+}
+
+fn arb_node() -> impl Strategy<Value = Node> {
+    let leaf = ("[a-z]{1,6}", prop::option::of(arb_text())).prop_map(|(name, text)| {
+        let mut n = Node::empty(name);
+        if let Some(t) = text {
+            n.set_text(t);
+        }
+        n
+    });
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        ("[a-z]{1,6}", prop::collection::vec(inner, 0..4)).prop_map(|(name, children)| {
+            let mut n = Node::empty(name);
+            for c in children {
+                n.push_child(c);
+            }
+            n
+        })
+    })
+}
+
+fn arb_strategy() -> impl Strategy<Value = WireStrategy> {
+    prop_oneof![
+        Just(WireStrategy::DataShipping),
+        Just(WireStrategy::QueryShipping),
+        Just(WireStrategy::StreamSharing),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (0u16..=u16::MAX, 0u16..=u16::MAX, any::<bool>(), arb_text()).prop_map(
+            |(min_version, max_version, client, name)| Message::Hello {
+                min_version,
+                max_version,
+                role: if client { Role::Client } else { Role::Peer },
+                name,
+            }
+        ),
+        (0u16..=u16::MAX, arb_text())
+            .prop_map(|(version, peer)| Message::HelloAck { version, peer }),
+        (arb_text(), arb_text(), arb_strategy(), arb_text()).prop_map(
+            |(id, at_peer, strategy, text)| Message::Subscribe {
+                id,
+                at_peer,
+                strategy,
+                text,
+            }
+        ),
+        (
+            arb_text(),
+            0u64..=u64::MAX,
+            any::<bool>(),
+            0u64..=u64::MAX,
+            arb_text()
+        )
+            .prop_map(|(id, delivery_flow, reused, cost_bits, plan)| {
+                Message::SubscribeOk {
+                    id,
+                    delivery_flow,
+                    reused,
+                    cost_bits,
+                    plan,
+                }
+            }),
+        arb_text().prop_map(|id| Message::Unsubscribe { id }),
+        (
+            0u64..=u64::MAX,
+            arb_text(),
+            arb_text(),
+            arb_strategy(),
+            arb_text()
+        )
+            .prop_map(|(seq, id, at_peer, strategy, text)| Message::Deploy {
+                seq,
+                id,
+                at_peer,
+                strategy,
+                text,
+            }),
+        (0u64..=u64::MAX).prop_map(|seq| Message::Ack { seq }),
+        (0u64..=u64::MAX, 0u64..=u64::MAX)
+            .prop_map(|(run, delivered)| Message::RunDone { run, delivered }),
+        (
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u32..=u32::MAX,
+            any::<bool>(),
+            prop::collection::vec(arb_node(), 0..5)
+        )
+            .prop_map(|(run, flow, hop, eos, items)| Message::StreamItemBatch {
+                run,
+                flow,
+                hop,
+                eos,
+                items,
+            }),
+        (
+            0u64..=u64::MAX,
+            arb_text(),
+            any::<bool>(),
+            prop::collection::vec(arb_node(), 0..5)
+        )
+            .prop_map(|(run, query, eos, items)| Message::Deliver {
+                run,
+                query,
+                eos,
+                items,
+            }),
+        Just(Message::MetricsPull),
+        arb_text().prop_map(|json| Message::MetricsSnapshot { json }),
+        (arb_text(), arb_text()).prop_map(|(context, message)| Message::Fault { context, message }),
+        Just(Message::Shutdown),
+        Just(Message::Goodbye),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// encode → frame → read → decode is the identity.
+    #[test]
+    fn round_trip(msg in arb_message()) {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        let mut r = &buf[..];
+        let back = read_message(&mut r).unwrap();
+        prop_assert_eq!(back, Some(msg));
+        prop_assert!(read_message(&mut r).unwrap().is_none());
+    }
+
+    /// Cutting a framed message anywhere inside yields a typed
+    /// truncation error (or, cut exactly at the boundary, a clean EOF) —
+    /// never a panic, never a bogus message.
+    #[test]
+    fn torn_writes_are_typed(msg in arb_message(), permille in 0usize..1000) {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        let cut = buf.len() * permille / 1000;
+        let mut r = &buf[..cut];
+        match read_message(&mut r) {
+            Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only at a frame boundary"),
+            Ok(Some(m)) => prop_assert!(false, "decoded {m:?} from a torn frame"),
+            Err(ProtoError::Truncated) => prop_assert!(cut > 0),
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    /// Any single flipped payload bit is caught by the CRC.
+    #[test]
+    fn bit_flips_are_bad_crc(msg in arb_message(), permille in 0usize..1000, bit in 0u8..8) {
+        let payload = msg.encode();
+        prop_assume!(!payload.is_empty());
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        let idx = 8 + (payload.len() * permille / 1000).min(payload.len() - 1);
+        buf[idx] ^= 1 << bit;
+        let mut r = &buf[..];
+        match read_message(&mut r) {
+            Err(ProtoError::BadCrc { .. }) => {}
+            other => prop_assert!(false, "expected BadCrc, got {other:?}"),
+        }
+    }
+
+    /// Random garbage never panics the frame reader: every outcome is a
+    /// clean EOF, a typed error, or (for a lucky CRC) a payload.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(0u8..=u8::MAX, 0..64)) {
+        let mut r = &bytes[..];
+        match read_frame(&mut r) {
+            Ok(_) | Err(_) => {}
+        }
+        // And the message decoder tolerates arbitrary payloads too.
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Oversized length prefixes are rejected before any allocation.
+    #[test]
+    fn oversized_prefix_rejected(extra in 1u32..=1024, crc in 0u32..=u32::MAX) {
+        let len = MAX_FRAME_LEN + extra;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(&crc.to_le_bytes());
+        let mut r = &buf[..];
+        match read_frame(&mut r) {
+            Err(ProtoError::TooLarge { len: got }) => prop_assert_eq!(got, len as u64),
+            other => prop_assert!(false, "expected TooLarge, got {other:?}"),
+        }
+    }
+
+    /// Declaring more payload than is present is a truncation, not a hang
+    /// or a panic.
+    #[test]
+    fn over_declared_length_is_truncated(msg in arb_message(), extra in 1u32..512) {
+        let payload = msg.encode();
+        let lied = (payload.len() as u32).saturating_add(extra).min(MAX_FRAME_LEN);
+        prop_assume!(lied as usize > payload.len());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&lied.to_le_bytes());
+        buf.extend_from_slice(&dss_proto::crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let mut r = &buf[..];
+        match read_frame(&mut r) {
+            Err(ProtoError::Truncated) => {}
+            other => prop_assert!(false, "expected Truncated, got {other:?}"),
+        }
+    }
+
+    /// A truncated *payload* (frame intact, message cut short) decodes to
+    /// a typed decode error.
+    #[test]
+    fn truncated_payload_is_typed(msg in arb_message(), permille in 0usize..1000) {
+        let payload = msg.encode();
+        prop_assume!(payload.len() > 1);
+        let cut = 1 + (payload.len() - 1) * permille / 1000;
+        prop_assume!(cut < payload.len());
+        match Message::decode(&payload[..cut]) {
+            Ok(m) => prop_assert!(false, "decoded {m:?} from a truncated payload"),
+            Err(DecodeError::TrailingBytes { .. }) => {
+                prop_assert!(false, "truncation misread as trailing bytes")
+            }
+            Err(_) => {}
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Loopback orchestrator: spawns the full topology — one `dss serve`
+//! child process per super-peer — on localhost, for smoke tests and the
+//! byte-exactness harness.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::spec::{NetMap, ServeSpec};
+use crate::{Client, ServerError};
+
+/// A fleet of local `dss serve` child processes (one per super-peer).
+/// Dropping the cluster kills any children still running.
+pub struct LocalCluster {
+    children: Vec<(String, Child)>,
+    coordinator_addr: String,
+}
+
+impl LocalCluster {
+    /// Spawns one `<bin> serve <topology> --peer <name> ...` child per
+    /// super-peer of `spec`'s topology. With `metrics_dir`, each child
+    /// flushes its final telemetry snapshot to
+    /// `<metrics_dir>/metrics-<name>.json` on clean shutdown.
+    pub fn spawn(
+        bin: &Path,
+        spec: &ServeSpec,
+        metrics_dir: Option<&Path>,
+    ) -> Result<LocalCluster, ServerError> {
+        let globe = spec.build_globe();
+        let topo = globe.topology();
+        let map = NetMap::new(topo);
+        let mut children = Vec::new();
+        for i in 0..map.process_count() {
+            let name = topo.peer(map.sp(i)).name.clone();
+            let mut cmd = Command::new(bin);
+            cmd.arg("serve")
+                .arg(&spec.topology)
+                .arg("--peer")
+                .arg(&name)
+                .arg("--host")
+                .arg(&spec.host)
+                .arg("--port-base")
+                .arg(spec.port_base.to_string())
+                .stdin(Stdio::null());
+            if let Some(dir) = metrics_dir {
+                let out: PathBuf = dir.join(format!("metrics-{name}.json"));
+                cmd.arg("--metrics-out").arg(out);
+            }
+            match cmd.spawn() {
+                Ok(child) => children.push((name, child)),
+                Err(e) => {
+                    let mut failed = LocalCluster {
+                        children,
+                        coordinator_addr: String::new(),
+                    };
+                    failed.kill_all();
+                    return Err(ServerError::Io(e));
+                }
+            }
+        }
+        Ok(LocalCluster {
+            children,
+            coordinator_addr: map.addr(spec, map.coordinator()),
+        })
+    }
+
+    /// Address of the coordinator process (the client gateway).
+    pub fn coordinator_addr(&self) -> &str {
+        &self.coordinator_addr
+    }
+
+    /// Cleanly stops the fleet via the coordinator and reaps every child.
+    pub fn shutdown(mut self, timeout: Duration) -> Result<(), ServerError> {
+        let mut client = Client::connect(&self.coordinator_addr, "orchestrator", timeout)?;
+        client.shutdown_fleet(timeout)?;
+        client.goodbye();
+        self.reap(timeout)?;
+        self.children.clear();
+        Ok(())
+    }
+
+    /// Waits for every child to exit on its own (the fleet was already
+    /// stopped some other way, e.g. a client's `shutdown_fleet`).
+    pub fn wait(mut self, timeout: Duration) -> Result<(), ServerError> {
+        self.reap(timeout)?;
+        self.children.clear();
+        Ok(())
+    }
+
+    fn reap(&mut self, timeout: Duration) -> Result<(), ServerError> {
+        let deadline = Instant::now() + timeout;
+        for (name, child) in &mut self.children {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) => {
+                        if Instant::now() >= deadline {
+                            return Err(ServerError::Timeout(format!(
+                                "waiting for peer process {name} to exit"
+                            )));
+                        }
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(e) => return Err(ServerError::Io(e)),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn kill_all(&mut self) {
+        for (_, child) in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.children.clear();
+    }
+}
+
+impl Drop for LocalCluster {
+    fn drop(&mut self) {
+        self.kill_all();
+    }
+}

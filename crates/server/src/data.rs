@@ -1,0 +1,279 @@
+//! The per-run data plane of one peer process.
+//!
+//! For each run, every process snapshots its replica's deployment and
+//! instantiates, for each *hosted* node, the same sharing groups the batch
+//! simulator forms — `(processing node, GroupKey)`, members in ascending
+//! `FlowId` order, executed by one [`FlowDag`] per group. Each hosted node
+//! gets one bounded [`SyncMailbox`] and one worker thread draining it.
+//!
+//! **Why the outputs are byte-exact.** The batch oracle processes each
+//! group's full input in order, then flushes once. Here, each group's
+//! input is a single upstream sequence (one source stream, or one parent
+//! flow), delivered in order: a flow's outputs are produced by one worker
+//! thread, forwarded along its route over per-connection FIFO links, and
+//! appended to each consumer mailbox by a single reader thread. The
+//! end-of-stream marker travels *behind* the last item of its flow, so
+//! each DAG flushes exactly once, after exactly the oracle's input — same
+//! items, same order, same flush point ⇒ same bytes per flow.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use dss_core::StreamGlobe;
+use dss_network::{FlowDag, FlowId, GroupKey, NodeId, SyncMailbox};
+use dss_xml::Node;
+
+use crate::spec::NetMap;
+
+/// Mailbox origin-tag for a payload item.
+pub const TAG_ITEM: u64 = 0;
+/// Mailbox origin-tag for a group's end-of-stream marker.
+pub const TAG_EOS: u64 = 1;
+
+/// A flow's output advancing to `route[hop]`: feed the taps there, then
+/// forward to the next hop or deliver. Implemented by the peer server
+/// (which owns the connections); invoked from worker and reader threads.
+pub type Forwarder = Arc<dyn Fn(FlowId, usize, Vec<Node>, bool) + Send + Sync>;
+
+/// Deployment snapshot of one flow, fixed for the run's lifetime.
+#[derive(Debug, Clone)]
+pub struct PlaneFlow {
+    pub route: Vec<NodeId>,
+    /// `Some(query_id)` if this is the query's delivery flow.
+    pub delivery_for: Option<String>,
+}
+
+struct SourceJob {
+    group: usize,
+    node: NodeId,
+    items: Vec<Node>,
+}
+
+/// One run's executable state on one process.
+pub struct Plane {
+    pub run: u64,
+    pub flows: Vec<PlaneFlow>,
+    /// Hosted groups: `(node, key) -> index`; used to feed taps.
+    group_at: BTreeMap<(NodeId, GroupKey), usize>,
+    mailboxes: BTreeMap<NodeId, Arc<SyncMailbox>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    source_jobs: Mutex<Vec<SourceJob>>,
+    /// Batches that arrived after teardown began (must all belong to
+    /// side-branches that feed no delivery — see `finish_run`).
+    pub stale: AtomicU64,
+}
+
+impl Plane {
+    /// Builds this process's share of the data plane for `run`: the
+    /// sharing groups of every node `map` assigns to process `me`, one
+    /// mailbox + worker per hosted node. Sources don't replay until
+    /// [`start_sources`](Self::start_sources) (the coordinator's `RunGo`),
+    /// by which point every process has acked its plane — so no item can
+    /// arrive anywhere before the receiving group exists.
+    pub fn build(
+        globe: &StreamGlobe,
+        map: &NetMap,
+        me: usize,
+        run: u64,
+        mailbox_capacity: usize,
+        forward: Forwarder,
+    ) -> Arc<Plane> {
+        let deployment = globe.deployment();
+        let delivery_of: BTreeMap<FlowId, String> = globe
+            .registered_queries()
+            .map(|(q, f)| (f, q.to_string()))
+            .collect();
+        let flows: Vec<PlaneFlow> = deployment
+            .flows()
+            .iter()
+            .enumerate()
+            .map(|(id, f)| PlaneFlow {
+                route: f.route.clone(),
+                delivery_for: delivery_of.get(&id).cloned(),
+            })
+            .collect();
+
+        // The oracle's grouping, restricted to hosted nodes: members
+        // ascend by FlowId (flows() is id-ordered), matching the
+        // registration order `sim::run_shared` uses.
+        let mut groups: BTreeMap<(NodeId, GroupKey), Vec<FlowId>> = BTreeMap::new();
+        for (id, f) in deployment.flows().iter().enumerate() {
+            if f.retired || map.owner_of(f.processing_node) != me {
+                continue;
+            }
+            groups
+                .entry((f.processing_node, GroupKey::of(&f.input)))
+                .or_default()
+                .push(id);
+        }
+
+        let mut group_at = BTreeMap::new();
+        let mut per_node: BTreeMap<NodeId, Vec<(usize, FlowDag, Vec<FlowId>)>> = BTreeMap::new();
+        let mut source_jobs = Vec::new();
+        for (idx, ((node, key), members)) in groups.into_iter().enumerate() {
+            let mut dag = FlowDag::new();
+            for &id in &members {
+                dag.register(id, &deployment.flow(id).ops);
+            }
+            if let GroupKey::Source(stream) = &key {
+                source_jobs.push(SourceJob {
+                    group: idx,
+                    node,
+                    items: globe
+                        .source_items(stream)
+                        .unwrap_or_else(|| panic!("group reads unknown source {stream:?}"))
+                        .to_vec(),
+                });
+            }
+            group_at.insert((node, key), idx);
+            per_node.entry(node).or_default().push((idx, dag, members));
+        }
+
+        let mailboxes: BTreeMap<NodeId, Arc<SyncMailbox>> = per_node
+            .keys()
+            .map(|&n| (n, Arc::new(SyncMailbox::new(mailbox_capacity))))
+            .collect();
+
+        let plane = Arc::new(Plane {
+            run,
+            flows,
+            group_at,
+            mailboxes: mailboxes.clone(),
+            workers: Mutex::new(Vec::new()),
+            source_jobs: Mutex::new(source_jobs),
+            stale: AtomicU64::new(0),
+        });
+
+        let mut workers = Vec::new();
+        for (node, dags) in per_node {
+            let mailbox = Arc::clone(&mailboxes[&node]);
+            let forward = Arc::clone(&forward);
+            let peer_name = globe.topology().peer(node).name.clone();
+            workers.push(std::thread::spawn(move || {
+                node_worker(peer_name, mailbox, dags, forward)
+            }));
+        }
+        *plane.workers.lock().unwrap() = workers;
+        plane
+    }
+
+    /// Spawns one replay thread per hosted source group: items in sample
+    /// order, then the end-of-stream marker — the same input sequence and
+    /// flush point as `StreamGlobe::run_simulation`.
+    pub fn start_sources(&self) {
+        let jobs = std::mem::take(&mut *self.source_jobs.lock().unwrap());
+        let mut threads = self.workers.lock().unwrap();
+        for job in jobs {
+            let mailbox = Arc::clone(&self.mailboxes[&job.node]);
+            threads.push(std::thread::spawn(move || {
+                for item in job.items {
+                    if !mailbox.push(job.group, TAG_ITEM, item) {
+                        return; // closed mid-replay (shutdown)
+                    }
+                }
+                mailbox.push(job.group, TAG_EOS, Node::empty("eos"));
+            }));
+        }
+    }
+
+    /// Feeds the tap group `(node, Tap(parent))`, if this process hosts
+    /// one, with a batch of the parent flow's output passing `node`.
+    /// Blocks when the group's mailbox is full — that stall propagates to
+    /// the caller (a reader thread stops reading, a worker stops draining
+    /// its own queue), which is exactly the backpressure chain.
+    pub fn feed_taps(&self, node: NodeId, parent: FlowId, items: &[Node], eos: bool) {
+        let Some(&g) = self.group_at.get(&(node, GroupKey::Tap(parent))) else {
+            return;
+        };
+        let mailbox = &self.mailboxes[&node];
+        for item in items {
+            if !mailbox.push(g, TAG_ITEM, item.clone()) {
+                self.stale.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        if eos && !mailbox.push(g, TAG_EOS, Node::empty("eos")) {
+            self.stale.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn note_stale(&self) {
+        self.stale.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Closes every mailbox and joins all workers and source threads.
+    /// Items already enqueued are still processed ([`SyncMailbox::pop`]
+    /// drains before reporting closure) — nothing accepted is lost.
+    pub fn drain(&self) {
+        for m in self.mailboxes.values() {
+            m.close();
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Publishes end-of-run mailbox accounting through the same metric
+    /// names the simulated runtime uses.
+    pub fn publish_mailbox_metrics(&self, topo: &dss_network::Topology) {
+        for (&node, m) in &self.mailboxes {
+            let stats = m.stats();
+            if stats.high_water > 0 {
+                dss_telemetry::gauge_set(
+                    "runtime.queue_high_water",
+                    || vec![("peer", topo.peer(node).name.clone())],
+                    stats.high_water as f64,
+                );
+            }
+        }
+        let stale = self.stale.load(Ordering::Relaxed);
+        if stale > 0 {
+            dss_telemetry::counter_add("server.stale_batches", Vec::new, stale);
+        }
+    }
+}
+
+/// One hosted node's worker: drains the node's mailbox, runs the touched
+/// group's DAG, and forwards each member flow's outputs from route hop 0.
+/// Outputs are grouped per flow in ascending id order; per-flow order is
+/// the DAG's emission order — the only order the oracle pins.
+fn node_worker(
+    peer_name: String,
+    mailbox: Arc<SyncMailbox>,
+    mut dags: Vec<(usize, FlowDag, Vec<FlowId>)>,
+    forward: Forwarder,
+) {
+    while let Some((group, tag, item)) = mailbox.pop() {
+        // Same histogram the discrete-event runtime records at dispatch.
+        dss_telemetry::histogram_record(
+            "runtime.mailbox.depth",
+            || vec![("peer", peer_name.clone())],
+            mailbox.len() as f64,
+        );
+        let (_, dag, members) = dags
+            .iter_mut()
+            .find(|(g, _, _)| *g == group)
+            .expect("mailbox entry addresses a hosted group");
+        let mut outs: BTreeMap<FlowId, Vec<Node>> = BTreeMap::new();
+        if tag == TAG_EOS {
+            dag.flush_into(&mut |f, n| outs.entry(f).or_default().push(n.clone()));
+            for (f, items) in outs {
+                forward(f, 0, items, false);
+            }
+            // Every member flow's end-of-stream rides behind its last item.
+            for &f in members.iter() {
+                forward(f, 0, Vec::new(), true);
+            }
+        } else {
+            dag.process_into(&item, &mut |f, n| {
+                outs.entry(f).or_default().push(n.clone())
+            });
+            for (f, items) in outs {
+                forward(f, 0, items, false);
+            }
+        }
+    }
+}

@@ -1,0 +1,846 @@
+//! One super-peer server process (`dss serve <topology> --peer <id>`).
+//!
+//! ## Control plane: replicated registration
+//!
+//! Every process builds the identical deterministic base system from the
+//! topology name ([`ServeSpec::build_globe`]). The *coordinator* (process
+//! 0, the first super-peer) is the client gateway: it serializes
+//! `Subscribe`/`Unsubscribe` under a control lock, applies them to its own
+//! replica, and broadcasts sequenced `Deploy`/`Undeploy` records that
+//! every other process replays through the same deterministic planner
+//! (`register_query`). Identical base state + identical log + identical
+//! planner ⇒ identical deployments and sharing decisions everywhere, so
+//! plans and operator graphs never cross the wire — only the query text.
+//!
+//! ## Data plane: batch replay runs
+//!
+//! `StartRun` is two-phase: every process builds its share of the data
+//! plane ([`Plane`]) and acks before `RunGo` releases the sources, so no
+//! item can reach a process whose groups don't exist yet. Items travel as
+//! `StreamItemBatch` frames along each flow's planned route; a full
+//! mailbox blocks the enqueuing reader thread, which stops reading the
+//! connection, fills the kernel receive window, and stalls the sender —
+//! TCP backpressure mapped onto the bounded-mailbox semantics. The run
+//! completes when every registered query's delivery flow has reported
+//! end-of-stream to the coordinator.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use dss_core::StreamGlobe;
+use dss_network::{FlowId, Topology};
+use dss_proto::{negotiate, read_message, Message, Role, VERSION_MAX, VERSION_MIN};
+use dss_xml::Node;
+
+use crate::data::{Forwarder, Plane};
+use crate::spec::{NetMap, ServeSpec};
+use crate::wire::{self, Conn};
+use crate::{to_core_strategy, ServerError};
+
+/// How long the coordinator waits for the fleet to ack a broadcast.
+const ACK_TIMEOUT: Duration = Duration::from_secs(30);
+/// How long shutdown waits for an in-flight run to drain before warning.
+const RUN_DRAIN_TIMEOUT: Duration = Duration::from_secs(300);
+/// `Ack.seq` used for the unsequenced `Shutdown` broadcast.
+const SHUTDOWN_SEQ: u64 = 0;
+
+/// Configuration of one `dss serve` process.
+#[derive(Debug, Clone)]
+pub struct PeerOptions {
+    pub spec: ServeSpec,
+    /// Which super-peer this process serves (e.g. `SP0`).
+    pub peer: String,
+    /// Bounded mailbox capacity per hosted node.
+    pub mailbox_capacity: usize,
+    /// Where to write the final telemetry snapshot on shutdown.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl PeerOptions {
+    pub fn new(spec: ServeSpec, peer: impl Into<String>) -> PeerOptions {
+        PeerOptions {
+            spec,
+            peer: peer.into(),
+            mailbox_capacity: 1024,
+            metrics_out: None,
+        }
+    }
+}
+
+/// Coordinator-side bookkeeping of the active run.
+struct ActiveRun {
+    id: u64,
+    /// Client connection that sent `StartRun` (gets the `RunDone`).
+    requester: Option<u64>,
+    /// Queries whose delivery flow has not reported end-of-stream yet.
+    pending: BTreeSet<String>,
+    delivered: u64,
+}
+
+#[derive(Clone, Copy)]
+enum ConnCtx {
+    Peer,
+    Client(u64),
+}
+
+struct Server {
+    spec: ServeSpec,
+    map: NetMap,
+    topo: Topology,
+    me: usize,
+    my_name: String,
+    globe: Mutex<StreamGlobe>,
+    /// Serializes registration/run-start so every peer connection sees
+    /// control messages in the same (seq) order.
+    control: Mutex<()>,
+    peer_conns: Mutex<Vec<Option<Arc<Conn>>>>,
+    next_seq: AtomicU64,
+    acks: Mutex<BTreeMap<u64, usize>>,
+    acks_cv: Condvar,
+    clients: Mutex<BTreeMap<u64, Arc<Conn>>>,
+    next_client: AtomicU64,
+    /// query id -> subscribing client connection (coordinator only).
+    subs: Mutex<BTreeMap<String, u64>>,
+    plane: Mutex<Option<Arc<Plane>>>,
+    run: Mutex<Option<ActiveRun>>,
+    run_cv: Condvar,
+    shutting_down: AtomicBool,
+    done: AtomicBool,
+    mailbox_capacity: usize,
+    metrics_out: Option<PathBuf>,
+}
+
+/// Runs one peer process until a clean shutdown (wire message or signal).
+pub fn serve(opts: PeerOptions) -> Result<(), ServerError> {
+    dss_telemetry::set_enabled(true);
+    let globe = opts.spec.build_globe();
+    let topo = globe.topology().clone();
+    let map = NetMap::new(&topo);
+    let me = map.index_of_name(&topo, &opts.peer).ok_or_else(|| {
+        ServerError::Config(format!(
+            "{:?} is not a super-peer of topology {:?}",
+            opts.peer, opts.spec.topology
+        ))
+    })?;
+    let addr = map.addr(&opts.spec, me);
+    let listener = TcpListener::bind(&addr).map_err(ServerError::Io)?;
+    listener.set_nonblocking(true).map_err(ServerError::Io)?;
+    let n = map.process_count();
+    let server = Arc::new(Server {
+        spec: opts.spec,
+        map,
+        topo,
+        me,
+        my_name: opts.peer.clone(),
+        globe: Mutex::new(globe),
+        control: Mutex::new(()),
+        peer_conns: Mutex::new(vec![None; n]),
+        next_seq: AtomicU64::new(1),
+        acks: Mutex::new(BTreeMap::new()),
+        acks_cv: Condvar::new(),
+        clients: Mutex::new(BTreeMap::new()),
+        next_client: AtomicU64::new(1),
+        subs: Mutex::new(BTreeMap::new()),
+        plane: Mutex::new(None),
+        run: Mutex::new(None),
+        run_cv: Condvar::new(),
+        shutting_down: AtomicBool::new(false),
+        done: AtomicBool::new(false),
+        mailbox_capacity: opts.mailbox_capacity,
+        metrics_out: opts.metrics_out,
+    });
+    crate::signal::install();
+    let role = if me == server.map.coordinator() {
+        "coordinator"
+    } else {
+        "peer"
+    };
+    eprintln!("dss serve: {} listening on {addr} ({role})", opts.peer);
+
+    let mut signal_handled = false;
+    while !server.done.load(Ordering::SeqCst) {
+        if crate::signal::triggered() && !signal_handled {
+            signal_handled = true;
+            let srv = Arc::clone(&server);
+            std::thread::spawn(move || srv.on_signal());
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let srv = Arc::clone(&server);
+                std::thread::spawn(move || srv.inbound(stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("dss serve: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+
+    // Kick every blocked reader so their threads unwind.
+    for c in server.peer_conns.lock().unwrap().iter().flatten() {
+        c.hangup();
+    }
+    for c in server.clients.lock().unwrap().values() {
+        c.hangup();
+    }
+    eprintln!("dss serve: {} stopped", server.my_name);
+    Ok(())
+}
+
+impl Server {
+    fn is_coordinator(&self) -> bool {
+        self.me == self.map.coordinator()
+    }
+
+    // ---- connection management -------------------------------------
+
+    fn inbound(self: Arc<Self>, stream: TcpStream) {
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+        let read_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(read_half);
+        let hello = match read_message(&mut reader) {
+            Ok(Some(m)) => m,
+            _ => return,
+        };
+        let Message::Hello {
+            min_version,
+            max_version,
+            role,
+            name,
+        } = hello
+        else {
+            return;
+        };
+        let conn = match Conn::new(stream, name) {
+            Ok(c) => Arc::new(c),
+            Err(_) => return,
+        };
+        match negotiate(min_version, max_version, VERSION_MIN, VERSION_MAX) {
+            Some(version) => {
+                if conn
+                    .send(&Message::HelloAck {
+                        version,
+                        peer: self.my_name.clone(),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            None => {
+                let _ = conn.send(&Message::Fault {
+                    context: "hello".into(),
+                    message: format!(
+                        "no mutual protocol version: you speak [{min_version}, {max_version}], \
+                         this peer speaks [{VERSION_MIN}, {VERSION_MAX}]"
+                    ),
+                });
+                return;
+            }
+        }
+        reader.get_ref().set_read_timeout(None).ok();
+        let ctx = match role {
+            Role::Client => {
+                let id = self.next_client.fetch_add(1, Ordering::SeqCst);
+                self.clients.lock().unwrap().insert(id, Arc::clone(&conn));
+                ConnCtx::Client(id)
+            }
+            Role::Peer => ConnCtx::Peer,
+        };
+        let srv = Arc::clone(&self);
+        let c = Arc::clone(&conn);
+        let _ = wire::read_loop(reader, move |msg| srv.handle(msg, &c, &ctx));
+        if let ConnCtx::Client(id) = ctx {
+            self.clients.lock().unwrap().remove(&id);
+        }
+    }
+
+    /// The (lazily dialed) outbound connection to process `i`.
+    fn conn_to(self: &Arc<Self>, i: usize) -> Result<Arc<Conn>, ServerError> {
+        if let Some(c) = self.peer_conns.lock().unwrap()[i].clone() {
+            return Ok(c);
+        }
+        let addr = self.map.addr(&self.spec, i);
+        let (conn, reader) = wire::connect(&addr, Role::Peer, &self.my_name, ACK_TIMEOUT)?;
+        let conn = Arc::new(conn);
+        {
+            let mut guard = self.peer_conns.lock().unwrap();
+            if let Some(existing) = guard[i].clone() {
+                // Lost a dial race; use the established connection.
+                conn.hangup();
+                return Ok(existing);
+            }
+            guard[i] = Some(Arc::clone(&conn));
+        }
+        let srv = Arc::clone(self);
+        let c = Arc::clone(&conn);
+        std::thread::spawn(move || {
+            let _ = wire::read_loop(reader, move |msg| srv.handle(msg, &c, &ConnCtx::Peer));
+        });
+        Ok(conn)
+    }
+
+    /// Broadcasts to every process but this one, returning how many were
+    /// reached (their acks are awaited by the caller).
+    fn broadcast(self: &Arc<Self>, msg: &Message) -> usize {
+        let mut reached = 0;
+        for i in 0..self.map.process_count() {
+            if i == self.me {
+                continue;
+            }
+            match self.conn_to(i) {
+                Ok(c) => match c.send(msg) {
+                    Ok(()) => reached += 1,
+                    Err(e) => eprintln!("dss serve: send to process {i} failed: {e}"),
+                },
+                Err(e) => eprintln!("dss serve: cannot reach process {i}: {e}"),
+            }
+        }
+        reached
+    }
+
+    fn wait_acks(&self, seq: u64, n: usize) -> bool {
+        let deadline = Instant::now() + ACK_TIMEOUT;
+        let mut acks = self.acks.lock().unwrap();
+        loop {
+            if acks.get(&seq).copied().unwrap_or(0) >= n {
+                acks.remove(&seq);
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self.acks_cv.wait_timeout(acks, deadline - now).unwrap();
+            acks = guard;
+        }
+    }
+
+    // ---- message dispatch ------------------------------------------
+
+    fn handle(self: &Arc<Self>, msg: Message, conn: &Arc<Conn>, ctx: &ConnCtx) -> bool {
+        match msg {
+            Message::Subscribe {
+                id,
+                at_peer,
+                strategy,
+                text,
+            } => self.on_subscribe(conn, ctx, id, at_peer, strategy, text),
+            Message::Unsubscribe { id } => self.on_unsubscribe(conn, id),
+            Message::Deploy {
+                seq,
+                id,
+                at_peer,
+                strategy,
+                text,
+            } => {
+                // Replay the coordinator's registration on this replica.
+                let result = self.globe.lock().unwrap().register_query(
+                    id.clone(),
+                    &text,
+                    &at_peer,
+                    to_core_strategy(strategy),
+                );
+                if let Err(e) = result {
+                    // Should be impossible: same base state, same planner.
+                    eprintln!("dss serve: REPLICA DIVERGENCE applying deploy {seq} ({id}): {e}");
+                }
+                let _ = conn.send(&Message::Ack { seq });
+            }
+            Message::Undeploy { seq, id } => {
+                if let Err(e) = self.globe.lock().unwrap().unregister_query(&id) {
+                    eprintln!("dss serve: REPLICA DIVERGENCE applying undeploy {seq} ({id}): {e}");
+                }
+                let _ = conn.send(&Message::Ack { seq });
+            }
+            Message::Ack { seq } => {
+                *self.acks.lock().unwrap().entry(seq).or_insert(0) += 1;
+                self.acks_cv.notify_all();
+            }
+            Message::StartRun { run } => match ctx {
+                ConnCtx::Client(_) => self.on_start_run(conn, ctx),
+                // From the coordinator: build our share of the plane.
+                ConnCtx::Peer => self.on_peer_start_run(conn, run),
+            },
+            Message::RunGo { run } => {
+                let plane = self.plane.lock().unwrap().clone();
+                if let Some(p) = plane.filter(|p| p.run == run) {
+                    p.start_sources();
+                }
+            }
+            Message::RunDone { run, .. } => {
+                // Coordinator says the run is globally complete: tear down.
+                let srv = Arc::clone(self);
+                std::thread::spawn(move || srv.teardown_plane(run));
+            }
+            Message::StreamItemBatch {
+                run,
+                flow,
+                hop,
+                eos,
+                items,
+            } => {
+                let plane = self.plane.lock().unwrap().clone();
+                match plane {
+                    Some(p) if p.run == run => {
+                        self.advance(&p, flow as FlowId, hop as usize, items, eos)
+                    }
+                    Some(p) => p.note_stale(),
+                    None => {}
+                }
+            }
+            Message::Deliver {
+                run,
+                query,
+                eos,
+                items,
+            } => self.deliver_local(run, query, items, eos),
+            Message::MetricsPull => {
+                let _ = conn.send(&Message::MetricsSnapshot {
+                    json: dss_telemetry::snapshot_json(),
+                });
+            }
+            Message::Shutdown => {
+                if self.is_coordinator() {
+                    self.coordinated_shutdown(Some(conn));
+                } else {
+                    // A directly-addressed peer drains and stops alone.
+                    self.local_shutdown();
+                    let _ = conn.send(&Message::Ack { seq: SHUTDOWN_SEQ });
+                    self.done.store(true, Ordering::SeqCst);
+                }
+            }
+            Message::Goodbye => return false,
+            other => {
+                let _ = conn.send(&Message::Fault {
+                    context: "dispatch".into(),
+                    message: format!("unexpected message {other:?}"),
+                });
+            }
+        }
+        true
+    }
+
+    // ---- control plane ---------------------------------------------
+
+    fn on_subscribe(
+        self: &Arc<Self>,
+        conn: &Arc<Conn>,
+        ctx: &ConnCtx,
+        id: String,
+        at_peer: String,
+        strategy: dss_proto::WireStrategy,
+        text: String,
+    ) {
+        let fault = |message: String| {
+            let _ = conn.send(&Message::Fault {
+                context: "subscribe".into(),
+                message,
+            });
+        };
+        let ConnCtx::Client(client_id) = *ctx else {
+            return fault("subscribe must come from a client connection".into());
+        };
+        if !self.is_coordinator() {
+            return fault(format!(
+                "not the coordinator; dial {}",
+                self.map.addr(&self.spec, self.map.coordinator())
+            ));
+        }
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return fault("shutting down".into());
+        }
+        let ctl = self.control.lock().unwrap();
+        if self.run.lock().unwrap().is_some() {
+            return fault("a run is in progress; retry after it completes".into());
+        }
+        if self.subs.lock().unwrap().contains_key(&id) {
+            return fault(format!("query id {id:?} is already subscribed"));
+        }
+        let (reg, plan_text) = {
+            let mut globe = self.globe.lock().unwrap();
+            match globe.register_query(id.clone(), &text, &at_peer, to_core_strategy(strategy)) {
+                Ok(reg) => {
+                    let plan_text = reg.plan.describe(globe.state());
+                    (reg, plan_text)
+                }
+                Err(e) => return fault(e.to_string()),
+            }
+        };
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let reached = self.broadcast(&Message::Deploy {
+            seq,
+            id: id.clone(),
+            at_peer,
+            strategy,
+            text,
+        });
+        drop(ctl);
+        if !self.wait_acks(seq, reached) {
+            eprintln!("dss serve: deploy {seq} not fully acked within {ACK_TIMEOUT:?}");
+        }
+        self.subs.lock().unwrap().insert(id.clone(), client_id);
+        let _ = conn.send(&Message::SubscribeOk {
+            id,
+            delivery_flow: reg.delivery_flow as u64,
+            reused: reg.reused_derived_stream,
+            cost_bits: reg.plan.total_cost.to_bits(),
+            plan: plan_text,
+        });
+    }
+
+    fn on_unsubscribe(self: &Arc<Self>, conn: &Arc<Conn>, id: String) {
+        let fault = |message: String| {
+            let _ = conn.send(&Message::Fault {
+                context: "unsubscribe".into(),
+                message,
+            });
+        };
+        if !self.is_coordinator() {
+            return fault("not the coordinator".into());
+        }
+        let ctl = self.control.lock().unwrap();
+        if self.run.lock().unwrap().is_some() {
+            return fault("a run is in progress; retry after it completes".into());
+        }
+        if let Err(e) = self.globe.lock().unwrap().unregister_query(&id) {
+            return fault(e.to_string());
+        }
+        self.subs.lock().unwrap().remove(&id);
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let reached = self.broadcast(&Message::Undeploy {
+            seq,
+            id: id.clone(),
+        });
+        drop(ctl);
+        if !self.wait_acks(seq, reached) {
+            eprintln!("dss serve: undeploy {seq} not fully acked within {ACK_TIMEOUT:?}");
+        }
+        let _ = conn.send(&Message::UnsubscribeOk { id });
+    }
+
+    // ---- run lifecycle ---------------------------------------------
+
+    fn forwarder(self: &Arc<Self>) -> Forwarder {
+        let srv = Arc::clone(self);
+        Arc::new(move |flow, hop, items, eos| {
+            let plane = srv.plane.lock().unwrap().clone();
+            if let Some(p) = plane {
+                srv.advance(&p, flow, hop, items, eos);
+            }
+        })
+    }
+
+    fn on_start_run(self: &Arc<Self>, conn: &Arc<Conn>, ctx: &ConnCtx) {
+        let fault = |message: String| {
+            let _ = conn.send(&Message::Fault {
+                context: "run".into(),
+                message,
+            });
+        };
+        if !self.is_coordinator() {
+            return fault("not the coordinator".into());
+        }
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return fault("shutting down".into());
+        }
+        let ctl = self.control.lock().unwrap();
+        if self.run.lock().unwrap().is_some() {
+            return fault("a run is already in progress".into());
+        }
+        let run_id = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let (plane, pending) = {
+            let globe = self.globe.lock().unwrap();
+            let pending: BTreeSet<String> = globe
+                .registered_queries()
+                .map(|(q, _)| q.to_string())
+                .collect();
+            let plane = Plane::build(
+                &globe,
+                &self.map,
+                self.me,
+                run_id,
+                self.mailbox_capacity,
+                self.forwarder(),
+            );
+            (plane, pending)
+        };
+        *self.plane.lock().unwrap() = Some(plane);
+        let requester = match ctx {
+            ConnCtx::Client(id) => Some(*id),
+            ConnCtx::Peer => None,
+        };
+        *self.run.lock().unwrap() = Some(ActiveRun {
+            id: run_id,
+            requester,
+            pending,
+            delivered: 0,
+        });
+        // Phase 1: every process instantiates its groups and acks.
+        let reached = self.broadcast(&Message::StartRun { run: run_id });
+        drop(ctl);
+        if !self.wait_acks(run_id, reached) {
+            eprintln!("dss serve: run {run_id} plane not fully acked; aborting run");
+            let _ = conn.send(&Message::Fault {
+                context: "run".into(),
+                message: "fleet did not come up for the run".into(),
+            });
+            let srv = Arc::clone(self);
+            std::thread::spawn(move || srv.teardown_plane(run_id));
+            return;
+        }
+        // Phase 2: all planes exist — release the sources.
+        self.broadcast(&Message::RunGo { run: run_id });
+        let plane = self.plane.lock().unwrap().clone();
+        if let Some(p) = plane.filter(|p| p.run == run_id) {
+            p.start_sources();
+        }
+        // A run with zero subscriptions completes immediately.
+        self.check_run_complete();
+    }
+
+    /// Phase 1 on a non-coordinator: instantiate this process's share of
+    /// the plane for `run` and ack (the coordinator holds `RunGo` until
+    /// every process has acked).
+    fn on_peer_start_run(self: &Arc<Self>, conn: &Arc<Conn>, run: u64) {
+        // Tear down any previous plane defensively (normally RunDone
+        // already did).
+        if let Some(p) = self.plane.lock().unwrap().take() {
+            p.drain();
+        }
+        let plane = {
+            let globe = self.globe.lock().unwrap();
+            Plane::build(
+                &globe,
+                &self.map,
+                self.me,
+                run,
+                self.mailbox_capacity,
+                self.forwarder(),
+            )
+        };
+        *self.plane.lock().unwrap() = Some(plane);
+        let _ = conn.send(&Message::Ack { seq: run });
+    }
+
+    fn deliver_local(self: &Arc<Self>, run: u64, query: String, items: Vec<Node>, eos: bool) {
+        if !items.is_empty() {
+            dss_telemetry::counter_add(
+                "runtime.delivered",
+                || vec![("query", query.clone())],
+                items.len() as u64,
+            );
+        }
+        let mut guard = self.run.lock().unwrap();
+        let Some(active) = guard.as_mut() else {
+            return;
+        };
+        if active.id != run {
+            return;
+        }
+        active.delivered += items.len() as u64;
+        // Results go to the subscriber's connection; if it is gone (the
+        // CLI subscribes and disconnects), the run requester gets them.
+        let client = {
+            let subscriber = self.subs.lock().unwrap().get(&query).copied();
+            let clients = self.clients.lock().unwrap();
+            subscriber
+                .and_then(|id| clients.get(&id).cloned())
+                .or_else(|| active.requester.and_then(|id| clients.get(&id).cloned()))
+        };
+        if let Some(c) = client {
+            let _ = c.send(&Message::Deliver {
+                run,
+                query: query.clone(),
+                eos,
+                items,
+            });
+        }
+        if eos {
+            active.pending.remove(&query);
+            if active.pending.is_empty() {
+                let (id, requester, delivered) = (active.id, active.requester, active.delivered);
+                drop(guard);
+                self.finish_run(id, requester, delivered);
+            }
+        }
+    }
+
+    fn check_run_complete(self: &Arc<Self>) {
+        let mut guard = self.run.lock().unwrap();
+        if let Some(active) = guard.as_mut() {
+            if active.pending.is_empty() {
+                let (id, requester, delivered) = (active.id, active.requester, active.delivered);
+                drop(guard);
+                self.finish_run(id, requester, delivered);
+            }
+        }
+    }
+
+    /// Every query's delivery flow reached end-of-stream: notify the
+    /// requester, tell the fleet to tear down, tear our share down.
+    fn finish_run(self: &Arc<Self>, run: u64, requester: Option<u64>, delivered: u64) {
+        if let Some(id) = requester {
+            if let Some(c) = self.clients.lock().unwrap().get(&id).cloned() {
+                let _ = c.send(&Message::RunDone { run, delivered });
+            }
+        }
+        self.broadcast(&Message::RunDone { run, delivered });
+        // Teardown joins the plane's workers — and this thread may *be*
+        // one of them (local delivery chains run on worker threads).
+        let srv = Arc::clone(self);
+        std::thread::spawn(move || srv.teardown_plane(run));
+    }
+
+    fn teardown_plane(self: &Arc<Self>, run: u64) {
+        let plane = self.plane.lock().unwrap().clone();
+        if let Some(p) = plane.filter(|p| p.run == run) {
+            p.drain();
+            p.publish_mailbox_metrics(&self.topo);
+            *self.plane.lock().unwrap() = None;
+        }
+        let mut guard = self.run.lock().unwrap();
+        if guard.as_ref().is_some_and(|a| a.id == run) {
+            *guard = None;
+        }
+        drop(guard);
+        self.run_cv.notify_all();
+    }
+
+    // ---- data plane ------------------------------------------------
+
+    /// A batch of `flow`'s output arriving at `route[hop]` (which this
+    /// process owns): feed the taps there, then forward or deliver.
+    fn advance(
+        self: &Arc<Self>,
+        plane: &Arc<Plane>,
+        flow: FlowId,
+        hop: usize,
+        items: Vec<Node>,
+        eos: bool,
+    ) {
+        if items.is_empty() && !eos {
+            return;
+        }
+        let pf = &plane.flows[flow];
+        let node = pf.route[hop];
+        debug_assert_eq!(self.map.owner_of(node), self.me);
+        plane.feed_taps(node, flow, &items, eos);
+        if hop + 1 < pf.route.len() {
+            let next_owner = self.map.owner_of(pf.route[hop + 1]);
+            if next_owner == self.me {
+                self.advance(plane, flow, hop + 1, items, eos);
+            } else {
+                let msg = Message::StreamItemBatch {
+                    run: plane.run,
+                    flow: flow as u64,
+                    hop: (hop + 1) as u32,
+                    eos,
+                    items,
+                };
+                match self.conn_to(next_owner) {
+                    Ok(c) => {
+                        if let Err(e) = c.send(&msg) {
+                            eprintln!("dss serve: batch forward failed: {e}");
+                            plane.note_stale();
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("dss serve: no route to process {next_owner}: {e}");
+                        plane.note_stale();
+                    }
+                }
+            }
+        } else if let Some(query) = &pf.delivery_for {
+            if self.is_coordinator() {
+                self.deliver_local(plane.run, query.clone(), items, eos);
+            } else {
+                let msg = Message::Deliver {
+                    run: plane.run,
+                    query: query.clone(),
+                    eos,
+                    items,
+                };
+                match self.conn_to(self.map.coordinator()) {
+                    Ok(c) => {
+                        if let Err(e) = c.send(&msg) {
+                            eprintln!("dss serve: delivery relay failed: {e}");
+                        }
+                    }
+                    Err(e) => eprintln!("dss serve: cannot reach coordinator: {e}"),
+                }
+            }
+        }
+    }
+
+    // ---- shutdown --------------------------------------------------
+
+    /// Client-requested fleet shutdown (coordinator): wait for the active
+    /// run to drain, stop the fleet, flush metrics, ack, exit.
+    fn coordinated_shutdown(self: &Arc<Self>, reply: Option<&Arc<Conn>>) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        // Drain: the in-flight run completes normally — nothing in a
+        // mailbox is dropped.
+        let deadline = Instant::now() + RUN_DRAIN_TIMEOUT;
+        let mut guard = self.run.lock().unwrap();
+        while guard.is_some() {
+            let now = Instant::now();
+            if now >= deadline {
+                eprintln!("dss serve: shutdown proceeding with run still active (drain timeout)");
+                break;
+            }
+            let (g, _) = self.run_cv.wait_timeout(guard, deadline - now).unwrap();
+            guard = g;
+        }
+        drop(guard);
+        let ctl = self.control.lock().unwrap();
+        let reached = self.broadcast(&Message::Shutdown);
+        drop(ctl);
+        if !self.wait_acks(SHUTDOWN_SEQ, reached) {
+            eprintln!("dss serve: fleet shutdown not fully acked within {ACK_TIMEOUT:?}");
+        }
+        self.local_shutdown();
+        if let Some(conn) = reply {
+            let _ = conn.send(&Message::Ack { seq: SHUTDOWN_SEQ });
+        }
+        self.done.store(true, Ordering::SeqCst);
+    }
+
+    /// Drains any local plane and flushes the final metrics snapshot.
+    fn local_shutdown(&self) {
+        let plane = self.plane.lock().unwrap().clone();
+        if let Some(p) = plane {
+            p.drain();
+            p.publish_mailbox_metrics(&self.topo);
+            *self.plane.lock().unwrap() = None;
+        }
+        if let Some(path) = &self.metrics_out {
+            let json = dss_telemetry::snapshot_json();
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("dss serve: writing metrics snapshot {path:?} failed: {e}");
+            }
+        }
+    }
+
+    fn on_signal(self: &Arc<Self>) {
+        eprintln!("dss serve: {} caught signal, shutting down", self.my_name);
+        if self.is_coordinator() {
+            self.coordinated_shutdown(None);
+        } else {
+            self.local_shutdown();
+            self.done.store(true, Ordering::SeqCst);
+        }
+    }
+}

@@ -36,4 +36,9 @@ echo "==> registration smoke (indexed plan search stays flat at scale)"
 # the first decile's.
 ./target/release/registration_smoke
 
+echo "==> loopback Figure-2 smoke (dss serve fleet, byte-exact vs simulator)"
+# Spawns a real 8-process loopback fleet per test; a wedged fleet must not
+# hang the gate, so the whole suite runs behind a hard timeout.
+timeout 300 cargo test --release -q --test serve
+
 echo "All checks passed."

@@ -11,6 +11,10 @@
 //!                                   (traffic + load) or rejection reason
 //! dss check <file|->                parse/compile a subscription and dump
 //!                                   its properties
+//! dss serve <topology> --peer <SPn> serve one super-peer of a networked
+//!                                   deployment over TCP
+//! dss client <verb> <addr> ...      drive a deployed fleet (subscribe,
+//!                                   run, metrics, shutdown)
 //! ```
 //!
 //! Options for `plan` and `explain`:
@@ -20,8 +24,10 @@
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use data_stream_sharing::core::Strategy;
+use data_stream_sharing::server::{self, Client, PeerOptions, ServeSpec};
 use data_stream_sharing::wxquery::{compile_query, queries};
 use dss_rass::scenario::example_network;
 
@@ -38,23 +44,236 @@ fn main() -> ExitCode {
         Some("plan") => plan(&args[1..]),
         Some("explain") => explain(&args[1..]),
         Some("check") => check(&args[1..]),
-        _ => {
-            eprintln!(
-                "usage: dss <command>\n\n\
-                 commands:\n  \
-                 demo                         run the paper's Figures-1/2 narrative\n  \
-                 queries                      print the paper's example queries\n  \
-                 plan <file|-> [options]      plan a WXQuery subscription\n  \
-                 explain <file|-> [options]   plan + print the plan-search trace\n  \
-                 check <file|->               compile a subscription, dump properties\n\n\
-                 plan/explain options:\n  \
-                 --at <peer>                  registering peer (default P1)\n  \
-                 --strategy <s>               data-shipping | query-shipping | stream-sharing\n  \
-                 --after <q1,q2,...>          pre-register paper queries (enables sharing)"
-            );
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
+        Some(other) => {
+            eprintln!("error: unknown command {other:?}");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
             ExitCode::from(2)
         }
     }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: dss <command>\n\n\
+         commands:\n  \
+         demo                         run the paper's Figures-1/2 narrative\n  \
+         queries                      print the paper's example queries\n  \
+         plan <file|-> [options]      plan a WXQuery subscription\n  \
+         explain <file|-> [options]   plan + print the plan-search trace\n  \
+         check <file|->               compile a subscription, dump properties\n  \
+         serve <topology> --peer <SPn> [serve options]\n                               \
+         serve one super-peer process of a networked deployment\n  \
+         client <verb> <addr> [...]   drive a deployed fleet\n\n\
+         plan/explain options:\n  \
+         --at <peer>                  registering peer (default P1)\n  \
+         --strategy <s>               data-shipping | query-shipping | stream-sharing\n  \
+         --after <q1,q2,...>          pre-register paper queries (enables sharing)\n\n\
+         serve options:\n  \
+         --host <addr>                bind/dial interface (default 127.0.0.1)\n  \
+         --port-base <n>              first listen port (default 7400; process i uses base+i)\n  \
+         --mailbox-capacity <n>       bounded mailbox slots per hosted node (default 1024)\n  \
+         --metrics-out <path>         write the final telemetry snapshot here on shutdown\n\n\
+         client verbs:\n  \
+         subscribe <addr> <id> <file|-> [--at <peer>] [--strategy <s>]\n                               \
+         register a query with the coordinator\n  \
+         run <addr>                   start a replay run, stream results to stdout\n  \
+         metrics <addr>               pull a telemetry snapshot (JSON) from a peer\n  \
+         shutdown <addr>              cleanly stop the fleet via the coordinator"
+    );
+}
+
+/// `dss serve <topology> --peer <SPn> [options]`.
+fn serve(args: &[String]) -> ExitCode {
+    let Some(topology) = args.first() else {
+        return usage_error("serve requires a topology (\"example\" or \"scenario1\")");
+    };
+    let mut spec = match ServeSpec::new(topology) {
+        Ok(s) => s,
+        Err(e) => return usage_error(&e),
+    };
+    let mut peer: Option<String> = None;
+    let mut opts_tail = PeerTail::default();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--peer" => match it.next() {
+                Some(p) => peer = Some(p.clone()),
+                None => return usage_error("--peer requires a super-peer name"),
+            },
+            "--host" => match it.next() {
+                Some(h) => spec.host = h.clone(),
+                None => return usage_error("--host requires an address"),
+            },
+            "--port-base" => match it.next().map(|v| v.parse::<u16>()) {
+                Some(Ok(p)) => spec.port_base = p,
+                Some(Err(_)) => return usage_error("--port-base requires a port number"),
+                None => return usage_error("--port-base requires a port number"),
+            },
+            "--mailbox-capacity" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => opts_tail.mailbox_capacity = n,
+                _ => return usage_error("--mailbox-capacity requires a positive integer"),
+            },
+            "--metrics-out" => match it.next() {
+                Some(p) => opts_tail.metrics_out = Some(p.into()),
+                None => return usage_error("--metrics-out requires a path"),
+            },
+            other => return usage_error(&format!("unexpected serve argument {other:?}")),
+        }
+    }
+    let Some(peer) = peer else {
+        return usage_error("serve requires --peer <SPn>");
+    };
+    let mut opts = PeerOptions::new(spec, peer);
+    opts.mailbox_capacity = opts_tail.mailbox_capacity;
+    opts.metrics_out = opts_tail.metrics_out;
+    match server::serve(opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct PeerTail {
+    mailbox_capacity: usize,
+    metrics_out: Option<std::path::PathBuf>,
+}
+
+impl Default for PeerTail {
+    fn default() -> PeerTail {
+        PeerTail {
+            mailbox_capacity: 1024,
+            metrics_out: None,
+        }
+    }
+}
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// `dss client <verb> <addr> ...`.
+fn client(args: &[String]) -> ExitCode {
+    let Some(verb) = args.first() else {
+        return usage_error("client requires a verb (subscribe, run, metrics, shutdown)");
+    };
+    let Some(addr) = args.get(1) else {
+        return usage_error("client requires a server address (host:port)");
+    };
+    let connect = || Client::connect(addr, "dss-cli", CLIENT_TIMEOUT);
+    match verb.as_str() {
+        "subscribe" => {
+            let Some(id) = args.get(2) else {
+                return usage_error("client subscribe requires a query id");
+            };
+            let text = match read_query_arg(args.get(3)) {
+                Ok(t) => t,
+                Err(e) => return usage_error(&e),
+            };
+            let mut at = "P1".to_string();
+            let mut strategy = Strategy::StreamSharing;
+            let mut it = args[4..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--at" => match it.next() {
+                        Some(p) => at = p.clone(),
+                        None => return usage_error("--at requires a peer name"),
+                    },
+                    "--strategy" => match it.next().map(|s| parse_strategy(s)) {
+                        Some(Ok(s)) => strategy = s,
+                        Some(Err(e)) => return usage_error(&e),
+                        None => return usage_error("--strategy requires a value"),
+                    },
+                    other => {
+                        return usage_error(&format!("unexpected subscribe argument {other:?}"))
+                    }
+                }
+            }
+            let mut c = match connect() {
+                Ok(c) => c,
+                Err(e) => return client_error(e),
+            };
+            match c.subscribe(id, &text, &at, server::to_wire_strategy(strategy)) {
+                Ok(reply) => {
+                    println!(
+                        "subscribed {} at {at} (delivery flow {}{})",
+                        reply.id,
+                        reply.delivery_flow,
+                        if reply.reused {
+                            ", shares an existing stream"
+                        } else {
+                            ""
+                        }
+                    );
+                    print!("{}", reply.plan);
+                    c.goodbye();
+                    ExitCode::SUCCESS
+                }
+                Err(e) => client_error(e),
+            }
+        }
+        "run" => {
+            let mut c = match connect() {
+                Ok(c) => c,
+                Err(e) => return client_error(e),
+            };
+            match c.run_and_collect(Duration::from_secs(600)) {
+                Ok(out) => {
+                    for (query, items) in &out.results {
+                        for item in items {
+                            println!(
+                                "{query}\t{}",
+                                data_stream_sharing::xml::writer::node_to_string(item)
+                            );
+                        }
+                    }
+                    eprintln!("run complete: {} items delivered", out.delivered);
+                    c.goodbye();
+                    ExitCode::SUCCESS
+                }
+                Err(e) => client_error(e),
+            }
+        }
+        "metrics" => {
+            let mut c = match connect() {
+                Ok(c) => c,
+                Err(e) => return client_error(e),
+            };
+            match c.metrics() {
+                Ok(json) => {
+                    println!("{json}");
+                    c.goodbye();
+                    ExitCode::SUCCESS
+                }
+                Err(e) => client_error(e),
+            }
+        }
+        "shutdown" => {
+            let mut c = match connect() {
+                Ok(c) => c,
+                Err(e) => return client_error(e),
+            };
+            match c.shutdown_fleet(Duration::from_secs(600)) {
+                Ok(()) => {
+                    eprintln!("fleet stopped");
+                    c.goodbye();
+                    ExitCode::SUCCESS
+                }
+                Err(e) => client_error(e),
+            }
+        }
+        other => usage_error(&format!("unknown client verb {other:?}")),
+    }
+}
+
+fn client_error(e: data_stream_sharing::server::ServerError) -> ExitCode {
+    eprintln!("error: {e}");
+    ExitCode::FAILURE
 }
 
 fn read_query_arg(arg: Option<&String>) -> Result<String, String> {

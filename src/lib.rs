@@ -25,6 +25,11 @@
 //!   the three registration strategies, and admission control.
 //! * [`rass`] — a synthetic ROSAT-All-Sky-Survey photon stream generator
 //!   and the paper's two benchmark scenarios.
+//! * [`proto`] — the length-prefixed, CRC-framed binary wire protocol of
+//!   the networked deployment mode (`dss serve`).
+//! * [`server`] — one-process-per-super-peer TCP deployment: replicated
+//!   registration control plane, byte-exact replay data plane, client
+//!   library, and the loopback orchestrator.
 //!
 //! ## Quickstart
 //!
@@ -56,7 +61,9 @@ pub use dss_engine as engine;
 pub use dss_network as network;
 pub use dss_predicate as predicate;
 pub use dss_properties as properties;
+pub use dss_proto as proto;
 pub use dss_rass as rass;
+pub use dss_server as server;
 pub use dss_wxquery as wxquery;
 pub use dss_xml as xml;
 

@@ -15,6 +15,91 @@ fn no_args_prints_usage_and_exits_2() {
 }
 
 #[test]
+fn unknown_subcommand_exits_2_with_usage() {
+    let out = dss().arg("frobnicate").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error: unknown command \"frobnicate\""));
+    assert!(stderr.contains("usage: dss"));
+}
+
+#[test]
+fn malformed_serve_args_exit_2_on_stderr() {
+    // Missing topology.
+    let out = dss().arg("serve").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("serve requires a topology"));
+
+    // Unknown topology.
+    let out = dss()
+        .args(["serve", "figure-9", "--peer", "SP0"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown topology"));
+
+    // Missing --peer.
+    let out = dss().args(["serve", "example"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--peer"));
+
+    // Non-numeric port base.
+    let out = dss()
+        .args(["serve", "example", "--peer", "SP0", "--port-base", "teapot"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--port-base"));
+
+    // Stray argument.
+    let out = dss()
+        .args(["serve", "example", "--peer", "SP0", "--frob"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected serve argument"));
+}
+
+#[test]
+fn serving_a_peer_not_in_the_topology_fails_cleanly() {
+    let out = dss()
+        .args(["serve", "example", "--peer", "SP99", "--port-base", "1"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not a super-peer"));
+}
+
+#[test]
+fn malformed_client_args_exit_2_on_stderr() {
+    // Missing verb.
+    let out = dss().arg("client").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("client requires a verb"));
+
+    // Missing address.
+    let out = dss().args(["client", "metrics"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("server address"));
+
+    // Unknown verb.
+    let out = dss()
+        .args(["client", "teleport", "127.0.0.1:1"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown client verb"));
+
+    // subscribe without a query id.
+    let out = dss()
+        .args(["client", "subscribe", "127.0.0.1:1"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("query id"));
+}
+
+#[test]
 fn queries_prints_all_four_paper_queries() {
     let out = dss().arg("queries").output().expect("runs");
     assert!(out.status.success());

@@ -1,0 +1,287 @@
+//! Integration tests for the networked deployment mode (`dss serve`).
+//!
+//! Each test spawns a real loopback fleet — one OS process per super-peer
+//! of the Figure-2 example topology, speaking the binary wire protocol
+//! over TCP — and drives it with the client library. The batch simulator
+//! (`StreamGlobe::run_simulation`) is the oracle throughout: the deployed
+//! fleet must reproduce its per-query delivered outputs *byte for byte*.
+
+use std::collections::BTreeMap;
+use std::net::TcpListener;
+use std::path::Path;
+use std::time::Duration;
+
+use data_stream_sharing::core::{Strategy, StreamGlobe};
+use data_stream_sharing::server::{Client, ClientEvent, LocalCluster, ServeSpec};
+use data_stream_sharing::xml::writer::node_to_string;
+use dss_proto::WireStrategy;
+use dss_wxquery::queries;
+
+const FLEET_TIMEOUT: Duration = Duration::from_secs(60);
+const RUN_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// The paper's four example queries, subscribed at their Figure-2 peers.
+const SUBS: [(&str, &str); 4] = [("q1", "P1"), ("q2", "P2"), ("q3", "P3"), ("q4", "P4")];
+
+fn query_text(id: &str) -> &'static str {
+    match id {
+        "q1" => queries::Q1,
+        "q2" => queries::Q2,
+        "q3" => queries::Q3,
+        "q4" => queries::Q4,
+        other => panic!("unknown query {other}"),
+    }
+}
+
+/// Picks a port range where all `n` consecutive ports currently bind.
+fn pick_port_base(n: u16) -> u16 {
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos() as u64;
+    for attempt in 0..200u64 {
+        let base = 20000 + ((seed.wrapping_add(attempt.wrapping_mul(977)) % 40000) as u16);
+        let probes: Vec<_> = (0..n)
+            .map(|i| TcpListener::bind(("127.0.0.1", base + i)))
+            .collect();
+        if probes.iter().all(Result::is_ok) {
+            return base;
+        }
+    }
+    panic!("no free 8-port range on loopback");
+}
+
+fn spawn_example_fleet(metrics_dir: Option<&Path>) -> (LocalCluster, ServeSpec) {
+    let mut spec = ServeSpec::new("example").unwrap();
+    spec.port_base = pick_port_base(8);
+    let cluster = LocalCluster::spawn(Path::new(env!("CARGO_BIN_EXE_dss")), &spec, metrics_dir)
+        .expect("fleet spawns");
+    (cluster, spec)
+}
+
+/// In-process oracle: same registrations on the same base system, run
+/// through the batch simulator. Returns each query's delivered items
+/// (serialized) plus its registration metadata for plan comparison.
+struct Oracle {
+    results: BTreeMap<String, Vec<String>>,
+    reused: BTreeMap<String, bool>,
+    plans: BTreeMap<String, String>,
+    costs: BTreeMap<String, f64>,
+}
+
+fn oracle(subs: &[(&str, &str)]) -> Oracle {
+    let mut sys: StreamGlobe = dss_rass::scenario::example_network();
+    let mut regs = Vec::new();
+    for &(id, peer) in subs {
+        let reg = sys
+            .register_query(id, query_text(id), peer, Strategy::StreamSharing)
+            .unwrap_or_else(|e| panic!("oracle registration of {id} failed: {e}"));
+        let plan = reg.plan.describe(sys.state());
+        regs.push((id.to_string(), reg, plan));
+    }
+    let sim = sys.run_simulation(Default::default());
+    let mut o = Oracle {
+        results: BTreeMap::new(),
+        reused: BTreeMap::new(),
+        plans: BTreeMap::new(),
+        costs: BTreeMap::new(),
+    };
+    for (id, reg, plan) in regs {
+        o.results.insert(
+            id.clone(),
+            sim.flow_outputs[reg.delivery_flow]
+                .iter()
+                .map(node_to_string)
+                .collect(),
+        );
+        o.reused.insert(id.clone(), reg.reused_derived_stream);
+        o.plans.insert(id.clone(), plan);
+        o.costs.insert(id, reg.plan.total_cost);
+    }
+    o
+}
+
+/// The acceptance gate: a loopback Figure-2 deployment answers all four
+/// paper queries with exactly the bytes the batch simulator delivers, and
+/// a telemetry snapshot pulled from a *live* peer conforms to
+/// `schemas/trace.schema.json`.
+#[test]
+fn loopback_figure2_is_byte_exact_against_the_simulator() {
+    let expect = oracle(&SUBS);
+    let (cluster, _spec) = spawn_example_fleet(None);
+    let mut client =
+        Client::connect(cluster.coordinator_addr(), "tester", FLEET_TIMEOUT).expect("connects");
+
+    for &(id, peer) in &SUBS {
+        let reply = client
+            .subscribe(id, query_text(id), peer, WireStrategy::StreamSharing)
+            .unwrap_or_else(|e| panic!("subscribing {id} failed: {e}"));
+        // The replicated planner must make the oracle's sharing decisions.
+        assert_eq!(
+            reply.reused, expect.reused[id],
+            "{id}: sharing decision diverged from the in-process planner"
+        );
+        assert_eq!(
+            reply.plan, expect.plans[id],
+            "{id}: plan diverged from the in-process planner"
+        );
+        assert_eq!(reply.cost, expect.costs[id], "{id}: plan cost diverged");
+    }
+
+    let out = client.run_and_collect(RUN_TIMEOUT).expect("run completes");
+    let total: usize = expect.results.values().map(Vec::len).sum();
+    assert_eq!(out.delivered as usize, total, "fleet-wide delivered count");
+    for (id, want) in &expect.results {
+        assert!(!want.is_empty(), "oracle delivers nothing for {id}");
+        let got: Vec<String> = out
+            .results
+            .get(id)
+            .unwrap_or_else(|| panic!("no deliveries for {id}"))
+            .iter()
+            .map(node_to_string)
+            .collect();
+        assert_eq!(
+            &got, want,
+            "{id}: delivered bytes differ from the simulator"
+        );
+    }
+
+    // Telemetry from the live coordinator validates against the schema
+    // and shows data-plane activity.
+    let snapshot = client.metrics().expect("metrics pull");
+    let doc = dss_telemetry::json::parse(&snapshot).expect("snapshot parses as JSON");
+    let schema_text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/schemas/trace.schema.json"
+    ))
+    .expect("schema file");
+    let schema = dss_telemetry::json::parse(&schema_text).expect("schema parses");
+    let violations = dss_telemetry::schema::validate(&doc, &schema);
+    assert!(
+        violations.is_empty(),
+        "live snapshot violates the schema: {violations:?}"
+    );
+    assert!(
+        snapshot.contains("runtime.delivered"),
+        "live snapshot should account deliveries"
+    );
+
+    client.goodbye();
+    cluster.shutdown(FLEET_TIMEOUT).expect("clean shutdown");
+}
+
+/// Two clients with overlapping queries: the fleet's sharing decisions
+/// (reuse flags, plans, costs) match `register_query` in-process, and both
+/// subscribers receive their own byte-exact results from one run.
+#[test]
+fn concurrent_clients_share_streams_like_in_process_registration() {
+    let expect = oracle(&SUBS[..2]);
+    assert!(
+        expect.reused["q2"],
+        "oracle sanity: q2 reuses q1's stream in-process"
+    );
+    let (cluster, _spec) = spawn_example_fleet(None);
+    let mut alice =
+        Client::connect(cluster.coordinator_addr(), "alice", FLEET_TIMEOUT).expect("connects");
+    let mut bob =
+        Client::connect(cluster.coordinator_addr(), "bob", FLEET_TIMEOUT).expect("connects");
+
+    let r1 = alice
+        .subscribe("q1", query_text("q1"), "P1", WireStrategy::StreamSharing)
+        .expect("q1 subscribes");
+    let r2 = bob
+        .subscribe("q2", query_text("q2"), "P2", WireStrategy::StreamSharing)
+        .expect("q2 subscribes");
+    assert!(!r1.reused, "q1 arrives first, nothing to share");
+    assert!(r2.reused, "q2 must reuse q1's stream, as in-process");
+    for (id, reply) in [("q1", &r1), ("q2", &r2)] {
+        assert_eq!(reply.plan, expect.plans[id], "{id}: plan diverged");
+        assert_eq!(reply.cost, expect.costs[id], "{id}: cost diverged");
+    }
+
+    // A duplicate id is refused with a typed fault, not a crash.
+    let dup = bob.subscribe("q1", query_text("q1"), "P1", WireStrategy::StreamSharing);
+    assert!(
+        matches!(
+            dup,
+            Err(data_stream_sharing::server::ServerError::Fault { .. })
+        ),
+        "duplicate subscription must fault"
+    );
+
+    // Alice requests the run; each client receives its own query's stream.
+    alice.start_run().expect("run starts");
+    let bob_results = bob.wait_eos(&["q2"], RUN_TIMEOUT).expect("bob's stream");
+    let alice_results = alice
+        .wait_eos(&["q1"], RUN_TIMEOUT)
+        .expect("alice's stream");
+    for (id, results) in [("q1", &alice_results), ("q2", &bob_results)] {
+        let got: Vec<String> = results[id].iter().map(node_to_string).collect();
+        assert_eq!(&got, &expect.results[id], "{id}: bytes differ");
+    }
+
+    alice.goodbye();
+    bob.goodbye();
+    cluster.shutdown(FLEET_TIMEOUT).expect("clean shutdown");
+}
+
+/// Clean shutdown during an active run loses nothing: the run drains
+/// fully (every item + end-of-stream delivered, byte-exact) before the
+/// fleet stops, and every process flushes a final metrics snapshot.
+#[test]
+fn shutdown_mid_run_drains_without_losing_deliveries() {
+    let expect = oracle(&SUBS[..1]);
+    let metrics_dir =
+        std::env::temp_dir().join(format!("dss-shutdown-test-{}", std::process::id()));
+    std::fs::create_dir_all(&metrics_dir).unwrap();
+    let (cluster, _spec) = spawn_example_fleet(Some(&metrics_dir));
+    let mut subscriber =
+        Client::connect(cluster.coordinator_addr(), "subscriber", FLEET_TIMEOUT).expect("connects");
+    let mut admin =
+        Client::connect(cluster.coordinator_addr(), "admin", FLEET_TIMEOUT).expect("connects");
+
+    subscriber
+        .subscribe("q1", query_text("q1"), "P1", WireStrategy::StreamSharing)
+        .expect("subscribes");
+    subscriber.start_run().expect("run starts");
+
+    // Wait until the run is demonstrably in flight (first delivery seen),
+    // then ask for shutdown *while items are still streaming*.
+    let first = subscriber.next_event(RUN_TIMEOUT).expect("first delivery");
+    let mut collected: Vec<String> = Vec::new();
+    let mut eos_seen = false;
+    if let ClientEvent::Deliver { items, eos, .. } = first {
+        collected.extend(items.iter().map(node_to_string));
+        eos_seen = eos;
+    }
+    admin.shutdown_fleet(RUN_TIMEOUT).expect("shutdown acked");
+
+    // Everything the oracle delivers still arrives, in order, then EOS.
+    while !eos_seen {
+        match subscriber
+            .next_event(RUN_TIMEOUT)
+            .expect("stream continues")
+        {
+            ClientEvent::Deliver { items, eos, .. } => {
+                collected.extend(items.iter().map(node_to_string));
+                eos_seen = eos;
+            }
+            ClientEvent::RunDone { .. } => break,
+        }
+    }
+    assert_eq!(
+        collected, expect.results["q1"],
+        "shutdown dropped or reordered deliveries"
+    );
+
+    cluster.wait(FLEET_TIMEOUT).expect("children exit cleanly");
+    // Every peer process flushed its final snapshot on the way down.
+    for i in 0..8 {
+        let path = metrics_dir.join(format!("metrics-SP{i}.json"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing final snapshot {path:?}: {e}"));
+        dss_telemetry::json::parse(&text)
+            .unwrap_or_else(|e| panic!("snapshot {path:?} is not valid JSON: {e:?}"));
+    }
+    std::fs::remove_dir_all(&metrics_dir).ok();
+}
