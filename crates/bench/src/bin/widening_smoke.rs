@@ -1,0 +1,45 @@
+//! Widening-handoff smoke gate (E12).
+//!
+//! Runs the 1/4/16-flow × window-size handoff matrix and fails, with a
+//! non-zero exit, when
+//!
+//! * any handoff's post-switch outputs are not byte-identical to a chain
+//!   that ran the widened operator list over the entire stream,
+//! * any identical-spec handoff dropped a snapshot, or
+//! * the moved state scales with the window size instead of the open
+//!   position count — the delta path must move O(delta) items while the
+//!   replay extent of a full rebuild grows with the window.
+//!
+//! The measured matrix is written to `BENCH_widening.json` (override
+//! with `--out`).
+
+use dss_bench::widening::{gate, matrix_to_json, run_matrix};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_widening.json".to_string());
+
+    println!("widening handoff smoke: delta migration vs full rebuild");
+    let records = run_matrix();
+    for r in &records {
+        println!("  {}", r.render());
+    }
+    std::fs::write(&out, matrix_to_json(&records)).expect("write BENCH_widening.json");
+    println!("wrote {out}");
+
+    let failures = gate(&records);
+    if failures.is_empty() {
+        println!("widening smoke OK");
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -16,3 +16,4 @@ pub mod overhead;
 pub mod registration;
 pub mod report;
 pub mod trace;
+pub mod widening;

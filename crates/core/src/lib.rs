@@ -32,7 +32,7 @@ pub mod system;
 pub use admission::{AdmissionControl, AdmissionReport};
 pub use cost::{CostParams, StreamEstimate};
 pub use live::{FailoverReport, LiveOutcome};
-pub use plan::{Plan, PlanPart};
+pub use plan::{Plan, PlanPart, WidenDelta};
 pub use state::NetworkState;
 pub use stats::StreamStats;
 pub use strategy::{plan_query, Strategy};

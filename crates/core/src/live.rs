@@ -15,7 +15,11 @@
 //! the operator state: windowed aggregates of re-planned flows restart
 //! empty, and widened streams a dead query had widened stay widened (their
 //! extra width remains shareable slack; only a clean
-//! [`StreamGlobe::unregister_query`] narrows back).
+//! [`StreamGlobe::unregister_query`] narrows back). The exception is
+//! flows a widening re-plan patches *in place*: when the planner marked
+//! the patch as a loss-free handoff (`WidenDelta::migrate`), the runtime
+//! migrates the open window state across the in-place rebuild, so the
+//! untouched owner query keeps delivering whole-stream-exact results.
 
 use std::collections::BTreeMap;
 

@@ -8,11 +8,12 @@
 //! (restructuring) step executed there.
 
 use dss_network::{shortest_path, FlowId, FlowOp, NodeId};
-use dss_properties::{AggregationSpec, InputProperties, Operator};
+use dss_properties::{AggregationSpec, InputProperties, Operator, WindowKind, WindowSpec};
 use dss_wxquery::CompiledQuery;
 
 use crate::cost::{base_load, plan_cost, EdgeUse, NodeUse, StreamEstimate};
 use crate::state::NetworkState;
+use crate::stats::StreamStats;
 
 /// Accumulates a candidate plan's resource uses (`u_b` per affected
 /// connection, `u_l` per affected peer) against the current availability,
@@ -100,6 +101,82 @@ pub fn flow_op_base_load(op: &FlowOp) -> f64 {
     }
 }
 
+/// Per patched consumer, the planner's state-handoff choice for a
+/// widening: prepending the restore patch rebuilds the child's whole
+/// operator chain, and its open window state either *migrates* (the open
+/// accumulators and buffers move — O(delta) items) or is rebuilt by
+/// replaying a full window extent of input through every stateful
+/// operator (O(window) items). The two estimates are the handoff's own
+/// cost split; they stay out of the rate-based cost `C` because the
+/// transfer is a one-shot, not a steady-state rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WidenDelta {
+    /// The patched child flow.
+    pub child: FlowId,
+    /// Estimated items a delta migration moves: one open accumulator per
+    /// window position for (re-)aggregates, the buffered raw items of the
+    /// open windows for window-contents operators.
+    pub migrate_items: f64,
+    /// Estimated items a full rebuild replays: one window extent of input
+    /// per stateful operator before the child's output is warm again.
+    pub rebuild_items: f64,
+    /// The choice: migrate when it moves no more items than a rebuild
+    /// replays (ties prefer the loss-free handoff).
+    pub migrate: bool,
+}
+
+/// Items covering one full extent of `window` at the stream's raw input
+/// (the same items-per-window model `estimate_chain` uses).
+fn window_extent_items(stats: &StreamStats, window: &WindowSpec) -> f64 {
+    match window.kind() {
+        WindowKind::Count => window.size().to_f64(),
+        WindowKind::Diff => {
+            let r = window.reference().expect("diff windows carry a reference");
+            (window.size().to_f64() / stats.avg_increment(r)).max(1.0)
+        }
+    }
+}
+
+/// Number of concurrently open window positions of `window` (Δ/µ, the
+/// "delta" a migration moves for accumulator-holding operators).
+fn open_window_positions(window: &WindowSpec) -> f64 {
+    let step = window.step().to_f64();
+    if step <= 0.0 {
+        return 1.0;
+    }
+    (window.size().to_f64() / step).ceil().max(1.0)
+}
+
+/// Estimates the state-handoff cost split for one widening-patched child:
+/// sums, over the stateful operators of its current chain, the items a
+/// delta migration would move vs. the items a full rebuild would replay.
+pub fn widen_delta(state: &NetworkState, stats: &StreamStats, child: FlowId) -> WidenDelta {
+    let mut migrate_items = 0.0;
+    let mut rebuild_items = 0.0;
+    for op in &state.deployment.flow(child).ops {
+        let (window, holds_accumulators) = match op {
+            FlowOp::Standard(Operator::Aggregation(s)) => (&s.window, true),
+            FlowOp::ReAggregate { new, .. } => (&new.window, true),
+            FlowOp::Standard(Operator::WindowOutput(w)) => (&w.window, false),
+            FlowOp::ReWindow { new, .. } => (&new.window, false),
+            _ => continue,
+        };
+        let extent = window_extent_items(stats, window);
+        migrate_items += if holds_accumulators {
+            open_window_positions(window)
+        } else {
+            extent
+        };
+        rebuild_items += extent;
+    }
+    WidenDelta {
+        child,
+        migrate_items,
+        rebuild_items,
+        migrate: migrate_items <= rebuild_items,
+    }
+}
+
 /// Widening a deployed stream in place (the paper's ongoing-work
 /// extension): the flow's operators are loosened so its stream also covers
 /// the new subscription, and every existing consumer gets the original
@@ -120,6 +197,10 @@ pub struct WidenAction {
     /// Ops to prepend per existing child flow, restoring each consumer's
     /// original input.
     pub child_patches: Vec<(FlowId, Vec<FlowOp>)>,
+    /// State-handoff choice per *patched* child (empty patches rebuild
+    /// nothing and carry no delta): delta migration vs. full rebuild,
+    /// with the estimated item movement behind the choice.
+    pub deltas: Vec<WidenDelta>,
 }
 
 /// The plan for one input stream of a subscription (`P_s`).
@@ -375,6 +456,15 @@ pub fn generate_widening_part(
         .into_iter()
         .map(|c| (c, residual_flow_ops(&widened, &current)))
         .collect();
+    // State handoff per patched child: prepending the patch rebuilds the
+    // child's chain, so the planner decides here — per child, with its own
+    // item-count cost split — whether the open window state migrates or is
+    // replayed from scratch.
+    let deltas: Vec<WidenDelta> = child_patches
+        .iter()
+        .filter(|(_, patch)| !patch.is_empty())
+        .map(|(c, _)| widen_delta(state, stats, *c))
+        .collect();
 
     // The new subscription taps the widened stream.
     let ops = residual_flow_ops(&widened, wanted);
@@ -417,6 +507,7 @@ pub fn generate_widening_part(
             widened_estimate,
             delta_estimate,
             child_patches,
+            deltas,
         }),
         cost,
         traffic,

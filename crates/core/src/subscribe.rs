@@ -233,11 +233,14 @@ fn search(
         // Fixed per search: the subscription's own chain estimate.
         let wanted_estimate = best.estimate;
         // Pre-digested match pre-filters for the indexed lookup. Widening
-        // must enumerate *non-matching* variants too, so it probes the
-        // unpruned per-(peer, stream) index instead.
+        // must see some *non-matching* variants too — but only the
+        // widenable (selection/projection-only) ones can ever yield a
+        // widening plan, so the indexed path unions the lens-matched
+        // candidates with the catalog's widenable-chain index instead of
+        // enumerating every variant.
         let lens = match source {
-            CandidateSource::Indexed if !widening => Some(QueryLens::of(wanted)),
-            _ => None,
+            CandidateSource::Indexed => Some(QueryLens::of(wanted)),
+            CandidateSource::FullScan => None,
         };
         // Per-chain lens verdicts, memoized across every peer this input's
         // search visits (a chain flowing past many peers is judged once).
@@ -274,19 +277,20 @@ fn search(
             // Lines 9–11: streams available at v that are variants of the
             // input stream.
             let flow_ids: &[FlowId] = match source {
-                CandidateSource::Indexed => match &lens {
-                    Some(lens) => {
-                        state.deployment.candidates_into(
-                            v,
-                            stream,
-                            lens,
-                            &mut verdicts,
-                            &mut scratch,
-                        );
-                        &scratch
+                CandidateSource::Indexed => {
+                    let lens = lens.as_ref().expect("indexed search builds a lens");
+                    state
+                        .deployment
+                        .candidates_into(v, stream, lens, &mut verdicts, &mut scratch);
+                    if widening {
+                        // Sorted-dedup union: a widenable chain may also be
+                        // a lens match (both lists are ascending and short).
+                        scratch.extend_from_slice(state.deployment.widenable_at(v, stream));
+                        scratch.sort_unstable();
+                        scratch.dedup();
                     }
-                    None => state.deployment.variants_at(v, stream),
-                },
+                    &scratch
+                }
                 CandidateSource::FullScan => {
                     scratch.clear();
                     scratch.extend((0..state.deployment.len()).filter(|&i| {

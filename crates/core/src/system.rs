@@ -383,6 +383,13 @@ impl StreamGlobe {
                     self.state
                         .charge_node_for(*child, node, bload, widened_freq);
                 }
+                // Publish the planner's per-child state-handoff choice: the
+                // live runtime rebuilds marked children with delta
+                // migration instead of dropping their open windows. Setting
+                // `false` clears a stale mark from an earlier widening.
+                for d in &widen.deltas {
+                    self.state.deployment.set_handoff(d.child, d.migrate);
+                }
                 let route = self.state.deployment.flow(widen.flow).route.clone();
                 {
                     let mut flow = self.state.deployment.flow_mut(widen.flow);
@@ -618,6 +625,10 @@ impl StreamGlobe {
                 .drain(..patch.len());
             self.state
                 .discharge_node_for(child, node, bload, undo.widened_frequency);
+            // Dropping the patch restores the child's input byte-identical,
+            // so narrowing back is always a loss-free handoff: keep the
+            // child's open windows across the rebuild.
+            self.state.deployment.set_handoff(child, true);
         }
         {
             let mut flow = self.state.deployment.flow_mut(undo.flow);

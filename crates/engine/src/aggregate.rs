@@ -22,6 +22,7 @@ use dss_properties::{AggOp, AggregationSpec, ResultFilter};
 use dss_xml::{Decimal, Node};
 
 use crate::agg_item::AggItem;
+use crate::migrate::OpState;
 use crate::op::{Emit, StreamOperator};
 use crate::window_track::WindowTracker;
 
@@ -126,6 +127,39 @@ impl StreamOperator for AggregateOp {
 
     fn base_load(&self) -> f64 {
         2.0
+    }
+
+    fn export_state(&mut self) -> Option<OpState> {
+        let (open, youngest_start, items_seen) = self.tracker.export_open();
+        if open.is_empty() && youngest_start.is_none() && items_seen == 0 {
+            return None;
+        }
+        Some(OpState::Agg {
+            spec: self.spec.clone(),
+            open,
+            youngest_start,
+            items_seen,
+        })
+    }
+
+    fn import_state(&mut self, state: &OpState) -> Option<u64> {
+        let OpState::Agg {
+            spec,
+            open,
+            youngest_start,
+            items_seen,
+        } = state
+        else {
+            return None;
+        };
+        // Accumulation depends only on the window grid and the aggregated
+        // element (op/filter/pre-selection shape emission, not state), so
+        // equal element + adoptable window ⇒ exact.
+        if spec.element != self.spec.element {
+            return None;
+        }
+        self.tracker
+            .adopt_open(&spec.window, open.clone(), *youngest_start, *items_seen)
     }
 }
 

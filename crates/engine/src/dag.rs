@@ -31,11 +31,16 @@ use std::collections::BTreeMap;
 
 use dss_xml::Node;
 
+use crate::migrate::{MigrationReport, OpState};
 use crate::op::{Emit, OpStats, StreamOperator};
 
 /// Identifies one registered chain's output (the caller's routing handle —
 /// a flow id, typically).
 pub type SinkId = usize;
+
+/// One keyed operator chain, as passed to [`OpDag::register`] and the
+/// re-registration entry points.
+pub type KeyedChain<K> = Vec<(K, Box<dyn StreamOperator + Send>)>;
 
 /// Snapshot of one DAG node's identity and counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,7 +149,7 @@ impl<K> OpDag<K> {
             "sink {sink} registered twice"
         );
         let mut path = Vec::with_capacity(ops.len());
-        self.extend_path(&mut path, ops.into_iter(), &mergeable);
+        self.extend_path(&mut path, ops.into_iter(), &mergeable, None);
         self.set_terminal(sink, &path);
     }
 
@@ -155,7 +160,7 @@ impl<K> OpDag<K> {
     pub fn retire(&mut self, sink: SinkId) {
         let path = self.paths.remove(&sink).expect("sink not registered");
         self.clear_terminal(sink, &path);
-        self.release_suffix(&path, 0);
+        self.release_suffix(&path, 0, None);
     }
 
     /// Replaces `sink`'s chain: the longest leading run of operators that
@@ -182,19 +187,146 @@ impl<K> OpDag<K> {
         {
             keep += 1;
         }
-        self.release_suffix(&old_path, keep);
+        self.release_suffix(&old_path, keep, None);
         let mut path = old_path[..keep].to_vec();
-        self.extend_path(&mut path, ops.into_iter().skip(keep), &mergeable);
+        self.extend_path(&mut path, ops.into_iter().skip(keep), &mergeable, None);
         self.set_terminal(sink, &path);
     }
 
+    /// [`Self::reregister`], but carrying open window state across the
+    /// rebuild where doing so is exact: stateful operators pruned from the
+    /// old suffix export their state ([`StreamOperator::export_state`]),
+    /// and freshly built operators on the new suffix adopt the snapshots
+    /// they can ([`StreamOperator::import_state`]) — moving O(open state)
+    /// items instead of losing the windows and replaying O(window extent).
+    ///
+    /// State is only ever imported into nodes *created by this call*
+    /// (merging into an existing shared node would inject foreign history
+    /// into its other sharers' output). Snapshots nothing adopts are
+    /// dropped, exactly as a plain [`Self::reregister`] would.
+    pub fn reregister_migrating<F>(
+        &mut self,
+        sink: SinkId,
+        ops: Vec<(K, Box<dyn StreamOperator + Send>)>,
+        mergeable: F,
+    ) -> MigrationReport
+    where
+        F: Fn(&K, &K) -> bool,
+    {
+        self.reregister_migrating_batch(vec![(sink, ops)], mergeable)
+    }
+
+    /// [`Self::reregister_migrating`] over several sinks as one atomic
+    /// handoff: every old suffix is released (exporting state) *before* any
+    /// new chain is built. This is what makes migration work for sinks that
+    /// share stateful nodes — released one at a time, a shared node is
+    /// still referenced by the not-yet-rebuilt sinks when the first one
+    /// lets go, so its state would neither export nor survive.
+    ///
+    /// Exported snapshots are tagged with the releasing sink, and a fresh
+    /// node only adopts snapshots from sinks whose new path runs through
+    /// it. Two sinks with *equal specs but different upstream chains* can
+    /// therefore never exchange state, while a node the rebuilt sinks merge
+    /// back into adopts the one shared snapshot they previously co-owned.
+    pub fn reregister_migrating_batch<F>(
+        &mut self,
+        batch: Vec<(SinkId, KeyedChain<K>)>,
+        mergeable: F,
+    ) -> MigrationReport
+    where
+        F: Fn(&K, &K) -> bool,
+    {
+        let mut pool: Vec<(SinkId, OpState)> = Vec::new();
+        let mut staged = Vec::with_capacity(batch.len());
+        // Phase 1: detach every sink and release its diverging suffix,
+        // pooling whatever state the pruned operators export.
+        for (sink, ops) in batch {
+            let Some(old_path) = self.paths.remove(&sink) else {
+                // Unknown sink: plain registration, never a migration
+                // target (its fresh nodes stay off the import list, though
+                // another batch member may still merge into them).
+                staged.push((sink, Vec::new(), ops, 0, false));
+                continue;
+            };
+            self.clear_terminal(sink, &old_path);
+            let mut keep = 0;
+            while keep < old_path.len()
+                && keep < ops.len()
+                && mergeable(&self.node(old_path[keep]).key, &ops[keep].0)
+            {
+                keep += 1;
+            }
+            let mut exported = Vec::new();
+            self.release_suffix(&old_path, keep, Some(&mut exported));
+            // Pruning collects bottom-up; match snapshots to the new path
+            // top-down so chains with repeated specs pair up in stream
+            // order.
+            exported.reverse();
+            pool.extend(exported.into_iter().map(|st| (sink, st)));
+            staged.push((sink, old_path[..keep].to_vec(), ops, keep, true));
+        }
+        // Phase 2: rebuild every chain, recording freshly created nodes.
+        let mut fresh = Vec::new();
+        let mut migrating_sinks = Vec::new();
+        for (sink, mut path, ops, keep, migrates) in staged {
+            self.extend_path(
+                &mut path,
+                ops.into_iter().skip(keep),
+                &mergeable,
+                migrates.then_some(&mut fresh),
+            );
+            self.set_terminal(sink, &path);
+            if migrates {
+                migrating_sinks.push(sink);
+            }
+        }
+        // Phase 3: first-fit import, gated on path ownership.
+        let mut report = MigrationReport {
+            ops_exported: pool.len() as u64,
+            ..MigrationReport::default()
+        };
+        for idx in fresh {
+            debug_assert_eq!(
+                self.node(idx).stats.items_in,
+                0,
+                "state imported into a node that already processed items"
+            );
+            let owners: Vec<SinkId> = migrating_sinks
+                .iter()
+                .copied()
+                .filter(|s| self.paths[s].contains(&idx))
+                .collect();
+            let node = self.node_mut(idx);
+            let mut taken = None;
+            for (pos, (tag, st)) in pool.iter().enumerate() {
+                if !owners.contains(tag) {
+                    continue;
+                }
+                if let Some(items) = node.op.import_state(st) {
+                    taken = Some((pos, items));
+                    break;
+                }
+            }
+            if let Some((pos, items)) = taken {
+                pool.remove(pos);
+                report.ops_migrated += 1;
+                report.items_moved += items;
+            }
+        }
+        report.ops_dropped = pool.len() as u64;
+        report
+    }
+
     /// Walks/creates nodes for `ops` below the last node of `path`,
-    /// appending the visited node indices to `path`.
+    /// appending the visited node indices to `path`. Indices of nodes
+    /// *created* (not merged into) are also appended to `fresh` when given
+    /// — only those may adopt migrated state.
     fn extend_path<F>(
         &mut self,
         path: &mut Vec<usize>,
         ops: impl Iterator<Item = (K, Box<dyn StreamOperator + Send>)>,
         mergeable: &F,
+        mut fresh: Option<&mut Vec<usize>>,
     ) where
         F: Fn(&K, &K) -> bool,
     {
@@ -230,6 +362,9 @@ impl<K> OpDag<K> {
                         None => self.roots.push(idx),
                         Some(p) => self.node_mut(p).children.push(idx),
                     }
+                    if let Some(fresh) = fresh.as_deref_mut() {
+                        fresh.push(idx);
+                    }
                     idx
                 }
             };
@@ -255,8 +390,15 @@ impl<K> OpDag<K> {
 
     /// Decrements sharer counts on `path[from..]` and prunes the nodes
     /// that dropped to zero, bottom-up. Sharer counts never increase with
-    /// depth, so pruning stops at the first still-shared node.
-    fn release_suffix(&mut self, path: &[usize], from: usize) {
+    /// depth, so pruning stops at the first still-shared node. When
+    /// `exported` is given, pruned operators export their open window
+    /// state into it (bottom-up order) instead of dropping it.
+    fn release_suffix(
+        &mut self,
+        path: &[usize],
+        from: usize,
+        mut exported: Option<&mut Vec<OpState>>,
+    ) {
         for &idx in &path[from..] {
             self.node_mut(idx).sharers -= 1;
         }
@@ -269,6 +411,11 @@ impl<K> OpDag<K> {
                 self.node(idx).children.is_empty() && self.node(idx).sinks.is_empty(),
                 "pruned DAG node still referenced"
             );
+            if let Some(pool) = exported.as_deref_mut() {
+                if let Some(st) = self.node_mut(idx).op.export_state() {
+                    pool.push(st);
+                }
+            }
             match i.checked_sub(1) {
                 None => self.roots.retain(|&r| r != idx),
                 Some(pi) => {
@@ -666,5 +813,293 @@ mod tests {
         let mut dag = OpDag::new();
         dag.register(0, chain(&["a"]), eq);
         dag.register(0, chain(&["b"]), eq);
+    }
+
+    mod migrating {
+        use super::*;
+        use crate::aggregate::AggregateOp;
+        use dss_predicate::PredicateGraph;
+        use dss_properties::{AggOp, AggregationSpec, ResultFilter, WindowSpec};
+        use dss_xml::Decimal;
+
+        fn d(s: &str) -> Decimal {
+            s.parse().unwrap()
+        }
+
+        fn agg_spec(size: &str, step: Option<&str>) -> AggregationSpec {
+            AggregationSpec {
+                op: AggOp::Sum,
+                element: "en".parse().unwrap(),
+                window: WindowSpec::diff("t".parse().unwrap(), d(size), step.map(d)).unwrap(),
+                pre_selection: PredicateGraph::new(),
+                result_filter: ResultFilter::none(),
+            }
+        }
+
+        fn agg_op(
+            key: &'static str,
+            size: &str,
+            step: Option<&str>,
+        ) -> (&'static str, Box<dyn StreamOperator + Send>) {
+            (key, Box::new(AggregateOp::new(agg_spec(size, step))))
+        }
+
+        fn photon(t: u32) -> Node {
+            Node::elem(
+                "photon",
+                vec![
+                    Node::leaf("t", t.to_string()),
+                    Node::leaf("en", "1.0".to_string()),
+                ],
+            )
+        }
+
+        fn drain(dag: &mut OpDag<&'static str>, items: &[Node]) -> Vec<Node> {
+            let mut out = Vec::new();
+            for item in items {
+                dag.process_into(item, &mut |_, n| out.push(n.clone()));
+            }
+            out
+        }
+
+        /// A widening child patch: the leading operator changes (keep = 0)
+        /// but the windowed suffix keeps its exact spec, so its open
+        /// windows migrate and the output equals an uninterrupted run.
+        #[test]
+        fn migrating_reregister_is_loss_free() {
+            let early: Vec<Node> = (0..5).map(|i| photon(i * 7)).collect();
+            let late: Vec<Node> = (5..10).map(|i| photon(i * 7)).collect();
+
+            // Continuous reference: the same windowed chain, never rebuilt.
+            let mut cont = OpDag::new();
+            cont.register(0, vec![op("a"), agg_op("phi", "20", Some("10"))], eq);
+            let mut expect = drain(&mut cont, &early);
+            expect.extend(drain(&mut cont, &late));
+            cont.flush_into(&mut |_, n| expect.push(n.clone()));
+
+            let mut dag = OpDag::new();
+            dag.register(0, vec![op("a"), agg_op("phi", "20", Some("10"))], eq);
+            let mut got = drain(&mut dag, &early);
+            // Leading operator changes (a → b): keep = 0, whole chain
+            // rebuilt — but the Φ state is carried across.
+            let report =
+                dag.reregister_migrating(0, vec![op("b"), agg_op("phi", "20", Some("10"))], eq);
+            assert_eq!(report.ops_exported, 1);
+            assert_eq!(report.ops_migrated, 1);
+            assert_eq!(report.ops_dropped, 0);
+            assert!(report.items_moved > 0, "open windows moved");
+            got.extend(drain(&mut dag, &late));
+            dag.flush_into(&mut |_, n| got.push(n.clone()));
+            // "a" and "b" are both Echo(1), so the stream content is
+            // unchanged and a loss-free handoff reproduces the continuous
+            // run byte-for-byte. A plain reregister drops the open windows.
+            assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn plain_reregister_still_drops_state() {
+            let early: Vec<Node> = (0..5).map(|i| photon(i * 7)).collect();
+            let mut dag = OpDag::new();
+            dag.register(0, vec![op("a"), agg_op("phi", "20", Some("10"))], eq);
+            let with_state = drain(&mut dag, &early);
+            assert!(!with_state.is_empty(), "sanity: windows closed pre-switch");
+            dag.reregister(0, vec![op("b"), agg_op("phi", "20", Some("10"))], eq);
+            let mut flushed = Vec::new();
+            dag.flush_into(&mut |_, n| flushed.push(n.clone()));
+            assert!(
+                flushed.is_empty(),
+                "the non-migrating path must keep dropping rebuilt state"
+            );
+        }
+
+        #[test]
+        fn step_coarsening_migrates_filtered_windows() {
+            let early: Vec<Node> = (0..6).map(|i| photon(i * 6)).collect();
+            let late: Vec<Node> = (6..12).map(|i| photon(i * 6)).collect();
+
+            let mut cont = OpDag::new();
+            cont.register(0, vec![agg_op("phi20", "20", Some("20"))], eq);
+            let mut expect = drain(&mut cont, &early);
+            expect.extend(drain(&mut cont, &late));
+            cont.flush_into(&mut |_, n| expect.push(n.clone()));
+
+            // Start with step 10, widen the step to 20 mid-stream. Windows
+            // on the coarser grid survive; off-grid ones are discarded.
+            let mut dag = OpDag::new();
+            dag.register(0, vec![agg_op("phi10", "20", Some("10"))], eq);
+            for item in &early {
+                dag.process_into(item, &mut |_, _| {});
+            }
+            let report = dag.reregister_migrating(0, vec![agg_op("phi20", "20", Some("20"))], eq);
+            assert_eq!(report.ops_migrated, 1);
+            let mut got = drain(&mut dag, &late);
+            dag.flush_into(&mut |_, n| got.push(n.clone()));
+            // Only compare windows still open at the switch (start ≥ 20):
+            // earlier ones closed pre-switch, where the fine chain also
+            // emits off-grid starts by design.
+            let tail = |v: &[Node]| -> Vec<Node> {
+                v.iter()
+                    .filter(|n| {
+                        crate::AggItem::from_node(n)
+                            .map(|a| a.start >= d("20"))
+                            .unwrap_or(false)
+                    })
+                    .cloned()
+                    .collect()
+            };
+            assert_eq!(tail(&got), tail(&expect));
+        }
+
+        #[test]
+        fn incompatible_window_state_is_dropped() {
+            let early: Vec<Node> = (0..5).map(|i| photon(i * 7)).collect();
+            let mut dag = OpDag::new();
+            dag.register(0, vec![agg_op("phi", "20", Some("10"))], eq);
+            for item in &early {
+                dag.process_into(item, &mut |_, _| {});
+            }
+            // Size coarsening is off the exact lattice: state must drop.
+            let report = dag.reregister_migrating(0, vec![agg_op("phi40", "40", Some("10"))], eq);
+            assert_eq!(report.ops_exported, 1);
+            assert_eq!(report.ops_migrated, 0);
+            assert_eq!(report.ops_dropped, 1);
+        }
+
+        #[test]
+        fn migration_never_touches_shared_nodes() {
+            let early: Vec<Node> = (0..5).map(|i| photon(i * 7)).collect();
+            let mut dag = OpDag::new();
+            dag.register(0, vec![op("a"), agg_op("phi", "20", Some("10"))], eq);
+            dag.register(1, vec![op("b"), agg_op("phi", "20", Some("10"))], eq);
+            for item in &early {
+                dag.process_into(item, &mut |_, _| {});
+            }
+            // Sink 0 moves under the "b" prefix. The Φ there already has
+            // sharers *and* processed items, so the exported state must
+            // not be injected into it.
+            let report =
+                dag.reregister_migrating(0, vec![op("b"), agg_op("phi", "20", Some("10"))], eq);
+            assert_eq!(report.ops_exported, 1);
+            assert_eq!(report.ops_migrated, 0, "merged node must not adopt");
+            assert_eq!(report.ops_dropped, 1);
+        }
+
+        /// Two sinks sharing one windowed node are rebuilt as a batch: the
+        /// shared snapshot exports when the *last* sharer releases it and
+        /// lands in the merged replacement node, so both outputs match a
+        /// continuous run. (Rebuilt one at a time, the first rebuild finds
+        /// the node still shared and the state never exports.)
+        #[test]
+        fn batch_migrates_state_shared_between_sinks() {
+            let early: Vec<Node> = (0..5).map(|i| photon(i * 7)).collect();
+            let late: Vec<Node> = (5..10).map(|i| photon(i * 7)).collect();
+            let chain = |k| vec![op(k), agg_op("phi", "20", Some("10"))];
+
+            let mut cont = OpDag::new();
+            cont.register(0, chain("a"), eq);
+            cont.register(1, chain("a"), eq);
+            let mut expect: BTreeMap<SinkId, Vec<Node>> = BTreeMap::new();
+            for item in early.iter().chain(&late) {
+                cont.process_into(item, &mut |s, n| {
+                    expect.entry(s).or_default().push(n.clone())
+                });
+            }
+            cont.flush_into(&mut |s, n| expect.entry(s).or_default().push(n.clone()));
+
+            let mut dag = OpDag::new();
+            dag.register(0, chain("a"), eq);
+            dag.register(1, chain("a"), eq);
+            let mut got: BTreeMap<SinkId, Vec<Node>> = BTreeMap::new();
+            for item in &early {
+                dag.process_into(item, &mut |s, n| got.entry(s).or_default().push(n.clone()));
+            }
+            let report = dag.reregister_migrating_batch(vec![(0, chain("b")), (1, chain("b"))], eq);
+            assert_eq!(report.ops_exported, 1, "one shared snapshot");
+            assert_eq!(report.ops_migrated, 1);
+            assert_eq!(report.ops_dropped, 0);
+            assert!(report.items_moved > 0);
+            for item in &late {
+                dag.process_into(item, &mut |s, n| got.entry(s).or_default().push(n.clone()));
+            }
+            dag.flush_into(&mut |s, n| got.entry(s).or_default().push(n.clone()));
+            assert_eq!(got, expect);
+        }
+
+        /// Ownership gating: two sinks with *equal specs* but separate
+        /// nodes (different histories) rebuilt as one batch must never
+        /// exchange state, even when first-fit pool order would pair them
+        /// up wrong.
+        #[test]
+        fn batch_never_exchanges_state_across_sinks() {
+            let early: Vec<Node> = (0..5).map(|i| photon(i * 7)).collect();
+            let mid: Vec<Node> = (5..8).map(|i| photon(i * 7)).collect();
+            let late: Vec<Node> = (8..12).map(|i| photon(i * 7)).collect();
+
+            let mut cont = OpDag::new();
+            cont.register(0, vec![op("a"), agg_op("phi", "20", Some("10"))], eq);
+            for item in &early {
+                cont.process_into(item, &mut |_, _| {});
+            }
+            cont.register(1, vec![op("c"), agg_op("phi", "20", Some("10"))], eq);
+            let mut expect = Vec::new();
+            let keep1 = |s: SinkId, n: &Node, out: &mut Vec<Node>| {
+                if s == 1 {
+                    out.push(n.clone());
+                }
+            };
+            for item in mid.iter().chain(&late) {
+                cont.process_into(item, &mut |s, n| keep1(s, n, &mut expect));
+            }
+            cont.flush_into(&mut |s, n| keep1(s, n, &mut expect));
+
+            let mut dag = OpDag::new();
+            dag.register(0, vec![op("a"), agg_op("phi", "20", Some("10"))], eq);
+            for item in &early {
+                dag.process_into(item, &mut |_, _| {});
+            }
+            dag.register(1, vec![op("c"), agg_op("phi", "20", Some("10"))], eq);
+            let mut got = Vec::new();
+            for item in &mid {
+                dag.process_into(item, &mut |s, n| keep1(s, n, &mut got));
+            }
+            // Sink 0 drops its aggregation; sink 1 keeps its spec. Sink 0's
+            // older snapshot sits first in the pool and is spec-compatible
+            // with sink 1's fresh node — but it carries windows from before
+            // sink 1 existed, so it must drop rather than leak across.
+            let report = dag.reregister_migrating_batch(
+                vec![
+                    (0, vec![op("b")]),
+                    (1, vec![op("d"), agg_op("phi", "20", Some("10"))]),
+                ],
+                eq,
+            );
+            assert_eq!(report.ops_exported, 2);
+            assert_eq!(report.ops_migrated, 1, "sink 1 adopts only its own state");
+            assert_eq!(report.ops_dropped, 1, "sink 0's orphaned snapshot drops");
+            for item in &late {
+                dag.process_into(item, &mut |s, n| keep1(s, n, &mut got));
+            }
+            dag.flush_into(&mut |s, n| keep1(s, n, &mut got));
+            assert_eq!(got, expect);
+        }
+
+        #[cfg(debug_assertions)]
+        #[test]
+        #[should_panic(expected = "bad lattice step")]
+        fn off_grid_migrated_start_fails_loudly() {
+            use crate::migrate::OpState;
+            use crate::AggItem;
+            // A snapshot whose open-window start is off its own µ-grid —
+            // the footgun a silent migration would turn into mis-tiled
+            // windows. The import must debug-assert instead.
+            let bad = OpState::Agg {
+                spec: agg_spec("20", Some("10")),
+                open: vec![(d("15"), AggItem::empty(d("15"), d("20")))],
+                youngest_start: Some(d("15")),
+                items_seen: 1,
+            };
+            let mut fresh = AggregateOp::new(agg_spec("20", Some("10")));
+            let _ = fresh.import_state(&bad);
+        }
     }
 }

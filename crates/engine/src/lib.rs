@@ -14,6 +14,7 @@ pub mod agg_item;
 pub mod aggregate;
 pub mod build;
 pub mod dag;
+pub mod migrate;
 pub mod op;
 pub mod project;
 pub mod reaggregate;
@@ -26,6 +27,7 @@ pub use agg_item::AggItem;
 pub use aggregate::AggregateOp;
 pub use build::{build_operator, build_pipeline, UdfOp};
 pub use dag::{DagNodeStats, OpDag, SinkId};
+pub use migrate::{MigrationReport, OpState};
 pub use op::{Emit, OpStats, Pipeline, StreamOperator, StreamOperatorExt};
 pub use project::ProjectOp;
 pub use reaggregate::ReAggregateOp;

@@ -14,6 +14,8 @@ use std::fmt;
 
 use dss_xml::Node;
 
+use crate::migrate::OpState;
+
 /// A caller-owned output sink for stream operators.
 ///
 /// A thin wrapper around a `Vec<Node>` that only exposes appending from the
@@ -125,6 +127,24 @@ pub trait StreamOperator: fmt::Debug {
     /// input item, used by the cost model (Section 3.2). Unit: the load of
     /// a plain selection.
     fn base_load(&self) -> f64;
+
+    /// Exports the operator's open window state for migration across a
+    /// chain rebuild, leaving the operator empty. `None` (the default) for
+    /// stateless operators and operators with nothing buffered.
+    fn export_state(&mut self) -> Option<OpState> {
+        None
+    }
+
+    /// Adopts state exported by a pruned operator, when doing so is
+    /// *exact*: afterwards the operator's state must be bit-identical to
+    /// what it would hold had it consumed the whole stream itself (see
+    /// [`crate::migrate`]). Returns the number of state items adopted, or
+    /// `None` — leaving the operator untouched — when the snapshot is not
+    /// exactly adoptable. Must only be called before the operator has
+    /// processed any input.
+    fn import_state(&mut self, _state: &OpState) -> Option<u64> {
+        None
+    }
 }
 
 /// Vec-returning conveniences over the sink API, for tests and one-shot

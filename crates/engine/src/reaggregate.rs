@@ -20,6 +20,7 @@ use dss_xml::{Decimal, Node};
 
 use crate::agg_item::AggItem;
 use crate::aggregate::filter_accepts;
+use crate::migrate::OpState;
 use crate::op::{Emit, StreamOperator};
 use crate::window_track::grid_floor;
 
@@ -182,6 +183,45 @@ impl StreamOperator for ReAggregateOp {
 
     fn base_load(&self) -> f64 {
         0.5
+    }
+
+    fn export_state(&mut self) -> Option<OpState> {
+        if self.tiles.is_empty() && self.next_window.is_none() && self.max_seen.is_none() {
+            return None;
+        }
+        Some(OpState::ReAgg {
+            reused: self.reused.clone(),
+            new: self.new.clone(),
+            tiles: std::mem::take(&mut self.tiles).into_iter().collect(),
+            next_window: self.next_window.take(),
+            max_seen: self.max_seen.take(),
+        })
+    }
+
+    fn import_state(&mut self, state: &OpState) -> Option<u64> {
+        let OpState::ReAgg {
+            reused,
+            new,
+            tiles,
+            next_window,
+            max_seen,
+        } = state
+        else {
+            return None;
+        };
+        // Tile retention and finalization both follow the produced spec's
+        // grid, so only an identical re-aggregation adopts exactly.
+        if *reused != self.reused || *new != self.new {
+            return None;
+        }
+        debug_assert!(
+            self.tiles.is_empty() && self.next_window.is_none() && self.max_seen.is_none(),
+            "state adopted into a non-fresh re-aggregation operator"
+        );
+        self.tiles = tiles.iter().cloned().collect();
+        self.next_window = *next_window;
+        self.max_seen = *max_seen;
+        Some(self.tiles.len() as u64)
     }
 }
 

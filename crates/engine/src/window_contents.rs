@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 use dss_properties::{WindowOutputSpec, WindowSpec};
 use dss_xml::{Decimal, Node, XmlError};
 
+use crate::migrate::OpState;
 use crate::op::{Emit, StreamOperator};
 use crate::window_track::{grid_floor, WindowTracker};
 
@@ -167,6 +168,33 @@ impl StreamOperator for WindowContentsOp {
     fn base_load(&self) -> f64 {
         1.5
     }
+
+    fn export_state(&mut self) -> Option<OpState> {
+        let (open, youngest_start, items_seen) = self.tracker.export_open();
+        if open.is_empty() && youngest_start.is_none() && items_seen == 0 {
+            return None;
+        }
+        Some(OpState::Window {
+            spec: self.spec.clone(),
+            open,
+            youngest_start,
+            items_seen,
+        })
+    }
+
+    fn import_state(&mut self, state: &OpState) -> Option<u64> {
+        let OpState::Window {
+            spec,
+            open,
+            youngest_start,
+            items_seen,
+        } = state
+        else {
+            return None;
+        };
+        self.tracker
+            .adopt_open(&spec.window, open.clone(), *youngest_start, *items_seen)
+    }
 }
 
 /// Re-windowing: assembles coarser window contents from a shared
@@ -297,6 +325,45 @@ impl StreamOperator for ReWindowOp {
 
     fn base_load(&self) -> f64 {
         0.7
+    }
+
+    fn export_state(&mut self) -> Option<OpState> {
+        if self.tiles.is_empty() && self.next_window.is_none() && self.max_seen.is_none() {
+            return None;
+        }
+        Some(OpState::ReWindow {
+            reused: self.reused.clone(),
+            new: self.new.clone(),
+            tiles: std::mem::take(&mut self.tiles).into_iter().collect(),
+            next_window: self.next_window.take(),
+            max_seen: self.max_seen.take(),
+        })
+    }
+
+    fn import_state(&mut self, state: &OpState) -> Option<u64> {
+        let OpState::ReWindow {
+            reused,
+            new,
+            tiles,
+            next_window,
+            max_seen,
+        } = state
+        else {
+            return None;
+        };
+        // Tile retention and finalization both follow the produced spec's
+        // grid, so only an identical re-windowing adopts exactly.
+        if *reused != self.reused || *new != self.new {
+            return None;
+        }
+        debug_assert!(
+            self.tiles.is_empty() && self.next_window.is_none() && self.max_seen.is_none(),
+            "state adopted into a non-fresh re-windowing operator"
+        );
+        self.tiles = tiles.iter().cloned().collect();
+        self.next_window = *next_window;
+        self.max_seen = *max_seen;
+        Some(self.tiles.len() as u64)
     }
 }
 

@@ -108,6 +108,71 @@ impl<T: Default> WindowTracker<T> {
         }
     }
 
+    /// Exports the tracker's open state for migration: open windows in
+    /// ascending start order, the youngest opened start, and the arrival
+    /// index. The tracker is left empty.
+    pub fn export_open(&mut self) -> (Vec<(Decimal, T)>, Option<Decimal>, u64) {
+        let open = self.active.drain(..).collect();
+        (open, self.youngest_start.take(), self.items_seen)
+    }
+
+    /// Adopts open state exported from a tracker with window spec `from`,
+    /// when the adoption is exact: identical specs, or a step coarsening
+    /// (same kind/reference/size Δ, new step µ' a multiple of the old µ).
+    /// Under a step coarsening the coarser grid is a subset of the finer
+    /// one and window extents are unchanged, so filtering the open set to
+    /// the µ'-grid yields exactly the windows a continuously running
+    /// tracker with `self`'s spec would hold open.
+    ///
+    /// Returns the number of windows adopted, or `None` (leaving the
+    /// tracker untouched) when the specs are not exactly adoptable. Must
+    /// only be called on a fresh tracker.
+    ///
+    /// # Panics
+    /// Debug-asserts that every imported window start lies on the
+    /// *exporter's* µ-grid — a snapshot carrying off-grid starts means the
+    /// lattice step was wrong, and silently mis-tiled windows downstream.
+    pub fn adopt_open(
+        &mut self,
+        from: &WindowSpec,
+        open: Vec<(Decimal, T)>,
+        youngest_start: Option<Decimal>,
+        items_seen: u64,
+    ) -> Option<u64> {
+        if !crate::migrate::step_compatible(&self.window, from) {
+            return None;
+        }
+        debug_assert!(
+            self.active.is_empty() && self.youngest_start.is_none() && self.items_seen == 0,
+            "state adopted into a non-fresh tracker"
+        );
+        debug_assert!(
+            open.iter()
+                .all(|(start, _)| WindowSpec::is_multiple_of(*start, from.step())),
+            "migrated window start off the exporter's µ-grid: bad lattice step"
+        );
+        let step = self.window.step();
+        let mut adopted = 0u64;
+        for (start, acc) in open {
+            if WindowSpec::is_multiple_of(start, step) {
+                self.active.push_back((start, acc));
+                adopted += 1;
+            }
+        }
+        debug_assert!(
+            self.active
+                .iter()
+                .zip(self.active.iter().skip(1))
+                .all(|(a, b)| a.0 < b.0),
+            "migrated windows out of ascending start order"
+        );
+        // The youngest start a continuous tracker on the coarser grid would
+        // have recorded is the grid floor of the finer tracker's.
+        self.youngest_start = youngest_start.map(|y| grid_floor(y, step));
+        self.items_seen = items_seen;
+        Some(adopted)
+    }
+
     /// Closes (removes and hands to `on_closed`) every open window with
     /// `end ≤ v`.
     fn close_before(&mut self, v: Decimal, mut on_closed: impl FnMut(Decimal, T)) {

@@ -163,6 +163,10 @@ struct StreamIndex {
     /// Every variant, ascending — the widening path must see non-matching
     /// streams too, so this list is never pruned.
     all: Vec<FlowId>,
+    /// Variants whose chain is widenable (selection/projection only),
+    /// ascending — the only flows `widen_input` can loosen, so the
+    /// widening search probes this list instead of `all`.
+    widenable: Vec<FlowId>,
     by_sig: HashMap<Signature, SigBucket>,
 }
 
@@ -237,6 +241,9 @@ impl Catalog {
                 }
                 let idx = &mut per_node[node];
                 insert_sorted(&mut idx.all, id);
+                if input.signature.is_widenable() {
+                    insert_sorted(&mut idx.widenable, id);
+                }
                 idx.by_sig
                     .entry(input.signature.clone())
                     .or_default()
@@ -265,6 +272,9 @@ impl Catalog {
                     continue;
                 };
                 remove_sorted(&mut idx.all, id);
+                if input.signature.is_widenable() {
+                    remove_sorted(&mut idx.widenable, id);
+                }
                 if let Some(bucket) = idx.by_sig.get_mut(&input.signature) {
                     bucket.remove(id, input.summary, input.window_key.as_ref());
                     if bucket.is_empty() {
@@ -294,6 +304,20 @@ impl Catalog {
             .get(stream)
             .and_then(|per_node| per_node.get(node))
             .map(|idx| idx.all.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The widenable variants of `stream` at `node`, ascending: flows
+    /// whose chain for the stream is selection/projection only. The
+    /// widening search unions this list with the lens-matched candidates
+    /// instead of enumerating every variant — a non-widenable chain can
+    /// never yield a widening plan ([`dss_properties::widen_input`]
+    /// rejects it), so pruning the rest loses no matches and no plans.
+    pub fn widenable_at(&self, node: NodeId, stream: &str) -> &[FlowId] {
+        self.streams
+            .get(stream)
+            .and_then(|per_node| per_node.get(node))
+            .map(|idx| idx.widenable.as_slice())
             .unwrap_or(&[])
     }
 

@@ -128,6 +128,11 @@ impl StreamFlow {
 pub struct Deployment {
     flows: Vec<StreamFlow>,
     catalog: Catalog,
+    /// Flows whose next in-place chain rewrite is a *planned loss-free
+    /// handoff*: the live runtime migrates their open window state across
+    /// the rebuild instead of dropping it. Set by the planner (widening
+    /// chooses delta migration over a full rebuild per patched consumer).
+    handoffs: std::collections::BTreeSet<FlowId>,
 }
 
 impl Deployment {
@@ -266,6 +271,32 @@ impl Deployment {
             .candidates_into(node, stream, lens, verdicts, out);
     }
 
+    /// Shareable flows at `node` carrying `stream` through a *widenable*
+    /// (selection/projection-only) chain, ascending — the extra candidates
+    /// the widening search inspects beyond the lens-matched set, served
+    /// from the maintained index instead of a variant scan.
+    pub fn widenable_at(&self, node: NodeId, stream: &str) -> &[FlowId] {
+        self.catalog.widenable_at(node, stream)
+    }
+
+    /// Marks (`migrate = true`) or clears a planned loss-free handoff for
+    /// `id`: the live runtime rebuilds a marked flow's chain with open
+    /// window state migration instead of dropping it. Re-planning the same
+    /// flow overwrites the previous choice.
+    pub fn set_handoff(&mut self, id: FlowId, migrate: bool) {
+        if migrate {
+            self.handoffs.insert(id);
+        } else {
+            self.handoffs.remove(&id);
+        }
+    }
+
+    /// `true` when `id`'s next in-place chain rewrite is a planned
+    /// loss-free handoff (see [`Self::set_handoff`]).
+    pub fn is_handoff(&self, id: FlowId) -> bool {
+        self.handoffs.contains(&id)
+    }
+
     /// Retires a flow: it keeps its id but carries no traffic and is no
     /// longer shareable or simulated.
     ///
@@ -280,6 +311,7 @@ impl Deployment {
         );
         self.flows[id].retired = true;
         self.catalog.remove(id);
+        self.handoffs.remove(&id);
     }
 
     /// Validates the deployment against a topology: all route hops must be
@@ -324,7 +356,7 @@ impl DerefMut for FlowMut<'_> {
 
 impl Drop for FlowMut<'_> {
     fn drop(&mut self) {
-        let Deployment { flows, catalog } = &mut *self.deployment;
+        let Deployment { flows, catalog, .. } = &mut *self.deployment;
         catalog.reindex(self.id, &flows[self.id]);
     }
 }

@@ -81,6 +81,18 @@ pub struct RuntimeMetrics {
     /// Items lost to faults: drained from crashed mailboxes, dropped on
     /// down links, or addressed to dead peers/retired flows.
     pub items_lost: u64,
+    /// Items moved by planned loss-free handoffs (widening/narrowing):
+    /// open window accumulators and buffered window contents migrated
+    /// across in-place chain rebuilds — the O(delta) movement that
+    /// replaces replaying an O(window extent) of input.
+    pub widen_delta_items: u64,
+    /// Stateful operators whose open windows survived an in-place rebuild
+    /// via migration.
+    pub windows_migrated: u64,
+    /// Exported window snapshots no rebuilt operator could adopt exactly:
+    /// that state dropped and the affected windows restarted, as a plain
+    /// rebuild would.
+    pub windows_dropped: u64,
     /// Per-peer operator work executed (scaled by performance index, same
     /// unit as the batch simulator's `node_work`).
     pub node_work: Vec<f64>,
@@ -157,6 +169,13 @@ impl RuntimeMetrics {
             );
         }
         dss_telemetry::counter_add("runtime.items_lost", Vec::new, self.items_lost);
+        dss_telemetry::counter_add(
+            "runtime.widen_delta_items",
+            Vec::new,
+            self.widen_delta_items,
+        );
+        dss_telemetry::counter_add("runtime.windows_migrated", Vec::new, self.windows_migrated);
+        dss_telemetry::counter_add("runtime.windows_dropped", Vec::new, self.windows_dropped);
         for (q, m) in &self.queries {
             dss_telemetry::counter_add(
                 "runtime.delivered",
@@ -214,6 +233,13 @@ impl RuntimeMetrics {
             self.items_lost,
             self.total_dropped(),
         );
+        if self.windows_migrated > 0 || self.windows_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "  widening handoffs: {} window operator(s) migrated ({} items moved), {} dropped",
+                self.windows_migrated, self.widen_delta_items, self.windows_dropped,
+            );
+        }
         for (q, m) in &self.queries {
             let lat = match (m.latency_min_us, m.latency_mean_us, m.latency_p99_us) {
                 (Some(min), Some(mean), Some(p99)) => {

@@ -38,7 +38,12 @@
 //! lives in `dss_core`): the driver pauses at a fault, rewrites the
 //! deployment, and calls [`LiveRuntime::sync_deployment`] to pick up new
 //! flows and retired ones. Windowed operator state of re-planned flows
-//! restarts empty — re-subscription preserves the query, not the state.
+//! restarts empty — re-subscription preserves the query, not the state —
+//! *except* for flows the planner marked as loss-free handoffs
+//! ([`Deployment::is_handoff`], set when widening patches a consumer and
+//! delta migration beats a full rebuild): their in-place rebuild carries
+//! the open window state across ([`FlowDag::reregister_migrating_batch`]),
+//! moving O(delta) items instead of restarting the windows.
 
 pub mod fault;
 mod mailbox;
@@ -254,6 +259,9 @@ pub struct LiveRuntime {
     edge_bytes: Vec<u64>,
     edge_bytes_buckets: Vec<Vec<u64>>,
     items_lost: u64,
+    widen_delta_items: u64,
+    windows_migrated: u64,
+    windows_dropped: u64,
     latencies: BTreeMap<String, Vec<u64>>,
     delivered: BTreeMap<String, u64>,
     duplicates: BTreeMap<String, u64>,
@@ -309,6 +317,9 @@ impl LiveRuntime {
             edge_bytes: vec![0; n_edges],
             edge_bytes_buckets: vec![vec![0; n_buckets]; n_edges],
             items_lost: 0,
+            widen_delta_items: 0,
+            windows_migrated: 0,
+            windows_dropped: 0,
             latencies: BTreeMap::new(),
             delivered: BTreeMap::new(),
             duplicates: BTreeMap::new(),
@@ -351,11 +362,22 @@ impl LiveRuntime {
     /// and flows whose operator list changed in place (stream widening)
     /// rebuild only the suffix below the first changed operator — the
     /// windowed state of the unchanged leading prefix survives.
+    ///
+    /// Rebuilt flows the planner marked as loss-free handoffs
+    /// ([`Deployment::is_handoff`]) additionally migrate their open window
+    /// state across the rebuild. Handoffs are applied *per sharing group
+    /// as one batch*: sibling consumers patched by the same widening share
+    /// stateful DAG nodes, whose state only exports once the last sharer
+    /// releases it.
     pub fn sync_deployment(
         &mut self,
         deployment: &Deployment,
         deliveries: BTreeMap<FlowId, String>,
     ) {
+        // In-place rewrites, collected per sharing group (BTreeMap + id
+        // order: deterministic), split into planned handoffs and plain
+        // rebuilds.
+        let mut handoffs: BTreeMap<usize, Vec<FlowId>> = BTreeMap::new();
         for (id, flow) in deployment.flows().iter().enumerate() {
             if id < self.flows.len() {
                 let state = &mut self.flows[id];
@@ -371,7 +393,11 @@ impl LiveRuntime {
                     state.ops = flow.ops.clone();
                     state.label = flow.label.clone();
                     if let Some(g) = self.flow_group[id] {
-                        self.groups[g].dag.reregister(id, &flow.ops);
+                        if deployment.is_handoff(id) {
+                            handoffs.entry(g).or_default().push(id);
+                        } else {
+                            self.groups[g].dag.reregister(id, &flow.ops);
+                        }
                     }
                 }
             } else {
@@ -391,6 +417,26 @@ impl LiveRuntime {
                 });
                 self.flow_group.push(group);
             }
+        }
+        for (g, ids) in handoffs {
+            let batch: Vec<(FlowId, &[FlowOp])> = ids
+                .iter()
+                .map(|&id| (id, deployment.flow(id).ops.as_slice()))
+                .collect();
+            let report = self.groups[g].dag.reregister_migrating_batch(&batch);
+            self.widen_delta_items += report.items_moved;
+            self.windows_migrated += report.ops_migrated;
+            self.windows_dropped += report.ops_dropped;
+            dss_telemetry::event("widen_handoff", || {
+                let peer = self.topo.peer(self.groups[g].node).name.as_str();
+                [
+                    ("peer", dss_telemetry::Value::from(peer)),
+                    ("flows", (ids.len() as u64).into()),
+                    ("items_moved", report.items_moved.into()),
+                    ("ops_migrated", report.ops_migrated.into()),
+                    ("ops_dropped", report.ops_dropped.into()),
+                ]
+            });
         }
         for q in deliveries.values() {
             self.delivered.entry(q.clone()).or_insert(0);
@@ -586,6 +632,9 @@ impl LiveRuntime {
             mailbox_dropped: self.mailboxes.iter().map(|m| m.dropped).collect(),
             mailbox_dropped_flows: self.dropped_flows,
             items_lost: self.items_lost,
+            widen_delta_items: self.widen_delta_items,
+            windows_migrated: self.windows_migrated,
+            windows_dropped: self.windows_dropped,
             node_work: self.node_work,
             edge_bytes: self.edge_bytes,
             edge_bytes_buckets: self.edge_bytes_buckets,

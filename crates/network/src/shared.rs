@@ -141,6 +141,37 @@ impl FlowDag {
             .reregister(flow, Self::instantiate(ops), ops_mergeable);
     }
 
+    /// [`Self::reregister`], but migrating open window state across the
+    /// rebuild where the old and new specs make it exact (identical specs,
+    /// or widening the step along the lattice): the planned loss-free
+    /// handoff behind widening, moving O(open state) items instead of
+    /// replaying O(window extent).
+    pub fn reregister_migrating(
+        &mut self,
+        flow: FlowId,
+        ops: &[FlowOp],
+    ) -> dss_engine::MigrationReport {
+        self.dag
+            .reregister_migrating(flow, Self::instantiate(ops), ops_mergeable)
+    }
+
+    /// [`Self::reregister_migrating`] over several flows as one atomic
+    /// handoff — required when the rebuilt flows share stateful nodes
+    /// (e.g. sibling consumers patched by the same widening), whose state
+    /// only exports once the last sharer releases it.
+    pub fn reregister_migrating_batch(
+        &mut self,
+        batch: &[(FlowId, &[FlowOp])],
+    ) -> dss_engine::MigrationReport {
+        self.dag.reregister_migrating_batch(
+            batch
+                .iter()
+                .map(|(flow, ops)| (*flow, Self::instantiate(ops)))
+                .collect(),
+            ops_mergeable,
+        )
+    }
+
     /// Drops `flow` from the DAG, pruning operators nothing else shares.
     pub fn retire(&mut self, flow: FlowId) {
         self.dag.retire(flow);

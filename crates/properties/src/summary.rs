@@ -88,6 +88,16 @@ impl Signature {
         true
     }
 
+    /// `true` when the chain consists of selection/projection operators
+    /// only (including the empty chain) — the shape
+    /// [`crate::widen_input`] can loosen in place, so only such streams
+    /// are candidates for widening.
+    pub fn is_widenable(&self) -> bool {
+        self.0
+            .iter()
+            .all(|a| matches!(a, SigAtom::Selection | SigAtom::Projection))
+    }
+
     /// Number of distinct kinds.
     pub fn len(&self) -> usize {
         self.0.len()

@@ -36,6 +36,13 @@ echo "==> registration smoke (indexed plan search stays flat at scale)"
 # the first decile's.
 ./target/release/registration_smoke
 
+echo "==> widening handoff smoke (delta migration moves O(delta), not O(window))"
+# Re-registers 1/4/16-flow shared DAGs across growing window sizes; fails
+# when the migrated state scales with the window size instead of the open
+# position count, when a snapshot drops, or when post-handoff outputs are
+# not byte-identical to a continuous run of the widened chain.
+./target/release/widening_smoke
+
 echo "==> loopback Figure-2 smoke (dss serve fleet, byte-exact vs simulator)"
 # Spawns a real 8-process loopback fleet per test; a wedged fleet must not
 # hang the gate, so the whole suite runs behind a hard timeout.

@@ -23,7 +23,7 @@ use data_stream_sharing::predicate::{match_predicates, Atom, CompOp, PredicateGr
 use data_stream_sharing::properties::AggOp;
 use data_stream_sharing::xml::{Decimal, Node, Path};
 use dss_oracle::harness::{
-    arb_case, check_live, check_network, check_pipeline, check_shrinking, Case,
+    arb_case, check_live, check_live_widening, check_network, check_pipeline, check_shrinking, Case,
 };
 use dss_oracle::interpreter::{diff_windows, Accumulator};
 
@@ -67,6 +67,19 @@ proptest! {
             prop_assert!(false, "{}", e);
         }
     }
+
+    /// Equivalence 4, widening split: with stream widening enabled, the
+    /// failover re-plans may patch *untouched* queries' flows in place
+    /// (restore ops splice in front of their chains). Those queries must
+    /// still deliver the whole-stream oracle results — the planned
+    /// loss-free handoff has to migrate their open window state across
+    /// the in-place rebuild.
+    #[test]
+    fn live_runtime_widening_matches_oracle(case in arb_case()) {
+        if let Err(e) = check_shrinking(&case, &check_live_widening) {
+            prop_assert!(false, "{}", e);
+        }
+    }
 }
 
 /// The harness must catch a seeded bug: this is exercised out-of-band by
@@ -94,6 +107,7 @@ fn fixed_corpus_passes_all_equivalences() {
         check_pipeline(&case).unwrap();
         check_network(&case).unwrap();
         check_live(&case).unwrap();
+        check_live_widening(&case).unwrap();
     }
 }
 

@@ -9,12 +9,13 @@ use std::collections::BTreeMap;
 use proptest::prelude::*;
 
 use data_stream_sharing::network::{
-    grid_topology, run, Deployment, FlowId, FlowInput, FlowOp, LiveConfig, LiveRuntime, SimConfig,
-    SourceModel, StreamFlow,
+    grid_topology, run, Deployment, FlowId, FlowInput, FlowOp, LiveConfig, LiveRuntime,
+    RuntimeMetrics, SimConfig, SourceModel, StreamFlow,
 };
 use data_stream_sharing::predicate::{Atom, CompOp, PredicateGraph};
 use data_stream_sharing::properties::{
-    AggOp, AggregationSpec, InputProperties, Operator, Properties, ResultFilter, WindowSpec,
+    AggOp, AggregationSpec, InputProperties, Operator, Properties, ResultFilter, WindowOutputSpec,
+    WindowSpec,
 };
 use data_stream_sharing::xml::{Decimal, Node, Path};
 
@@ -298,6 +299,191 @@ fn flow_dag_widening_is_byte_exact() {
     assert_eq!(
         got, expected,
         "aggregates after the widening must cover the pre-widening items"
+    );
+}
+
+// ---------- loss-free handoffs (incremental window maintenance) ----------
+
+/// Sum of `en` over an arbitrary window.
+fn agg_over(window: WindowSpec) -> FlowOp {
+    FlowOp::Standard(Operator::Aggregation(AggregationSpec {
+        op: AggOp::Sum,
+        element: "en".parse().unwrap(),
+        window,
+        pre_selection: PredicateGraph::new(),
+        result_filter: ResultFilter::none(),
+    }))
+}
+
+/// Raw window contents over an arbitrary window.
+fn window_out(window: WindowSpec) -> FlowOp {
+    FlowOp::Standard(Operator::WindowOutput(WindowOutputSpec {
+        window,
+        pre_selection: PredicateGraph::new(),
+    }))
+}
+
+/// A compatible window pair one lattice step apart: same extent `Δ`, same
+/// kind/reference, and the new step coarsens the old one by an integer
+/// factor (`µ → k·µ`, with `k = 1` the identical-spec case) — exactly the
+/// pairs a migrating re-registration may adopt instead of dropping.
+fn arb_window_pair() -> impl Strategy<Value = (WindowSpec, WindowSpec)> {
+    (any::<bool>(), 1i64..4, 1i64..4, 1i64..4).prop_map(|(diff, mu, k, m)| {
+        let size = Decimal::from_int(m * k * mu);
+        let make = |step: i64| {
+            if diff {
+                WindowSpec::diff(
+                    "det_time".parse().unwrap(),
+                    size,
+                    Some(Decimal::from_int(step)),
+                )
+                .unwrap()
+            } else {
+                WindowSpec::count(size, Some(Decimal::from_int(step))).unwrap()
+            }
+        };
+        (make(mu), make(k * mu))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Delta migration ≡ full rebuild with replay: re-registering a
+    /// stateful chain mid-stream with migration, onto a compatible window
+    /// spec behind a spliced-in restore selection (keep-prefix empty, so
+    /// the *whole* chain rebuilds), emits byte-identical results — suffix
+    /// outputs and final flush alike — to a chain that ran the new
+    /// operator list over the entire stream from the start. And no
+    /// exported snapshot may be dropped: the pair is compatible by
+    /// construction.
+    #[test]
+    fn migrating_rebuild_equals_continuous_run(
+        pair in arb_window_pair(),
+        aggregate in any::<bool>(),
+        n in 6usize..40,
+        split_seed in 0usize..1000,
+    ) {
+        let (fine, coarse) = pair;
+        let stream = items(n);
+        let split = split_seed % n;
+        let old_chain = vec![if aggregate { agg_over(fine) } else { window_out(fine) }];
+        // The widened chain splices a pass-everything restore selection in
+        // front (every `en` is ≥ 1.0), so nothing merges and the stateful
+        // operator is rebuilt from scratch — state survives only by
+        // migration.
+        let new_chain = vec![
+            selection_ge("0.5"),
+            if aggregate { agg_over(coarse) } else { window_out(coarse) },
+        ];
+
+        let mut dag = data_stream_sharing::network::FlowDag::new();
+        dag.register(0, &old_chain);
+        for item in &stream[..split] {
+            dag.process_into(item, &mut |_, _| {}); // fine-step outputs: not comparable
+        }
+        let report = dag.reregister_migrating(0, &new_chain);
+        prop_assert_eq!(
+            report.ops_dropped, 0,
+            "compatible window pair must be adopted: {:?}", report
+        );
+        let mut got = Vec::new();
+        for item in &stream[split..] {
+            dag.process_into(item, &mut |_, node| got.push(node.clone()));
+        }
+        let mut got_flush = Vec::new();
+        dag.flush_into(&mut |_, node| got_flush.push(node.clone()));
+
+        // Reference: the new chain over the whole stream in one piece.
+        let mut reference = data_stream_sharing::network::FlowDag::new();
+        reference.register(0, &new_chain);
+        let mut expect = Vec::new();
+        for (i, item) in stream.iter().enumerate() {
+            reference.process_into(item, &mut |_, node| {
+                if i >= split {
+                    expect.push(node.clone());
+                }
+            });
+        }
+        let mut expect_flush = Vec::new();
+        reference.flush_into(&mut |_, node| expect_flush.push(node.clone()));
+
+        prop_assert_eq!(&got, &expect, "suffix outputs diverge after migration");
+        prop_assert_eq!(&got_flush, &expect_flush, "final window state diverges");
+    }
+}
+
+/// Like [`live`] but recording every delivered item for byte comparison.
+fn live_recording(d: &Deployment, deliveries: BTreeMap<FlowId, String>) -> LiveRuntime {
+    let t = grid_topology(2, 2);
+    let mut sources = BTreeMap::new();
+    sources.insert(
+        "photons".to_string(),
+        SourceModel::from_frequency(items(100), 100.0),
+    );
+    let cfg = LiveConfig {
+        duration_s: 3.0,
+        record_deliveries: true,
+        ..Default::default()
+    };
+    LiveRuntime::new(t, d, sources, deliveries, cfg).expect("valid runtime")
+}
+
+/// Patches the single tap's chain mid-stream the way a widening does —
+/// a restore selection spliced in at position 0, forcing a full rebuild —
+/// optionally marked as a planned handoff, and returns the runtime's
+/// metrics plus qa's recorded deliveries.
+fn run_widening_patch(handoff: bool) -> (RuntimeMetrics, Vec<(u64, Node)>) {
+    let chains = vec![vec![count_agg(4)]];
+    let (mut d, _, taps) = tapped_deployment(&chains);
+    let a = taps[0];
+    let deliveries: BTreeMap<FlowId, String> = [(a, "qa".to_string())].into();
+    let mut rt = live_recording(&d, deliveries.clone());
+    rt.run_until(230_000); // 23 of 100 items: the open count-4 window holds 3
+    d.flow_mut(a).ops.insert(0, selection_ge("0.5")); // passes everything
+    d.set_handoff(a, handoff);
+    rt.sync_deployment(&d, deliveries);
+    rt.run_until(rt.horizon_us());
+    let delivered = rt.take_delivered_items().remove("qa").unwrap_or_default();
+    let (metrics, _) = rt.finish();
+    (metrics, delivered)
+}
+
+/// The live-runtime widening regression: a mid-stream in-place rewrite
+/// that rebuilds the whole chain delivers byte-exactly what a deployment
+/// that always ran the widened chain would — *only* because the planner
+/// marked it as a loss-free handoff and the open window migrated. The
+/// unmarked control run drops the partial window and diverges, proving
+/// the handoff (not luck) carries the state.
+#[test]
+fn planned_handoff_delivers_byte_exact_results() {
+    // Baseline: the widened chain from the very start, never rewritten.
+    let chains = vec![vec![selection_ge("0.5"), count_agg(4)]];
+    let (d, _, taps) = tapped_deployment(&chains);
+    let deliveries: BTreeMap<FlowId, String> = [(taps[0], "qa".to_string())].into();
+    let mut rt = live_recording(&d, deliveries);
+    rt.run_until(rt.horizon_us());
+    let baseline = rt.take_delivered_items().remove("qa").unwrap_or_default();
+    assert!(!baseline.is_empty(), "baseline delivered nothing");
+
+    let (metrics, delivered) = run_widening_patch(true);
+    assert_eq!(metrics.windows_migrated, 1, "the count-window must migrate");
+    assert_eq!(metrics.windows_dropped, 0);
+    assert!(
+        metrics.widen_delta_items > 0,
+        "the partial window held items to move"
+    );
+    assert_eq!(
+        delivered, baseline,
+        "handoff re-subscription changed qa's delivered bytes"
+    );
+
+    let (metrics, delivered) = run_widening_patch(false);
+    assert_eq!(metrics.windows_migrated, 0, "no handoff was planned");
+    assert_ne!(
+        delivered, baseline,
+        "control run without the handoff mark should drop the partial \
+         window and diverge — if it matches, this test lost its teeth"
     );
 }
 
